@@ -1,0 +1,37 @@
+"""A5 — performance under different network conditions (§V future work).
+
+The paper plans to "evaluate the performance of our method under different
+network conditions (e.g., bandwidth utilization)".  This bench sweeps the
+background cross-traffic intensity and reports each scheduler's mean
+Wordcount JCT: as the fabric gets busier, the network-aware scheduler's
+advantage over coarse placement should widen.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import ablation_bandwidth
+
+
+def test_ablation_bandwidth(benchmark, scenario):
+    data = run_once(benchmark, ablation_bandwidth, scenario, (0.0, 0.15, 0.3))
+    schedulers = list(next(iter(data.values())))
+    headers = ["bg intensity", *schedulers]
+    rows = [
+        [f"{i:.2f}", *(f"{data[i][s]:.1f}" for s in schedulers)]
+        for i in data
+    ]
+    print()
+    print(format_table(headers, rows,
+                       title=f"A5: JCT vs background utilisation [{scenario.name}]"))
+
+    # congestion hurts everyone...
+    for sched in schedulers:
+        assert data[0.3][sched] >= data[0.0][sched] * 0.95
+    # ...and the probabilistic scheduler keeps dominating coupling throughout
+    for intensity in data:
+        assert data[intensity]["probabilistic"] < data[intensity]["coupling"]
+    benchmark.extra_info["jct_prob_busy"] = round(data[0.3]["probabilistic"], 1)
+    benchmark.extra_info["jct_coupling_busy"] = round(data[0.3]["coupling"], 1)

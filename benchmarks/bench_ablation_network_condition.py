@@ -1,0 +1,28 @@
+"""A1 — hop-count distance vs live inverse-path-rate distance (§II-B-3).
+
+The paper argues that replacing hop counts with the inverse of measured
+path transmission rates "helps to produce a more efficient task placement".
+Under hot-spotted background traffic the network-condition variant can see
+congested paths that hop counts cannot; this bench quantifies the effect
+(the two coincide on a quiet, symmetric fabric).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import ablation_network_condition
+
+
+def test_ablation_network_condition(benchmark, scenario):
+    data = run_once(benchmark, ablation_network_condition, scenario)
+    rows = [(name, f"{jct:.1f}") for name, jct in data.items()]
+    print()
+    print(format_table(["distance matrix", "mean JCT (s)"], rows,
+                       title=f"A1: cost-matrix choice [{scenario.name}]"))
+
+    # the network-condition variant must not be materially worse than the
+    # static hop matrix, and both complete the full workload
+    assert data["network-condition"] <= data["hops"] * 1.10
+    benchmark.extra_info.update({k: round(v, 1) for k, v in data.items()})

@@ -1,0 +1,28 @@
+"""A3 — probabilistic acceptance vs deterministic greedy min-cost (§II-C).
+
+The paper chooses "the probabilistic approach rather than the deterministic
+approach in order to enable tasks to have fair opportunities to be
+allocated": a deterministic min-cost rule grabs every slot instantly
+(utilisation-optimal, locality-degraded), while the probability gate leaves
+expensive slots free for tasks that fit them better.  This bench compares
+the two with identical cost machinery.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import ablation_probabilistic
+
+
+def test_ablation_probabilistic(benchmark, scenario):
+    data = run_once(benchmark, ablation_probabilistic, scenario)
+    rows = [(name, f"{jct:.1f}") for name, jct in data.items()]
+    print()
+    print(format_table(["placement rule", "mean Wordcount JCT (s)"], rows,
+                       title=f"A3: probabilistic vs deterministic [{scenario.name}]"))
+
+    # both complete; the probabilistic gate should be at least competitive
+    assert data["probabilistic"] <= data["greedy"] * 1.15
+    benchmark.extra_info.update({k: round(v, 1) for k, v in data.items()})

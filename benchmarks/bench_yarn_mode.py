@@ -1,0 +1,67 @@
+"""Y1 — YARN container mode vs Hadoop-1 slots (§V future work).
+
+The paper plans to "implement [the scheduler] in the most recent YARN
+framework".  This bench runs the probabilistic scheduler on the same
+hardware under the two resource models:
+
+* **slots** — 4 map + 2 reduce static slots per node (Hadoop 1.2.1);
+* **containers** — 8 GB / 8 vcores per node with 1 GB map and 2 GB reduce
+  containers, any mix that fits (YARN).
+
+The fungible pool lets map-heavy phases use the whole node, which should
+shorten the map phase; the bench reports both and asserts the container
+mode is not slower.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import ClusterSpec
+from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
+from repro.engine import EngineConfig, Simulation
+from repro.workload import table2_batch
+from repro.yarn import YarnClusterSpec
+
+
+def _run(mode: str, scenario):
+    scale = min(scenario.scale, 0.25)
+    if mode == "slots":
+        cluster = ClusterSpec(num_racks=4, nodes_per_rack=4)
+    else:
+        cluster = YarnClusterSpec(num_racks=4, nodes_per_rack=4)
+    sim = Simulation(
+        cluster=cluster,
+        scheduler=ProbabilisticNetworkAwareScheduler(
+            PNAConfig(network_condition=True)
+        ),
+        jobs=table2_batch("terasort", scale=scale),
+        config=EngineConfig(assign_multiple=True),
+        seed=scenario.seed,
+    )
+    return sim.run()
+
+
+def test_yarn_container_mode(benchmark, scenario):
+    def both():
+        return _run("slots", scenario), _run("containers", scenario)
+
+    slots, containers = run_once(benchmark, both)
+    rows = [
+        ("slots (4 map + 2 reduce)", f"{slots.mean_jct:.1f}",
+         f"{slots.job_completion_times.max():.1f}"),
+        ("containers (8 GB pool)", f"{containers.mean_jct:.1f}",
+         f"{containers.job_completion_times.max():.1f}"),
+    ]
+    print()
+    print(format_table(
+        ["resource model", "mean JCT (s)", "max JCT (s)"],
+        rows, title=f"Y1: slot vs container mode [{scenario.name}]",
+    ))
+
+    assert containers.job_completion_times.size == 10
+    # fungible containers should not lose to static slots on like hardware
+    assert containers.mean_jct <= slots.mean_jct * 1.05
+    benchmark.extra_info["jct_slots"] = round(slots.mean_jct, 1)
+    benchmark.extra_info["jct_containers"] = round(containers.mean_jct, 1)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artefact (table or figure) of the paper and
+prints the same rows/series the paper reports.  Simulations are expensive,
+so each bench runs exactly once per session (``benchmark.pedantic`` with one
+round); the wall-clock recorded by pytest-benchmark is the cost of
+regenerating that artefact at the selected scenario scale.
+
+Scenario selection: ``REPRO_SCALE`` environment variable — ``ci`` (default,
+16 nodes / 25 % workload), ``medium``, ``paper`` (full 60-node Table II
+runs) or ``nas``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return get_scenario()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

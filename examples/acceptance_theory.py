@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The §V theoretical analysis: cost-delay tradeoff of the acceptance rule.
+
+Takes a *measured* offer-cost distribution — the map-placement costs a real
+job sees across the cluster, straight from the library's cost model — and
+computes, in closed form, what each probability model and each ``P_min``
+buys: expected placement cost versus expected offers (heartbeats) spent
+waiting.  This is the analysis the paper left as future work.
+
+Run:  python examples/acceptance_theory.py
+"""
+
+import numpy as np
+
+from repro.analysis import acceptance_stats, feasible_pmin, format_table, tradeoff_curve
+from repro.cluster import ClusterSpec
+from repro.core import (
+    ExponentialModel,
+    HyperbolicModel,
+    JobCostModel,
+    LinearModel,
+)
+from repro.engine import Simulation
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def measured_offer_costs():
+    """Formula-1 costs of one job's maps over every node (16-node cluster)."""
+    spec = JobSpec.make("01", "wordcount", 64 * 116 * MB, 64, 16)
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=4, nodes_per_rack=4),
+        scheduler=RandomScheduler(),
+        jobs=[spec],
+        seed=5,
+    )
+    sim.tracker.start()
+    sim.sim.run(until=1e-9)
+    job = sim.tracker.active_jobs[0]
+    model = JobCostModel(job)
+    costs = model.map_costs(
+        np.arange(sim.cluster.num_nodes), np.arange(job.num_maps)
+    )
+    return costs.ravel()
+
+
+def main() -> None:
+    costs = measured_offer_costs()
+    print(f"offer-cost sample: {costs.size} (node, map) pairs, "
+          f"{np.mean(costs == 0):.0%} local (zero-cost)\n")
+
+    print("Cost-delay tradeoff, exponential model (Formula 4):")
+    p_mins = [0.0, 0.2, 0.4, 0.5, 0.6, 0.63]
+    rows = []
+    for p, s in zip(p_mins, tradeoff_curve(costs, ExponentialModel(), p_mins)):
+        rows.append((
+            f"{p:.2f}",
+            f"{s.accept_rate:.3f}",
+            f"{s.expected_offers:.2f}",
+            f"{s.expected_cost / 1e9:.2f}",
+            f"{s.cost_reduction:+.1%}",
+        ))
+    print(format_table(
+        ["P_min", "accept rate", "E[offers]", "E[cost] (GB-hops)", "saving"],
+        rows,
+    ))
+    print(f"\nhighest feasible P_min: "
+          f"{feasible_pmin(costs, ExponentialModel()):.3f} "
+          f"(the paper calibrated 0.4 empirically)\n")
+
+    print("Model family at the paper's P_min = 0.4:")
+    rows = []
+    for model in (ExponentialModel(), HyperbolicModel(), LinearModel()):
+        s = acceptance_stats(costs, model, 0.4)
+        rows.append((
+            model.name, f"{s.accept_rate:.3f}", f"{s.expected_offers:.2f}",
+            f"{s.cost_reduction:+.1%}",
+        ))
+    print(format_table(["model", "accept rate", "E[offers]", "saving"], rows))
+
+
+if __name__ == "__main__":
+    main()

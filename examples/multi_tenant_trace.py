@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""A multi-tenant, trace-driven cluster: queues, elephants, and fairness.
+
+Beyond the paper's batch evaluation: a heavy-tailed job trace (most jobs
+small, a few elephants) arrives Poisson-style from two tenants sharing the
+cluster through the Capacity Scheduler's queues (70 % prod / 30 % dev).
+The probabilistic network-aware task scheduler places every task; the
+example reports per-queue completion statistics and verifies with a paired
+bootstrap that the PNA-vs-Coupling gap survives this very different
+workload shape.
+
+Run:  python examples/multi_tenant_trace.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, Simulation
+from repro.analysis import format_table, paired_bootstrap_ci
+from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
+from repro.schedulers import CapacityJobScheduler, CouplingScheduler
+from repro.units import GB
+from repro.workload import trace_workload
+
+
+def build_jobs():
+    rng = np.random.default_rng(23)
+    return trace_workload(
+        24, rng,
+        mean_interarrival=25.0,
+        median_size=0.4 * GB,
+        max_size=4 * GB,
+    )
+
+
+def run_one(task_scheduler, jobs):
+    assignments = {
+        s.job_id: ("prod" if i % 3 else "dev") for i, s in enumerate(jobs)
+    }
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=3, nodes_per_rack=4),
+        scheduler=task_scheduler,
+        jobs=jobs,
+        job_scheduler=CapacityJobScheduler(
+            {"prod": 0.7, "dev": 0.3}, assignments=assignments
+        ),
+        seed=23,
+    )
+    return sim.run(), assignments
+
+
+def main() -> None:
+    jobs = build_jobs()
+    pna, assignments = run_one(
+        ProbabilisticNetworkAwareScheduler(PNAConfig(network_condition=True)),
+        jobs,
+    )
+    coupling, _ = run_one(CouplingScheduler(), jobs)
+
+    rows = []
+    for queue in ("prod", "dev"):
+        ids = [j for j, q in assignments.items() if q == queue]
+        times = [
+            r.completion_time for r in pna.collector.job_records
+            if r.job_id in ids
+        ]
+        rows.append((queue, len(ids), f"{np.mean(times):.1f}",
+                     f"{np.max(times):.1f}"))
+    print(format_table(
+        ["queue", "jobs", "mean JCT (s)", "max JCT (s)"],
+        rows, title="PNA scheduler under Capacity queues (heavy-tailed trace)",
+    ))
+
+    base = coupling.job_completion_times
+    ours = pna.job_completion_times
+    ci = paired_bootstrap_ci(base, ours, seed=1)
+    print(f"\nPNA vs Coupling, paired over {base.size} trace jobs:")
+    print(f"  mean saving {ci.mean:.1f} s per job, 95% CI "
+          f"[{ci.low:.1f}, {ci.high:.1f}] — "
+          f"{'significant' if ci.excludes_zero else 'not significant'}")
+
+
+if __name__ == "__main__":
+    main()

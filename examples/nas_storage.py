@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The NAS/SAN scenario: where fine-grained network awareness pays off.
+
+Section I of the paper motivates network-aware placement with clusters
+whose "data replicas [are] distributed among different racks or stored in
+NAS or SAN devices located in a subset of the nodes".  This example confines
+every block replica to one third of the nodes (a storage island) and adds
+hot-spotted background traffic; node-locality is then structurally scarce,
+delay scheduling has nothing to wait for, and placement quality is decided
+by transmission cost — the regime where the probabilistic network-aware
+scheduler clearly beats both baselines.
+
+Run:  python examples/nas_storage.py
+"""
+
+from repro import ClusterSpec, Simulation, table2_batch
+from repro.analysis import format_table
+from repro.cluster import BackgroundSpec
+from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
+from repro.hdfs import RackAwarePlacement, SubsetPlacement
+from repro.schedulers import CouplingScheduler, FairScheduler
+
+
+def run_one(scheduler, placement):
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=4, nodes_per_rack=4),
+        scheduler=scheduler,
+        jobs=table2_batch("wordcount", scale=0.2),
+        placement=placement,
+        background=BackgroundSpec(intensity=0.2, hotspot_alpha=1.0),
+        seed=42,
+    )
+    return sim.run()
+
+
+def main() -> None:
+    factories = {
+        "probabilistic": lambda: ProbabilisticNetworkAwareScheduler(
+            PNAConfig(network_condition=True)
+        ),
+        "coupling": lambda: CouplingScheduler(),
+        "fair": lambda: FairScheduler(),
+    }
+    for label, placement in (
+        ("uniform HDFS (rack-aware, RF=2)", RackAwarePlacement()),
+        ("NAS island (replicas on 1/3 of nodes)", SubsetPlacement(fraction=1 / 3)),
+    ):
+        rows = []
+        for name, make in factories.items():
+            r = run_one(make(), placement)
+            jct = r.job_completion_times
+            rows.append((name, f"{jct.mean():.1f}", f"{jct.max():.1f}",
+                         f"{r.locality_shares('map')['node']:.1%}"))
+        print(format_table(
+            ["scheduler", "mean JCT (s)", "max JCT (s)", "map node-local"],
+            rows, title=label,
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

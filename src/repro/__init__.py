@@ -1,0 +1,65 @@
+"""repro — reproduction of "Probabilistic Network-Aware Task Placement for
+MapReduce Scheduling" (Shen, Sarker, Yu & Deng — IEEE CLUSTER 2016).
+
+The package is a flow-level MapReduce cluster simulator plus the paper's
+probabilistic network-aware (PNA) task scheduler and its published
+baselines.  Typical use::
+
+    from repro import ClusterSpec, Simulation, table2_batch
+    from repro.core import ProbabilisticNetworkAwareScheduler
+
+    result = Simulation(
+        cluster=ClusterSpec(num_racks=4, nodes_per_rack=15),
+        scheduler=ProbabilisticNetworkAwareScheduler(),
+        jobs=table2_batch("wordcount", scale=0.1),
+        seed=42,
+    ).run()
+    print(result.summary())
+
+Sub-packages
+------------
+``repro.sim``         deterministic discrete-event kernel
+``repro.cluster``     nodes, topologies, max-min fair flow network
+``repro.hdfs``        blocks, replica placement, NameNode
+``repro.workload``    application models, Table II catalogue, generators
+``repro.engine``      jobs, tasks, shuffle, JobTracker, Simulation
+``repro.schedulers``  scheduler interface + Fair/Coupling/Random/Greedy
+``repro.core``        the paper's contribution (cost model, Algorithms 1-2)
+``repro.metrics``     task/job records and the run collector
+``repro.analysis``    ECDFs, reduction curves, text rendering
+``repro.experiments`` canonical per-figure experiment runners
+"""
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.engine import EngineConfig, RunResult, Simulation
+from repro.hdfs import NameNode
+from repro.metrics import JobRecord, MetricsCollector, TaskRecord
+from repro.sim import Simulator
+from repro.workload import (
+    APPLICATIONS,
+    JobSpec,
+    TABLE2,
+    table2_batch,
+    table2_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATIONS",
+    "Cluster",
+    "ClusterSpec",
+    "EngineConfig",
+    "JobRecord",
+    "JobSpec",
+    "MetricsCollector",
+    "NameNode",
+    "RunResult",
+    "Simulation",
+    "Simulator",
+    "TABLE2",
+    "TaskRecord",
+    "__version__",
+    "table2_batch",
+    "table2_workload",
+]

@@ -1,0 +1,41 @@
+"""Analysis helpers: ECDFs, reductions, text tables and ASCII plots."""
+
+from repro.analysis.cdf import (
+    ecdf,
+    ecdf_at,
+    fraction_above,
+    quantile,
+    reduction_percent,
+)
+from repro.analysis.render import ascii_cdf, format_cdf_points, format_table
+from repro.analysis.stats import (
+    BootstrapCI,
+    paired_bootstrap_ci,
+    paired_permutation_test,
+    seed_sweep,
+)
+from repro.analysis.theory import (
+    AcceptanceStats,
+    acceptance_stats,
+    feasible_pmin,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "AcceptanceStats",
+    "BootstrapCI",
+    "acceptance_stats",
+    "ascii_cdf",
+    "ecdf",
+    "ecdf_at",
+    "format_cdf_points",
+    "feasible_pmin",
+    "format_table",
+    "fraction_above",
+    "paired_bootstrap_ci",
+    "paired_permutation_test",
+    "quantile",
+    "reduction_percent",
+    "seed_sweep",
+    "tradeoff_curve",
+]

@@ -1,0 +1,75 @@
+"""Empirical CDFs and the paper's derived distributions.
+
+Figures 3–6 of the paper are all empirical CDFs; Figure 5 is the CDF of the
+*paired per-job reduction* ``(baseline - ours) / baseline``.  These helpers
+compute those curves from raw sample arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ecdf", "ecdf_at", "quantile", "reduction_percent", "fraction_above"]
+
+
+def ecdf(samples: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF points ``(x, F(x))`` of a sample array.
+
+    Returns sorted unique sample values and, for each, the fraction of
+    samples less than or equal to it.  Raises on empty input.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("cannot build an ECDF from no samples")
+    if np.any(np.isnan(x)):
+        raise ValueError("NaN in ECDF samples")
+    xs = np.sort(x)
+    values, counts = np.unique(xs, return_counts=True)
+    cum = np.cumsum(counts) / x.size
+    return values, cum
+
+
+def ecdf_at(samples: np.ndarray, x: float) -> float:
+    """``F(x)`` — the fraction of samples ``<= x``."""
+    s = np.asarray(samples, dtype=np.float64)
+    if s.size == 0:
+        raise ValueError("cannot evaluate an ECDF with no samples")
+    return float(np.count_nonzero(s <= x) / s.size)
+
+
+def quantile(samples: np.ndarray, q: float) -> float:
+    """The ``q``-quantile (inverse ECDF) of the sample array."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    s = np.asarray(samples, dtype=np.float64)
+    if s.size == 0:
+        raise ValueError("cannot take a quantile of no samples")
+    # inverted_cdf is the exact inverse of the empirical CDF (no
+    # interpolation), so ecdf_at(samples, quantile(samples, q)) >= q holds
+    return float(np.quantile(s, q, method="inverted_cdf"))
+
+
+def reduction_percent(baseline: np.ndarray, ours: np.ndarray) -> np.ndarray:
+    """Per-job processing-time reduction, as Figure 5 defines it.
+
+    ``(baseline - ours) / baseline`` element-wise, in percent.  The inputs
+    must be paired (same job order); a negative entry means the baseline was
+    faster for that job.
+    """
+    b = np.asarray(baseline, dtype=np.float64)
+    o = np.asarray(ours, dtype=np.float64)
+    if b.shape != o.shape:
+        raise ValueError(f"paired arrays differ in shape: {b.shape} vs {o.shape}")
+    if np.any(b <= 0):
+        raise ValueError("baseline completion times must be positive")
+    return 100.0 * (b - o) / b
+
+
+def fraction_above(samples: np.ndarray, threshold: float) -> float:
+    """Fraction of samples strictly greater than ``threshold``."""
+    s = np.asarray(samples, dtype=np.float64)
+    if s.size == 0:
+        raise ValueError("no samples")
+    return float(np.count_nonzero(s > threshold) / s.size)

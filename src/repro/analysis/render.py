@@ -1,0 +1,100 @@
+"""Plain-text rendering: tables and ASCII CDF plots.
+
+The benchmark harness prints the same rows/series the paper reports; these
+renderers keep that output dependency-free and diff-friendly (no matplotlib
+in the core library).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cdf import ecdf
+
+__all__ = ["format_table", "ascii_cdf", "format_cdf_points"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table (right-aligned numbers, left-aligned text)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(cells):
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_cdf(
+    series: Dict[str, np.ndarray],
+    *,
+    width: int = 64,
+    height: int = 16,
+    xlabel: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render one or more sample arrays as overlaid ASCII CDF curves.
+
+    Each series gets a distinct marker; the y-axis is fixed to [0, 1].
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    xmax = max(float(np.max(s)) for s in series.values())
+    xmin = min(0.0, min(float(np.min(s)) for s in series.values()))
+    span = xmax - xmin or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, samples) in enumerate(series.items()):
+        xs, ps = ecdf(np.asarray(samples))
+        mark = markers[si % len(markers)]
+        for x, p in zip(xs, ps):
+            col = int((x - xmin) / span * (width - 1))
+            row = height - 1 - int(p * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {xmin:<10.3g}{xlabel:^{max(width - 20, 1)}}{xmax:>10.3g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def format_cdf_points(
+    samples: np.ndarray, probes: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """``(x, F(x))`` pairs at requested probe points — table-friendly CDFs."""
+    s = np.asarray(samples, dtype=np.float64)
+    out = []
+    for x in probes:
+        out.append((float(x), float(np.count_nonzero(s <= x) / s.size)))
+    return out

@@ -1,0 +1,145 @@
+"""Analytical model of the probabilistic acceptance rule (§V future work).
+
+The paper's conclusion concedes that "the optimality of this [exponential]
+model is not known" and plans "a theoretical analysis for the performance of
+our probabilistic network-aware scheduling method".  This module supplies
+that analysis for the slot-offer process in isolation:
+
+Model.  A task repeatedly receives slot offers whose transmission costs
+``C`` are i.i.d. draws from an offer-cost distribution (empirically, the
+costs of placing the task on the nodes that free up).  Under a probability
+model ``P(c) = f(C_ave / c)`` with threshold ``P_min``, the task accepts an
+offer of cost ``c`` with probability ``P(c) · 1[P(c) >= P_min]``.
+
+Then, writing ``q(c) = P(c) · 1[P(c) >= P_min]``:
+
+* the per-offer acceptance rate is ``a = E[q(C)]``;
+* the number of offers until placement is geometric with mean ``1 / a``
+  (the *delay* side of the paper's cost/utilisation balance — each declined
+  offer leaves the slot idle until another heartbeat);
+* the cost of the accepted placement is size-biased by ``q``:
+  ``E[C_accept] = E[C · q(C)] / E[q(C)]``.
+
+Sweeping ``P_min`` traces the *cost-delay tradeoff curve*: larger thresholds
+buy cheaper placements at the price of more declined offers.  A deterministic
+greedy rule is the ``a = 1`` extreme with ``E[C_accept] = E[C]``; an oracle
+that waits for the cheapest node anchors the other end.
+
+Everything is computed from cost samples (no distributional assumptions),
+so the same functions apply to measured per-node cost vectors from a live
+:class:`~repro.core.cost.JobCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.probability import ProbabilityModel
+
+__all__ = ["AcceptanceStats", "acceptance_stats", "tradeoff_curve", "feasible_pmin"]
+
+
+@dataclass(frozen=True)
+class AcceptanceStats:
+    """Closed-form behaviour of the offer process for one configuration.
+
+    Attributes
+    ----------
+    accept_rate:
+        ``E[q(C)]`` — probability an arbitrary offer is accepted.
+    expected_offers:
+        ``1 / accept_rate`` — mean offers (≈ heartbeats) until placement;
+        ``inf`` when no offer can ever be accepted.
+    expected_cost:
+        Mean transmission cost of the accepted placement (size-biased);
+        ``nan`` when nothing is ever accepted.
+    cost_reduction:
+        ``1 - expected_cost / E[C]`` — relative saving versus accepting
+        every offer (the deterministic-instant baseline).
+    """
+
+    accept_rate: float
+    expected_offers: float
+    expected_cost: float
+    cost_reduction: float
+
+
+def acceptance_stats(
+    costs: Sequence[float],
+    model: ProbabilityModel,
+    p_min: float = 0.0,
+    *,
+    c_ave: Optional[float] = None,
+) -> AcceptanceStats:
+    """Analyse the offer process for an empirical offer-cost sample.
+
+    ``c_ave`` defaults to the sample mean, matching Formulae 4-5's use of
+    the average placement cost over available nodes.
+    """
+    c = np.asarray(costs, dtype=np.float64)
+    if c.size == 0:
+        raise ValueError("need at least one cost sample")
+    if np.any(c < 0) or np.any(np.isnan(c)):
+        raise ValueError("costs must be non-negative and finite")
+    if not 0.0 <= p_min <= 1.0:
+        raise ValueError(f"p_min must be in [0, 1], got {p_min}")
+    if c_ave is None:
+        c_ave = float(c.mean())
+    p = model.probability(c_ave, c)
+    q = np.where(p >= p_min, p, 0.0)
+    accept_rate = float(q.mean())
+    if accept_rate <= 0.0:
+        return AcceptanceStats(0.0, float("inf"), float("nan"), float("nan"))
+    expected_cost = float((c * q).mean() / q.mean())
+    mean_cost = float(c.mean())
+    reduction = 1.0 - expected_cost / mean_cost if mean_cost > 0 else 0.0
+    return AcceptanceStats(
+        accept_rate=accept_rate,
+        expected_offers=1.0 / accept_rate,
+        expected_cost=expected_cost,
+        cost_reduction=reduction,
+    )
+
+
+def tradeoff_curve(
+    costs: Sequence[float],
+    model: ProbabilityModel,
+    p_mins: Sequence[float],
+    *,
+    c_ave: Optional[float] = None,
+) -> List[AcceptanceStats]:
+    """The cost-delay tradeoff swept over thresholds.
+
+    As ``p_min`` grows, ``expected_cost`` is non-increasing and
+    ``expected_offers`` non-decreasing — the formal statement of the paper's
+    "balance between the transmission cost reduction and resource
+    utilization" (Section II-C).
+    """
+    return [
+        acceptance_stats(costs, model, p, c_ave=c_ave) for p in p_mins
+    ]
+
+
+def feasible_pmin(
+    costs: Sequence[float],
+    model: ProbabilityModel,
+    *,
+    c_ave: Optional[float] = None,
+) -> float:
+    """The largest threshold at which *some* offer is still acceptable.
+
+    Above this value every offer is declined and the task never places —
+    the analytical counterpart of the paper's empirical calibration, which
+    "picked the highest P_min value at the time when all jobs finished
+    successfully".
+    """
+    c = np.asarray(costs, dtype=np.float64)
+    if c.size == 0:
+        raise ValueError("need at least one cost sample")
+    if c_ave is None:
+        c_ave = float(c.mean())
+    p = model.probability(c_ave, c)
+    return float(np.max(p))

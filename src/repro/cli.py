@@ -1,0 +1,283 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.cli table2              # the 30-job catalogue
+    python -m repro.cli fig4                # JCT CDFs for the 3 schedulers
+    python -m repro.cli table3 --scenario nas
+    python -m repro.cli all                 # every artefact in sequence
+    repro fig7                              # installed entry point
+
+Scenario selection: ``--scenario {ci,medium,paper,nas}`` or the
+``REPRO_SCALE`` environment variable (default ``ci``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis import (
+    ascii_cdf,
+    feasible_pmin,
+    format_table,
+    tradeoff_curve,
+)
+from repro.experiments import (
+    ablation_bandwidth,
+    ablation_estimator,
+    ablation_network_condition,
+    ablation_probabilistic,
+    ablation_probability_model,
+    fig3_data_sizes,
+    fig4_jct,
+    fig5_reduction,
+    fig6_task_times,
+    fig7_locality_by_size,
+    get_scenario,
+    pmin_sweep,
+    table3_locality,
+)
+from repro.units import GB
+from repro.workload import TABLE2
+
+__all__ = ["main"]
+
+
+def _cmd_table2(scenario) -> None:
+    rows = [
+        (e.job_id, e.name, e.num_maps, e.num_reduces)
+        for e in TABLE2
+    ]
+    print(format_table(
+        ["JobID", "Job", "Map (#)", "Reduce (#)"], rows,
+        title="Table II: the 30-job catalogue",
+    ))
+
+
+def _cmd_fig3(scenario) -> None:
+    data = fig3_data_sizes(scale=1.0)
+    print(ascii_cdf(
+        {k: v / GB for k, v in data.items()},
+        xlabel="data size (GB)",
+        title="Figure 3: CDF of input and shuffle size (full-scale workload)",
+    ))
+    shuffle = data["shuffle"]
+    frac_50 = float(np.mean(shuffle > 50 * GB))
+    frac_100 = float(np.mean(shuffle > 100 * GB))
+    frac_10 = float(np.mean(shuffle < 10 * GB))
+    print(
+        f"\nshuffle-intensive (> 50 GB): {frac_50:.0%}   "
+        f"(> 100 GB): {frac_100:.0%}   map-intensive (< 10 GB): {frac_10:.0%}"
+    )
+
+
+def _cmd_fig4(scenario) -> None:
+    data = fig4_jct(scenario)
+    print(ascii_cdf(
+        data, xlabel="job completion time (s)",
+        title=f"Figure 4: CDF of job completion time [{scenario.name}]",
+    ))
+    rows = [
+        (name, f"{v.mean():.1f}", f"{np.median(v):.1f}", f"{v.max():.1f}")
+        for name, v in data.items()
+    ]
+    print()
+    print(format_table(["scheduler", "mean (s)", "median (s)", "max (s)"], rows))
+
+
+def _cmd_fig5(scenario) -> None:
+    data = fig5_reduction(scenario)
+    print(ascii_cdf(
+        data, xlabel="reduction of job processing time (%)",
+        title=f"Figure 5: per-job reduction by the probabilistic scheduler [{scenario.name}]",
+    ))
+    for name, v in data.items():
+        print(f"{name}: mean {v.mean():.1f}%  median {np.median(v):.1f}%  "
+              f"jobs improved {np.mean(v > 0):.0%}")
+
+
+def _cmd_fig6(scenario) -> None:
+    data = fig6_task_times(scenario)
+    for kind in ("map", "reduce"):
+        print(ascii_cdf(
+            data[kind], xlabel=f"{kind} task time (s)",
+            title=f"Figure 6: CDF of {kind} task completion time [{scenario.name}]",
+        ))
+        print()
+
+
+def _cmd_table3(scenario) -> None:
+    data = table3_locality(scenario)
+    headers = ["", *data.keys()]
+    rows = []
+    for level, label in (
+        ("node", "% of local node tasks"),
+        ("rack", "% of local rack tasks"),
+        ("remote", "% of remote tasks"),
+    ):
+        rows.append([label, *(f"{data[s][level] * 100:.2f}" for s in data)])
+    print(format_table(
+        headers, rows,
+        title=f"Table III: data locality by scheduler [{scenario.name}]",
+    ))
+
+
+def _cmd_fig7(scenario) -> None:
+    data = fig7_locality_by_size(scenario)
+    sizes = sorted(next(iter(data.values())))
+    headers = ["input (GB)", *data.keys()]
+    rows = [
+        [gb, *(f"{data[s][gb] * 100:.1f}%" for s in data)]
+        for gb in sizes
+    ]
+    print(format_table(
+        headers, rows,
+        title=f"Figure 7: % node-local map tasks vs input size [{scenario.name}]",
+    ))
+
+
+def _cmd_pmin(scenario) -> None:
+    data = pmin_sweep(scenario)
+    rows = [
+        (f"{p:.1f}", "did not finish" if jct == float("inf") else f"{jct:.1f}")
+        for p, jct in data.items()
+    ]
+    print(format_table(
+        ["P_min", "mean Wordcount JCT (s)"], rows,
+        title=f"P_min sweep (paper picks 0.4) [{scenario.name}]",
+    ))
+
+
+def _cmd_ablations(scenario) -> None:
+    print("A1 — distance matrix (Section II-B-3)")
+    for name, jct in ablation_network_condition(scenario).items():
+        print(f"  {name:20s} mean JCT {jct:.1f} s")
+    print("A2 — intermediate-size estimator (Section II-B-2)")
+    for name, jct in ablation_estimator(scenario).items():
+        print(f"  {name:20s} mean Wordcount JCT {jct:.1f} s")
+    print("A3 — probabilistic vs deterministic placement (Section II-C)")
+    for name, jct in ablation_probabilistic(scenario).items():
+        print(f"  {name:20s} mean Wordcount JCT {jct:.1f} s")
+    print("A4 — probability model family (Section V)")
+    for name, jct in ablation_probability_model(scenario).items():
+        print(f"  {name:20s} mean Wordcount JCT {jct:.1f} s")
+
+
+def _cmd_util(scenario) -> None:
+    """Cluster resource utilisation per scheduler (Section III-A claim)."""
+    from repro.experiments import comparison
+
+    results = comparison(scenario)
+    headers = ["scheduler", "map-slot util", "reduce-slot util",
+               "offers declined"]
+    rows = []
+    for name, runs in results.items():
+        map_u = sum(r.utilisation("map") for r in runs.values()) / len(runs)
+        red_u = sum(r.utilisation("reduce") for r in runs.values()) / len(runs)
+        declines = sum(r.collector.scheduling_declines for r in runs.values())
+        rows.append((name, f"{map_u:.1%}", f"{red_u:.1%}", declines))
+    print(format_table(
+        headers, rows,
+        title=f"Cluster resource utilisation [{scenario.name}]",
+    ))
+
+
+def _cmd_theory(scenario) -> None:
+    """The §V analytical cost-delay tradeoff on a measured cost sample."""
+    import numpy as np
+
+    from repro.core import ExponentialModel, JobCostModel
+    from repro.schedulers import RandomScheduler
+
+    sim = scenario.simulation(
+        RandomScheduler(), scenario.jobs("wordcount")[:1]
+    )
+    sim.tracker.start()
+    sim.sim.run(until=1e-9)
+    job = sim.tracker.active_jobs[0]
+    model = JobCostModel(job)
+    costs = model.map_costs(
+        np.arange(sim.cluster.num_nodes), np.arange(job.num_maps)
+    ).ravel()
+    p_mins = [0.0, 0.2, 0.4, 0.5, 0.6]
+    rows = []
+    for p, s in zip(p_mins, tradeoff_curve(costs, ExponentialModel(), p_mins)):
+        rows.append((f"{p:.2f}", f"{s.accept_rate:.3f}",
+                     f"{s.expected_offers:.2f}", f"{s.cost_reduction:+.1%}"))
+    print(format_table(
+        ["P_min", "accept rate", "E[offers]", "cost saving"], rows,
+        title=f"Acceptance-rule tradeoff (analytical) [{scenario.name}]",
+    ))
+    print(f"highest feasible P_min: "
+          f"{feasible_pmin(costs, ExponentialModel()):.3f}")
+
+
+def _cmd_bandwidth(scenario) -> None:
+    data = ablation_bandwidth(scenario)
+    schedulers = list(next(iter(data.values())))
+    headers = ["bg intensity", *schedulers]
+    rows = [
+        [f"{i:.2f}", *(f"{data[i][s]:.1f}" for s in schedulers)]
+        for i in data
+    ]
+    print(format_table(
+        headers, rows,
+        title=f"A5: mean Wordcount JCT vs background utilisation [{scenario.name}]",
+    ))
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table2": _cmd_table2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "table3": _cmd_table3,
+    "fig7": _cmd_fig7,
+    "pmin": _cmd_pmin,
+    "ablations": _cmd_ablations,
+    "bandwidth": _cmd_bandwidth,
+    "util": _cmd_util,
+    "theory": _cmd_theory,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*COMMANDS, "all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name (ci, medium, paper, nas); default from REPRO_SCALE",
+    )
+    args = parser.parse_args(argv)
+    scenario = get_scenario(args.scenario)
+    targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    try:
+        for i, name in enumerate(targets):
+            if i:
+                print("\n" + "=" * 72 + "\n")
+            COMMANDS[name](scenario)
+    except BrokenPipeError:
+        # output piped into head/less that exited early: not an error
+        import os
+
+        os.close(sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Cluster substrate: nodes, network topologies, and flow-level transfers."""
+
+from repro.cluster.background import BackgroundSpec, BackgroundTraffic
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.network import Flow, FlowNetwork
+from repro.cluster.node import Node, SlotExhausted
+from repro.cluster.topology import (
+    GraphTopology,
+    MatrixTopology,
+    Topology,
+    fat_tree_topology,
+    paper_example_topology,
+    rack_topology,
+    star_topology,
+)
+
+__all__ = [
+    "BackgroundSpec",
+    "BackgroundTraffic",
+    "Cluster",
+    "ClusterSpec",
+    "Flow",
+    "FlowNetwork",
+    "GraphTopology",
+    "MatrixTopology",
+    "Node",
+    "SlotExhausted",
+    "Topology",
+    "fat_tree_topology",
+    "paper_example_topology",
+    "rack_topology",
+    "star_topology",
+]

@@ -1,0 +1,205 @@
+"""Cluster assembly: nodes + topology + network in one object.
+
+:class:`Cluster` is the substrate handle the rest of the library works
+against.  It owns the :class:`~repro.cluster.node.Node` objects (one per
+topology host), the hop matrix, and the :class:`~repro.cluster.network
+.FlowNetwork`.  :class:`ClusterSpec` is a declarative description from which
+the canonical experiment clusters are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.network import FlowNetwork
+from repro.cluster.node import Node
+from repro.cluster.topology import Topology, rack_topology
+from repro.sim import Simulator
+from repro.units import Gbps, MB
+
+__all__ = ["Cluster", "ClusterSpec"]
+
+
+@dataclass
+class ClusterSpec:
+    """Declarative cluster description.
+
+    Defaults mirror the paper's Palmetto slice: 60 nodes in 4 racks with 4
+    map slots and 2 reduce slots each (Section III).  Host links default to
+    1 Gbps with 10 Gbps ToR uplinks — the Hadoop-1-era regime in which the
+    network is the scarce resource during shuffle and remote reads, which is
+    the regime the paper's fine-grained cost model targets (its Palmetto ToR
+    switches were likewise uplinked at 10 Gbps and shared by a full rack).
+    """
+
+    num_racks: int = 4
+    nodes_per_rack: int = 15
+    map_slots: int = 4
+    reduce_slots: int = 2
+    host_link: float = 1.0 * Gbps
+    tor_uplink: float = 10.0 * Gbps
+    disk_bandwidth: float = 400.0 * MB
+    compute_factors: Optional[Sequence[float]] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_racks * self.nodes_per_rack
+
+    def build(self, sim: Simulator) -> "Cluster":
+        topo = rack_topology(
+            self.num_racks,
+            self.nodes_per_rack,
+            host_link=self.host_link,
+            tor_uplink=self.tor_uplink,
+        )
+        return Cluster(
+            sim,
+            topo,
+            map_slots=self.map_slots,
+            reduce_slots=self.reduce_slots,
+            disk_bandwidth=self.disk_bandwidth,
+            compute_factors=self.compute_factors,
+        )
+
+
+class Cluster:
+    """Nodes + topology + flow network.
+
+    Parameters
+    ----------
+    sim:
+        Simulation clock shared with the engine.
+    topology:
+        Any :class:`~repro.cluster.topology.Topology`; its hosts become the
+        cluster's data nodes in index order.
+    map_slots, reduce_slots, disk_bandwidth:
+        Uniform per-node configuration.
+    compute_factors:
+        Optional per-node compute multipliers (heterogeneity), by host index.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        *,
+        map_slots: int = 4,
+        reduce_slots: int = 2,
+        disk_bandwidth: float = 400.0 * MB,
+        compute_factors: Optional[Sequence[float]] = None,
+        node_factory: Optional[Callable[[str, str, int], Node]] = None,
+    ) -> None:
+        """``node_factory(name, rack, index)`` overrides node construction —
+        used by :mod:`repro.yarn` to build container-based nodes."""
+        self.sim = sim
+        self.topology = topology
+        if compute_factors is not None and len(compute_factors) != topology.num_hosts:
+            raise ValueError("compute_factors length must equal host count")
+        self.nodes: List[Node] = []
+        self._by_name: Dict[str, Node] = {}
+        for i, host in enumerate(topology.hosts):
+            if node_factory is not None:
+                node = node_factory(host, topology.rack_of(host), i)
+            else:
+                node = Node(
+                    name=host,
+                    rack=topology.rack_of(host),
+                    index=i,
+                    map_slots=map_slots,
+                    reduce_slots=reduce_slots,
+                    disk_bandwidth=disk_bandwidth,
+                    compute_factor=(
+                        compute_factors[i] if compute_factors is not None else 1.0
+                    ),
+                )
+            self.nodes.append(node)
+            self._by_name[host] = node
+        self.network = FlowNetwork(sim, topology, local_bandwidth=disk_bandwidth)
+        self._hops = topology.hop_matrix().astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # distance / network condition views (inputs to the cost model)
+    # ------------------------------------------------------------------
+    @property
+    def hop_matrix(self) -> np.ndarray:
+        """Pairwise hop counts between data nodes (float copy-free view)."""
+        return self._hops
+
+    def distance(self, a: str, b: str) -> float:
+        return float(self._hops[self._by_name[a].index, self._by_name[b].index])
+
+    def inverse_rate_matrix(self, *, scale: Optional[float] = None) -> np.ndarray:
+        """The network-condition distance matrix of Section II-B-3.
+
+        Each entry is the inverse of the live estimated path rate, i.e.
+        seconds per byte; the diagonal is zero (local placement costs
+        nothing, matching the hop-matrix convention).  ``scale`` normalises
+        the entries so their magnitude is comparable to hop counts (by
+        default the matrix is scaled so that an idle host link's inverse
+        rate maps to 2.0, the same-rack hop count).
+        """
+        rates = self.network.rate_matrix()
+        inv = 1.0 / rates
+        np.fill_diagonal(inv, 0.0)
+        if scale is None:
+            # an idle host-access-link path (inverse rate 1/ref) maps to hop
+            # count 2, the same-rack distance
+            refs = []
+            hosts = self.topology.hosts
+            for h in hosts:
+                for other in hosts:
+                    if other != h:
+                        route = self.topology.route(h, other)
+                        refs.append(self.topology.link_capacity(route[0]))
+                        break
+            ref = max(refs) if refs else 1.0
+            scale = 2.0 * ref
+        return inv * scale
+
+    # ------------------------------------------------------------------
+    # slot views (inputs to C_ave in Formulae 4-5)
+    # ------------------------------------------------------------------
+    def nodes_with_free_map_slots(self) -> List[Node]:
+        return [n for n in self.nodes if n.free_map_slots > 0]
+
+    def nodes_with_free_reduce_slots(self) -> List[Node]:
+        return [n for n in self.nodes if n.free_reduce_slots > 0]
+
+    def total_map_slots(self) -> int:
+        return sum(n.map_slots for n in self.nodes)
+
+    def total_reduce_slots(self) -> int:
+        return sum(n.reduce_slots for n in self.nodes)
+
+    def running_map_tasks(self) -> int:
+        return sum(n.running_maps for n in self.nodes)
+
+    def running_reduce_tasks(self) -> int:
+        return sum(n.running_reduces for n in self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.num_nodes} nodes, "
+            f"{self.total_map_slots()} map slots, "
+            f"{self.total_reduce_slots()} reduce slots)"
+        )

@@ -1,0 +1,300 @@
+"""Network topologies: graphs, routing and the distance matrix ``H``.
+
+The paper's cost model is parameterised by a distance matrix ``H`` whose
+entry ``h_ab`` is the hop count of the path between data nodes ``a`` and
+``b`` (Section II-B-1), optionally replaced by the inverse of the live path
+transmission rate (Section II-B-3).  This module supplies both:
+
+* :class:`GraphTopology` — a switch/host graph (networkx) with per-link
+  capacities.  Hop counts come from shortest paths; routes are cached and fed
+  to the flow-level network simulator.
+* :class:`MatrixTopology` — a topology specified directly by a hop matrix,
+  as in the paper's 4-node worked example (Figure 2).  Paths are modelled as
+  dedicated pipes whose capacity decays with distance.
+
+Builders cover the shapes used in the evaluation and beyond: the Palmetto
+rack/ToR/core tree, a single-switch star, and a k-ary fat-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.units import Gbps
+
+__all__ = [
+    "LinkKey",
+    "Topology",
+    "GraphTopology",
+    "MatrixTopology",
+    "rack_topology",
+    "star_topology",
+    "fat_tree_topology",
+    "paper_example_topology",
+]
+
+LinkKey = Tuple[Hashable, Hashable]
+
+
+def _canon(u: Hashable, v: Hashable) -> LinkKey:
+    """Canonical undirected link key."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Topology:
+    """Abstract interface shared by graph- and matrix-backed topologies.
+
+    A topology knows the *host* (compute-node) names, their rack labels, the
+    pairwise hop matrix, and — for flow simulation — the route (sequence of
+    link keys) between any two hosts together with each link's capacity.
+    """
+
+    hosts: List[str]
+
+    def host_index(self, name: str) -> int:
+        return self._host_index[name]
+
+    def rack_of(self, host: str) -> str:
+        raise NotImplementedError
+
+    def hop_matrix(self) -> np.ndarray:
+        """``H[a, b]`` = hops between hosts ``a`` and ``b`` (0 on diagonal)."""
+        raise NotImplementedError
+
+    def route(self, src: str, dst: str) -> List[LinkKey]:
+        """Ordered link keys along the path ``src → dst`` (empty if equal)."""
+        raise NotImplementedError
+
+    def link_capacity(self, link: LinkKey) -> float:
+        raise NotImplementedError
+
+    def links(self) -> Iterable[LinkKey]:
+        raise NotImplementedError
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.hosts)
+
+
+class GraphTopology(Topology):
+    """A topology backed by an undirected networkx graph.
+
+    Hosts are graph vertices flagged with ``kind='host'`` and a ``rack``
+    attribute; everything else is a switch.  Every edge carries a
+    ``capacity`` attribute in bytes/s.  Shortest-path routes (hop-count
+    metric) are computed once and cached; ties are broken deterministically
+    by networkx's BFS ordering, which is stable for a fixed construction
+    order.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self.graph = graph
+        self.hosts = sorted(
+            (n for n, d in graph.nodes(data=True) if d.get("kind") == "host"),
+            key=str,
+        )
+        if not self.hosts:
+            raise ValueError("topology has no hosts")
+        for u, v, d in graph.edges(data=True):
+            if "capacity" not in d or d["capacity"] <= 0:
+                raise ValueError(f"edge {u!r}-{v!r} lacks a positive capacity")
+        self._host_index = {h: i for i, h in enumerate(self.hosts)}
+        self._routes: Dict[Tuple[str, str], List[LinkKey]] = {}
+        self._hops: Optional[np.ndarray] = None
+
+    # -- interface ------------------------------------------------------
+    def rack_of(self, host: str) -> str:
+        return self.graph.nodes[host].get("rack", "rack0")
+
+    def hop_matrix(self) -> np.ndarray:
+        if self._hops is None:
+            k = len(self.hosts)
+            hops = np.zeros((k, k), dtype=np.int64)
+            # one BFS per host over the switch fabric
+            for a, src in enumerate(self.hosts):
+                lengths = nx.single_source_shortest_path_length(self.graph, src)
+                for b, dst in enumerate(self.hosts):
+                    hops[a, b] = lengths[dst]
+            self._hops = hops
+        return self._hops
+
+    def route(self, src: str, dst: str) -> List[LinkKey]:
+        if src == dst:
+            return []
+        key = (src, dst)
+        cached = self._routes.get(key)
+        if cached is None:
+            path = nx.shortest_path(self.graph, src, dst)
+            cached = [_canon(u, v) for u, v in zip(path[:-1], path[1:])]
+            self._routes[key] = cached
+            # a path is symmetric; cache the reverse too
+            self._routes[(dst, src)] = list(reversed(cached))
+        return cached
+
+    def link_capacity(self, link: LinkKey) -> float:
+        u, v = link
+        return self.graph.edges[u, v]["capacity"]
+
+    def links(self) -> Iterable[LinkKey]:
+        return (_canon(u, v) for u, v in self.graph.edges())
+
+
+class MatrixTopology(Topology):
+    """A topology given directly as a hop matrix, per the paper's Figure 2.
+
+    Each host pair gets a *dedicated* pipe (no cross-flow contention) whose
+    capacity is ``base_capacity / max(hops, 1)`` unless an explicit capacity
+    matrix is supplied.  This is the right abstraction for unit-testing the
+    cost model against the paper's worked example, where ``H`` is data, not
+    derived from a switch graph.
+    """
+
+    def __init__(
+        self,
+        hops: Sequence[Sequence[float]],
+        *,
+        host_names: Optional[Sequence[str]] = None,
+        racks: Optional[Sequence[str]] = None,
+        base_capacity: float = 1.0 * Gbps,
+        capacities: Optional[Sequence[Sequence[float]]] = None,
+    ) -> None:
+        h = np.asarray(hops, dtype=np.float64)
+        if h.ndim != 2 or h.shape[0] != h.shape[1]:
+            raise ValueError(f"hop matrix must be square, got {h.shape}")
+        if not np.allclose(h, h.T):
+            raise ValueError("hop matrix must be symmetric")
+        if np.any(np.diag(h) != 0):
+            raise ValueError("hop matrix diagonal must be zero")
+        if np.any(h < 0):
+            raise ValueError("hop matrix entries must be non-negative")
+        k = h.shape[0]
+        self._h = h
+        self.hosts = list(host_names) if host_names else [f"D{i + 1}" for i in range(k)]
+        if len(self.hosts) != k:
+            raise ValueError("host_names length must match matrix size")
+        self._racks = list(racks) if racks else ["rack0"] * k
+        if len(self._racks) != k:
+            raise ValueError("racks length must match matrix size")
+        self._host_index = {h_: i for i, h_ in enumerate(self.hosts)}
+        if capacities is not None:
+            cap = np.asarray(capacities, dtype=np.float64)
+            if cap.shape != h.shape:
+                raise ValueError("capacity matrix shape mismatch")
+            self._cap = cap
+        else:
+            with np.errstate(divide="ignore"):
+                self._cap = base_capacity / np.maximum(h, 1.0)
+
+    def rack_of(self, host: str) -> str:
+        return self._racks[self._host_index[host]]
+
+    def hop_matrix(self) -> np.ndarray:
+        return self._h
+
+    def route(self, src: str, dst: str) -> List[LinkKey]:
+        if src == dst:
+            return []
+        return [_canon(src, dst)]
+
+    def link_capacity(self, link: LinkKey) -> float:
+        u, v = link
+        return float(self._cap[self._host_index[u], self._host_index[v]])
+
+    def links(self) -> Iterable[LinkKey]:
+        k = len(self.hosts)
+        for a in range(k):
+            for b in range(a + 1, k):
+                yield _canon(self.hosts[a], self.hosts[b])
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def rack_topology(
+    num_racks: int,
+    nodes_per_rack: int,
+    *,
+    host_link: float = 10.0 * Gbps,
+    tor_uplink: float = 40.0 * Gbps,
+    name_prefix: str = "r",
+) -> GraphTopology:
+    """The Palmetto-style tree: hosts — ToR switches — one core switch.
+
+    Matches the testbed description in Section III: every node connects to
+    its top-of-rack switch; ToR switches uplink to the core.  Hop counts are
+    0 (same node), 2 (same rack) and 4 (cross-rack).
+    """
+    if num_racks < 1 or nodes_per_rack < 1:
+        raise ValueError("need at least one rack and one node per rack")
+    g = nx.Graph()
+    core = "core"
+    if num_racks > 1:
+        g.add_node(core, kind="switch")
+    for r in range(num_racks):
+        rack = f"rack{r}"
+        tor = f"tor{r}"
+        g.add_node(tor, kind="switch")
+        if num_racks > 1:
+            g.add_edge(tor, core, capacity=tor_uplink)
+        for n in range(nodes_per_rack):
+            host = f"{name_prefix}{r}n{n}"
+            g.add_node(host, kind="host", rack=rack)
+            g.add_edge(host, tor, capacity=host_link)
+    return GraphTopology(g)
+
+
+def star_topology(
+    num_hosts: int,
+    *,
+    host_link: float = 10.0 * Gbps,
+) -> GraphTopology:
+    """All hosts hang off a single switch (one rack).  Hops: 0 or 2."""
+    return rack_topology(1, num_hosts, host_link=host_link)
+
+
+def fat_tree_topology(k: int, *, link: float = 10.0 * Gbps) -> GraphTopology:
+    """A classic k-ary fat-tree with ``k^3 / 4`` hosts.
+
+    ``k`` must be even.  Pods contain ``k/2`` edge and ``k/2`` aggregation
+    switches; there are ``(k/2)^2`` core switches.  Every host's rack label
+    is its edge switch, matching the locality granularity Hadoop uses.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("fat-tree degree k must be an even integer >= 2")
+    half = k // 2
+    g = nx.Graph()
+    # core switches, indexed (i, j) in a half x half grid
+    cores = [[f"core{i}_{j}" for j in range(half)] for i in range(half)]
+    for row in cores:
+        for c in row:
+            g.add_node(c, kind="switch")
+    for pod in range(k):
+        aggs = [f"agg{pod}_{a}" for a in range(half)]
+        edges = [f"edge{pod}_{e}" for e in range(half)]
+        for a, agg in enumerate(aggs):
+            g.add_node(agg, kind="switch")
+            for j in range(half):
+                g.add_edge(agg, cores[a][j], capacity=link)
+        for e, edge in enumerate(edges):
+            g.add_node(edge, kind="switch", rack=f"pod{pod}_edge{e}")
+            for agg in aggs:
+                g.add_edge(edge, agg, capacity=link)
+            for h in range(half):
+                host = f"h{pod}_{e}_{h}"
+                g.add_node(host, kind="host", rack=f"pod{pod}_edge{e}")
+                g.add_edge(host, edge, capacity=link)
+    return GraphTopology(g)
+
+
+def paper_example_topology() -> MatrixTopology:
+    """The 4-node distance matrix of the paper's Figure 2 worked example."""
+    h = [
+        [0, 4, 2, 8],
+        [4, 0, 10, 2],
+        [2, 10, 0, 6],
+        [8, 2, 6, 0],
+    ]
+    return MatrixTopology(h, host_names=["D1", "D2", "D3", "D4"])

@@ -1,0 +1,37 @@
+"""The paper's contribution: probabilistic network-aware task placement.
+
+Cost model (Formulae 1–3), intermediate-size estimation (Section II-B-2),
+acceptance-probability models (Formulae 4–5 and §V alternatives), and the
+scheduler implementing Algorithms 1 and 2.
+"""
+
+from repro.core.cost import JobCostModel, map_cost_matrix, reduce_cost_matrix
+from repro.core.estimator import (
+    CurrentSizeEstimator,
+    IntermediateEstimator,
+    OracleEstimator,
+    ProgressEstimator,
+)
+from repro.core.probability import (
+    ExponentialModel,
+    HyperbolicModel,
+    LinearModel,
+    ProbabilityModel,
+)
+from repro.core.scheduler import PNAConfig, ProbabilisticNetworkAwareScheduler
+
+__all__ = [
+    "CurrentSizeEstimator",
+    "ExponentialModel",
+    "HyperbolicModel",
+    "IntermediateEstimator",
+    "JobCostModel",
+    "LinearModel",
+    "OracleEstimator",
+    "PNAConfig",
+    "ProbabilisticNetworkAwareScheduler",
+    "ProbabilityModel",
+    "ProgressEstimator",
+    "map_cost_matrix",
+    "reduce_cost_matrix",
+]

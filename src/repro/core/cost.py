@@ -1,0 +1,231 @@
+"""Transmission-cost computation — Formulae (1), (2) and (3) of the paper.
+
+For map tasks (Formula 1)::
+
+    C_m(i, j) = B_j * min_{l : L_lj = 1} h_il
+
+the cost of running map ``j`` on node ``i`` is its block size times the
+distance to the *closest replica* of its block.
+
+For reduce tasks (Formulae 2–3)::
+
+    C_r(i, f) = sum_j sum_p x_jp * h_pi * I_hat_jf
+
+the cost of running reduce ``f`` on node ``i`` sums, over every *placed* map
+``j`` (``x_jp`` marks map j on node p), the distance from the map's node
+times the (estimated) intermediate bytes the map produces for ``f``.
+``I_hat`` comes from a pluggable :mod:`~repro.core.estimator`; maps that have
+not been placed yet contribute nothing, since their location is unknown at
+scheduling time.
+
+:class:`JobCostModel` evaluates both quantities **vectorised over (node,
+task) grids** — the scheduler needs the whole cost matrix of free nodes ×
+candidate tasks to compute ``C_ave`` in Formulae (4)–(5) — and keeps two
+caches keyed to the *static hop matrix*:
+
+* the full ``(k, m)`` map-cost matrix (replicas never move), and
+* ``Sc``, the running ``(k, n)`` sum of completed maps' reduce-cost
+  contributions (a completed map's ``I_hat`` row is exact and frozen, so its
+  outer-product contribution can be folded in once).
+
+When the caller supplies a *different* distance matrix — the live
+inverse-rate matrix of the network-condition variant (Section II-B-3) —
+both quantities are recomputed from scratch against it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimator import IntermediateEstimator, ProgressEstimator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+    from repro.engine.task import MapTask
+
+__all__ = ["JobCostModel", "map_cost_matrix", "reduce_cost_matrix"]
+
+
+def map_cost_matrix(
+    distance: np.ndarray,
+    block_sizes: np.ndarray,
+    replica_indices: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Stateless Formula (1) over a (node × map) grid.
+
+    Parameters
+    ----------
+    distance:
+        ``(k, k)`` distance matrix (hops or inverse rates).
+    block_sizes:
+        ``(m,)`` input bytes per map.
+    replica_indices:
+        Per map, the host indices of its block's replicas.
+
+    Returns the ``(k, m)`` cost matrix.
+    """
+    k = distance.shape[0]
+    m = len(block_sizes)
+    out = np.empty((k, m), dtype=np.float64)
+    for j in range(m):
+        reps = replica_indices[j]
+        # distance of every node to the *nearest* replica of block j
+        out[:, j] = distance[:, reps].min(axis=1) * block_sizes[j]
+    return out
+
+
+def reduce_cost_matrix(
+    distance: np.ndarray,
+    map_nodes: np.ndarray,
+    intermediate: np.ndarray,
+) -> np.ndarray:
+    """Stateless Formulae (2)/(3) over a (node × reduce) grid.
+
+    Parameters
+    ----------
+    distance:
+        ``(k, k)`` distance matrix.
+    map_nodes:
+        ``(m',)`` host index of each placed map.
+    intermediate:
+        ``(m', n)`` (estimated) intermediate bytes per placed map × reduce.
+
+    Returns the ``(k, n)`` cost matrix ``C[i, f] = sum_j d[p_j, i] * I[j, f]``.
+    """
+    if len(map_nodes) == 0:
+        return np.zeros((distance.shape[0], intermediate.shape[1]))
+    # (k, m') @ (m', n) -> (k, n)
+    return distance[:, map_nodes] @ intermediate
+
+
+class JobCostModel:
+    """Per-job incremental cost evaluation.
+
+    Attach with :meth:`attach` (or construct directly and register the
+    listeners yourself).  One model serves every scheduler that needs costs
+    for the job — PNA, Coupling's centrality computation, and the greedy
+    ablation all share it.
+    """
+
+    def __init__(self, job: "Job") -> None:
+        self.job = job
+        cluster = job.tracker.cluster
+        namenode = job.tracker.namenode
+        self._hops = cluster.hop_matrix
+        self._k = cluster.num_nodes
+        self._m = job.num_maps
+        self._n = job.num_reduces
+        self._B = np.array([b.size for b in job.file.blocks], dtype=np.float64)
+        self._replicas: List[np.ndarray] = [
+            namenode.replica_indices(b) for b in job.file.blocks
+        ]
+        # caches keyed to the static hop matrix
+        self._map_cost_hops: Optional[np.ndarray] = None
+        self._Sc = np.zeros((self._k, self._n), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, job: "Job") -> "JobCostModel":
+        """Create a model and register it on the job's event hooks."""
+        model = cls(job)
+        job.map_done_listeners.append(model._on_map_done)
+        return model
+
+    def _on_map_done(self, task: "MapTask") -> None:
+        """Fold a completed map's exact contribution into the ``Sc`` cache."""
+        p = task.node.index
+        self._Sc += np.outer(self._hops[p, :], self.job.I[task.index, :])
+
+    # ------------------------------------------------------------------
+    # Formula (1)
+    # ------------------------------------------------------------------
+    def map_costs(
+        self,
+        node_indices: np.ndarray,
+        task_indices: np.ndarray,
+        distance: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Cost matrix for placing each candidate map on each node.
+
+        ``distance=None`` uses the static hop matrix (cached); passing the
+        live inverse-rate matrix recomputes against it.
+        """
+        node_indices = np.asarray(node_indices, dtype=np.int64)
+        task_indices = np.asarray(task_indices, dtype=np.int64)
+        if distance is None:
+            if self._map_cost_hops is None:
+                self._map_cost_hops = map_cost_matrix(
+                    self._hops, self._B, self._replicas
+                )
+            return self._map_cost_hops[np.ix_(node_indices, task_indices)]
+        sub = map_cost_matrix(
+            distance,
+            self._B[task_indices],
+            [self._replicas[j] for j in task_indices],
+        )
+        return sub[node_indices, :]
+
+    # ------------------------------------------------------------------
+    # Formulae (2)-(3)
+    # ------------------------------------------------------------------
+    def reduce_costs(
+        self,
+        node_indices: np.ndarray,
+        reduce_indices: np.ndarray,
+        now: float,
+        estimator: Optional[IntermediateEstimator] = None,
+        distance: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Estimated cost matrix for placing each candidate reduce on each node.
+
+        Sums contributions from every *started* map: completed maps count
+        their exact output, running maps the estimator's ``I_hat`` row.
+        With the default hop matrix the completed part comes from the
+        incremental ``Sc`` cache; a custom ``distance`` recomputes everything.
+        """
+        node_indices = np.asarray(node_indices, dtype=np.int64)
+        reduce_indices = np.asarray(reduce_indices, dtype=np.int64)
+        est = estimator if estimator is not None else ProgressEstimator()
+
+        running = self.job.running_maps()
+        if distance is None:
+            base = self._Sc[np.ix_(node_indices, reduce_indices)]
+            dmat = self._hops
+        else:
+            dmat = distance
+            done = [m for m in self.job.maps if m.done]
+            if done:
+                p_done = np.array([m.node.index for m in done], dtype=np.int64)
+                i_done = self.job.I[np.ix_(
+                    np.array([m.index for m in done]), reduce_indices
+                )]
+                base = dmat[np.ix_(node_indices, p_done)] @ i_done
+            else:
+                base = np.zeros((len(node_indices), len(reduce_indices)))
+
+        if running:
+            p_run = np.array([m.node.index for m in running], dtype=np.int64)
+            est_rows = np.stack([est.estimate(m, now) for m in running])
+            est_rows = est_rows[:, reduce_indices]
+            base = base + dmat[np.ix_(node_indices, p_run)] @ est_rows
+        return base
+
+    def realised_reduce_costs(
+        self, node_indices: np.ndarray, reduce_indices: np.ndarray
+    ) -> np.ndarray:
+        """Formula (2) with exact ``I`` over *all* maps — the oracle cost.
+
+        Only meaningful once every map is placed; used by analyses and tests
+        to compare estimated against true costs.
+        """
+        placed = self.job.started_maps()
+        if len(placed) != self._m:
+            raise RuntimeError("realised cost needs all maps placed")
+        p = np.array([m.node.index for m in placed], dtype=np.int64)
+        idx = np.array([m.index for m in placed], dtype=np.int64)
+        node_indices = np.asarray(node_indices, dtype=np.int64)
+        reduce_indices = np.asarray(reduce_indices, dtype=np.int64)
+        rows = self.job.I[np.ix_(idx, reduce_indices)]
+        return self._hops[np.ix_(node_indices, p)] @ rows

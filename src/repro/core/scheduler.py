@@ -1,0 +1,177 @@
+"""The probabilistic network-aware (PNA) task scheduler — Algorithms 1 & 2.
+
+On a heartbeat offering a slot on node ``D_i``:
+
+1. compute, for every unassigned candidate task of the offered job, the
+   transmission cost ``C_i`` of running it on ``D_i`` and the expected cost
+   ``C_ave`` of running it on a uniformly random node with a free slot of
+   the same kind (Formulae 1–3, via :class:`~repro.core.cost.JobCostModel`);
+2. convert to an acceptance probability ``P = model(C_ave, C_i)``
+   (Formulae 4–5, exponential by default);
+3. take the candidate with the **largest** ``P`` (i.e. the one whose
+   placement here saves the most versus elsewhere);
+4. decline the slot if ``P < P_min`` (paper value 0.4), otherwise assign
+   with probability ``P`` (one Bernoulli draw per offer).
+
+Reduce offers additionally enforce Algorithm 2's line 1: a node already
+running one of the job's reducers is never given a second (I/O contention /
+downlink congestion avoidance).
+
+The ``network_condition`` switch (Section II-B-3) replaces the hop-count
+distance matrix with the live inverse-path-rate matrix on every decision,
+making the cost sensitive to congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.core.cost import JobCostModel
+from repro.core.estimator import IntermediateEstimator, ProgressEstimator
+from repro.core.probability import ExponentialModel, ProbabilityModel
+from repro.schedulers.base import SchedulerContext, TaskScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.engine.job import Job
+    from repro.engine.task import MapTask, ReduceTask
+
+__all__ = ["PNAConfig", "ProbabilisticNetworkAwareScheduler"]
+
+
+@dataclass(frozen=True)
+class PNAConfig:
+    """Tuning knobs of the PNA scheduler.
+
+    Attributes
+    ----------
+    p_min:
+        Probability threshold below which a slot offer is declined
+        (Algorithm 1 line 10; the paper tunes it to 0.4 on Palmetto).
+    network_condition:
+        Use the live inverse-path-rate matrix instead of hop counts
+        (Section II-B-3).
+    avoid_reduce_colocation:
+        Enforce Algorithm 2 line 1 (on by default, as in the paper).
+    """
+
+    p_min: float = 0.4
+    network_condition: bool = False
+    avoid_reduce_colocation: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_min < 1.0:
+            raise ValueError(f"p_min must be in [0, 1), got {self.p_min}")
+
+
+class ProbabilisticNetworkAwareScheduler(TaskScheduler):
+    """The paper's contribution, ready to drop into a :class:`Simulation`.
+
+    Parameters
+    ----------
+    config:
+        :class:`PNAConfig`; defaults to the paper's settings.
+    probability_model:
+        Formula (4)/(5) family member; exponential by default.
+    estimator:
+        Intermediate-size estimator for reduce costs; the paper's
+        progress-extrapolation by default (swap for ablation A2).
+    """
+
+    name = "probabilistic"
+
+    def __init__(
+        self,
+        config: Optional[PNAConfig] = None,
+        *,
+        probability_model: Optional[ProbabilityModel] = None,
+        estimator: Optional[IntermediateEstimator] = None,
+    ) -> None:
+        self.config = config or PNAConfig()
+        self.probability_model = probability_model or ExponentialModel()
+        self.estimator = estimator or ProgressEstimator()
+        self._models: Dict[str, JobCostModel] = {}
+        if self.config.network_condition:
+            self.name = "probabilistic-netcond"
+
+    # ------------------------------------------------------------------
+    def on_job_added(self, job: "Job") -> None:
+        self._models[job.spec.job_id] = JobCostModel.attach(job)
+
+    def cost_model(self, job: "Job") -> JobCostModel:
+        return self._models[job.spec.job_id]
+
+    def _distance(self, ctx: SchedulerContext) -> Optional[np.ndarray]:
+        """None selects the cached hop matrix; otherwise live inverse rates."""
+        if not self.config.network_condition:
+            return None
+        return ctx.cluster.inverse_rate_matrix()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — map placement
+    # ------------------------------------------------------------------
+    def select_map(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["MapTask"]:
+        pending = job.pending_maps()
+        if not pending:
+            return None
+        model = self.cost_model(job)
+        free = ctx.free_map_nodes()
+        free_idx = np.array([n.index for n in free], dtype=np.int64)
+        task_idx = np.array([m.index for m in pending], dtype=np.int64)
+        costs = model.map_costs(free_idx, task_idx, distance=self._distance(ctx))
+
+        row = int(np.nonzero(free_idx == node.index)[0][0])
+        c_here = costs[row]                       # C_m(i, j) for each candidate
+        c_ave = costs.mean(axis=0)                # Line 6: mean over N_m nodes
+        probs = self.probability_model.probability(c_ave, c_here)  # Line 7
+
+        best = int(np.argmax(probs))              # Line 9
+        p_best = float(probs[best])
+        if p_best < self.config.p_min:            # Lines 10-12
+            return None
+        if ctx.rng.random() < p_best:             # Lines 13-16
+            return pending[best]
+        return None
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 — reduce placement
+    # ------------------------------------------------------------------
+    def select_reduce(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["ReduceTask"]:
+        if self.config.avoid_reduce_colocation and job.has_running_reduce_on(
+            node.name
+        ):
+            return None                           # Line 1
+        pending = job.pending_reduces()
+        if not pending:
+            return None
+        model = self.cost_model(job)
+        free = ctx.free_reduce_nodes()
+        free_idx = np.array([n.index for n in free], dtype=np.int64)
+        reduce_idx = np.array([r.index for r in pending], dtype=np.int64)
+        costs = model.reduce_costs(                # Lines 3-5 (Formula 3)
+            free_idx,
+            reduce_idx,
+            ctx.now,
+            estimator=self.estimator,
+            distance=self._distance(ctx),
+        )
+
+        row = int(np.nonzero(free_idx == node.index)[0][0])
+        c_here = costs[row]
+        c_ave = costs.mean(axis=0)                 # Line 7: mean over N_r nodes
+        probs = self.probability_model.probability(c_ave, c_here)  # Line 8
+
+        best = int(np.argmax(probs))               # Line 10
+        p_best = float(probs[best])
+        if p_best < self.config.p_min:              # Lines 11-13
+            return None
+        if ctx.rng.random() < p_best:               # Lines 14-17
+            return pending[best]
+        return None

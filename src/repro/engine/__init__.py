@@ -1,0 +1,21 @@
+"""MapReduce engine: jobs, tasks, shuffle, JobTracker, simulation front-end."""
+
+from repro.engine.config import EngineConfig
+from repro.engine.job import Job
+from repro.engine.jobtracker import JobTracker
+from repro.engine.shuffle import FetchManager
+from repro.engine.simulation import RunResult, Simulation
+from repro.engine.task import MapAttempt, MapTask, ReduceTask, TaskState
+
+__all__ = [
+    "EngineConfig",
+    "FetchManager",
+    "Job",
+    "JobTracker",
+    "MapAttempt",
+    "MapTask",
+    "ReduceTask",
+    "RunResult",
+    "Simulation",
+    "TaskState",
+]

@@ -1,0 +1,81 @@
+"""Engine configuration knobs (Hadoop-1 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Run-wide engine parameters.
+
+    Attributes
+    ----------
+    heartbeat_period:
+        Seconds between a node's heartbeats (Hadoop default 3 s).  Node
+        heartbeats are staggered evenly across the period, as they are in a
+        real cluster where TaskTrackers start at different instants.
+    assign_multiple:
+        Whether one heartbeat may fill every free slot on the node.  Hadoop
+        1.2.1's Fair Scheduler ships with ``assignmultiple = false`` — at
+        most one map and one reduce task per heartbeat — which is also the
+        shape of the paper's Algorithms 1-2, so False is the faithful
+        default.  Setting True emulates later Hadoop versions and removes
+        scheduling-bandwidth effects from comparisons.
+    slowstart:
+        Fraction of a job's maps that must complete before its reducers
+        become schedulable (``mapreduce.job.reduce.slowstart.completedmaps``,
+        default 0.05).
+    max_parallel_fetches:
+        Shuffle fetcher pool size per reduce task (Hadoop default 5).
+    replication:
+        HDFS replication factor for job input files (the paper uses 2).
+    speculative:
+        Enable speculative (backup) map attempts, Hadoop's straggler
+        mitigation.  A free slot that no pending map claims may be given to
+        a clone of a slow running map; the first attempt to finish wins and
+        the other is killed.
+    speculative_min_age:
+        A map must have been running at least this long before it can be
+        backed up (avoids speculating on start-up overhead).
+    speculative_progress_factor:
+        A map is a straggler when its read fraction is below this factor
+        times the mean read fraction of its job's running maps.
+    speculative_cap:
+        At most this fraction of a job's maps may have live backup attempts
+        simultaneously.
+    horizon:
+        Safety cap on simulated seconds; a run that exceeds it raises, which
+        catches scheduler livelocks in tests instead of hanging.
+    """
+
+    heartbeat_period: float = 3.0
+    assign_multiple: bool = False
+    slowstart: float = 0.05
+    max_parallel_fetches: int = 5
+    replication: int = 2
+    speculative: bool = False
+    speculative_min_age: float = 15.0
+    speculative_progress_factor: float = 0.7
+    speculative_cap: float = 0.1
+    horizon: float = 10_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive")
+        if not 0.0 <= self.slowstart <= 1.0:
+            raise ValueError("slowstart must be in [0, 1]")
+        if self.max_parallel_fetches < 1:
+            raise ValueError("max_parallel_fetches must be >= 1")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.speculative_min_age < 0:
+            raise ValueError("speculative_min_age must be >= 0")
+        if not 0.0 < self.speculative_progress_factor <= 1.0:
+            raise ValueError("speculative_progress_factor must be in (0, 1]")
+        if not 0.0 < self.speculative_cap <= 1.0:
+            raise ValueError("speculative_cap must be in (0, 1]")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")

@@ -1,0 +1,180 @@
+"""The runtime Job: tasks, intermediate-data matrix, progress bookkeeping.
+
+A :class:`Job` materialises a :class:`~repro.workload.spec.JobSpec` inside a
+running simulation: it creates the input file in HDFS (one block per map
+task, as in Hadoop), draws the reducer partition weights and the full
+intermediate matrix ``I`` (Section II-B-2), instantiates task objects, and
+routes completion notifications — map outputs to running reducers, placement
+events to any attached cost models, job completion to the tracker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+import numpy as np
+
+from repro.engine.task import MapTask, ReduceTask, TaskState
+from repro.metrics.records import JobRecord
+from repro.workload.partition import intermediate_matrix, partition_weights
+from repro.workload.spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.jobtracker import JobTracker
+
+__all__ = ["Job"]
+
+
+class Job:
+    """A submitted MapReduce job and its live state."""
+
+    def __init__(self, spec: JobSpec, tracker: "JobTracker") -> None:
+        self.spec = spec
+        self.tracker = tracker
+        self.submit_time = tracker.sim.now
+        self.finish_time: Optional[float] = None
+
+        rng = np.random.default_rng(
+            np.random.SeedSequence([tracker.seed, spec.seed])
+        )
+        self.file = tracker.namenode.create_file(
+            f"input-{spec.name}",
+            spec.input_size,
+            num_blocks=spec.num_maps,
+        )
+        self.weights = partition_weights(
+            spec.num_reduces, spec.app.partition_alpha, rng
+        )
+        block_sizes = np.array([b.size for b in self.file.blocks])
+        #: ``I[j, f]`` — intermediate bytes map j ultimately emits for reduce f.
+        self.I = intermediate_matrix(
+            block_sizes,
+            spec.app.map_output_ratio,
+            self.weights,
+            rng,
+            noise_sigma=spec.noise_sigma,
+        )
+
+        self.maps: List[MapTask] = [
+            MapTask(self, j, block) for j, block in enumerate(self.file.blocks)
+        ]
+        self.reduces: List[ReduceTask] = [
+            ReduceTask(self, f) for f in range(spec.num_reduces)
+        ]
+        self.maps_done = 0
+        self.reduces_done = 0
+        # node name -> count of this job's reducers running there (the Fair
+        # scheduler may co-locate several; PNA/Coupling refuse to)
+        self._reduce_node_counts: Counter = Counter()
+
+        #: Hooks for cost models: called with the task on placement/completion.
+        self.map_placed_listeners: List[Callable[[MapTask], None]] = []
+        self.map_done_listeners: List[Callable[[MapTask], None]] = []
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    @property
+    def num_maps(self) -> int:
+        return self.spec.num_maps
+
+    @property
+    def num_reduces(self) -> int:
+        return self.spec.num_reduces
+
+    @property
+    def all_maps_done(self) -> bool:
+        return self.maps_done == self.num_maps
+
+    @property
+    def done(self) -> bool:
+        return self.reduces_done == self.num_reduces and self.all_maps_done
+
+    @property
+    def map_completion_fraction(self) -> float:
+        """Fraction of *completed* maps (Hadoop's slow-start measure)."""
+        return self.maps_done / self.num_maps
+
+    def map_progress(self, now: float) -> float:
+        """Mean input-read progress across all maps (Coupling's measure)."""
+        return float(
+            sum(m.read_fraction(now) for m in self.maps) / self.num_maps
+        )
+
+    def pending_maps(self) -> List[MapTask]:
+        return [m for m in self.maps if m.state is TaskState.PENDING]
+
+    def pending_reduces(self) -> List[ReduceTask]:
+        return [r for r in self.reduces if r.state is TaskState.PENDING]
+
+    def started_maps(self) -> List[MapTask]:
+        return [m for m in self.maps if m.state is not TaskState.PENDING]
+
+    def running_maps(self) -> List[MapTask]:
+        return [m for m in self.maps if m.state is TaskState.RUNNING]
+
+    def running_reduces(self) -> List[ReduceTask]:
+        return [r for r in self.reduces if r.state is TaskState.RUNNING]
+
+    def launched_reduce_count(self) -> int:
+        """Reduces running or finished (Coupling's gradual-launch gate)."""
+        return sum(1 for r in self.reduces if r.state is not TaskState.PENDING)
+
+    def has_running_reduce_on(self, node_name: str) -> bool:
+        """Algorithm 2 line 1: is a reducer of this job already on the node?"""
+        return self._reduce_node_counts.get(node_name, 0) > 0
+
+    def reduces_schedulable(self) -> bool:
+        """Slow-start gate: reducers launch once enough maps completed."""
+        if not self.pending_reduces():
+            return False
+        return self.map_completion_fraction >= self.tracker.config.slowstart
+
+    # ------------------------------------------------------------------
+    # notifications from tasks
+    # ------------------------------------------------------------------
+    def on_map_placed(self, task: MapTask) -> None:
+        for hook in self.map_placed_listeners:
+            hook(task)
+
+    def on_map_done(self, task: MapTask) -> None:
+        self.maps_done += 1
+        for hook in self.map_done_listeners:
+            hook(task)
+        for r in self.running_reduces():
+            r.on_map_output(task)
+
+    def on_reduce_placed(self, task: ReduceTask) -> None:
+        self._reduce_node_counts[task.node.name] += 1
+
+    def on_reduce_done(self, task: ReduceTask) -> None:
+        self.reduces_done += 1
+        self._reduce_node_counts[task.node.name] -= 1
+        if self._reduce_node_counts[task.node.name] <= 0:
+            del self._reduce_node_counts[task.node.name]
+        if self.done:
+            self.finish_time = self.tracker.sim.now
+            self.tracker.on_job_done(self)
+
+    # ------------------------------------------------------------------
+    def record(self) -> JobRecord:
+        if self.finish_time is None:
+            raise RuntimeError(f"job {self.spec.job_id} has not finished")
+        return JobRecord(
+            job_id=self.spec.job_id,
+            name=self.spec.name,
+            app=self.spec.app.name,
+            submit=self.submit_time,
+            finish=self.finish_time,
+            num_maps=self.num_maps,
+            num_reduces=self.num_reduces,
+            input_size=self.spec.input_size,
+            shuffle_size=float(self.I.sum()),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.spec.name}, maps {self.maps_done}/{self.num_maps}, "
+            f"reduces {self.reduces_done}/{self.num_reduces})"
+        )

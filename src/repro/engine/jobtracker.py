@@ -1,0 +1,221 @@
+"""The JobTracker: heartbeats, slot offers, job lifecycle.
+
+This is the simulated counterpart of Hadoop 1.x's central master.  Every
+node heartbeats on a fixed period (staggered across nodes); on each
+heartbeat the tracker walks the node's free slots and, for each, offers the
+slot to runnable jobs in job-level-scheduler order.  The task scheduler
+attached to the run decides which (if any) task takes the slot — exactly the
+trigger structure of the paper's Algorithms 1 and 2 ("the algorithm is
+triggered when JobTracker receives a heartbeat").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.engine.config import EngineConfig
+from repro.engine.job import Job
+from repro.hdfs.namenode import NameNode
+from repro.metrics.collector import MetricsCollector
+from repro.schedulers.base import SchedulerContext, TaskScheduler
+from repro.schedulers.joblevel import FairJobScheduler, JobLevelScheduler
+from repro.sim import PeriodicTask, Simulator
+from repro.workload.spec import JobSpec
+
+__all__ = ["JobTracker"]
+
+
+class JobTracker:
+    """Central scheduler driver for one simulation run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        namenode: NameNode,
+        task_scheduler: TaskScheduler,
+        *,
+        job_scheduler: Optional[JobLevelScheduler] = None,
+        collector: Optional[MetricsCollector] = None,
+        config: Optional[EngineConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.namenode = namenode
+        self.task_scheduler = task_scheduler
+        self.job_scheduler = job_scheduler or FairJobScheduler()
+        self.collector = collector or MetricsCollector()
+        self.config = config or EngineConfig()
+        self.seed = seed
+        self.ctx = SchedulerContext(
+            tracker=self,
+            rng=rng if rng is not None else np.random.default_rng(seed),
+        )
+        self.active_jobs: List[Job] = []
+        self.finished_jobs: List[Job] = []
+        self._expected = 0
+        self._heartbeats: List[PeriodicTask] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # job lifecycle
+    # ------------------------------------------------------------------
+    def submit_spec(self, spec: JobSpec) -> None:
+        """Schedule a job submission at ``spec.submit_time``."""
+        self._expected += 1
+        self.sim.at(spec.submit_time, self._submit, spec)
+
+    def _submit(self, spec: JobSpec) -> None:
+        job = Job(spec, self)
+        self.active_jobs.append(job)
+        self.collector.job_submitted(spec.job_id, self.sim.now)
+        self.task_scheduler.on_job_added(job)
+
+    def on_job_done(self, job: Job) -> None:
+        self.active_jobs.remove(job)
+        self.finished_jobs.append(job)
+        self.collector.job_completed(job.record())
+        if self.all_done:
+            self._stop_heartbeats()
+
+    @property
+    def all_done(self) -> bool:
+        """Every submitted (and to-be-submitted) job has completed."""
+        return len(self.finished_jobs) == self._expected
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin node heartbeats, staggered evenly over one period."""
+        if self._started:
+            raise RuntimeError("JobTracker already started")
+        self._started = True
+        period = self.config.heartbeat_period
+        n = self.cluster.num_nodes
+        for i, node in enumerate(self.cluster.nodes):
+            offset = period * i / n
+            self._heartbeats.append(
+                self.sim.every(
+                    period, self._make_heartbeat(node), start=self.sim.now + offset
+                )
+            )
+
+    def _stop_heartbeats(self) -> None:
+        for hb in self._heartbeats:
+            hb.stop()
+        self._heartbeats.clear()
+
+    def _make_heartbeat(self, node: Node):
+        def heartbeat() -> None:
+            self.on_heartbeat(node)
+
+        return heartbeat
+
+    # ------------------------------------------------------------------
+    # slot offers
+    # ------------------------------------------------------------------
+    def on_heartbeat(self, node: Node) -> None:
+        """Fill the node's free slots, one offer round per slot."""
+        if not self.active_jobs:
+            return
+        self._offer_map_slots(node)
+        self._offer_reduce_slots(node)
+
+    def _offer_map_slots(self, node: Node) -> None:
+        budget = node.free_map_slots if self.config.assign_multiple else 1
+        while node.free_map_slots > 0 and budget > 0:
+            budget -= 1
+            candidates = [j for j in self.active_jobs if j.pending_maps()]
+            assigned = False
+            for job in self.job_scheduler.order(candidates, "map"):
+                task = self.task_scheduler.select_map(node, job, self.ctx)
+                if task is not None:
+                    if task.assigned or task.job is not job:
+                        raise RuntimeError(
+                            f"scheduler returned invalid map task {task}"
+                        )
+                    task.launch(node)
+                    self.collector.offer_assigned()
+                    assigned = True
+                    break
+            if not assigned:
+                # a slot nobody claims may back up a straggler (Hadoop
+                # launches speculative attempts from otherwise-idle slots)
+                if self.config.speculative and self._try_speculate(node):
+                    continue
+                if candidates:
+                    self.collector.offer_declined()
+                return
+
+    def _try_speculate(self, node: Node) -> bool:
+        """Offer a free map slot to a backup attempt of a straggling map.
+
+        Follows Hadoop's LATE-style heuristic in simplified form: candidates
+        are running single-attempt maps older than ``speculative_min_age``
+        whose read progress trails their job's running mean by
+        ``speculative_progress_factor``; the slowest is cloned here.
+        """
+        now = self.sim.now
+        cfg = self.config
+        best = None
+        best_frac = 1.0
+        for job in self.active_jobs:
+            running = job.running_maps()
+            if not running:
+                continue
+            live_backups = sum(1 for m in running if len(m.attempts) > 1)
+            if live_backups >= max(1, int(cfg.speculative_cap * job.num_maps)):
+                continue
+            # Hadoop's convention: progress is compared against the mean over
+            # all *started* maps, completed ones counting as 1.0 — otherwise
+            # the last stragglers define their own mean and never qualify
+            started = job.maps_done + len(running)
+            mean_frac = (
+                job.maps_done + sum(m.read_fraction(now) for m in running)
+            ) / started
+            for task in running:
+                if not task.speculatable:
+                    continue
+                if now - task.start_time < cfg.speculative_min_age:
+                    continue
+                if any(a.node is node for a in task.attempts):
+                    continue
+                frac = task.read_fraction(now)
+                if frac < cfg.speculative_progress_factor * mean_frac and frac < best_frac:
+                    best = task
+                    best_frac = frac
+        if best is None:
+            return False
+        best.launch_speculative(node)
+        self.collector.speculative_launched += 1
+        return True
+
+    def _offer_reduce_slots(self, node: Node) -> None:
+        budget = node.free_reduce_slots if self.config.assign_multiple else 1
+        while node.free_reduce_slots > 0 and budget > 0:
+            budget -= 1
+            candidates = [j for j in self.active_jobs if j.reduces_schedulable()]
+            if not candidates:
+                return
+            assigned = False
+            for job in self.job_scheduler.order(candidates, "reduce"):
+                task = self.task_scheduler.select_reduce(node, job, self.ctx)
+                if task is not None:
+                    if task.assigned or task.job is not job:
+                        raise RuntimeError(
+                            f"scheduler returned invalid reduce task {task}"
+                        )
+                    task.launch(node)
+                    self.collector.offer_assigned()
+                    assigned = True
+                    break
+            if not assigned:
+                self.collector.offer_declined()
+                return

@@ -1,0 +1,100 @@
+"""Shuffle fetch management for reduce tasks.
+
+Hadoop reducers copy map outputs with a small pool of parallel fetcher
+threads (``mapreduce.reduce.shuffle.parallelcopies``, default 5).  The
+:class:`FetchManager` reproduces that behaviour at flow granularity while
+keeping the simulated flow count tractable:
+
+* outstanding work is *aggregated per source node* — when a fetcher frees
+  up, it grabs **all** bytes currently pending from one source as a single
+  flow, exactly like a real fetcher draining a host's map-output queue;
+* at most ``max_parallel`` flows are in flight per reduce task;
+* zero-byte partitions never create flows.
+
+This aggregation is what keeps paper-scale runs (930 maps × ~180 reduces per
+job) inside a few hundred concurrent flows instead of hundreds of thousands.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.cluster.network import Flow, FlowNetwork
+
+__all__ = ["FetchManager"]
+
+_MIN_FETCH_BYTES = 1e-9  # ignore numerically-zero partitions
+
+
+class FetchManager:
+    """Bounded-parallelism shuffle fetcher for one reduce task.
+
+    Parameters
+    ----------
+    network:
+        The cluster fabric.
+    dst:
+        The reduce task's node name.
+    max_parallel:
+        Fetcher pool size.
+    on_progress:
+        Called after every completed fetch (and after enqueuing work that
+        required no fetch) so the owner can re-check its completion
+        condition.
+    """
+
+    def __init__(
+        self,
+        network: FlowNetwork,
+        dst: str,
+        max_parallel: int = 5,
+        on_progress: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+        self.network = network
+        self.dst = dst
+        self.max_parallel = max_parallel
+        self.on_progress = on_progress
+        self.pending: "OrderedDict[str, float]" = OrderedDict()
+        self.active = 0
+        self.fetched = 0.0        # bytes fully copied
+        self.remote_bytes = 0.0   # subset of fetched that crossed the fabric
+        self.fetch_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no fetch is pending or in flight."""
+        return self.active == 0 and not self.pending
+
+    @property
+    def pending_bytes(self) -> float:
+        return sum(self.pending.values())
+
+    # ------------------------------------------------------------------
+    def add(self, src: str, nbytes: float) -> None:
+        """Enqueue ``nbytes`` of map output available on node ``src``."""
+        if nbytes < 0:
+            raise ValueError(f"negative fetch size {nbytes}")
+        if nbytes <= _MIN_FETCH_BYTES:
+            return
+        self.pending[src] = self.pending.get(src, 0.0) + nbytes
+        self._pump()
+
+    def _pump(self) -> None:
+        while self.active < self.max_parallel and self.pending:
+            src, nbytes = self.pending.popitem(last=False)
+            self.active += 1
+            self.fetch_count += 1
+            self.network.start_flow(src, self.dst, nbytes, on_complete=self._done)
+
+    def _done(self, flow: Flow) -> None:
+        self.active -= 1
+        self.fetched += flow.size
+        if not flow.local:
+            self.remote_bytes += flow.size
+        self._pump()
+        if self.on_progress is not None:
+            self.on_progress()

@@ -1,0 +1,358 @@
+"""Map and reduce task runtime objects.
+
+Execution model (Section 5 of DESIGN.md):
+
+* A **map task** assigned to node ``i`` streams its input block from the
+  closest replica (Formula 1's ``min over L_lj = 1``) through a network flow
+  capped at the application's per-slot compute rate, so transfer and compute
+  are pipelined and ``d_read`` — the byte count Hadoop heartbeats report —
+  equals the flow's delivered bytes.  Task time ≈ overhead + B / min(path
+  rate, compute rate).
+* A **reduce task** assigned to node ``i`` fetches every feeding map's
+  partition output (``I[j, f]`` bytes from map ``j``'s node) with a bounded
+  pool of parallel fetchers, then runs a merge/reduce compute phase
+  proportional to the shuffled volume.
+
+Progress introspection used by the schedulers:
+
+* ``MapTask.d_read(now)`` / ``read_fraction(now)`` — input progress;
+* ``MapTask.current_output(now)`` — the ``A_jf`` vector of Section II-B-2
+  (``I[j, :] * read_fraction ** gamma``, with gamma = 1 for the benchmark
+  applications).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.cluster.network import Flow
+from repro.cluster.node import Node
+from repro.engine.shuffle import FetchManager
+from repro.hdfs.block import Block
+from repro.metrics.records import TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.engine.job import Job
+
+__all__ = ["TaskState", "MapAttempt", "MapTask", "ReduceTask"]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task attempt: pending → running → done."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+def _classify_locality(node: Node, data_nodes: List[str], cluster) -> str:
+    """Locality class of running on ``node`` given where the data lives."""
+    if node.name in data_nodes:
+        return "node"
+    rack = node.rack
+    if any(cluster.node(d).rack == rack for d in data_nodes):
+        return "rack"
+    return "remote"
+
+
+class MapAttempt:
+    """One execution attempt of a map task (normal or speculative).
+
+    Each attempt holds its own map slot and input flow; the first attempt to
+    deliver the full block wins the task, and the engine cancels the rest.
+    """
+
+    def __init__(self, task: "MapTask", node: Node, *, speculative: bool) -> None:
+        self.task = task
+        self.node = node
+        self.speculative = speculative
+        self.start_time = task.job.tracker.sim.now
+        self.source, self.hops = task.job.tracker.namenode.closest_replica(
+            task.block, node.name
+        )
+        self.flow: Optional[Flow] = None
+        self.cancelled = False
+        node.acquire_map_slot()
+        overhead = task.job.spec.app.task_overhead
+        task.job.tracker.sim.schedule(overhead, self._start_input)
+
+    def _start_input(self) -> None:
+        if self.cancelled:
+            return
+        tracker = self.task.job.tracker
+        rate_cap = self.task.job.spec.app.map_rate * self.node.compute_factor
+        self.flow = tracker.cluster.network.start_flow(
+            self.source,
+            self.node.name,
+            self.task.size,
+            on_complete=self._on_input_done,
+            max_rate=rate_cap,
+            local_rate=self.node.disk_bandwidth,
+        )
+
+    def _on_input_done(self, flow: Flow) -> None:
+        if self.cancelled:
+            return
+        self.task._attempt_finished(self)
+
+    def cancel(self) -> None:
+        """Abort a losing attempt: free its slot and in-flight transfer."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self.flow is not None and not self.flow.done:
+            self.task.job.tracker.cluster.network.cancel_flow(self.flow)
+        self.node.release_map_slot()
+
+    def d_read(self, now: float) -> float:
+        if self.flow is None:
+            return 0.0
+        return self.flow.bytes_done(now)
+
+
+class MapTask:
+    """One map task: processes exactly one input block.
+
+    A task may run several :class:`MapAttempt` instances when speculative
+    execution is on; ``node``/``start_time``/``end_time`` describe the
+    *primary* attempt until a winner emerges, then the winner.  Progress
+    queries (``d_read``) report the most advanced live attempt — the one
+    whose output the shuffle will eventually use.
+    """
+
+    def __init__(self, job: "Job", index: int, block: Block) -> None:
+        self.job = job
+        self.index = index
+        self.block = block
+        self.state = TaskState.PENDING
+        self.node: Optional[Node] = None
+        self.source: Optional[str] = None
+        self.hops: float = 0.0
+        self.start_time: float = float("nan")
+        self.end_time: float = float("nan")
+        self.attempts: List[MapAttempt] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> float:
+        """Input bytes (``B_j``)."""
+        return self.block.size
+
+    @property
+    def assigned(self) -> bool:
+        return self.state is not TaskState.PENDING
+
+    @property
+    def done(self) -> bool:
+        return self.state is TaskState.DONE
+
+    @property
+    def speculatable(self) -> bool:
+        """Eligible for a backup attempt: running with a single attempt."""
+        return self.state is TaskState.RUNNING and len(self.attempts) == 1
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def launch(self, node: Node) -> None:
+        """Start the primary attempt on ``node`` (acquires a map slot)."""
+        if self.state is not TaskState.PENDING:
+            raise RuntimeError(f"{self} launched twice")
+        self.state = TaskState.RUNNING
+        self.start_time = self.job.tracker.sim.now
+        attempt = MapAttempt(self, node, speculative=False)
+        self.attempts.append(attempt)
+        self.node = node
+        self.source = attempt.source
+        self.hops = attempt.hops
+        self.job.on_map_placed(self)
+
+    def launch_speculative(self, node: Node) -> None:
+        """Start a backup attempt on ``node`` (Hadoop speculation)."""
+        if self.state is not TaskState.RUNNING:
+            raise RuntimeError(f"cannot speculate {self}")
+        if any(a.node is node for a in self.attempts):
+            raise RuntimeError(f"{self} already has an attempt on {node.name}")
+        self.attempts.append(MapAttempt(self, node, speculative=True))
+
+    def _attempt_finished(self, winner: MapAttempt) -> None:
+        tracker = self.job.tracker
+        self.state = TaskState.DONE
+        self.end_time = tracker.sim.now
+        # the winning attempt defines the task's placement from here on
+        self.node = winner.node
+        self.source = winner.source
+        self.hops = winner.hops
+        winner.node.release_map_slot()
+        for attempt in self.attempts:
+            if attempt is not winner:
+                attempt.cancel()
+        locality = _classify_locality(
+            winner.node, list(self.block.replicas), tracker.cluster
+        )
+        tracker.collector.task_completed(
+            TaskRecord(
+                job_id=self.job.spec.job_id,
+                kind="map",
+                index=self.index,
+                node=winner.node.name,
+                start=self.start_time,
+                end=self.end_time,
+                locality=locality,
+                bytes_in=self.size,
+                bytes_moved=0.0 if locality == "node" else self.size,
+                cost=self.size * self.hops,
+                attempts=len(self.attempts),
+            )
+        )
+        self.job.on_map_done(self)
+
+    # ------------------------------------------------------------------
+    # progress (heartbeat payload)
+    # ------------------------------------------------------------------
+    def d_read(self, now: float) -> float:
+        """Input bytes read so far (``d_read^j``) — best live attempt."""
+        if self.done:
+            return self.size
+        if not self.attempts:
+            return 0.0
+        return max(a.d_read(now) for a in self.attempts)
+
+    def read_fraction(self, now: float) -> float:
+        if self.size <= 0:
+            return 1.0
+        return self.d_read(now) / self.size
+
+    def current_output(self, now: float) -> np.ndarray:
+        """Current per-reducer intermediate sizes (``A_j·`` in the paper)."""
+        frac = self.read_fraction(now)
+        gamma = self.job.spec.app.output_gamma
+        return self.job.I[self.index] * (frac**gamma)
+
+    def __repr__(self) -> str:
+        return (
+            f"MapTask({self.job.spec.job_id}/m{self.index}, "
+            f"{self.state.value}, node={self.node.name if self.node else None})"
+        )
+
+
+class ReduceTask:
+    """One reduce task: fetches a key-space partition, then reduces it."""
+
+    def __init__(self, job: "Job", index: int) -> None:
+        self.job = job
+        self.index = index
+        self.state = TaskState.PENDING
+        self.node: Optional[Node] = None
+        self.start_time: float = float("nan")
+        self.end_time: float = float("nan")
+        self.computing = False
+        self._fetch: Optional[FetchManager] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def assigned(self) -> bool:
+        return self.state is not TaskState.PENDING
+
+    @property
+    def done(self) -> bool:
+        return self.state is TaskState.DONE
+
+    @property
+    def shuffled_bytes(self) -> float:
+        return self._fetch.fetched if self._fetch is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def launch(self, node: Node) -> None:
+        """Start on ``node``: fetch phase begins after start-up overhead."""
+        if self.state is not TaskState.PENDING:
+            raise RuntimeError(f"{self} launched twice")
+        tracker = self.job.tracker
+        node.acquire_reduce_slot()
+        self.node = node
+        self.state = TaskState.RUNNING
+        self.start_time = tracker.sim.now
+        self.job.on_reduce_placed(self)
+        overhead = self.job.spec.app.task_overhead
+        tracker.sim.schedule(overhead, self._start_fetching)
+
+    def _start_fetching(self) -> None:
+        tracker = self.job.tracker
+        self._fetch = FetchManager(
+            network=tracker.cluster.network,
+            dst=self.node.name,
+            max_parallel=tracker.config.max_parallel_fetches,
+            on_progress=self._maybe_compute,
+        )
+        for m in self.job.maps:
+            if m.done:
+                self._fetch.add(m.node.name, float(self.job.I[m.index, self.index]))
+        self._maybe_compute()
+
+    def on_map_output(self, map_task: MapTask) -> None:
+        """A feeding map finished while this reduce runs: fetch its output."""
+        if self._fetch is None:
+            return  # still in start-up overhead; _start_fetching will pick it up
+        self._fetch.add(
+            map_task.node.name, float(self.job.I[map_task.index, self.index])
+        )
+        self._maybe_compute()
+
+    def _maybe_compute(self) -> None:
+        """Enter the reduce/merge phase once every byte has arrived."""
+        if self.computing or self.state is not TaskState.RUNNING:
+            return
+        if self._fetch is None or not self._fetch.idle:
+            return
+        if not self.job.all_maps_done:
+            return
+        self.computing = True
+        node_rate = self.job.spec.app.reduce_rate * self.node.compute_factor
+        duration = self._fetch.fetched / node_rate
+        self.job.tracker.sim.schedule(duration, self._finish)
+
+    def _finish(self) -> None:
+        tracker = self.job.tracker
+        self.state = TaskState.DONE
+        self.end_time = tracker.sim.now
+        self.node.release_reduce_slot()
+        feeders = [
+            m.node.name
+            for m in self.job.maps
+            if self.job.I[m.index, self.index] > 0
+        ]
+        locality = _classify_locality(self.node, feeders, tracker.cluster)
+        hops = tracker.cluster.hop_matrix
+        i = self.node.index
+        cost = float(
+            sum(
+                self.job.I[m.index, self.index] * hops[m.node.index, i]
+                for m in self.job.maps
+            )
+        )
+        tracker.collector.task_completed(
+            TaskRecord(
+                job_id=self.job.spec.job_id,
+                kind="reduce",
+                index=self.index,
+                node=self.node.name,
+                start=self.start_time,
+                end=self.end_time,
+                locality=locality,
+                bytes_in=self._fetch.fetched,
+                bytes_moved=self._fetch.remote_bytes,
+                cost=cost,
+            )
+        )
+        self.job.on_reduce_done(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReduceTask({self.job.spec.job_id}/r{self.index}, "
+            f"{self.state.value}, node={self.node.name if self.node else None})"
+        )

@@ -1,0 +1,40 @@
+"""Canonical experiments: scenarios and per-figure runners."""
+
+from repro.experiments.runner import (
+    SCHEDULER_FACTORIES,
+    ablation_bandwidth,
+    ablation_estimator,
+    ablation_network_condition,
+    ablation_probabilistic,
+    ablation_probability_model,
+    comparison,
+    fig3_data_sizes,
+    fig4_jct,
+    fig5_reduction,
+    fig6_task_times,
+    fig7_locality_by_size,
+    pmin_sweep,
+    table3_locality,
+)
+from repro.experiments.scenarios import SCENARIOS, Scenario, get_scenario, run_batch
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEDULER_FACTORIES",
+    "Scenario",
+    "ablation_bandwidth",
+    "ablation_estimator",
+    "ablation_network_condition",
+    "ablation_probabilistic",
+    "ablation_probability_model",
+    "comparison",
+    "fig3_data_sizes",
+    "fig4_jct",
+    "fig5_reduction",
+    "fig6_task_times",
+    "fig7_locality_by_size",
+    "get_scenario",
+    "pmin_sweep",
+    "run_batch",
+    "table3_locality",
+]

@@ -1,0 +1,22 @@
+"""HDFS model: blocks, files, replica placement, NameNode."""
+
+from repro.hdfs.block import Block, HDFSFile
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.placement import (
+    PlacementPolicy,
+    RackAwarePlacement,
+    RandomPlacement,
+    SkewedPlacement,
+    SubsetPlacement,
+)
+
+__all__ = [
+    "Block",
+    "HDFSFile",
+    "NameNode",
+    "PlacementPolicy",
+    "RackAwarePlacement",
+    "RandomPlacement",
+    "SkewedPlacement",
+    "SubsetPlacement",
+]

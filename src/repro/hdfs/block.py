@@ -1,0 +1,74 @@
+"""HDFS data model: blocks and files.
+
+A :class:`Block` is the unit of replica placement and of map-task input (one
+map task per block, as in Hadoop).  A :class:`HDFSFile` is an ordered list of
+blocks.  Replica locations are stored on the block as node *names*; looking
+up :class:`~repro.cluster.node.Node` objects is the NameNode's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Block", "HDFSFile"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block and its replica set.
+
+    Attributes
+    ----------
+    block_id:
+        Globally unique id assigned by the NameNode.
+    file:
+        Owning file name.
+    index:
+        Position of the block within its file.
+    size:
+        Bytes.  The last block of a file may be short.
+    replicas:
+        Node names holding a replica, in placement order (first entry is the
+        "writer-local" replica under the default policy).
+    """
+
+    block_id: int
+    file: str
+    index: int
+    size: float
+    replicas: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"block size must be non-negative, got {self.size}")
+        if not self.replicas:
+            raise ValueError("a block needs at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ValueError(f"duplicate replica nodes: {self.replicas}")
+
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+
+@dataclass
+class HDFSFile:
+    """An ordered collection of blocks."""
+
+    name: str
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def size(self) -> float:
+        return sum(b.size for b in self.blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)

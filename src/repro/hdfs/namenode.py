@@ -1,0 +1,184 @@
+"""The NameNode: file creation, block metadata, replica lookup.
+
+This is the subset of HDFS that MapReduce scheduling observes: where each
+input block's replicas live.  The NameNode carves files into fixed-size
+blocks, asks a :class:`~repro.hdfs.placement.PlacementPolicy` for replica
+nodes, and answers the locality queries the schedulers and the cost model
+issue (``replicas``, ``replica_indices``, ``is_local``, ``closest_replica``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.hdfs.block import Block, HDFSFile
+from repro.hdfs.placement import PlacementPolicy, RackAwarePlacement
+from repro.units import MB
+
+__all__ = ["NameNode"]
+
+
+class NameNode:
+    """Block-metadata service for one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose nodes store replicas.
+    replication:
+        Default replication factor for new files (the paper uses 2).
+    policy:
+        Replica placement policy; HDFS rack-aware by default.
+    rng:
+        Random generator driving placement decisions (determinism).
+    block_size:
+        Default block size for :meth:`create_file` (128 MB, as in the
+        paper's example).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        replication: int = 2,
+        policy: Optional[PlacementPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        block_size: float = 128.0 * MB,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.cluster = cluster
+        self.replication = replication
+        self.policy = policy if policy is not None else RackAwarePlacement()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.block_size = block_size
+        self.files: Dict[str, HDFSFile] = {}
+        self._blocks: Dict[int, Block] = {}
+        self._next_block_id = 0
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def create_file(
+        self,
+        name: str,
+        size: float,
+        *,
+        block_size: Optional[float] = None,
+        num_blocks: Optional[int] = None,
+        replication: Optional[int] = None,
+        writer: Optional[str] = None,
+    ) -> HDFSFile:
+        """Create a file of ``size`` bytes and place its replicas.
+
+        Either ``block_size`` (blocks of that size, last one short) or
+        ``num_blocks`` (size split evenly — used to honour the exact map
+        counts of Table II) may be given, not both.
+        """
+        if name in self.files:
+            raise ValueError(f"file {name!r} already exists")
+        if size <= 0:
+            raise ValueError(f"file size must be positive, got {size}")
+        if block_size is not None and num_blocks is not None:
+            raise ValueError("pass block_size or num_blocks, not both")
+        rf = replication if replication is not None else self.replication
+
+        sizes: List[float]
+        if num_blocks is not None:
+            if num_blocks < 1:
+                raise ValueError("num_blocks must be >= 1")
+            per = size / num_blocks
+            sizes = [per] * num_blocks
+        else:
+            bs = block_size if block_size is not None else self.block_size
+            full = int(size // bs)
+            sizes = [bs] * full
+            tail = size - full * bs
+            if tail > 0 or not sizes:
+                sizes.append(tail if tail > 0 else size)
+
+        f = HDFSFile(name=name)
+        for i, s in enumerate(sizes):
+            nodes = self.policy.place(self.cluster, rf, self.rng, writer=writer)
+            block = Block(
+                block_id=self._next_block_id,
+                file=name,
+                index=i,
+                size=s,
+                replicas=tuple(nodes),
+            )
+            self._next_block_id += 1
+            self._blocks[block.block_id] = block
+            f.blocks.append(block)
+        self.files[name] = f
+        return f
+
+    def delete_file(self, name: str) -> None:
+        f = self.files.pop(name, None)
+        if f is None:
+            raise KeyError(f"no such file: {name!r}")
+        for b in f.blocks:
+            del self._blocks[b.block_id]
+
+    # ------------------------------------------------------------------
+    # reads / locality queries
+    # ------------------------------------------------------------------
+    def block(self, block_id: int) -> Block:
+        return self._blocks[block_id]
+
+    def replicas(self, block: Block) -> Tuple[str, ...]:
+        """Node names holding the block."""
+        return block.replicas
+
+    def replica_indices(self, block: Block) -> np.ndarray:
+        """Host indices of the block's replicas (for matrix lookups)."""
+        return np.fromiter(
+            (self.cluster.node(n).index for n in block.replicas),
+            dtype=np.int64,
+            count=len(block.replicas),
+        )
+
+    def is_local(self, block: Block, node_name: str) -> bool:
+        return node_name in block.replicas
+
+    def is_rack_local(self, block: Block, node_name: str) -> bool:
+        """True when some replica shares the node's rack (but see is_local)."""
+        rack = self.cluster.node(node_name).rack
+        return any(self.cluster.node(r).rack == rack for r in block.replicas)
+
+    def closest_replica(self, block: Block, node_name: str) -> Tuple[str, float]:
+        """Replica with minimum hop distance from ``node_name``.
+
+        Returns ``(replica_node, hops)``.  Ties are broken by replica order,
+        which is deterministic.  This realises the ``min over L_lj = 1`` term
+        of Formula (1).
+        """
+        hops = self.cluster.hop_matrix
+        i = self.cluster.node(node_name).index
+        best_node = block.replicas[0]
+        best_h = hops[i, self.cluster.node(best_node).index]
+        for r in block.replicas[1:]:
+            h = hops[i, self.cluster.node(r).index]
+            if h < best_h:
+                best_h = h
+                best_node = r
+        return best_node, float(best_h)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def total_blocks(self) -> int:
+        return len(self._blocks)
+
+    def node_block_counts(self) -> Dict[str, int]:
+        """Replica count per node — used to validate placement balance."""
+        counts = {n.name: 0 for n in self.cluster.nodes}
+        for b in self._blocks.values():
+            for r in b.replicas:
+                counts[r] += 1
+        return counts

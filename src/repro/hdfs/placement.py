@@ -1,0 +1,180 @@
+"""Replica placement policies.
+
+The paper stores job input with replication factor 2 under HDFS's default
+rack-aware policy; locality results (Table III, Figure 7) are a direct
+function of where replicas land relative to where tasks run, so we implement
+the default policy faithfully and add alternatives for sensitivity studies:
+
+* :class:`RackAwarePlacement` — HDFS default: first replica on the writer
+  node, second on a node in a *different* rack, third on a different node in
+  the second replica's rack, further replicas random (no node repeated).
+* :class:`RandomPlacement` — uniform over distinct nodes.
+* :class:`SkewedPlacement` — Zipf-weighted over nodes, modelling the
+  "replicas concentrated in a subset of nodes (NAS/SAN)" scenario the paper
+  motivates in Section I.
+
+Policies are deterministic given their RNG; every draw goes through the
+supplied ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "PlacementPolicy",
+    "RackAwarePlacement",
+    "RandomPlacement",
+    "SkewedPlacement",
+    "SubsetPlacement",
+]
+
+
+class PlacementPolicy:
+    """Strategy interface: choose replica nodes for one block."""
+
+    def place(
+        self,
+        cluster: Cluster,
+        replication: int,
+        rng: np.random.Generator,
+        writer: Optional[str] = None,
+    ) -> List[str]:
+        """Return ``replication`` distinct node names for a new block."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(cluster: Cluster, replication: int) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if replication > cluster.num_nodes:
+            raise ValueError(
+                f"replication {replication} exceeds cluster size {cluster.num_nodes}"
+            )
+
+
+class RandomPlacement(PlacementPolicy):
+    """Replicas on distinct nodes chosen uniformly at random."""
+
+    def place(
+        self,
+        cluster: Cluster,
+        replication: int,
+        rng: np.random.Generator,
+        writer: Optional[str] = None,
+    ) -> List[str]:
+        self._check(cluster, replication)
+        idx = rng.choice(cluster.num_nodes, size=replication, replace=False)
+        return [cluster.nodes[i].name for i in idx]
+
+
+class RackAwarePlacement(PlacementPolicy):
+    """HDFS's default rack-aware policy.
+
+    Replica 1: the writer node (or a uniformly random node when the writer is
+    unknown — matching a remote client).  Replica 2: a random node in a
+    different rack, when one exists.  Replica 3: a different node in replica
+    2's rack, when possible.  Remaining replicas: uniform over unused nodes.
+    """
+
+    def place(
+        self,
+        cluster: Cluster,
+        replication: int,
+        rng: np.random.Generator,
+        writer: Optional[str] = None,
+    ) -> List[str]:
+        self._check(cluster, replication)
+        chosen: List[str] = []
+        first = writer if writer is not None and writer in cluster else None
+        if first is None:
+            first = cluster.nodes[int(rng.integers(cluster.num_nodes))].name
+        chosen.append(first)
+        if replication >= 2:
+            first_rack = cluster.node(first).rack
+            off_rack = [n.name for n in cluster.nodes
+                        if n.rack != first_rack and n.name not in chosen]
+            pool = off_rack or [n.name for n in cluster.nodes if n.name not in chosen]
+            chosen.append(pool[int(rng.integers(len(pool)))])
+        if replication >= 3:
+            second_rack = cluster.node(chosen[1]).rack
+            same_rack = [n.name for n in cluster.nodes
+                         if n.rack == second_rack and n.name not in chosen]
+            pool = same_rack or [n.name for n in cluster.nodes if n.name not in chosen]
+            chosen.append(pool[int(rng.integers(len(pool)))])
+        while len(chosen) < replication:
+            pool = [n.name for n in cluster.nodes if n.name not in chosen]
+            chosen.append(pool[int(rng.integers(len(pool)))])
+        return chosen
+
+
+class SkewedPlacement(PlacementPolicy):
+    """Zipf-weighted placement concentrating replicas on few nodes.
+
+    ``alpha`` controls skew: 0 is uniform; larger values pile replicas onto
+    low-index nodes, emulating NAS/SAN-style storage islands where locality
+    is structurally scarce — the regime in which fine-grained network costs
+    matter most (Section I).
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+
+    def _weights(self, n: int) -> np.ndarray:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        w = ranks ** (-self.alpha)
+        return w / w.sum()
+
+    def place(
+        self,
+        cluster: Cluster,
+        replication: int,
+        rng: np.random.Generator,
+        writer: Optional[str] = None,
+    ) -> List[str]:
+        self._check(cluster, replication)
+        weights = self._weights(cluster.num_nodes)
+        idx = rng.choice(
+            cluster.num_nodes, size=replication, replace=False, p=weights
+        )
+        return [cluster.nodes[i].name for i in idx]
+
+
+class SubsetPlacement(PlacementPolicy):
+    """Replicas confined to a storage subset of the cluster.
+
+    Models the NAS/SAN deployments of Section I where "data replicas [are]
+    stored in NAS or SAN devices located in a subset of the nodes": only the
+    first ``ceil(fraction * num_nodes)`` nodes (by index) ever hold blocks,
+    so most compute nodes can never be node-local and placement quality is
+    decided entirely by distance to the storage island.
+    """
+
+    def __init__(self, fraction: float = 0.25) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def place(
+        self,
+        cluster: Cluster,
+        replication: int,
+        rng: np.random.Generator,
+        writer: Optional[str] = None,
+    ) -> List[str]:
+        self._check(cluster, replication)
+        import math as _math
+
+        n_storage = max(1, _math.ceil(self.fraction * cluster.num_nodes))
+        if replication > n_storage:
+            raise ValueError(
+                f"replication {replication} exceeds storage subset {n_storage}"
+            )
+        idx = rng.choice(n_storage, size=replication, replace=False)
+        return [cluster.nodes[i].name for i in idx]

@@ -1,0 +1,21 @@
+"""Measurement: task/job records and the run-level collector."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.export import (
+    collector_from_json,
+    collector_to_json,
+    jobs_to_csv,
+    tasks_to_csv,
+)
+from repro.metrics.records import LOCALITY_LEVELS, JobRecord, TaskRecord
+
+__all__ = [
+    "LOCALITY_LEVELS",
+    "JobRecord",
+    "MetricsCollector",
+    "TaskRecord",
+    "collector_from_json",
+    "collector_to_json",
+    "jobs_to_csv",
+    "tasks_to_csv",
+]

@@ -1,0 +1,150 @@
+"""The metrics collector: the engine's measurement sink.
+
+The JobTracker calls into one :class:`MetricsCollector` per run.  The
+collector accumulates raw :class:`~repro.metrics.records.TaskRecord` /
+:class:`~repro.metrics.records.JobRecord` rows plus a few run-level counters,
+and offers the derived views the evaluation needs (arrays of completion
+times, locality shares, slot-occupancy integration).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.records import LOCALITY_LEVELS, JobRecord, TaskRecord
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Accumulates per-run measurements."""
+
+    def __init__(self) -> None:
+        self.task_records: List[TaskRecord] = []
+        self.job_records: List[JobRecord] = []
+        self.submitted: Dict[str, float] = {}
+        self.scheduling_declines = 0      # slot offers the task scheduler refused
+        self.scheduling_assignments = 0
+        self.speculative_launched = 0     # backup map attempts started
+
+    # ------------------------------------------------------------------
+    # engine-facing hooks
+    # ------------------------------------------------------------------
+    def job_submitted(self, job_id: str, now: float) -> None:
+        self.submitted[job_id] = now
+
+    def job_completed(self, record: JobRecord) -> None:
+        self.job_records.append(record)
+
+    def task_completed(self, record: TaskRecord) -> None:
+        self.task_records.append(record)
+
+    def offer_declined(self) -> None:
+        self.scheduling_declines += 1
+
+    def offer_assigned(self) -> None:
+        self.scheduling_assignments += 1
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def job_completion_times(self) -> np.ndarray:
+        """Per-job completion times, ordered by job id (paired comparisons)."""
+        recs = sorted(self.job_records, key=lambda r: r.job_id)
+        return np.array([r.completion_time for r in recs], dtype=np.float64)
+
+    def job_ids(self) -> List[str]:
+        return sorted(r.job_id for r in self.job_records)
+
+    def task_durations(self, kind: str) -> np.ndarray:
+        """Durations of all completed tasks of ``kind`` (``map``/``reduce``)."""
+        if kind not in ("map", "reduce"):
+            raise ValueError(f"bad task kind {kind!r}")
+        return np.array(
+            [t.duration for t in self.task_records if t.kind == kind],
+            dtype=np.float64,
+        )
+
+    def locality_counts(self, kind: Optional[str] = None) -> Counter:
+        """Tasks per locality class, optionally restricted to one kind."""
+        return Counter(
+            t.locality
+            for t in self.task_records
+            if kind is None or t.kind == kind
+        )
+
+    def locality_shares(self, kind: Optional[str] = None) -> Dict[str, float]:
+        """Fraction of tasks per locality class (Table III rows)."""
+        counts = self.locality_counts(kind)
+        total = sum(counts.values())
+        if total == 0:
+            return {level: 0.0 for level in LOCALITY_LEVELS}
+        return {level: counts.get(level, 0) / total for level in LOCALITY_LEVELS}
+
+    def speculated_tasks(self) -> int:
+        """Tasks whose winning record shows more than one attempt."""
+        return sum(1 for t in self.task_records if t.attempts > 1)
+
+    def bytes_moved(self) -> float:
+        """Total bytes that crossed the fabric on behalf of tasks."""
+        return sum(t.bytes_moved for t in self.task_records)
+
+    def total_cost(self) -> float:
+        """Sum of hop-model transmission costs over all placements."""
+        return sum(t.cost for t in self.task_records)
+
+    def makespan(self) -> float:
+        """First submission to last completion across the run."""
+        if not self.job_records:
+            return 0.0
+        start = min(self.submitted.values()) if self.submitted else 0.0
+        return max(r.finish for r in self.job_records) - start
+
+    # ------------------------------------------------------------------
+    # slot occupancy (cluster resource utilisation, Section III-A)
+    # ------------------------------------------------------------------
+    def occupancy_series(self, kind: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Step series ``(times, running_tasks)`` for one task kind.
+
+        Built offline from task start/end events; the series starts at the
+        first event and each value holds until the next time point.
+        """
+        events: List[Tuple[float, int]] = []
+        for t in self.task_records:
+            if t.kind != kind:
+                continue
+            events.append((t.start, 1))
+            events.append((t.end, -1))
+        if not events:
+            return np.array([]), np.array([])
+        events.sort()
+        times, levels = [], []
+        level = 0
+        for time, delta in events:
+            level += delta
+            if times and times[-1] == time:
+                levels[-1] = level
+            else:
+                times.append(time)
+                levels.append(level)
+        return np.array(times), np.array(levels)
+
+    def mean_utilisation(self, kind: str, capacity: int) -> float:
+        """Time-averaged fraction of ``capacity`` slots busy with ``kind``.
+
+        Averaged from the first task start to the last task end.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        times, levels = self.occupancy_series(kind)
+        if len(times) < 2:
+            return 0.0
+        dt = np.diff(times)
+        area = float(np.sum(levels[:-1] * dt))
+        span = times[-1] - times[0]
+        if span <= 0:
+            return 0.0
+        return area / (span * capacity)

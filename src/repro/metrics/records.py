@@ -1,0 +1,100 @@
+"""Measurement records produced by a simulation run.
+
+These are plain data rows — one :class:`TaskRecord` per executed task and one
+:class:`JobRecord` per job — from which every table and figure of the paper
+is computed offline (completion-time CDFs, locality percentages, utilisation
+time series).  Keeping raw records rather than aggregates means new analyses
+never require re-running simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TaskRecord", "JobRecord", "LOCALITY_LEVELS"]
+
+#: Locality classes in increasing distance order (Section III-C).
+LOCALITY_LEVELS = ("node", "rack", "remote")
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One completed task attempt.
+
+    Attributes
+    ----------
+    job_id:
+        Owning job.
+    kind:
+        ``"map"`` or ``"reduce"``.
+    index:
+        Task index within its kind.
+    node:
+        Node the task ran on.
+    start, end:
+        Simulated launch and completion instants.
+    locality:
+        ``"node"`` — ran where (some of) its data lives; ``"rack"`` — data
+        in the same rack; ``"remote"`` — otherwise.  For reduce tasks the
+        data is the intermediate output of the maps that feed it.
+    bytes_in:
+        Input bytes (block size for maps; shuffled bytes for reduces).
+    bytes_moved:
+        Bytes that crossed the fabric (0 for a fully node-local task).
+    cost:
+        The transmission cost of the placement under the hop-count model
+        (Formula 1 for maps; realised Formula 2 for reduces).
+    attempts:
+        Execution attempts launched for the task (> 1 means speculation
+        kicked in; the record describes the winning attempt).
+    """
+
+    job_id: str
+    kind: str
+    index: int
+    node: str
+    start: float
+    end: float
+    locality: str
+    bytes_in: float
+    bytes_moved: float
+    cost: float
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("map", "reduce"):
+            raise ValueError(f"bad task kind {self.kind!r}")
+        if self.locality not in LOCALITY_LEVELS:
+            raise ValueError(f"bad locality {self.locality!r}")
+        if self.end < self.start:
+            raise ValueError(f"task ends before it starts: {self}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One completed job."""
+
+    job_id: str
+    name: str
+    app: str
+    submit: float
+    finish: float
+    num_maps: int
+    num_reduces: int
+    input_size: float
+    shuffle_size: float
+
+    def __post_init__(self) -> None:
+        if self.finish < self.submit:
+            raise ValueError(f"job finishes before submission: {self}")
+
+    @property
+    def completion_time(self) -> float:
+        """Job completion time as the paper measures it (submit → finish)."""
+        return self.finish - self.submit

@@ -1,0 +1,29 @@
+"""Task- and job-level schedulers: interface, baselines, reference points."""
+
+from repro.schedulers.base import SchedulerContext, TaskScheduler
+from repro.schedulers.capacity import CapacityJobScheduler
+from repro.schedulers.coupling import CouplingScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.larts import LARTSScheduler
+from repro.schedulers.matching import MatchingScheduler
+from repro.schedulers.joblevel import (
+    FairJobScheduler,
+    FIFOJobScheduler,
+    JobLevelScheduler,
+)
+from repro.schedulers.simple import GreedyCostScheduler, RandomScheduler
+
+__all__ = [
+    "CapacityJobScheduler",
+    "CouplingScheduler",
+    "FIFOJobScheduler",
+    "FairJobScheduler",
+    "FairScheduler",
+    "GreedyCostScheduler",
+    "JobLevelScheduler",
+    "LARTSScheduler",
+    "MatchingScheduler",
+    "RandomScheduler",
+    "SchedulerContext",
+    "TaskScheduler",
+]

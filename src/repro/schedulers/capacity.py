@@ -1,0 +1,75 @@
+"""The Capacity Scheduler's job-level policy (queues with capacities).
+
+Section II-A lists Hadoop's Capacity Scheduler [12] among the job-level
+schedulers our task-level placement can sit under.  This module implements
+its slot-allocation essence:
+
+* jobs are submitted to named **queues**, each with a configured capacity
+  share of the cluster;
+* the queue *most below its capacity* (lowest used/capacity ratio) is served
+  first — this is what lets a multi-tenant cluster guarantee each tenant its
+  share while lending idle capacity to busy queues;
+* within a queue, jobs run FIFO (arrival order).
+
+Jobs map to queues via ``assignments`` (job-id → queue); unassigned jobs
+fall into ``default``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.schedulers.joblevel import JobLevelScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.job import Job
+
+__all__ = ["CapacityJobScheduler"]
+
+
+class CapacityJobScheduler(JobLevelScheduler):
+    """Queue-capacity job ordering (Hadoop Capacity Scheduler)."""
+
+    name = "capacity"
+
+    def __init__(
+        self,
+        capacities: Optional[Dict[str, float]] = None,
+        assignments: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.capacities = dict(capacities) if capacities else {"default": 1.0}
+        if "default" not in self.capacities:
+            self.capacities["default"] = min(self.capacities.values())
+        total = sum(self.capacities.values())
+        if total <= 0:
+            raise ValueError("queue capacities must sum to a positive value")
+        if any(c <= 0 for c in self.capacities.values()):
+            raise ValueError("every queue capacity must be positive")
+        # normalise to shares
+        self.capacities = {q: c / total for q, c in self.capacities.items()}
+        self.assignments = dict(assignments) if assignments else {}
+        for q in self.assignments.values():
+            if q not in self.capacities:
+                raise ValueError(f"assignment references unknown queue {q!r}")
+
+    def queue_of(self, job: "Job") -> str:
+        return self.assignments.get(job.spec.job_id, "default")
+
+    def order(self, jobs: Sequence["Job"], kind: str) -> List["Job"]:
+        if kind not in ("map", "reduce"):
+            raise ValueError(f"bad slot kind {kind!r}")
+
+        def running(job: "Job") -> int:
+            return len(job.running_maps() if kind == "map" else job.running_reduces())
+
+        usage: Dict[str, int] = {}
+        for job in jobs:
+            usage[self.queue_of(job)] = usage.get(self.queue_of(job), 0) + running(job)
+
+        def key(job: "Job"):
+            q = self.queue_of(job)
+            # queues most below capacity first; FIFO within the queue
+            ratio = usage.get(q, 0) / self.capacities[q]
+            return (ratio, job.submit_time, job.spec.job_id)
+
+        return sorted(jobs, key=key)

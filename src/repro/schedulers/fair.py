@@ -1,0 +1,104 @@
+"""The Hadoop 1.2.1 Fair Scheduler baseline (delay scheduling + random reduce).
+
+Per Section III of the paper, the stock comparison point is Hadoop's Fair
+Scheduler [7], whose task-level behaviour is:
+
+* **maps** — *delay scheduling* [3]: when the job at the head of the fair
+  ordering has no node-local task on the offering node, it skips the offer;
+  after ``node_delay`` consecutive skips it accepts rack-local placements,
+  and after ``rack_delay`` skips it accepts any placement.  Launching a
+  node-local task resets the skip counter (the original algorithm's
+  behaviour).
+* **reduces** — a uniformly random pending reduce task takes the slot
+  immediately ("randomly selects a reduce task to be assigned to an
+  available reduce slot"); there is no co-location avoidance.
+
+Skip thresholds default to one and two full heartbeat waves of the cluster
+(``num_nodes`` offers ≈ every node seen once), the usual calibration in the
+delay-scheduling literature.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.schedulers.base import SchedulerContext, TaskScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.engine.job import Job
+    from repro.engine.task import MapTask, ReduceTask
+
+__all__ = ["FairScheduler"]
+
+
+class FairScheduler(TaskScheduler):
+    """Delay scheduling for maps, random placement for reduces."""
+
+    name = "fair"
+
+    def __init__(
+        self,
+        node_delay: Optional[int] = None,
+        rack_delay: Optional[int] = None,
+    ) -> None:
+        if node_delay is not None and node_delay < 0:
+            raise ValueError("node_delay must be >= 0")
+        if rack_delay is not None and rack_delay < 0:
+            raise ValueError("rack_delay must be >= 0")
+        self._node_delay = node_delay
+        self._rack_delay = rack_delay
+        self._skips: Dict[str, int] = {}
+
+    def on_job_added(self, job: "Job") -> None:
+        self._skips[job.spec.job_id] = 0
+
+    # ------------------------------------------------------------------
+    def _thresholds(self, ctx: SchedulerContext) -> tuple[int, int]:
+        n = ctx.cluster.num_nodes
+        d1 = self._node_delay if self._node_delay is not None else n
+        d2 = self._rack_delay if self._rack_delay is not None else 2 * n
+        return d1, max(d1, d2)
+
+    @staticmethod
+    def _candidates_by_level(
+        node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> tuple[List["MapTask"], List["MapTask"], List["MapTask"]]:
+        """Pending maps split into (node-local, rack-local, remote) here."""
+        nn = ctx.namenode
+        local, rack, remote = [], [], []
+        for m in job.pending_maps():
+            if nn.is_local(m.block, node.name):
+                local.append(m)
+            elif nn.is_rack_local(m.block, node.name):
+                rack.append(m)
+            else:
+                remote.append(m)
+        return local, rack, remote
+
+    # ------------------------------------------------------------------
+    def select_map(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["MapTask"]:
+        local, rack, remote = self._candidates_by_level(node, job, ctx)
+        jid = job.spec.job_id
+        skips = self._skips.setdefault(jid, 0)
+        d1, d2 = self._thresholds(ctx)
+        if local:
+            self._skips[jid] = 0
+            return local[0]
+        if skips >= d2 and (rack or remote):
+            # fully relaxed: any placement, preferring the closer level
+            return (rack or remote)[0]
+        if skips >= d1 and rack:
+            return rack[0]
+        self._skips[jid] = skips + 1
+        return None
+
+    def select_reduce(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["ReduceTask"]:
+        pending = job.pending_reduces()
+        if not pending:
+            return None
+        return pending[int(ctx.rng.integers(len(pending)))]

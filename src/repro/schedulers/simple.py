@@ -1,0 +1,96 @@
+"""Simple reference schedulers: random and deterministic greedy min-cost.
+
+* :class:`RandomScheduler` — assigns a uniformly random pending task to
+  every offered slot.  The utilisation-optimal / locality-oblivious extreme;
+  a sanity floor for experiments.
+* :class:`GreedyCostScheduler` — ablation A3: identical cost machinery to
+  the PNA scheduler but **deterministic** — every offer is accepted with the
+  candidate of minimum transmission cost, regardless of how expensive the
+  slot is.  Comparing it against PNA isolates the value of the probabilistic
+  accept/decline step (Section II-C argues determinism "improves resource
+  utilization with degraded data locality").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.core.cost import JobCostModel
+from repro.core.estimator import IntermediateEstimator, ProgressEstimator
+from repro.schedulers.base import SchedulerContext, TaskScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.engine.job import Job
+    from repro.engine.task import MapTask, ReduceTask
+
+__all__ = ["RandomScheduler", "GreedyCostScheduler"]
+
+
+class RandomScheduler(TaskScheduler):
+    """Uniformly random task for every slot offer; never declines."""
+
+    name = "random"
+
+    def select_map(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["MapTask"]:
+        pending = job.pending_maps()
+        if not pending:
+            return None
+        return pending[int(ctx.rng.integers(len(pending)))]
+
+    def select_reduce(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["ReduceTask"]:
+        pending = job.pending_reduces()
+        if not pending:
+            return None
+        return pending[int(ctx.rng.integers(len(pending)))]
+
+
+class GreedyCostScheduler(TaskScheduler):
+    """Deterministic min-transmission-cost placement (no decline, no coin)."""
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        *,
+        estimator: Optional[IntermediateEstimator] = None,
+        avoid_reduce_colocation: bool = True,
+    ) -> None:
+        self.estimator = estimator or ProgressEstimator()
+        self.avoid_reduce_colocation = avoid_reduce_colocation
+        self._models: Dict[str, JobCostModel] = {}
+
+    def on_job_added(self, job: "Job") -> None:
+        self._models[job.spec.job_id] = JobCostModel.attach(job)
+
+    def select_map(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["MapTask"]:
+        pending = job.pending_maps()
+        if not pending:
+            return None
+        model = self._models[job.spec.job_id]
+        task_idx = np.array([m.index for m in pending], dtype=np.int64)
+        costs = model.map_costs(np.array([node.index]), task_idx)[0]
+        return pending[int(np.argmin(costs))]
+
+    def select_reduce(
+        self, node: "Node", job: "Job", ctx: SchedulerContext
+    ) -> Optional["ReduceTask"]:
+        if self.avoid_reduce_colocation and job.has_running_reduce_on(node.name):
+            return None
+        pending = job.pending_reduces()
+        if not pending:
+            return None
+        model = self._models[job.spec.job_id]
+        reduce_idx = np.array([r.index for r in pending], dtype=np.int64)
+        costs = model.reduce_costs(
+            np.array([node.index]), reduce_idx, ctx.now, estimator=self.estimator
+        )[0]
+        return pending[int(np.argmin(costs))]

@@ -1,0 +1,5 @@
+"""Discrete-event simulation kernel (clock, events, periodic tasks)."""
+
+from repro.sim.events import Event, PeriodicTask, SimulationError, Simulator
+
+__all__ = ["Event", "PeriodicTask", "SimulationError", "Simulator"]

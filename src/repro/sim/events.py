@@ -1,0 +1,248 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module provides the clock that every other subsystem runs on.  It is a
+classic event-queue simulator:
+
+* :class:`Event` — a cancellable callback scheduled at an absolute simulated
+  time.  Ties are broken by a monotonically increasing sequence number so a
+  run is bit-reproducible regardless of heap internals.
+* :class:`Simulator` — owns the queue and the clock, and offers convenience
+  helpers (``schedule``, ``at``, ``every``) plus run-loop controls.
+
+The kernel is intentionally tiny and dependency-free: the MapReduce engine,
+the flow-level network and the heartbeat machinery are all built as plain
+callbacks on top of it, which keeps each of those subsystems independently
+testable.
+
+Design notes (per the "make it work, make it reliable, then optimise"
+workflow of the scientific-Python guides): the hot path is ``heapq`` push/pop
+of small tuples, which profiles far below the numpy work done in the
+schedulers, so no further optimisation is warranted here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["Event", "PeriodicTask", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel.
+
+    Examples: scheduling an event in the past, or re-running a simulator
+    whose clock has already been driven past the requested horizon.
+    """
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, seq)`` which yields deterministic FIFO
+    ordering among events scheduled for the same instant.  An event may be
+    cancelled up until it fires; cancellation is O(1) (the queue entry is
+    tombstoned rather than removed).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None]
+    args: tuple = ()
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6g}, seq={self.seq}, {name}, {state})"
+
+
+class PeriodicTask:
+    """A self-rescheduling callback with a fixed period.
+
+    Used for heartbeats and progress-report ticks.  The callback runs first
+    at ``start`` and then every ``period`` simulated seconds until
+    :meth:`stop` is called.  An optional per-instance ``jitter`` callable can
+    perturb each period (e.g. to desynchronise node heartbeats).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        period: float,
+        callback: Callable[[], None],
+        *,
+        start: float = 0.0,
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self.jitter = jitter
+        self._stopped = False
+        self._event: Optional[Event] = sim.at(max(start, sim.now), self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        if self._stopped:  # callback may stop the task
+            return
+        delay = self.period + (self.jitter() if self.jitter else 0.0)
+        delay = max(delay, 1e-9)
+        self._event = self.sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Cancel future firings.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class Simulator:
+    """The discrete-event clock.
+
+    All timestamps are floats in simulated seconds, starting at ``0.0``.
+    The simulator is single-threaded and deterministic: two runs that
+    schedule the same events observe identical interleavings.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq: Iterator[int] = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if math.isnan(delay) or math.isinf(delay):
+            raise SimulationError(f"non-finite delay: {delay}")
+        return self.at(self.now + delay, callback, *args)
+
+    def at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self.now}"
+            )
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"non-finite time: {time}")
+        event = Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        start: float = 0.0,
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> PeriodicTask:
+        """Run ``callback`` periodically.  Returns the controlling task."""
+        return PeriodicTask(self, period, callback, start=start, jitter=jitter)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        self._drop_cancelled()
+        return self._queue[0].time if self._queue else None
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the queue is empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        assert event.time >= self.now, "event queue went backwards"
+        self.now = event.time
+        self._processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` passes, or the budget
+        of ``max_events`` is spent.
+
+        Returns the number of events processed by this call.  When ``until``
+        is given, the clock is advanced to exactly ``until`` even if the last
+        event fired earlier (so back-to-back ``run(until=...)`` calls observe
+        a monotone clock).
+        """
+        if self._running:
+            raise SimulationError("re-entrant Simulator.run")
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                self._drop_cancelled()
+                if not self._queue:
+                    break
+                nxt = self._queue[0]
+                if until is not None and nxt.time > until:
+                    break
+                event = heapq.heappop(self._queue)
+                self.now = event.time
+                self._processed += 1
+                processed += 1
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed over the simulator's lifetime."""
+        return self._processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.6g}, pending={self.pending})"

@@ -1,0 +1,77 @@
+"""Unit helpers and constants.
+
+All sizes in the library are plain floats in **bytes** and all rates in
+**bytes per second**; simulated time is in **seconds**.  These helpers exist
+so that scenario code reads like the paper ("128 MB blocks", "10 Gbps
+uplinks") instead of raw powers of two.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "Kbps", "Mbps", "Gbps",
+    "kb", "mb", "gb", "gbps", "mbps",
+    "fmt_bytes", "fmt_rate", "fmt_time",
+]
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+TB = 1024.0 * GB
+
+# Network rates are decimal (as vendors quote them), converted to bytes/s.
+Kbps = 1e3 / 8.0
+Mbps = 1e6 / 8.0
+Gbps = 1e9 / 8.0
+
+
+def kb(x: float) -> float:
+    """Kilobytes → bytes."""
+    return x * KB
+
+
+def mb(x: float) -> float:
+    """Megabytes → bytes."""
+    return x * MB
+
+
+def gb(x: float) -> float:
+    """Gigabytes → bytes."""
+    return x * GB
+
+
+def mbps(x: float) -> float:
+    """Megabits/s → bytes/s."""
+    return x * Mbps
+
+
+def gbps(x: float) -> float:
+    """Gigabits/s → bytes/s."""
+    return x * Gbps
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    for unit, div in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(r: float) -> str:
+    """Human-readable rate in bits/s (decimal units)."""
+    bits = r * 8.0
+    for unit, div in (("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        if abs(bits) >= div:
+            return f"{bits / div:.2f} {unit}"
+    return f"{bits:.0f} bps"
+
+
+def fmt_time(t: float) -> str:
+    """Human-readable duration."""
+    if t >= 3600:
+        return f"{t / 3600:.2f} h"
+    if t >= 60:
+        return f"{t / 60:.2f} min"
+    return f"{t:.2f} s"

@@ -1,0 +1,34 @@
+"""Workload models: applications, the Table II catalogue, generators."""
+
+from repro.workload.apps import APPLICATIONS, GREP, TERASORT, WORDCOUNT, ApplicationModel
+from repro.workload.generator import (
+    job_from_entry,
+    poisson_arrivals,
+    synthetic_batch,
+    table2_batch,
+    table2_workload,
+)
+from repro.workload.partition import intermediate_matrix, partition_weights
+from repro.workload.spec import JobSpec
+from repro.workload.table2 import TABLE2, Table2Entry, table2_entries
+from repro.workload.trace import trace_workload
+
+__all__ = [
+    "APPLICATIONS",
+    "ApplicationModel",
+    "GREP",
+    "JobSpec",
+    "TABLE2",
+    "TERASORT",
+    "Table2Entry",
+    "WORDCOUNT",
+    "intermediate_matrix",
+    "job_from_entry",
+    "partition_weights",
+    "poisson_arrivals",
+    "synthetic_batch",
+    "table2_batch",
+    "table2_entries",
+    "table2_workload",
+    "trace_workload",
+]

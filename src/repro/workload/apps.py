@@ -1,0 +1,110 @@
+"""Application models: Wordcount, Terasort, Grep.
+
+The paper's workload (Section III, Table II) is three batches of ten jobs —
+Wordcount, Terasort and Grep over 10–100 GB inputs generated with
+BigDataBench/Teragen.  What scheduling observes about an application is:
+
+* how fast a map task digests input (``map_rate``, bytes of input per
+  second per slot — sets map durations and therefore progress reports);
+* how much intermediate data a map emits per input byte
+  (``map_output_ratio`` — sets shuffle volume, the Fig. 3 CDF);
+* how the intermediate key space splits across reducers
+  (``partition_alpha`` — Zipf skew of reducer partition weights);
+* how fast a reduce task merges/reduces shuffled bytes (``reduce_rate``);
+* fixed per-task start-up overhead (JVM launch etc.).
+
+Ratios are chosen so the shuffle-size CDF reproduces Figure 3's shape:
+Wordcount without a combiner emits roughly twice its input ((word, 1) pairs
+with per-record overhead), Terasort shuffles exactly its input, and Grep
+emits only matching lines (map-intensive jobs, < 10 GB shuffle for the
+smaller inputs).  Absolute compute rates are calibrated to Hadoop-1-era
+per-slot throughputs so task durations land in the paper's
+hundreds-of-seconds regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.units import MB
+
+__all__ = ["ApplicationModel", "WORDCOUNT", "TERASORT", "GREP", "APPLICATIONS"]
+
+
+@dataclass(frozen=True)
+class ApplicationModel:
+    """Scheduling-relevant profile of one MapReduce application.
+
+    Attributes
+    ----------
+    name:
+        Application name (also keys :data:`APPLICATIONS`).
+    map_rate:
+        Input bytes a map task processes per second on a nominal node.
+    reduce_rate:
+        Shuffled bytes a reduce task merges+reduces per second.
+    map_output_ratio:
+        Intermediate bytes emitted per input byte.
+    partition_alpha:
+        Zipf exponent of reducer partition weights (0 = uniform).
+    output_gamma:
+        Exponent of intermediate-output accrual versus input-read fraction:
+        ``A_jf(t) = I_jf * read_fraction(t) ** output_gamma``.  1.0 means
+        output accrues linearly with input consumed (true for all three
+        benchmark apps); values != 1 let ablations inject estimator error.
+    task_overhead:
+        Fixed per-task start-up cost in seconds (JVM spawn, split setup).
+    """
+
+    name: str
+    map_rate: float
+    reduce_rate: float
+    map_output_ratio: float
+    partition_alpha: float = 0.0
+    output_gamma: float = 1.0
+    task_overhead: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.map_rate <= 0 or self.reduce_rate <= 0:
+            raise ValueError(f"{self.name}: compute rates must be positive")
+        if self.map_output_ratio < 0:
+            raise ValueError(f"{self.name}: map_output_ratio must be >= 0")
+        if self.partition_alpha < 0:
+            raise ValueError(f"{self.name}: partition_alpha must be >= 0")
+        if self.output_gamma <= 0:
+            raise ValueError(f"{self.name}: output_gamma must be positive")
+        if self.task_overhead < 0:
+            raise ValueError(f"{self.name}: task_overhead must be >= 0")
+
+
+#: CPU-heavy tokenising; no combiner, so intermediate ≈ 2x input.
+WORDCOUNT = ApplicationModel(
+    name="wordcount",
+    map_rate=10.0 * MB,
+    reduce_rate=60.0 * MB,
+    map_output_ratio=2.0,
+    partition_alpha=0.3,
+)
+
+#: Pure sort: shuffle equals input byte-for-byte; maps are I/O-shaped.
+TERASORT = ApplicationModel(
+    name="terasort",
+    map_rate=25.0 * MB,
+    reduce_rate=80.0 * MB,
+    map_output_ratio=1.0,
+    partition_alpha=0.05,
+)
+
+#: Scan-and-filter: fast maps, tiny shuffle (matching lines only).
+GREP = ApplicationModel(
+    name="grep",
+    map_rate=50.0 * MB,
+    reduce_rate=60.0 * MB,
+    map_output_ratio=0.15,
+    partition_alpha=0.6,
+)
+
+APPLICATIONS: Dict[str, ApplicationModel] = {
+    a.name: a for a in (WORDCOUNT, TERASORT, GREP)
+}

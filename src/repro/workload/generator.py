@@ -1,0 +1,177 @@
+"""Workload generators: Table II batches at paper scale or scaled down.
+
+The paper runs three batches (10 Wordcount, 10 Terasort, 10 Grep jobs)
+separately, with all jobs of a batch submitted together (Section III).  The
+generators here produce the corresponding :class:`~repro.workload.spec
+.JobSpec` lists, either verbatim ("paper" scale) or shrunk by a factor that
+preserves every ratio (input size per map, reduces per map, shuffle ratios)
+so CI-sized runs exhibit the same scheduling dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.workload.apps import APPLICATIONS
+from repro.workload.spec import JobSpec
+from repro.workload.table2 import Table2Entry, table2_entries
+
+__all__ = [
+    "job_from_entry",
+    "table2_batch",
+    "table2_workload",
+    "synthetic_batch",
+    "poisson_arrivals",
+]
+
+
+def job_from_entry(
+    entry: Table2Entry,
+    *,
+    scale: float = 1.0,
+    submit_time: float = 0.0,
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+) -> JobSpec:
+    """Materialise one Table II row as a JobSpec.
+
+    ``scale`` shrinks input size and task counts together (minimum one task
+    of each kind), preserving bytes-per-map and the map:reduce ratio.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    maps = max(1, round(entry.num_maps * scale))
+    reduces = max(1, round(entry.num_reduces * scale))
+    return JobSpec(
+        job_id=entry.job_id,
+        app=APPLICATIONS[entry.app],
+        input_size=entry.input_size * scale,
+        num_maps=maps,
+        num_reduces=reduces,
+        submit_time=submit_time,
+        seed=seed + int(entry.job_id),
+        noise_sigma=noise_sigma,
+    )
+
+
+def table2_batch(
+    app: str,
+    *,
+    scale: float = 1.0,
+    stagger: float = 0.0,
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+) -> List[JobSpec]:
+    """One application batch of Table II (10 jobs, 10–100 GB).
+
+    ``stagger`` seconds separate consecutive submissions (0 = all at once,
+    matching the paper's batch runs).
+    """
+    specs = []
+    for i, entry in enumerate(table2_entries(app)):
+        specs.append(
+            job_from_entry(
+                entry,
+                scale=scale,
+                submit_time=i * stagger,
+                seed=seed,
+                noise_sigma=noise_sigma,
+            )
+        )
+    return specs
+
+
+def table2_workload(
+    *,
+    scale: float = 1.0,
+    stagger: float = 0.0,
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+) -> List[JobSpec]:
+    """All 30 Table II jobs (the three batches concatenated)."""
+    specs = []
+    for app in ("wordcount", "terasort", "grep"):
+        specs.extend(
+            table2_batch(
+                app, scale=scale, stagger=stagger, seed=seed, noise_sigma=noise_sigma
+            )
+        )
+    return specs
+
+
+def synthetic_batch(
+    app: str,
+    sizes: Sequence[float],
+    *,
+    bytes_per_map: float,
+    reduces_per_job: int | Sequence[int],
+    submit_times: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+) -> List[JobSpec]:
+    """A custom batch: one job per input size.
+
+    ``bytes_per_map`` fixes the split size; ``reduces_per_job`` may be a
+    constant or a per-job sequence.
+    """
+    if bytes_per_map <= 0:
+        raise ValueError("bytes_per_map must be positive")
+    n = len(sizes)
+    if isinstance(reduces_per_job, int):
+        reduces = [reduces_per_job] * n
+    else:
+        reduces = list(reduces_per_job)
+        if len(reduces) != n:
+            raise ValueError("reduces_per_job length must match sizes")
+    if submit_times is None:
+        submit_times = [0.0] * n
+    elif len(submit_times) != n:
+        raise ValueError("submit_times length must match sizes")
+    specs = []
+    for i, size in enumerate(sizes):
+        specs.append(
+            JobSpec(
+                job_id=f"{i + 1:02d}",
+                app=APPLICATIONS[app],
+                input_size=float(size),
+                num_maps=max(1, math.ceil(size / bytes_per_map)),
+                num_reduces=reduces[i],
+                submit_time=float(submit_times[i]),
+                seed=seed + i,
+                noise_sigma=noise_sigma,
+            )
+        )
+    return specs
+
+
+def poisson_arrivals(
+    specs: Sequence[JobSpec],
+    mean_interarrival: float,
+    rng: np.random.Generator,
+) -> List[JobSpec]:
+    """Re-stamp submit times with a Poisson arrival process.
+
+    Returns new specs (JobSpec is frozen) in arrival order.
+    """
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    t = 0.0
+    out = []
+    for spec in specs:
+        t += float(rng.exponential(mean_interarrival))
+        out.append(
+            JobSpec(
+                job_id=spec.job_id,
+                app=spec.app,
+                input_size=spec.input_size,
+                num_maps=spec.num_maps,
+                num_reduces=spec.num_reduces,
+                submit_time=t,
+                seed=spec.seed,
+                noise_sigma=spec.noise_sigma,
+            )
+        )
+    return out

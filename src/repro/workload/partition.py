@@ -1,0 +1,75 @@
+"""Reducer partition weights: how the intermediate key space splits.
+
+Every job's intermediate data is hash-partitioned across its ``n`` reduce
+tasks.  Real partitions are not perfectly even — key-frequency skew survives
+hashing to a degree that depends on the application.  We model partition
+weights as a Zipf distribution over ``n`` ranks, shuffled so that partition
+index carries no size information, then normalised to sum to 1.
+
+``I_jf`` (the intermediate bytes map ``j`` produces for reduce ``f``,
+Section II-B-2) is ``B_j * ratio * w_f`` with optional per-(map, reduce)
+lognormal noise to model record-level variation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["partition_weights", "intermediate_matrix"]
+
+
+def partition_weights(
+    n: int,
+    alpha: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Normalised weights of the ``n`` reducer partitions.
+
+    ``alpha = 0`` yields exactly uniform weights; larger values skew mass
+    onto a few partitions (Zipf ranks, randomly permuted).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one partition, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    if alpha == 0.0:
+        return np.full(n, 1.0 / n)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-alpha)
+    rng.shuffle(w)
+    return w / w.sum()
+
+
+def intermediate_matrix(
+    block_sizes: np.ndarray,
+    ratio: float,
+    weights: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    noise_sigma: float = 0.0,
+) -> np.ndarray:
+    """The full ``m x n`` matrix ``I`` of Section II-B-2.
+
+    ``I[j, f]`` is the intermediate bytes map ``j`` (input ``block_sizes[j]``)
+    ultimately produces for reduce ``f``.  With ``noise_sigma > 0``,
+    independent lognormal noise (mean-one) perturbs each entry; rows are not
+    re-normalised, so a map's total output also varies, as it does in
+    practice.
+    """
+    b = np.asarray(block_sizes, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if b.ndim != 1 or w.ndim != 1:
+        raise ValueError("block_sizes and weights must be 1-D")
+    if np.any(b < 0) or np.any(w < 0):
+        raise ValueError("sizes and weights must be non-negative")
+    if ratio < 0:
+        raise ValueError(f"ratio must be >= 0, got {ratio}")
+    I = np.outer(b * ratio, w)
+    if noise_sigma > 0.0:
+        if rng is None:
+            raise ValueError("noise requires an rng")
+        mu = -0.5 * noise_sigma**2  # mean-one lognormal
+        I = I * rng.lognormal(mean=mu, sigma=noise_sigma, size=I.shape)
+    return I

@@ -1,0 +1,95 @@
+"""Job specifications: what a job *is*, independent of any run.
+
+A :class:`JobSpec` is pure data — the engine materialises it into a running
+:class:`~repro.engine.job.Job` (input file in HDFS, task objects, the
+intermediate matrix ``I``) at submission time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.apps import APPLICATIONS, ApplicationModel
+
+__all__ = ["JobSpec"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Declarative description of one MapReduce job.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within a workload (e.g. ``"01"``).
+    app:
+        The :class:`~repro.workload.apps.ApplicationModel` profile.
+    input_size:
+        Total input bytes.
+    num_maps:
+        Number of map tasks; the input file is carved into this many blocks
+        (one block per map, as in Hadoop).
+    num_reduces:
+        Number of reduce tasks.
+    submit_time:
+        Simulated submission instant.
+    seed:
+        Per-job seed for partition weights and intermediate-data noise.
+    noise_sigma:
+        Lognormal sigma applied to the intermediate matrix (0 = exact).
+    """
+
+    job_id: str
+    app: ApplicationModel
+    input_size: float
+    num_maps: int
+    num_reduces: int
+    submit_time: float = 0.0
+    seed: int = 0
+    noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.input_size <= 0:
+            raise ValueError(f"{self.job_id}: input_size must be positive")
+        if self.num_maps < 1:
+            raise ValueError(f"{self.job_id}: need at least one map task")
+        if self.num_reduces < 1:
+            raise ValueError(f"{self.job_id}: need at least one reduce task")
+        if self.submit_time < 0:
+            raise ValueError(f"{self.job_id}: submit_time must be >= 0")
+        if self.noise_sigma < 0:
+            raise ValueError(f"{self.job_id}: noise_sigma must be >= 0")
+
+    @property
+    def name(self) -> str:
+        return f"{self.app.name}-{self.job_id}"
+
+    @property
+    def block_size(self) -> float:
+        """Bytes per map input split."""
+        return self.input_size / self.num_maps
+
+    @property
+    def shuffle_size(self) -> float:
+        """Expected total intermediate bytes (before noise)."""
+        return self.input_size * self.app.map_output_ratio
+
+    @staticmethod
+    def make(
+        job_id: str,
+        app: str | ApplicationModel,
+        input_size: float,
+        num_maps: int,
+        num_reduces: int,
+        **kwargs,
+    ) -> "JobSpec":
+        """Convenience constructor accepting an application name."""
+        model = APPLICATIONS[app] if isinstance(app, str) else app
+        return JobSpec(
+            job_id=job_id,
+            app=model,
+            input_size=input_size,
+            num_maps=num_maps,
+            num_reduces=num_reduces,
+            **kwargs,
+        )

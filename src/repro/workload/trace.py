@@ -1,0 +1,112 @@
+"""Trace-style workloads: heavy-tailed multi-tenant job mixes.
+
+The Table II batches are uniform sweeps (10–100 GB, one app at a time).
+Production MapReduce traces (the SWIM/Facebook workload family) look very
+different: job sizes are heavy-tailed — most jobs touch a few blocks, a few
+jobs touch thousands — and applications interleave under Poisson arrivals.
+:func:`trace_workload` generates such a mix for multi-tenant experiments
+(capacity queues, job-level fairness) beyond the paper's batch evaluation.
+
+Sizes are drawn from a log-normal body with a Pareto tail, calibrated so the
+small-job share matches the published trace shape (~70 % of jobs under a few
+GB, a top decile carrying most of the bytes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.units import GB, MB
+from repro.workload.apps import APPLICATIONS
+from repro.workload.spec import JobSpec
+
+__all__ = ["trace_workload"]
+
+
+def trace_workload(
+    num_jobs: int,
+    rng: np.random.Generator,
+    *,
+    mean_interarrival: float = 60.0,
+    apps: Sequence[str] = ("wordcount", "terasort", "grep"),
+    app_weights: Optional[Sequence[float]] = None,
+    median_size: float = 2.0 * GB,
+    sigma: float = 1.2,
+    tail_fraction: float = 0.1,
+    tail_alpha: float = 1.3,
+    max_size: float = 200.0 * GB,
+    bytes_per_map: float = 128.0 * MB,
+    reduces_per_gb: float = 2.0,
+    noise_sigma: float = 0.0,
+) -> List[JobSpec]:
+    """Generate ``num_jobs`` heavy-tailed jobs with Poisson arrivals.
+
+    Parameters
+    ----------
+    num_jobs, rng:
+        Trace length and the seeded generator driving every draw.
+    mean_interarrival:
+        Mean gap between submissions (exponential).
+    apps, app_weights:
+        Application mix; uniform by default.
+    median_size, sigma:
+        Log-normal body of the input-size distribution.
+    tail_fraction, tail_alpha, max_size:
+        A ``tail_fraction`` of jobs is redrawn from a Pareto tail with shape
+        ``tail_alpha`` starting at the body's 90th percentile, clamped at
+        ``max_size`` — the "elephants" that dominate cluster bytes.
+    bytes_per_map:
+        Split size (a map per 128 MB block, as in Hadoop).
+    reduces_per_gb:
+        Reduce-task count scales with input size (minimum one).
+    """
+    if num_jobs < 1:
+        raise ValueError("need at least one job")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    if not 0.0 <= tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in [0, 1]")
+    if tail_alpha <= 1.0:
+        raise ValueError("tail_alpha must exceed 1 (finite mean)")
+    for app in apps:
+        if app not in APPLICATIONS:
+            raise ValueError(f"unknown application {app!r}")
+    if app_weights is not None:
+        w = np.asarray(app_weights, dtype=np.float64)
+        if w.shape != (len(apps),) or np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("bad app_weights")
+        probs = w / w.sum()
+    else:
+        probs = np.full(len(apps), 1.0 / len(apps))
+
+    mu = np.log(median_size)
+    body = rng.lognormal(mean=mu, sigma=sigma, size=num_jobs)
+    tail_start = float(np.exp(mu + 1.2816 * sigma))  # body's 90th percentile
+    is_tail = rng.random(num_jobs) < tail_fraction
+    tail_draws = tail_start * (1.0 + rng.pareto(tail_alpha, size=num_jobs))
+    sizes = np.where(is_tail, tail_draws, body)
+    sizes = np.clip(sizes, 64.0 * MB, max_size)
+
+    arrivals = np.cumsum(rng.exponential(mean_interarrival, size=num_jobs))
+    app_choice = rng.choice(len(apps), size=num_jobs, p=probs)
+
+    specs: List[JobSpec] = []
+    for i in range(num_jobs):
+        size = float(sizes[i])
+        num_maps = max(1, int(np.ceil(size / bytes_per_map)))
+        num_reduces = max(1, int(round(reduces_per_gb * size / GB)))
+        specs.append(
+            JobSpec(
+                job_id=f"{i + 1:03d}",
+                app=APPLICATIONS[apps[app_choice[i]]],
+                input_size=size,
+                num_maps=num_maps,
+                num_reduces=num_reduces,
+                submit_time=float(arrivals[i]),
+                seed=i,
+                noise_sigma=noise_sigma,
+            )
+        )
+    return specs

@@ -1,0 +1,19 @@
+"""YARN container mode (Section V future work): resources over slots."""
+
+from repro.yarn.cluster import YarnClusterSpec
+from repro.yarn.node import (
+    DEFAULT_MAP_DEMAND,
+    DEFAULT_NODE_CAPACITY,
+    DEFAULT_REDUCE_DEMAND,
+    ContainerNode,
+)
+from repro.yarn.resources import Resource
+
+__all__ = [
+    "ContainerNode",
+    "DEFAULT_MAP_DEMAND",
+    "DEFAULT_NODE_CAPACITY",
+    "DEFAULT_REDUCE_DEMAND",
+    "Resource",
+    "YarnClusterSpec",
+]

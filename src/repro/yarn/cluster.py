@@ -1,0 +1,69 @@
+"""Building container-mode clusters (the YARN counterpart of ClusterSpec)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import rack_topology
+from repro.sim import Simulator
+from repro.units import Gbps, MB
+from repro.yarn.node import (
+    DEFAULT_MAP_DEMAND,
+    DEFAULT_NODE_CAPACITY,
+    DEFAULT_REDUCE_DEMAND,
+    ContainerNode,
+)
+from repro.yarn.resources import Resource
+
+__all__ = ["YarnClusterSpec"]
+
+
+@dataclass(frozen=True)
+class YarnClusterSpec:
+    """Declarative description of a container-mode cluster.
+
+    The default capacities give each node 8 GB / 8 vcores with 1 GB map and
+    2 GB reduce containers — i.e. up to 8 maps *or* 4 reducers *or* any mix
+    that fits, versus the rigid 4 + 2 of the slot model on the same
+    hardware.
+    """
+
+    num_racks: int = 4
+    nodes_per_rack: int = 4
+    capacity: Resource = DEFAULT_NODE_CAPACITY
+    map_demand: Resource = DEFAULT_MAP_DEMAND
+    reduce_demand: Resource = DEFAULT_REDUCE_DEMAND
+    host_link: float = 1.0 * Gbps
+    tor_uplink: float = 10.0 * Gbps
+    disk_bandwidth: float = 400.0 * MB
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_racks * self.nodes_per_rack
+
+    def build(self, sim: Simulator) -> Cluster:
+        topo = rack_topology(
+            self.num_racks,
+            self.nodes_per_rack,
+            host_link=self.host_link,
+            tor_uplink=self.tor_uplink,
+        )
+
+        def factory(name: str, rack: str, index: int) -> ContainerNode:
+            return ContainerNode(
+                name,
+                rack,
+                index=index,
+                capacity=self.capacity,
+                map_demand=self.map_demand,
+                reduce_demand=self.reduce_demand,
+                disk_bandwidth=self.disk_bandwidth,
+            )
+
+        return Cluster(
+            sim,
+            topo,
+            disk_bandwidth=self.disk_bandwidth,
+            node_factory=factory,
+        )

@@ -1,0 +1,110 @@
+"""Container-based nodes: YARN's resource model behind the slot interface.
+
+A :class:`ContainerNode` advertises *dynamic* map/reduce "slot" counts
+computed from its remaining (memory, vcores) capacity, so the whole engine —
+JobTracker offers, every task scheduler, Formulae 4–5's ``N_m``/``N_r``
+views — runs unchanged on the YARN resource model.  The semantic difference
+from Hadoop-1 slots is fungibility: an idle node with 8 GB can host eight
+1 GB map containers, or two 2 GB reducers and four maps, instead of a fixed
+4 + 2 split.  That is precisely the utilisation benefit YARN brought, and
+the `bench_yarn_mode` benchmark quantifies it.
+"""
+
+from __future__ import annotations
+
+
+from repro.cluster.node import Node, SlotExhausted
+from repro.units import MB
+from repro.yarn.resources import Resource
+
+__all__ = ["ContainerNode", "DEFAULT_NODE_CAPACITY", "DEFAULT_MAP_DEMAND",
+           "DEFAULT_REDUCE_DEMAND"]
+
+#: A modest worker: 8 GB / 8 vcores (YARN's yarn.nodemanager defaults era).
+DEFAULT_NODE_CAPACITY = Resource(8192, 8)
+#: Hadoop-2 defaults: 1 GB map containers, 2 GB reduce containers.
+DEFAULT_MAP_DEMAND = Resource(1024, 1)
+DEFAULT_REDUCE_DEMAND = Resource(2048, 1)
+
+
+class ContainerNode(Node):
+    """A node whose slot counts derive from container resources."""
+
+    def __init__(
+        self,
+        name: str,
+        rack: str,
+        *,
+        index: int = -1,
+        capacity: Resource = DEFAULT_NODE_CAPACITY,
+        map_demand: Resource = DEFAULT_MAP_DEMAND,
+        reduce_demand: Resource = DEFAULT_REDUCE_DEMAND,
+        disk_bandwidth: float = 400.0 * MB,
+        compute_factor: float = 1.0,
+    ) -> None:
+        if map_demand.memory_mb <= 0 and map_demand.vcores <= 0:
+            raise ValueError("map demand must be positive")
+        if reduce_demand.memory_mb <= 0 and reduce_demand.vcores <= 0:
+            raise ValueError("reduce demand must be positive")
+        if not map_demand.fits_in(capacity) or not reduce_demand.fits_in(capacity):
+            raise ValueError(
+                f"{name}: container demand exceeds node capacity {capacity}"
+            )
+        super().__init__(
+            name=name,
+            rack=rack,
+            index=index,
+            map_slots=capacity.count_fitting(map_demand),
+            reduce_slots=capacity.count_fitting(reduce_demand),
+            disk_bandwidth=disk_bandwidth,
+            compute_factor=compute_factor,
+        )
+        self.capacity = capacity
+        self.map_demand = map_demand
+        self.reduce_demand = reduce_demand
+        self.used = Resource(0, 0)
+
+    # ------------------------------------------------------------------
+    # dynamic slot views: what still fits in the shared resource pool
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> Resource:
+        return self.capacity - self.used
+
+    @property
+    def free_map_slots(self) -> int:
+        return self.available.count_fitting(self.map_demand)
+
+    @property
+    def free_reduce_slots(self) -> int:
+        return self.available.count_fitting(self.reduce_demand)
+
+    def acquire_map_slot(self) -> None:
+        if self.free_map_slots <= 0:
+            raise SlotExhausted(f"{self.name}: no room for a map container")
+        self.used = self.used + self.map_demand
+        self.running_maps += 1
+
+    def release_map_slot(self) -> None:
+        if self.running_maps <= 0:
+            raise SlotExhausted(f"{self.name}: releasing unheld map container")
+        self.used = self.used - self.map_demand
+        self.running_maps -= 1
+
+    def acquire_reduce_slot(self) -> None:
+        if self.free_reduce_slots <= 0:
+            raise SlotExhausted(f"{self.name}: no room for a reduce container")
+        self.used = self.used + self.reduce_demand
+        self.running_reduces += 1
+
+    def release_reduce_slot(self) -> None:
+        if self.running_reduces <= 0:
+            raise SlotExhausted(f"{self.name}: releasing unheld reduce container")
+        self.used = self.used - self.reduce_demand
+        self.running_reduces -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ContainerNode({self.name!r}, used={self.used}/{self.capacity}, "
+            f"maps={self.running_maps}, reduces={self.running_reduces})"
+        )

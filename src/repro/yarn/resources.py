@@ -1,0 +1,64 @@
+"""YARN-style resource vectors (memory, vcores).
+
+Section V's future work plans to "implement [the scheduler] in the most
+recent YARN framework".  YARN replaces Hadoop 1's static map/reduce slots
+with fungible *containers* sized in memory and virtual cores; a node runs
+any mix of map and reduce containers that fits its capacity.  This module
+provides the resource arithmetic; :mod:`repro.yarn.node` plugs it into the
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Resource"]
+
+
+@dataclass(frozen=True)
+class Resource:
+    """An (memory MB, vcores) vector with component-wise arithmetic."""
+
+    memory_mb: int
+    vcores: int
+
+    def __post_init__(self) -> None:
+        if self.memory_mb < 0 or self.vcores < 0:
+            raise ValueError(f"resources must be non-negative: {self}")
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb + other.memory_mb,
+                        self.vcores + other.vcores)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb - other.memory_mb,
+                        self.vcores - other.vcores)
+
+    def __mul__(self, k: int) -> "Resource":
+        return Resource(self.memory_mb * k, self.vcores * k)
+
+    __rmul__ = __mul__
+
+    def fits_in(self, other: "Resource") -> bool:
+        """Component-wise ``<=`` — can this demand run inside ``other``?"""
+        return (self.memory_mb <= other.memory_mb
+                and self.vcores <= other.vcores)
+
+    def count_fitting(self, demand: "Resource") -> int:
+        """How many ``demand``-sized containers fit in this capacity?"""
+        if demand.memory_mb <= 0 and demand.vcores <= 0:
+            raise ValueError("demand must be positive in some dimension")
+        counts = []
+        if demand.memory_mb > 0:
+            counts.append(self.memory_mb // demand.memory_mb)
+        if demand.vcores > 0:
+            counts.append(self.vcores // demand.vcores)
+        return int(min(counts))
+
+    @property
+    def any_negative(self) -> bool:
+        return self.memory_mb < 0 or self.vcores < 0
+
+    def __repr__(self) -> str:
+        return f"<{self.memory_mb} MB, {self.vcores} vcores>"

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.hdfs import NameNode
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_cluster(sim: Simulator) -> Cluster:
+    """2 racks x 3 nodes, paper-style slots."""
+    return ClusterSpec(num_racks=2, nodes_per_rack=3).build(sim)
+
+
+@pytest.fixture
+def namenode(small_cluster: Cluster) -> NameNode:
+    return NameNode(small_cluster, replication=2, rng=np.random.default_rng(1))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,99 @@
+"""CLI coverage for every experiment command, on a tiny injected scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import ClusterSpec
+from repro.experiments import SCENARIOS, Scenario
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scenario():
+    """Register a seconds-scale scenario and expose it to the CLI."""
+
+    def factory():
+        return Scenario(
+            name="clitest",
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scale=0.02,
+            background=None,
+            seed=17,
+        )
+
+    SCENARIOS["clitest"] = factory
+    yield
+    del SCENARIOS["clitest"]
+
+
+def run_cli(capsys, *args):
+    assert main([*args, "--scenario", "clitest"]) == 0
+    return capsys.readouterr().out
+
+
+class TestFigureCommands:
+    def test_fig4(self, capsys):
+        out = run_cli(capsys, "fig4")
+        assert "Figure 4" in out
+        assert "probabilistic" in out and "coupling" in out and "fair" in out
+
+    def test_fig5(self, capsys):
+        out = run_cli(capsys, "fig5")
+        assert "Figure 5" in out
+        assert "vs_coupling" in out
+
+    def test_fig6(self, capsys):
+        out = run_cli(capsys, "fig6")
+        assert "Figure 6 (map)" in out or "map task time" in out
+        assert "reduce task time" in out
+
+    def test_table3(self, capsys):
+        out = run_cli(capsys, "table3")
+        assert "Table III" in out
+        assert "% of local node tasks" in out
+
+    def test_fig7(self, capsys):
+        out = run_cli(capsys, "fig7")
+        assert "Figure 7" in out
+        assert "input (GB)" in out
+
+    def test_util(self, capsys):
+        out = run_cli(capsys, "util")
+        assert "utilisation" in out
+        assert "%" in out
+
+    def test_theory(self, capsys):
+        out = run_cli(capsys, "theory")
+        assert "P_min" in out
+        assert "accept rate" in out
+
+
+class TestSweepCommands:
+    """The long-running sweep commands, on the seconds-scale scenario."""
+
+    def test_pmin(self, capsys):
+        out = run_cli(capsys, "pmin")
+        assert "P_min sweep" in out
+        assert "0.4" in out
+
+    def test_ablations(self, capsys):
+        out = run_cli(capsys, "ablations")
+        assert "A1" in out and "A4" in out
+        assert "network-condition" in out
+        assert "oracle" in out
+
+    def test_bandwidth(self, capsys):
+        out = run_cli(capsys, "bandwidth")
+        assert "bg intensity" in out
+
+
+class TestArgumentHandling:
+    def test_unknown_scenario_fails_cleanly(self):
+        with pytest.raises(ValueError):
+            main(["table2", "--scenario", "galaxy"])
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

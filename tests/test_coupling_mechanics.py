@@ -1,0 +1,147 @@
+"""White-box tests of the Coupling Scheduler's reduce mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.schedulers import CouplingScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def run_until_maps_done(sim, job, max_events=500_000):
+    """Advance the engine until every map completed (reduces may be pending)."""
+    for _ in range(max_events):
+        if job.all_maps_done or not sim.sim.step():
+            return
+
+
+def paused_state(sched=None, *, num_maps=6, num_reduces=4, seed=13):
+    sched = sched or CouplingScheduler()
+    spec = JobSpec.make("01", "terasort", num_maps * 64 * MB,
+                        num_maps, num_reduces)
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=sched,
+        jobs=[spec],
+        seed=seed,
+    )
+    sim.sim.run(until=1e-9)  # submission only; heartbeats not started
+    return sim, sched, sim.tracker.active_jobs[0]
+
+
+class TestReduceGate:
+    def test_no_reduce_before_map_progress(self):
+        sim, sched, job = paused_state()
+        node = sim.cluster.nodes[0]
+        # zero map progress: ceil(0 * n) = 0 launched allowed
+        assert sched.select_reduce(node, job, sim.tracker.ctx) is None
+
+    def test_gate_opens_with_progress(self):
+        sim, sched, job = paused_state(num_maps=40, num_reduces=12)
+        sim.tracker.start()
+        # drive until roughly half the maps completed
+        for _ in range(500_000):
+            if job.maps_done >= 20 or not sim.sim.step():
+                break
+        assert not job.done
+        allowed = int(np.ceil(job.map_progress(sim.sim.now) * job.num_reduces))
+        assert job.launched_reduce_count() <= allowed + 1
+
+
+class TestCentrality:
+    def test_prefers_centrality_node_initially(self):
+        # a single-wave of maps plus far more reduces than slots keeps
+        # reduces pending after the map phase
+        sim, sched, job = paused_state(num_maps=10, num_reduces=12)
+        ctx = sim.tracker.ctx
+        sim.tracker.start()
+        run_until_maps_done(sim, job)
+        pending = job.pending_reduces()
+        assert job.all_maps_done
+        if not pending:
+            pytest.skip("engine placed everything already")
+        task = pending[0]
+        model = sched._models[job.spec.job_id]
+        costs = model.reduce_costs(
+            np.arange(sim.cluster.num_nodes),
+            np.array([task.index]),
+            ctx.now,
+            estimator=sched.estimator,
+        )[:, 0]
+        best = int(np.argmin(costs))
+        worst = int(np.argmax(costs))
+        if costs[best] == costs[worst]:
+            pytest.skip("degenerate cost landscape")
+        # a fresh offer from the worst node is declined...
+        worst_node = sim.cluster.nodes[worst]
+        if not job.has_running_reduce_on(worst_node.name):
+            sched._first_offer.pop((job.spec.job_id, task.index), None)
+            assert sched.select_reduce(worst_node, job, ctx) is None
+        # ...while the centrality node is accepted
+        best_node = sim.cluster.nodes[best]
+        if not job.has_running_reduce_on(best_node.name):
+            got = sched.select_reduce(best_node, job, ctx)
+            assert got is task
+
+    def test_wait_bound_forces_acceptance(self):
+        sim, sched, job = paused_state(
+            CouplingScheduler(max_wait_rounds=1.0),
+            num_maps=10, num_reduces=12,
+        )
+        ctx = sim.tracker.ctx
+        sim.tracker.start()
+        run_until_maps_done(sim, job)
+        pending = job.pending_reduces()
+        if not pending:
+            pytest.skip("no pending reduces left")
+        task = pending[0]
+        key = (job.spec.job_id, task.index)
+        # simulate an old first offer: waited longer than 1 heartbeat round
+        sched._first_offer[key] = ctx.now - 100.0
+        node = next(
+            n for n in sim.cluster.nodes_with_free_reduce_slots()
+            if not job.has_running_reduce_on(n.name)
+        )
+        assert sched.select_reduce(node, job, ctx) is task
+
+
+class TestMapPeek:
+    def test_local_candidate_always_accepted(self):
+        sim, sched, job = paused_state()
+        ctx = sim.tracker.ctx
+        nn = sim.tracker.namenode
+        # a node holding a replica of EVERY pending map accepts on any draw
+        # sample a few seeds until a universal-replica node exists
+        for seed in range(13, 40):
+            sim, sched, job = paused_state(seed=seed, num_maps=3)
+            ctx = sim.tracker.ctx
+            nn = sim.tracker.namenode
+            for node in sim.cluster.nodes:
+                if all(nn.is_local(m.block, node.name)
+                       for m in job.pending_maps()):
+                    assert sched.select_map(node, job, ctx) is not None
+                    return
+        pytest.skip("no universal-replica node across sampled seeds")
+
+    def test_remote_mostly_declined(self):
+        """With p_remote = 0, an off-rack node never takes a map."""
+        sim, sched, job = paused_state(
+            CouplingScheduler(p_rack=0.0, p_remote=0.0)
+        )
+        ctx = sim.tracker.ctx
+        nn = sim.tracker.namenode
+        for node in sim.cluster.nodes:
+            local_any = any(
+                nn.is_local(m.block, node.name) for m in job.pending_maps()
+            )
+            if not local_any:
+                for _ in range(5):
+                    task = sched.select_map(node, job, ctx)
+                    if task is not None:
+                        # sampled a local task? impossible here
+                        assert nn.is_local(task.block, node.name)
+                return

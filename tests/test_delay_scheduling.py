@@ -1,0 +1,131 @@
+"""White-box tests of delay scheduling (FairScheduler map path).
+
+Built on a live engine paused after submission, with slot offers driven by
+hand so skip counters and locality levels are fully controlled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.hdfs import SubsetPlacement
+from repro.schedulers import FairScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def paused_state(scheduler, *, placement=None, num_maps=6, seed=13):
+    spec = JobSpec.make("01", "terasort", num_maps * 64 * MB, num_maps, 2)
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=scheduler,
+        jobs=[spec],
+        placement=placement,
+        seed=seed,
+    )
+    # submit without starting heartbeats: offers are driven manually
+    sim.sim.run(until=1e-9)
+    job = sim.tracker.active_jobs[0]
+    return sim, job
+
+
+def node_without_local_blocks(sim, job):
+    nn = sim.tracker.namenode
+    for node in sim.cluster.nodes:
+        if not any(nn.is_local(m.block, node.name) for m in job.pending_maps()):
+            return node
+    pytest.skip("every node holds some block")
+
+
+def node_with_local_block(sim, job):
+    nn = sim.tracker.namenode
+    for node in sim.cluster.nodes:
+        if any(nn.is_local(m.block, node.name) for m in job.pending_maps()):
+            return node
+    pytest.skip("no node holds a block")
+
+
+class TestDelayMechanics:
+    def test_local_offer_accepted_immediately(self):
+        sched = FairScheduler(node_delay=100, rack_delay=200)
+        sim, job = paused_state(sched)
+        node = node_with_local_block(sim, job)
+        task = sched.select_map(node, job, sim.tracker.ctx)
+        assert task is not None
+        assert node.name in task.block.replicas
+
+    def test_nonlocal_offer_skipped_until_threshold(self):
+        sched = FairScheduler(node_delay=3, rack_delay=100)
+        # confine replicas to two nodes so misses are guaranteed
+        sim, job = paused_state(sched, placement=SubsetPlacement(fraction=0.34))
+        node = node_without_local_blocks(sim, job)
+        ctx = sim.tracker.ctx
+        # the first node_delay offers are declined
+        assert sched.select_map(node, job, ctx) is None
+        assert sched.select_map(node, job, ctx) is None
+        assert sched.select_map(node, job, ctx) is None
+        # threshold reached: rack-local (or any at rack_delay) now allowed
+        result = sched.select_map(node, job, ctx)
+        nn = sim.tracker.namenode
+        if result is not None:
+            assert not nn.is_local(result.block, node.name)
+
+    def test_skip_counter_resets_on_local_launch(self):
+        sched = FairScheduler(node_delay=2, rack_delay=100)
+        sim, job = paused_state(sched, placement=SubsetPlacement(fraction=0.34))
+        far = node_without_local_blocks(sim, job)
+        near = node_with_local_block(sim, job)
+        ctx = sim.tracker.ctx
+        jid = job.spec.job_id
+        sched.select_map(far, job, ctx)
+        assert sched._skips[jid] == 1
+        # a local launch resets the counter
+        task = sched.select_map(near, job, ctx)
+        assert task is not None
+        assert sched._skips[jid] == 0
+
+    def test_rack_delay_unlocks_remote(self):
+        sched = FairScheduler(node_delay=1, rack_delay=2)
+        sim, job = paused_state(sched, placement=SubsetPlacement(fraction=0.34))
+        node = node_without_local_blocks(sim, job)
+        ctx = sim.tracker.ctx
+        outcomes = [sched.select_map(node, job, ctx) for _ in range(6)]
+        # eventually the node gets *some* task even with zero local blocks
+        assert any(t is not None for t in outcomes)
+
+    def test_thresholds_default_to_cluster_size(self):
+        sched = FairScheduler()
+        sim, job = paused_state(sched)
+        d1, d2 = sched._thresholds(sim.tracker.ctx)
+        assert d1 == sim.cluster.num_nodes
+        assert d2 == 2 * sim.cluster.num_nodes
+
+    def test_rack_delay_never_below_node_delay(self):
+        sched = FairScheduler(node_delay=50, rack_delay=10)
+        sim, job = paused_state(sched)
+        d1, d2 = sched._thresholds(sim.tracker.ctx)
+        assert d2 >= d1
+
+
+class TestCandidateSplit:
+    def test_levels_partition_pending_maps(self):
+        sched = FairScheduler()
+        sim, job = paused_state(sched)
+        node = sim.cluster.nodes[0]
+        local, rack, remote = FairScheduler._candidates_by_level(
+            node, job, sim.tracker.ctx
+        )
+        all_pending = {m.index for m in job.pending_maps()}
+        split = {m.index for m in local + rack + remote}
+        assert split == all_pending
+        nn = sim.tracker.namenode
+        for m in local:
+            assert nn.is_local(m.block, node.name)
+        for m in rack:
+            assert not nn.is_local(m.block, node.name)
+            assert nn.is_rack_local(m.block, node.name)
+        for m in remote:
+            assert not nn.is_rack_local(m.block, node.name)

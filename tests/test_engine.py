@@ -1,0 +1,284 @@
+"""Integration tests for the MapReduce engine (repro.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import EngineConfig, Simulation, TaskState
+from repro.schedulers import FairScheduler, RandomScheduler
+from repro.sim import SimulationError
+from repro.units import GB, MB
+from repro.workload import JobSpec, table2_batch
+
+
+def simple_sim(scheduler=None, *, num_maps=8, num_reduces=4, config=None,
+               app="terasort", seed=5, input_size=None):
+    spec = JobSpec.make(
+        "01", app,
+        input_size if input_size is not None else num_maps * 64 * MB,
+        num_maps, num_reduces,
+    )
+    return Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=scheduler or RandomScheduler(),
+        jobs=[spec],
+        config=config,
+        seed=seed,
+    )
+
+
+class TestSingleJobRun:
+    def test_job_completes(self):
+        sim = simple_sim()
+        result = sim.run()
+        assert result.job_completion_times.size == 1
+        assert sim.tracker.all_done
+
+    def test_all_tasks_recorded(self):
+        sim = simple_sim(num_maps=8, num_reduces=4)
+        result = sim.run()
+        maps = [t for t in result.collector.task_records if t.kind == "map"]
+        reduces = [t for t in result.collector.task_records if t.kind == "reduce"]
+        assert len(maps) == 8
+        assert len(reduces) == 4
+
+    def test_task_times_ordered(self):
+        result = simple_sim().run()
+        for t in result.collector.task_records:
+            assert t.end > t.start >= 0.0
+
+    def test_job_record_fields(self):
+        sim = simple_sim(num_maps=6, num_reduces=3)
+        result = sim.run()
+        (rec,) = result.collector.job_records
+        assert rec.num_maps == 6
+        assert rec.num_reduces == 3
+        assert rec.app == "terasort"
+        assert rec.completion_time > 0
+
+    def test_shuffle_size_recorded(self):
+        sim = simple_sim()
+        result = sim.run()
+        (rec,) = result.collector.job_records
+        # terasort shuffles its input byte-for-byte
+        assert rec.shuffle_size == pytest.approx(rec.input_size, rel=1e-9)
+
+    def test_reduces_wait_for_all_maps(self):
+        sim = simple_sim(num_maps=10, num_reduces=2)
+        result = sim.run()
+        last_map_end = max(
+            t.end for t in result.collector.task_records if t.kind == "map"
+        )
+        for t in result.collector.task_records:
+            if t.kind == "reduce":
+                assert t.end >= last_map_end
+
+    def test_slots_all_released(self):
+        sim = simple_sim()
+        sim.run()
+        for node in sim.cluster.nodes:
+            assert node.running_maps == 0
+            assert node.running_reduces == 0
+
+    def test_byte_conservation_across_tasks(self):
+        sim = simple_sim(num_maps=6, num_reduces=3)
+        result = sim.run()
+        job = sim.tracker.finished_jobs[0]
+        shuffled = sum(
+            t.bytes_in for t in result.collector.task_records if t.kind == "reduce"
+        )
+        assert shuffled == pytest.approx(job.I.sum(), rel=1e-6)
+
+
+class TestSlowstart:
+    def test_reduces_gated_until_map_fraction(self):
+        config = EngineConfig(slowstart=0.5)
+        sim = simple_sim(num_maps=10, num_reduces=2, config=config)
+        result = sim.run()
+        maps_done_times = sorted(
+            t.end for t in result.collector.task_records if t.kind == "map"
+        )
+        threshold = maps_done_times[4]  # 5th of 10 maps = 50 %
+        first_reduce_start = min(
+            t.start for t in result.collector.task_records if t.kind == "reduce"
+        )
+        assert first_reduce_start >= threshold
+
+    def test_zero_slowstart_launches_reduces_early(self):
+        config = EngineConfig(slowstart=0.0)
+        sim = simple_sim(num_maps=40, num_reduces=4, config=config)
+        result = sim.run()
+        first_map_end = min(
+            t.end for t in result.collector.task_records if t.kind == "map"
+        )
+        first_reduce_start = min(
+            t.start for t in result.collector.task_records if t.kind == "reduce"
+        )
+        assert first_reduce_start < first_map_end
+
+
+class TestMultipleJobs:
+    def test_batch_completes(self):
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=4),
+            scheduler=RandomScheduler(),
+            jobs=table2_batch("grep", scale=0.02),
+            seed=1,
+        )
+        result = sim.run()
+        assert result.job_completion_times.size == 10
+
+    def test_staggered_submissions(self):
+        jobs = table2_batch("grep", scale=0.02, stagger=50.0)
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=4),
+            scheduler=RandomScheduler(),
+            jobs=jobs,
+            seed=1,
+        )
+        result = sim.run()
+        recs = {r.job_id: r for r in result.collector.job_records}
+        for i, spec in enumerate(jobs):
+            assert recs[spec.job_id].submit == pytest.approx(50.0 * i)
+
+    def test_duplicate_job_ids_rejected(self):
+        jobs = table2_batch("grep", scale=0.02)
+        with pytest.raises(ValueError):
+            Simulation(
+                cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+                scheduler=RandomScheduler(),
+                jobs=jobs + [jobs[0]],
+            )
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(
+                cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+                scheduler=RandomScheduler(),
+                jobs=[],
+            )
+
+
+class TestAssignMultiple:
+    def test_single_assignment_throttles_ramp(self):
+        """With assignmultiple off (Hadoop 1.2.1 default), at most one map
+        task starts per node heartbeat, so the initial ramp is slower."""
+
+        def ramp(assign_multiple):
+            config = EngineConfig(assign_multiple=assign_multiple)
+            sim = simple_sim(num_maps=48, num_reduces=2, config=config)
+            result = sim.run()
+            starts = sorted(
+                t.start for t in result.collector.task_records if t.kind == "map"
+            )
+            return starts[11]  # time by which 12 maps have launched
+
+        assert ramp(False) > ramp(True)
+
+
+class TestHorizonGuard:
+    def test_unfinishable_run_raises(self):
+        config = EngineConfig(horizon=10.0)
+
+        class NeverScheduler(RandomScheduler):
+            name = "never"
+
+            def select_map(self, node, job, ctx):
+                return None
+
+            def select_reduce(self, node, job, ctx):
+                return None
+
+        sim = simple_sim(NeverScheduler(), config=config)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_returns_partial(self):
+        sim = simple_sim()
+        result = sim.run(until=1.0)
+        assert result.sim_time == 1.0
+
+
+class TestLocalityClassification:
+    def test_map_locality_recorded(self):
+        sim = simple_sim(num_maps=20)
+        result = sim.run()
+        nn = sim.tracker.namenode
+        job = sim.tracker.finished_jobs[0]
+        recs = {
+            t.index: t for t in result.collector.task_records if t.kind == "map"
+        }
+        for m in job.maps:
+            rec = recs[m.index]
+            if nn.is_local(m.block, rec.node):
+                assert rec.locality == "node"
+                assert rec.bytes_moved == 0.0
+            else:
+                assert rec.locality in ("rack", "remote")
+                assert rec.bytes_moved == pytest.approx(m.size)
+
+    def test_map_cost_matches_formula(self):
+        sim = simple_sim(num_maps=12)
+        result = sim.run()
+        nn = sim.tracker.namenode
+        job = sim.tracker.finished_jobs[0]
+        recs = {
+            t.index: t for t in result.collector.task_records if t.kind == "map"
+        }
+        for m in job.maps:
+            _, hops = nn.closest_replica(m.block, recs[m.index].node)
+            assert recs[m.index].cost == pytest.approx(m.size * hops)
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def fingerprint(seed):
+            sim = simple_sim(seed=seed, num_maps=12, num_reduces=4)
+            result = sim.run()
+            return [
+                (t.kind, t.index, t.node, round(t.start, 9), round(t.end, 9))
+                for t in result.collector.task_records
+            ]
+
+        assert fingerprint(9) == fingerprint(9)
+
+    def test_different_seed_different_results(self):
+        def fingerprint(seed):
+            sim = simple_sim(seed=seed, num_maps=12, num_reduces=4)
+            result = sim.run()
+            return tuple(
+                (t.kind, t.index, t.node) for t in result.collector.task_records
+            )
+
+        assert fingerprint(1) != fingerprint(2)
+
+
+class TestProgressReporting:
+    def test_d_read_monotone_and_bounded(self):
+        sim = simple_sim(num_maps=6)
+        sim.tracker.start()
+        job = None
+        previous = {}
+        for _ in range(200):
+            if not sim.sim.step():
+                break
+            if job is None and sim.tracker.active_jobs:
+                job = sim.tracker.active_jobs[0]
+            if job is not None:
+                for m in job.maps:
+                    d = m.d_read(sim.sim.now)
+                    assert 0.0 <= d <= m.size * (1 + 1e-9)
+                    assert d >= previous.get(m.index, 0.0) - 1e-6
+                    previous[m.index] = d
+
+    def test_current_output_scales_with_progress(self):
+        sim = simple_sim(num_maps=4, num_reduces=3)
+        sim.tracker.start()
+        sim.sim.run(until=6.0)
+        job = sim.tracker.active_jobs[0]
+        for m in job.running_maps():
+            frac = m.read_fraction(sim.sim.now)
+            out = m.current_output(sim.sim.now)
+            assert np.allclose(out, job.I[m.index] * frac)

@@ -1,0 +1,148 @@
+"""Edge-case simulations: degenerate clusters, extreme shapes, RF=1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
+from repro.engine import EngineConfig, Simulation
+from repro.schedulers import CouplingScheduler, FairScheduler, RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def run_sim(jobs, *, racks=1, per_rack=1, scheduler=None, config=None, seed=2):
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=racks, nodes_per_rack=per_rack),
+        scheduler=scheduler or RandomScheduler(),
+        jobs=jobs,
+        config=config or EngineConfig(replication=1),
+        seed=seed,
+    )
+    return sim, sim.run()
+
+
+class TestSingleNodeCluster:
+    def test_everything_is_node_local(self):
+        jobs = [JobSpec.make("01", "terasort", 4 * 64 * MB, 4, 2)]
+        sim, result = run_sim(jobs)
+        shares = result.locality_shares()
+        assert shares["node"] == 1.0
+        assert result.bytes_over_fabric == 0.0
+
+    def test_pna_on_single_node(self):
+        jobs = [JobSpec.make("01", "wordcount", 4 * 64 * MB, 4, 2)]
+        sim, result = run_sim(
+            jobs, scheduler=ProbabilisticNetworkAwareScheduler()
+        )
+        assert result.job_completion_times.size == 1
+
+    def test_reduce_waves_on_two_slots(self):
+        """8 reducers through one node's 2 slots: four sequential waves."""
+        jobs = [JobSpec.make("01", "terasort", 4 * 64 * MB, 4, 8)]
+        sim, result = run_sim(jobs, scheduler=FairScheduler())
+        reduces = sorted(
+            (t for t in result.collector.task_records if t.kind == "reduce"),
+            key=lambda t: t.start,
+        )
+        assert len(reduces) == 8
+        # never more than 2 overlapping
+        for i, r in enumerate(reduces):
+            overlapping = sum(
+                1 for o in reduces if o.start < r.end and o.end > r.start
+            )
+            assert overlapping <= 2 + 1  # itself plus at most two concurrent
+
+
+class TestReplicationOne:
+    def test_rf1_single_replica_per_block(self):
+        jobs = [JobSpec.make("01", "grep", 6 * 64 * MB, 6, 2)]
+        sim, result = run_sim(jobs, racks=2, per_rack=3)
+        job = sim.tracker.finished_jobs[0]
+        for b in job.file.blocks:
+            assert b.replication == 1
+
+    def test_rf1_completes_under_pna(self):
+        jobs = [JobSpec.make("01", "terasort", 8 * 64 * MB, 8, 3)]
+        sim, result = run_sim(
+            jobs, racks=2, per_rack=3,
+            scheduler=ProbabilisticNetworkAwareScheduler(),
+        )
+        assert sim.tracker.all_done
+
+
+class TestExtremeShapes:
+    def test_single_map_single_reduce(self):
+        jobs = [JobSpec.make("01", "wordcount", 64 * MB, 1, 1)]
+        sim, result = run_sim(jobs, racks=2, per_rack=2)
+        assert result.job_completion_times.size == 1
+        assert len(result.collector.task_records) == 2
+
+    def test_more_reducers_than_cluster_slots(self):
+        # 2 nodes x 2 reduce slots = 4 slots; 12 reducers -> 3+ waves
+        jobs = [JobSpec.make("01", "terasort", 4 * 64 * MB, 4, 12)]
+        sim, result = run_sim(jobs, racks=1, per_rack=2,
+                              scheduler=FairScheduler())
+        reduces = [t for t in result.collector.task_records if t.kind == "reduce"]
+        assert len(reduces) == 12
+
+    def test_colocation_avoidance_with_scarce_nodes(self):
+        """PNA never co-locates a job's reducers, so 6 reducers on 3 nodes
+        must run in at least two waves — but still complete."""
+        jobs = [JobSpec.make("01", "terasort", 4 * 64 * MB, 4, 6)]
+        sim, result = run_sim(
+            jobs, racks=1, per_rack=3,
+            scheduler=ProbabilisticNetworkAwareScheduler(),
+        )
+        assert sim.tracker.all_done
+
+    def test_tiny_blocks(self):
+        jobs = [JobSpec.make("01", "grep", 20 * MB, 20, 2)]  # 1 MB splits
+        sim, result = run_sim(jobs, racks=2, per_rack=2)
+        assert sim.tracker.all_done
+
+    def test_many_small_jobs(self):
+        jobs = [
+            JobSpec.make(f"{i:02d}", "grep", 2 * 64 * MB, 2, 1)
+            for i in range(1, 13)
+        ]
+        sim, result = run_sim(jobs, racks=2, per_rack=2)
+        assert result.job_completion_times.size == 12
+
+
+class TestHeartbeatSensitivity:
+    def test_faster_heartbeats_do_not_break(self):
+        jobs = [JobSpec.make("01", "terasort", 6 * 64 * MB, 6, 3)]
+        sim, result = run_sim(
+            jobs, racks=2, per_rack=2,
+            config=EngineConfig(replication=1, heartbeat_period=0.5),
+        )
+        assert sim.tracker.all_done
+
+    def test_slow_heartbeats_stretch_ramp(self):
+        def first_starts(period):
+            jobs = [JobSpec.make("01", "terasort", 12 * 64 * MB, 12, 2)]
+            sim, result = run_sim(
+                jobs, racks=2, per_rack=2,
+                config=EngineConfig(replication=1, heartbeat_period=period),
+            )
+            return sorted(
+                t.start for t in result.collector.task_records if t.kind == "map"
+            )[5]
+
+        assert first_starts(10.0) > first_starts(1.0)
+
+
+class TestCouplingEdge:
+    def test_coupling_single_node(self):
+        jobs = [JobSpec.make("01", "wordcount", 4 * 64 * MB, 4, 2)]
+        sim, result = run_sim(jobs, scheduler=CouplingScheduler())
+        assert sim.tracker.all_done
+
+    def test_coupling_many_reducers(self):
+        jobs = [JobSpec.make("01", "terasort", 6 * 64 * MB, 6, 10)]
+        sim, result = run_sim(jobs, racks=2, per_rack=3,
+                              scheduler=CouplingScheduler())
+        assert sim.tracker.all_done

@@ -1,0 +1,164 @@
+"""Unit tests for intermediate-size estimation (Section II-B-2).
+
+These run against a live engine so the estimators see real heartbeat-style
+progress (``d_read``, ``A_jf``) rather than mocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import CurrentSizeEstimator, OracleEstimator, ProgressEstimator
+from repro.engine import Simulation
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+from repro.workload.apps import ApplicationModel
+
+
+def make_sim(gamma=1.0, num_maps=6, num_reduces=4):
+    app = ApplicationModel(
+        name="est-app",
+        map_rate=10 * MB,
+        reduce_rate=50 * MB,
+        map_output_ratio=1.0,
+        output_gamma=gamma,
+        task_overhead=0.0,
+    )
+    spec = JobSpec(
+        job_id="01",
+        app=app,
+        input_size=num_maps * 100 * MB,
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+    )
+    return Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=RandomScheduler(),
+        jobs=[spec],
+        seed=3,
+    )
+
+
+def first_running_map(sim):
+    job = sim.tracker.active_jobs[0]
+    running = job.running_maps()
+    assert running, "no map is running yet"
+    return job, running[0]
+
+
+class TestProgressEstimator:
+    """The paper's Formula (3): A_jf * B_j / d_read_j."""
+
+    def test_exact_for_linear_output(self):
+        sim = make_sim(gamma=1.0)
+        sim.tracker.start()
+        sim.sim.run(until=5.0)  # partway through the first map wave
+        job, task = first_running_map(sim)
+        now = sim.sim.now
+        assert 0 < task.read_fraction(now) < 1
+        est = ProgressEstimator().estimate(task, now)
+        # linear accrual makes the extrapolation exact: I_hat == I
+        assert np.allclose(est, job.I[task.index])
+
+    def test_corrects_current_size_bias(self):
+        sim = make_sim(gamma=1.0)
+        sim.tracker.start()
+        sim.sim.run(until=5.0)
+        job, task = first_running_map(sim)
+        now = sim.sim.now
+        frac = task.read_fraction(now)
+        progress = ProgressEstimator().estimate(task, now)
+        current = CurrentSizeEstimator().estimate(task, now)
+        # current-size underestimates by exactly the progress fraction
+        assert np.allclose(current, progress * frac)
+
+    def test_biased_when_output_is_nonlinear(self):
+        # gamma != 1 models apps whose output accrues non-linearly with
+        # input read; the extrapolation then misses by frac**(gamma-1)
+        sim = make_sim(gamma=2.0)
+        sim.tracker.start()
+        sim.sim.run(until=5.0)
+        job, task = first_running_map(sim)
+        now = sim.sim.now
+        frac = task.read_fraction(now)
+        est = ProgressEstimator().estimate(task, now)
+        assert np.allclose(est, job.I[task.index] * frac)
+
+    def test_zero_progress_yields_zeros(self):
+        sim = make_sim()
+        sim.tracker.start()
+        # run just past the first heartbeat so maps are placed but their
+        # input flows have moved no bytes yet at t == placement instant
+        job = None
+        sim.sim.run(until=0.01)
+        job = sim.tracker.active_jobs[0]
+        for task in job.maps:
+            if task.node is not None and task.d_read(sim.sim.now) == 0.0:
+                est = ProgressEstimator().estimate(task, sim.sim.now)
+                assert np.all(est == 0)
+                return
+        pytest.skip("every placed map had already made progress")
+
+    def test_completed_map_returns_exact_row(self):
+        sim = make_sim()
+        sim.tracker.start()
+        sim.sim.run(until=60.0)
+        job = sim.tracker.active_jobs[0] if sim.tracker.active_jobs else sim.tracker.finished_jobs[0]
+        done = [m for m in job.maps if m.done]
+        assert done
+        est = ProgressEstimator().estimate(done[0], sim.sim.now)
+        assert np.array_equal(est, job.I[done[0].index])
+
+
+class TestCurrentSizeEstimator:
+    def test_tracks_current_output(self):
+        sim = make_sim()
+        sim.tracker.start()
+        sim.sim.run(until=5.0)
+        job, task = first_running_map(sim)
+        now = sim.sim.now
+        est = CurrentSizeEstimator().estimate(task, now)
+        assert np.allclose(est, task.current_output(now))
+
+    def test_grows_monotonically(self):
+        sim = make_sim()
+        sim.tracker.start()
+        sim.sim.run(until=4.0)
+        job, task = first_running_map(sim)
+        e1 = CurrentSizeEstimator().estimate(task, sim.sim.now).sum()
+        sim.sim.run(until=6.0)
+        if not task.done:
+            e2 = CurrentSizeEstimator().estimate(task, sim.sim.now).sum()
+            assert e2 >= e1
+
+
+class TestOracleEstimator:
+    def test_always_exact(self):
+        sim = make_sim(gamma=2.0)  # even under nonlinear accrual
+        sim.tracker.start()
+        sim.sim.run(until=5.0)
+        job, task = first_running_map(sim)
+        est = OracleEstimator().estimate(task, sim.sim.now)
+        assert np.array_equal(est, job.I[task.index])
+
+
+class TestPaperExample:
+    """The 10 MB / 5 MB scenario of Section II-B-2.
+
+    Map M2 will ultimately produce 10 MB for R1 but is 10 % done (so shows
+    ~1 MB); M1 has produced 5 MB at 90 % done.  Current-size scoring ranks
+    M1's node higher; progress extrapolation correctly ranks M2's node.
+    """
+
+    def test_extrapolation_reverses_ranking(self):
+        B = 100.0  # input bytes per map
+        d_read_m1, A_m1 = 90.0, 5.0
+        d_read_m2, A_m2 = 10.0, 1.0
+        est_m1 = A_m1 * B / d_read_m1   # ~5.6
+        est_m2 = A_m2 * B / d_read_m2   # 10.0
+        assert A_m1 > A_m2              # current size prefers M1
+        assert est_m2 > est_m1          # extrapolation prefers M2
+        assert est_m2 == pytest.approx(10.0)

@@ -1,0 +1,60 @@
+"""Smoke tests: the fast example scripts run and print what they promise."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_paper_worked_example(self):
+        out = run_example("paper_worked_example.py")
+        # the paper's quoted numbers
+        assert "256" in out          # M1 on D3: 128 x 2
+        assert "100 + 100 = 200" in out
+        assert "P_min = 0.4" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "jobs completed: 10" in out
+        assert "map slot utilisation" in out
+
+    def test_acceptance_theory(self):
+        out = run_example("acceptance_theory.py")
+        assert "accept rate" in out
+        assert "highest feasible P_min" in out
+
+
+class TestExampleFilesExist:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "scheduler_comparison.py",
+        "nas_storage.py",
+        "paper_worked_example.py",
+        "congestion_sweep.py",
+        "acceptance_theory.py",
+        "heterogeneous_speculation.py",
+        "multi_tenant_trace.py",
+    ])
+    def test_present_and_documented(self, name):
+        path = EXAMPLES / name
+        assert path.exists()
+        text = path.read_text()
+        assert text.startswith("#!/usr/bin/env python")
+        assert '"""' in text.split("\n", 1)[1][:10]

@@ -1,0 +1,173 @@
+"""Tests for the experiments package (scenarios + per-figure runners).
+
+Runner tests use a deliberately tiny scenario (8 nodes, 3 % workload, quiet
+fabric) so the full figure pipeline executes in seconds; the paper-shape
+assertions live in the benchmark harness, which runs the CI scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import BackgroundSpec, ClusterSpec
+from repro.experiments import (
+    SCENARIOS,
+    Scenario,
+    comparison,
+    fig3_data_sizes,
+    fig4_jct,
+    fig5_reduction,
+    fig6_task_times,
+    fig7_locality_by_size,
+    get_scenario,
+    table3_locality,
+)
+from repro.experiments.runner import _comparison_cache
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return Scenario(
+        name="tiny-test",
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=4),
+        scale=0.03,
+        background=None,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(tiny):
+    return comparison(tiny)
+
+
+class TestScenarios:
+    def test_registry_names(self):
+        assert {"ci", "medium", "paper", "nas"} <= set(SCENARIOS)
+
+    def test_get_scenario_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scenario().name == "ci"
+
+    def test_get_scenario_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "nas")
+        assert get_scenario().name == "nas"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            get_scenario("galactic")
+
+    def test_with_override(self):
+        s = get_scenario("ci").with_(seed=99)
+        assert s.seed == 99
+        assert s.name == "ci"
+
+    def test_jobs_scaled(self):
+        s = get_scenario("ci")
+        jobs = s.jobs("wordcount")
+        assert len(jobs) == 10
+        assert jobs[-1].input_size == pytest.approx(100 * GB * s.scale)
+
+    def test_paper_scenario_is_full_scale(self):
+        s = get_scenario("paper")
+        assert s.scale == 1.0
+        assert s.cluster.num_nodes == 60
+
+    def test_nas_scenario_has_subset_placement(self):
+        from repro.hdfs import SubsetPlacement
+
+        assert isinstance(get_scenario("nas").placement, SubsetPlacement)
+
+
+class TestComparison:
+    def test_all_pairs_present(self, results):
+        assert set(results) == {"probabilistic", "coupling", "fair"}
+        for runs in results.values():
+            assert set(runs) == {"wordcount", "terasort", "grep"}
+            for r in runs.values():
+                assert r.job_completion_times.size == 10
+
+    def test_memoised(self, tiny, results):
+        again = comparison(tiny)
+        assert again is results
+
+    def test_same_layout_across_schedulers(self, results):
+        """Identical seeds mean identical workload shapes per scheduler."""
+        shapes = {
+            name: [
+                (rec.job_id, rec.num_maps, rec.num_reduces)
+                for app in sorted(runs)
+                for rec in sorted(runs[app].collector.job_records,
+                                  key=lambda r: r.job_id)
+            ]
+            for name, runs in results.items()
+        }
+        assert shapes["probabilistic"] == shapes["coupling"] == shapes["fair"]
+
+
+class TestFigureRunners:
+    def test_fig3_shapes(self):
+        data = fig3_data_sizes()
+        assert data["input"].shape == (30,)
+        assert data["shuffle"].shape == (30,)
+        assert data["input"].max() == pytest.approx(100 * GB)
+
+    def test_fig4(self, tiny, results):
+        data = fig4_jct(tiny)
+        for name, v in data.items():
+            assert v.shape == (30,)
+            assert np.all(v > 0)
+
+    def test_fig5_pairing(self, tiny, results):
+        data = fig5_reduction(tiny)
+        assert set(data) == {"vs_coupling", "vs_fair"}
+        assert data["vs_coupling"].shape == (30,)
+        assert np.all(data["vs_coupling"] <= 100.0)
+
+    def test_fig6(self, tiny, results):
+        data = fig6_task_times(tiny)
+        total_maps = sum(
+            e.num_maps for e in
+            __import__("repro.workload", fromlist=["TABLE2"]).TABLE2
+        )
+        for name, v in data["map"].items():
+            assert v.size > 0
+        for name, v in data["reduce"].items():
+            assert np.all(v > 0)
+
+    def test_table3(self, tiny, results):
+        data = table3_locality(tiny)
+        for name, shares in data.items():
+            assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_fig7(self, tiny, results):
+        data = fig7_locality_by_size(tiny)
+        for name, by_size in data.items():
+            assert sorted(by_size) == list(range(10, 101, 10))
+            for frac in by_size.values():
+                assert 0.0 <= frac <= 1.0
+
+
+class TestCLI:
+    def test_cli_table2(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Wordcount_10GB" in out
+        assert "930" in out  # Wordcount_100GB map count
+
+    def test_cli_fig3(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "shuffle" in out
+
+    def test_cli_rejects_unknown(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

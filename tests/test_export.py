@@ -1,0 +1,86 @@
+"""Tests for metrics export/import (repro.metrics.export)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.metrics import (
+    collector_from_json,
+    collector_to_json,
+    jobs_to_csv,
+    tasks_to_csv,
+)
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+@pytest.fixture(scope="module")
+def finished_collector():
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=RandomScheduler(),
+        jobs=[JobSpec.make("01", "grep", 6 * 64 * MB, 6, 3)],
+        seed=8,
+    )
+    return sim.run().collector
+
+
+class TestCSVExport:
+    def test_tasks_csv_roundtrips_fields(self, finished_collector, tmp_path):
+        path = tmp_path / "tasks.csv"
+        n = tasks_to_csv(finished_collector, path)
+        assert n == 9  # 6 maps + 3 reduces
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 9
+        first = rows[0]
+        assert first["kind"] in ("map", "reduce")
+        assert float(first["end"]) > float(first["start"])
+        assert "attempts" in first
+
+    def test_jobs_csv(self, finished_collector, tmp_path):
+        path = tmp_path / "jobs.csv"
+        n = jobs_to_csv(finished_collector, path)
+        assert n == 1
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["job_id"] == "01"
+        assert rows[0]["app"] == "grep"
+
+
+class TestJSONRoundtrip:
+    def test_full_roundtrip(self, finished_collector, tmp_path):
+        path = tmp_path / "run.json"
+        collector_to_json(finished_collector, path)
+        loaded = collector_from_json(path)
+        assert loaded.task_records == finished_collector.task_records
+        assert loaded.job_records == finished_collector.job_records
+        assert loaded.submitted == finished_collector.submitted
+        assert (
+            loaded.scheduling_assignments
+            == finished_collector.scheduling_assignments
+        )
+
+    def test_loaded_collector_supports_analysis(self, finished_collector, tmp_path):
+        path = tmp_path / "run.json"
+        collector_to_json(finished_collector, path)
+        loaded = collector_from_json(path)
+        assert np.allclose(
+            loaded.job_completion_times(),
+            finished_collector.job_completion_times(),
+        )
+        assert loaded.locality_shares() == finished_collector.locality_shares()
+
+    def test_json_is_valid(self, finished_collector, tmp_path):
+        path = tmp_path / "run.json"
+        collector_to_json(finished_collector, path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert set(payload) >= {"tasks", "jobs", "submitted"}

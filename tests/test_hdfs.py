@@ -1,0 +1,244 @@
+"""Unit tests for the HDFS model (repro.hdfs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.hdfs import (
+    Block,
+    HDFSFile,
+    NameNode,
+    RackAwarePlacement,
+    RandomPlacement,
+    SkewedPlacement,
+)
+from repro.sim import Simulator
+from repro.units import GB, MB
+
+
+class TestBlock:
+    def test_valid_block(self):
+        b = Block(0, "f", 0, 128 * MB, ("a", "b"))
+        assert b.replication == 2
+        assert b.size == 128 * MB
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0, "f", 0, -1.0, ("a",))
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0, "f", 0, 1.0, ())
+
+    def test_duplicate_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0, "f", 0, 1.0, ("a", "a"))
+
+
+class TestHDFSFile:
+    def test_size_and_len(self):
+        f = HDFSFile("f", [
+            Block(0, "f", 0, 10.0, ("a",)),
+            Block(1, "f", 1, 20.0, ("b",)),
+        ])
+        assert f.size == 30.0
+        assert f.num_blocks == 2
+        assert len(f) == 2
+        assert [b.block_id for b in f] == [0, 1]
+
+
+class TestCreateFile:
+    def test_num_blocks_split(self, namenode):
+        f = namenode.create_file("x", 1 * GB, num_blocks=10)
+        assert f.num_blocks == 10
+        assert all(b.size == pytest.approx(GB / 10) for b in f.blocks)
+        assert f.size == pytest.approx(1 * GB)
+
+    def test_block_size_split_with_tail(self, namenode):
+        f = namenode.create_file("x", 300 * MB, block_size=128 * MB)
+        sizes = [b.size for b in f.blocks]
+        assert sizes == [128 * MB, 128 * MB, pytest.approx(44 * MB)]
+
+    def test_default_block_size(self, namenode):
+        f = namenode.create_file("x", 256 * MB)
+        assert f.num_blocks == 2
+
+    def test_small_file_single_block(self, namenode):
+        f = namenode.create_file("x", 1 * MB)
+        assert f.num_blocks == 1
+        assert f.blocks[0].size == 1 * MB
+
+    def test_replication_applied(self, namenode):
+        f = namenode.create_file("x", 10 * MB, replication=3)
+        assert all(b.replication == 3 for b in f.blocks)
+
+    def test_duplicate_name_rejected(self, namenode):
+        namenode.create_file("x", 1 * MB)
+        with pytest.raises(ValueError):
+            namenode.create_file("x", 1 * MB)
+
+    def test_both_split_args_rejected(self, namenode):
+        with pytest.raises(ValueError):
+            namenode.create_file("x", 1 * GB, block_size=1 * MB, num_blocks=2)
+
+    def test_zero_size_rejected(self, namenode):
+        with pytest.raises(ValueError):
+            namenode.create_file("x", 0.0)
+
+    def test_delete_file(self, namenode):
+        namenode.create_file("x", 10 * MB)
+        assert namenode.total_blocks() > 0
+        namenode.delete_file("x")
+        assert namenode.total_blocks() == 0
+        with pytest.raises(KeyError):
+            namenode.delete_file("x")
+
+    def test_blocks_queryable_by_id(self, namenode):
+        f = namenode.create_file("x", 10 * MB, num_blocks=2)
+        for b in f.blocks:
+            assert namenode.block(b.block_id) is b
+
+
+class TestLocalityQueries:
+    def test_is_local(self, namenode):
+        f = namenode.create_file("x", 1 * MB)
+        b = f.blocks[0]
+        for node in namenode.cluster.nodes:
+            assert namenode.is_local(b, node.name) == (node.name in b.replicas)
+
+    def test_closest_replica_local(self, namenode):
+        f = namenode.create_file("x", 1 * MB)
+        b = f.blocks[0]
+        rep = b.replicas[0]
+        node, hops = namenode.closest_replica(b, rep)
+        assert node == rep
+        assert hops == 0.0
+
+    def test_closest_replica_prefers_same_rack(self, namenode):
+        cluster = namenode.cluster
+        f = namenode.create_file("x", 1 * MB, replication=2)
+        b = f.blocks[0]
+        # pick a node that holds no replica but shares a rack with one
+        racks = {cluster.node(r).rack for r in b.replicas}
+        for node in cluster.nodes:
+            if node.name not in b.replicas and node.rack in racks:
+                _, hops = namenode.closest_replica(b, node.name)
+                assert hops == 2.0
+                break
+
+    def test_replica_indices_match_names(self, namenode):
+        f = namenode.create_file("x", 1 * MB, replication=2)
+        b = f.blocks[0]
+        idx = namenode.replica_indices(b)
+        names = [namenode.cluster.nodes[i].name for i in idx]
+        assert tuple(names) == b.replicas
+
+
+class TestRackAwarePlacement:
+    def make(self, racks=3, per_rack=4):
+        sim = Simulator()
+        cluster = ClusterSpec(num_racks=racks, nodes_per_rack=per_rack).build(sim)
+        return cluster, RackAwarePlacement(), np.random.default_rng(0)
+
+    def test_writer_gets_first_replica(self):
+        cluster, policy, rng = self.make()
+        out = policy.place(cluster, 2, rng, writer="r1n2")
+        assert out[0] == "r1n2"
+
+    def test_second_replica_off_rack(self):
+        cluster, policy, rng = self.make()
+        for _ in range(50):
+            out = policy.place(cluster, 2, rng, writer="r0n0")
+            assert cluster.node(out[1]).rack != "rack0"
+
+    def test_third_replica_in_second_rack(self):
+        cluster, policy, rng = self.make()
+        for _ in range(50):
+            out = policy.place(cluster, 3, rng, writer="r0n0")
+            assert cluster.node(out[2]).rack == cluster.node(out[1]).rack
+            assert out[2] != out[1]
+
+    def test_all_replicas_distinct(self):
+        cluster, policy, rng = self.make()
+        for _ in range(50):
+            out = policy.place(cluster, 5, rng)
+            assert len(set(out)) == 5
+
+    def test_single_rack_fallback(self):
+        sim = Simulator()
+        cluster = ClusterSpec(num_racks=1, nodes_per_rack=4).build(sim)
+        out = RackAwarePlacement().place(cluster, 3, np.random.default_rng(0))
+        assert len(set(out)) == 3
+
+    def test_replication_exceeding_cluster_rejected(self):
+        cluster, policy, rng = self.make(racks=1, per_rack=2)
+        with pytest.raises(ValueError):
+            policy.place(cluster, 3, rng)
+
+    def test_zero_replication_rejected(self):
+        cluster, policy, rng = self.make()
+        with pytest.raises(ValueError):
+            policy.place(cluster, 0, rng)
+
+
+class TestRandomPlacement:
+    def test_distinct_nodes(self):
+        sim = Simulator()
+        cluster = ClusterSpec(num_racks=2, nodes_per_rack=3).build(sim)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = RandomPlacement().place(cluster, 3, rng)
+            assert len(set(out)) == 3
+
+    def test_roughly_uniform(self):
+        sim = Simulator()
+        cluster = ClusterSpec(num_racks=2, nodes_per_rack=5).build(sim)
+        rng = np.random.default_rng(0)
+        counts = {n.name: 0 for n in cluster.nodes}
+        for _ in range(2000):
+            for name in RandomPlacement().place(cluster, 2, rng):
+                counts[name] += 1
+        values = np.array(list(counts.values()))
+        assert values.std() / values.mean() < 0.15
+
+
+class TestSkewedPlacement:
+    def test_skew_concentrates_on_low_index_nodes(self):
+        sim = Simulator()
+        cluster = ClusterSpec(num_racks=2, nodes_per_rack=5).build(sim)
+        rng = np.random.default_rng(0)
+        policy = SkewedPlacement(alpha=1.5)
+        counts = np.zeros(cluster.num_nodes)
+        for _ in range(2000):
+            for name in policy.place(cluster, 1, rng):
+                counts[cluster.node(name).index] += 1
+        assert counts[0] > counts[-1] * 2
+
+    def test_alpha_zero_is_uniform_weighting(self):
+        policy = SkewedPlacement(alpha=0.0)
+        w = policy._weights(10)
+        assert np.allclose(w, 0.1)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            SkewedPlacement(alpha=-1.0)
+
+
+class TestBalance:
+    def test_node_block_counts_accounts_every_replica(self, namenode):
+        namenode.create_file("x", 10 * MB, num_blocks=5, replication=2)
+        counts = namenode.node_block_counts()
+        assert sum(counts.values()) == 10  # 5 blocks x RF 2
+
+    def test_placement_deterministic_given_seed(self):
+        def layout(seed):
+            sim = Simulator()
+            cluster = ClusterSpec(num_racks=2, nodes_per_rack=4).build(sim)
+            nn = NameNode(cluster, rng=np.random.default_rng(seed))
+            f = nn.create_file("x", 1 * GB, num_blocks=8)
+            return [b.replicas for b in f.blocks]
+
+        assert layout(3) == layout(3)
+        assert layout(3) != layout(4)

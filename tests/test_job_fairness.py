@@ -1,0 +1,71 @@
+"""End-to-end job-level fairness behaviour (Fair vs FIFO ordering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.schedulers import FairJobScheduler, FIFOJobScheduler, RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def twin_jobs():
+    return [
+        JobSpec.make("01", "terasort", 24 * 64 * MB, 24, 4),
+        JobSpec.make("02", "terasort", 24 * 64 * MB, 24, 4),
+    ]
+
+
+def run(job_scheduler, seed=6):
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=RandomScheduler(),
+        jobs=twin_jobs(),
+        job_scheduler=job_scheduler,
+        seed=seed,
+    )
+    return sim.run()
+
+
+class TestFairVersusFIFO:
+    def test_fair_finishes_twins_together(self):
+        result = run(FairJobScheduler())
+        t1, t2 = result.job_completion_times
+        assert abs(t1 - t2) / max(t1, t2) < 0.25
+
+    def test_fifo_finishes_head_job_first(self):
+        result = run(FIFOJobScheduler())
+        recs = {r.job_id: r.finish for r in result.collector.job_records}
+        assert recs["01"] <= recs["02"]
+
+    def test_fifo_head_job_beats_its_fair_time(self):
+        """FIFO lets job 01 monopolise slots, so it finishes earlier than it
+        does under fair sharing."""
+        fifo = run(FIFOJobScheduler())
+        fair = run(FairJobScheduler())
+        fifo_01 = next(
+            r.completion_time for r in fifo.collector.job_records
+            if r.job_id == "01"
+        )
+        fair_01 = next(
+            r.completion_time for r in fair.collector.job_records
+            if r.job_id == "01"
+        )
+        assert fifo_01 <= fair_01 * 1.05
+
+    def test_both_orderings_complete_everything(self):
+        for js in (FIFOJobScheduler(), FairJobScheduler()):
+            assert run(js).job_completion_times.size == 2
+
+    def test_fair_interleaves_map_starts(self):
+        """Under fair sharing, both jobs run maps concurrently early on."""
+        result = run(FairJobScheduler())
+        early = sorted(
+            (t for t in result.collector.task_records if t.kind == "map"),
+            key=lambda t: t.start,
+        )[:12]
+        jobs_in_early = {t.job_id for t in early}
+        assert jobs_in_early == {"01", "02"}

@@ -1,0 +1,147 @@
+"""Unit tests for the runtime Job object (repro.engine.job)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation, TaskState
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def fresh_job(num_maps=6, num_reduces=4, seed=3, noise=0.0):
+    spec = JobSpec.make(
+        "01", "wordcount", num_maps * 64 * MB, num_maps, num_reduces,
+        noise_sigma=noise,
+    )
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=RandomScheduler(),
+        jobs=[spec],
+        seed=seed,
+    )
+    sim.tracker.start()
+    sim.sim.run(until=1e-9)
+    return sim, sim.tracker.active_jobs[0]
+
+
+class TestMaterialisation:
+    def test_one_block_per_map(self):
+        _, job = fresh_job(num_maps=7)
+        assert job.file.num_blocks == 7
+        assert len(job.maps) == 7
+        for m, b in zip(job.maps, job.file.blocks):
+            assert m.block is b
+
+    def test_intermediate_matrix_shape_and_total(self):
+        _, job = fresh_job(num_maps=5, num_reduces=3)
+        assert job.I.shape == (5, 3)
+        # wordcount emits 2x its input
+        assert job.I.sum() == pytest.approx(job.spec.input_size * 2.0)
+
+    def test_weights_sum_to_one(self):
+        _, job = fresh_job(num_reduces=9)
+        assert job.weights.sum() == pytest.approx(1.0)
+
+    def test_same_seed_same_data(self):
+        _, j1 = fresh_job(seed=5)
+        _, j2 = fresh_job(seed=5)
+        assert np.array_equal(j1.I, j2.I)
+        assert [b.replicas for b in j1.file.blocks] == [
+            b.replicas for b in j2.file.blocks
+        ]
+
+    def test_different_seed_different_data(self):
+        _, j1 = fresh_job(seed=5)
+        _, j2 = fresh_job(seed=6)
+        assert [b.replicas for b in j1.file.blocks] != [
+            b.replicas for b in j2.file.blocks
+        ]
+
+    def test_noise_changes_matrix_but_not_shape(self):
+        _, j1 = fresh_job(noise=0.0)
+        _, j2 = fresh_job(noise=0.4)
+        assert j1.I.shape == j2.I.shape
+        assert not np.allclose(j1.I, j2.I)
+
+
+class TestProgressViews:
+    def test_completion_fraction_tracks_done_maps(self):
+        sim, job = fresh_job()
+        assert job.map_completion_fraction == 0.0
+        sim.sim.run(until=60.0)
+        if not job.all_maps_done:
+            assert 0 < job.map_completion_fraction < 1
+        expected = job.maps_done / job.num_maps
+        assert job.map_completion_fraction == expected
+
+    def test_map_progress_between_zero_and_one(self):
+        sim, job = fresh_job()
+        sim.sim.run(until=5.0)
+        assert 0.0 <= job.map_progress(sim.sim.now) <= 1.0
+
+    def test_pending_started_partition(self):
+        sim, job = fresh_job()
+        sim.sim.run(until=5.0)
+        pending = {m.index for m in job.pending_maps()}
+        started = {m.index for m in job.started_maps()}
+        assert pending | started == set(range(job.num_maps))
+        assert pending & started == set()
+
+    def test_record_requires_finish(self):
+        _, job = fresh_job()
+        with pytest.raises(RuntimeError):
+            job.record()
+
+
+class TestListeners:
+    def test_placed_and_done_hooks_fire(self):
+        sim, job = fresh_job(num_maps=4, num_reduces=2)
+        placed, done = [], []
+        job.map_placed_listeners.append(lambda t: placed.append(t.index))
+        job.map_done_listeners.append(lambda t: done.append(t.index))
+        sim.sim.run()
+        # the hooks saw the maps that launched after registration (node 0's
+        # heartbeat may already have placed one before)
+        assert set(done) | {m.index for m in job.maps if m.index not in done} \
+            == set(range(4))
+        assert len(done) >= 3
+        assert set(placed) <= set(range(4))
+
+    def test_done_fires_after_placed_per_task(self):
+        sim, job = fresh_job(num_maps=4, num_reduces=2)
+        order = []
+        job.map_placed_listeners.append(lambda t: order.append(("p", t.index)))
+        job.map_done_listeners.append(lambda t: order.append(("d", t.index)))
+        sim.sim.run()
+        for idx in {i for k, i in order if k == "d"}:
+            events = [k for k, i in order if i == idx]
+            if "p" in events:
+                assert events.index("p") < events.index("d")
+
+
+class TestRunResultViews:
+    def test_summary_mentions_key_stats(self):
+        sim, job = fresh_job()
+        # run to completion via the tracker loop
+        sim.sim.run()
+        from repro.engine.simulation import RunResult
+
+        result = RunResult(
+            scheduler="random",
+            seed=3,
+            collector=sim.tracker.collector,
+            sim_time=sim.sim.now,
+            bytes_over_fabric=sim.cluster.network.bytes_transferred,
+            bytes_local=sim.cluster.network.bytes_local,
+            flows=sim.cluster.network.flows_started,
+            map_slots=sim.cluster.total_map_slots(),
+            reduce_slots=sim.cluster.total_reduce_slots(),
+        )
+        text = result.summary()
+        assert "scheduler=random" in text
+        assert "locality" in text
+        assert "job completion time" in text

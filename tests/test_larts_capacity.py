@@ -1,0 +1,154 @@
+"""Tests for the LARTS baseline and the Capacity job-level scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.schedulers import (
+    CapacityJobScheduler,
+    LARTSScheduler,
+    RandomScheduler,
+)
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def run_small(scheduler, *, job_scheduler=None, num_jobs=3, seed=3):
+    jobs = [
+        JobSpec.make(f"{i:02d}", "terasort", 8 * 64 * MB, 8, 3)
+        for i in range(1, num_jobs + 1)
+    ]
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=scheduler,
+        jobs=jobs,
+        job_scheduler=job_scheduler,
+        seed=seed,
+    )
+    return sim, sim.run()
+
+
+class TestLARTS:
+    def test_completes(self):
+        sim, result = run_small(LARTSScheduler())
+        assert result.job_completion_times.size == 3
+
+    def test_deterministic(self):
+        def fp():
+            _, result = run_small(LARTSScheduler())
+            return [
+                (t.kind, t.index, t.node, round(t.end, 6))
+                for t in result.collector.task_records
+            ]
+
+        assert fp() == fp()
+
+    def test_reduces_avoid_colocation(self):
+        spec = JobSpec.make("01", "terasort", 12 * 64 * MB, 12, 8)
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=LARTSScheduler(),
+            jobs=[spec],
+            seed=1,
+        )
+        sim.tracker.start()
+        job = None
+        while sim.sim.step():
+            if job is None and sim.tracker.active_jobs:
+                job = sim.tracker.active_jobs[0]
+            if job is not None:
+                nodes = [r.node.name for r in job.running_reduces()]
+                assert len(nodes) == len(set(nodes))
+
+    def test_sweet_spot_is_max_data_node(self):
+        sim, _ = run_small(LARTSScheduler(), num_jobs=1)
+        # reconstruct: after the run, the sweet spot for any reduce must be
+        # the node whose completed maps produced the most of its partition
+        job = sim.tracker.finished_jobs[0]
+        sched = LARTSScheduler()
+        for f in range(job.num_reduces):
+            spot = sched._sweet_spot(job, f, sim.tracker.ctx)
+            per_node = {}
+            for m in job.maps:
+                per_node[m.node.name] = per_node.get(m.node.name, 0.0) + job.I[m.index, f]
+            assert per_node[spot] == max(per_node.values())
+
+    def test_reduce_placement_cost_beats_random(self):
+        """LARTS's sweet-spot placement lowers realised shuffle cost."""
+
+        def reduce_cost(result):
+            return sum(
+                t.cost for t in result.collector.task_records
+                if t.kind == "reduce"
+            )
+
+        _, larts = run_small(LARTSScheduler(), seed=9)
+        _, rand = run_small(RandomScheduler(), seed=9)
+        assert reduce_cost(larts) < reduce_cost(rand)
+
+    def test_invalid_waits(self):
+        with pytest.raises(ValueError):
+            LARTSScheduler(node_wait=-1.0)
+        with pytest.raises(ValueError):
+            LARTSScheduler(node_wait=10.0, rack_wait=5.0)
+
+
+class TestCapacityJobScheduler:
+    class FakeJob:
+        def __init__(self, jid, submit, running):
+            self.submit_time = submit
+            self.spec = type("S", (), {"job_id": jid})()
+            self._running = running
+
+        def running_maps(self):
+            return [None] * self._running
+
+        def running_reduces(self):
+            return [None] * self._running
+
+    def test_default_queue(self):
+        sched = CapacityJobScheduler()
+        job = self.FakeJob("a", 0.0, 0)
+        assert sched.queue_of(job) == "default"
+
+    def test_capacities_normalised(self):
+        sched = CapacityJobScheduler({"prod": 3.0, "dev": 1.0})
+        assert sched.capacities["prod"] == pytest.approx(0.6)
+        assert sched.capacities["dev"] == pytest.approx(0.2)
+        assert "default" in sched.capacities
+
+    def test_underserved_queue_first(self):
+        sched = CapacityJobScheduler(
+            {"prod": 0.75, "dev": 0.25},
+            assignments={"p1": "prod", "d1": "dev"},
+        )
+        p1 = self.FakeJob("p1", 0.0, 6)   # prod usage 6 / 0.75 share -> 8
+        d1 = self.FakeJob("d1", 1.0, 1)   # dev usage 1 / 0.25 share -> 4
+        out = sched.order([p1, d1], "map")
+        assert [j.spec.job_id for j in out] == ["d1", "p1"]
+
+    def test_fifo_within_queue(self):
+        sched = CapacityJobScheduler(assignments={})
+        a = self.FakeJob("a", 5.0, 0)
+        b = self.FakeJob("b", 1.0, 0)
+        out = sched.order([a, b], "reduce")
+        assert [j.spec.job_id for j in out] == ["b", "a"]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            CapacityJobScheduler({"q": -1.0})
+        with pytest.raises(ValueError):
+            CapacityJobScheduler({"q": 1.0}, assignments={"j": "nope"})
+        with pytest.raises(ValueError):
+            CapacityJobScheduler().order([], "shuffle")
+
+    def test_end_to_end(self):
+        sched = CapacityJobScheduler(
+            {"prod": 0.7, "dev": 0.3},
+            assignments={"01": "prod", "02": "dev", "03": "prod"},
+        )
+        sim, result = run_small(RandomScheduler(), job_scheduler=sched)
+        assert result.job_completion_times.size == 3

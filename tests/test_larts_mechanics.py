@@ -1,0 +1,120 @@
+"""White-box tests of LARTS's sweet-spot wait mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.schedulers import LARTSScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def state_with_done_maps(num_maps=10, num_reduces=12, seed=13):
+    sched = LARTSScheduler()
+    spec = JobSpec.make("01", "terasort", num_maps * 64 * MB,
+                        num_maps, num_reduces)
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=sched,
+        jobs=[spec],
+        seed=seed,
+    )
+    sim.tracker.start()
+    job = None
+    for _ in range(500_000):
+        if job is None and sim.tracker.active_jobs:
+            job = sim.tracker.active_jobs[0]
+        if (job is not None and job.all_maps_done) or not sim.sim.step():
+            break
+    return sim, sched, job
+
+
+class TestSweetSpotWaits:
+    def test_sweet_spot_offer_accepted_immediately(self):
+        sim, sched, job = state_with_done_maps()
+        pending = job.pending_reduces()
+        if not pending:
+            pytest.skip("all reduces placed during the map phase")
+        task = pending[0]
+        spot_name = sched._sweet_spot(job, task.index, sim.tracker.ctx)
+        spot = sim.cluster.node(spot_name)
+        if job.has_running_reduce_on(spot.name) or spot.free_reduce_slots == 0:
+            pytest.skip("sweet spot busy")
+        sched._first_offer.pop((job.spec.job_id, task.index), None)
+        assert sched.select_reduce(spot, job, sim.tracker.ctx) is task
+
+    def test_non_spot_offer_initially_declined(self):
+        sim, sched, job = state_with_done_maps()
+        pending = job.pending_reduces()
+        if not pending:
+            pytest.skip("all reduces placed during the map phase")
+        task = pending[0]
+        spot = sched._sweet_spot(job, task.index, sim.tracker.ctx)
+        other = next(
+            (n for n in sim.cluster.nodes_with_free_reduce_slots()
+             if n.name != spot and n.rack != sim.cluster.node(spot).rack
+             and not job.has_running_reduce_on(n.name)),
+            None,
+        )
+        if other is None:
+            pytest.skip("no off-rack free node")
+        sched._first_offer.pop((job.spec.job_id, task.index), None)
+        assert sched.select_reduce(other, job, sim.tracker.ctx) is None
+
+    def test_rack_level_unlocks_after_node_wait(self):
+        sim, sched, job = state_with_done_maps()
+        pending = job.pending_reduces()
+        if not pending:
+            pytest.skip("all reduces placed during the map phase")
+        task = pending[0]
+        ctx = sim.tracker.ctx
+        spot = sched._sweet_spot(job, task.index, ctx)
+        spot_rack = sim.cluster.node(spot).rack
+        same_rack = next(
+            (n for n in sim.cluster.nodes_with_free_reduce_slots()
+             if n.name != spot and n.rack == spot_rack
+             and not job.has_running_reduce_on(n.name)),
+            None,
+        )
+        if same_rack is None:
+            pytest.skip("no same-rack free node")
+        key = (job.spec.job_id, task.index)
+        sched._first_offer[key] = ctx.now - sched.node_wait - 1.0
+        assert sched.select_reduce(same_rack, job, ctx) is task
+
+    def test_any_node_unlocks_after_rack_wait(self):
+        sim, sched, job = state_with_done_maps()
+        pending = job.pending_reduces()
+        if not pending:
+            pytest.skip("all reduces placed during the map phase")
+        task = pending[0]
+        ctx = sim.tracker.ctx
+        node = next(
+            (n for n in sim.cluster.nodes_with_free_reduce_slots()
+             if not job.has_running_reduce_on(n.name)),
+            None,
+        )
+        if node is None:
+            pytest.skip("no free node")
+        key = (job.spec.job_id, task.index)
+        sched._first_offer[key] = ctx.now - sched.rack_wait - 1.0
+        assert sched.select_reduce(node, job, ctx) is task
+
+    def test_no_map_output_accepts_anywhere(self):
+        """Before any map finishes there is no sweet spot; LARTS launches."""
+        sched = LARTSScheduler()
+        spec = JobSpec.make("01", "terasort", 10 * 64 * MB, 10, 3)
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=sched,
+            jobs=[spec],
+            seed=13,
+        )
+        sim.sim.run(until=1e-9)
+        job = sim.tracker.active_jobs[0]
+        node = sim.cluster.nodes[0]
+        task = sched.select_reduce(node, job, sim.tracker.ctx)
+        assert task is job.reduces[0]

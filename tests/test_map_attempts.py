@@ -1,0 +1,97 @@
+"""Direct tests of MapAttempt lifecycle (cancellation, winner selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation, TaskState
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def paused(num_maps=4, seed=3, factors=None):
+    spec = JobSpec.make("01", "terasort", num_maps * 64 * MB, num_maps, 2)
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3,
+                            compute_factors=factors),
+        scheduler=RandomScheduler(),
+        jobs=[spec],
+        seed=seed,
+    )
+    sim.sim.run(until=1e-9)
+    return sim, sim.tracker.active_jobs[0]
+
+
+class TestWinnerSelection:
+    def test_fast_backup_wins_and_updates_placement(self):
+        factors = [1.0] * 6
+        factors[0] = 0.01  # r0n0 is pathologically slow
+        sim, job = paused(factors=factors)
+        task = job.pending_maps()[0]
+        slow = sim.cluster.node("r0n0")
+        fast = sim.cluster.node("r1n0")
+        task.launch(slow)
+        task.launch_speculative(fast)
+        sim.sim.run(until=200.0)
+        assert task.done
+        assert task.node is fast          # the backup won
+        assert len(task.attempts) == 2
+
+    def test_loser_slot_released_and_flow_cancelled(self):
+        factors = [1.0] * 6
+        factors[0] = 0.01
+        sim, job = paused(factors=factors)
+        task = job.pending_maps()[0]
+        slow = sim.cluster.node("r0n0")
+        fast = sim.cluster.node("r1n0")
+        task.launch(slow)
+        task.launch_speculative(fast)
+        sim.sim.run(until=200.0)
+        assert slow.running_maps == 0
+        loser = task.attempts[0]
+        assert loser.cancelled
+        if loser.flow is not None:
+            assert loser.flow.cancelled or loser.flow.done
+
+    def test_record_reflects_winner_locality(self):
+        factors = [1.0] * 6
+        factors[0] = 0.01
+        sim, job = paused(factors=factors)
+        task = job.pending_maps()[0]
+        slow = sim.cluster.node("r0n0")
+        fast = sim.cluster.node("r1n0")
+        task.launch(slow)
+        task.launch_speculative(fast)
+        sim.sim.run()
+        rec = next(
+            t for t in sim.tracker.collector.task_records
+            if t.kind == "map" and t.index == task.index
+        )
+        assert rec.node == fast.name
+        assert rec.attempts == 2
+
+
+class TestCancellationBeforeFlow:
+    def test_cancel_during_overhead_starts_no_flow(self):
+        sim, job = paused()
+        task = job.pending_maps()[0]
+        node = sim.cluster.nodes[1]
+        task.launch(node)
+        attempt = task.attempts[0]
+        attempt.cancel()  # cancelled while still in task-overhead phase
+        sim.sim.run(until=30.0)
+        assert attempt.flow is None
+        assert node.running_maps <= node.map_slots  # no slot leak
+
+    def test_cancel_is_idempotent(self):
+        sim, job = paused()
+        task = job.pending_maps()[0]
+        node = sim.cluster.nodes[1]
+        task.launch(node)
+        attempt = task.attempts[0]
+        attempt.cancel()
+        before = node.running_maps
+        attempt.cancel()
+        assert node.running_maps == before

@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ecdf, ecdf_at, quantile, reduction_percent
+from repro.cluster.network import FlowNetwork
+from repro.cluster.topology import MatrixTopology, rack_topology
+from repro.core import ExponentialModel, HyperbolicModel, LinearModel
+from repro.core.cost import map_cost_matrix, reduce_cost_matrix
+from repro.sim import Simulator
+from repro.units import MB, Gbps
+from repro.workload.partition import intermediate_matrix, partition_weights
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+sizes = st.floats(min_value=1.0, max_value=1e12, allow_nan=False)
+small_int = st.integers(min_value=1, max_value=50)
+alpha = st.floats(min_value=0.0, max_value=3.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestPartitionWeightProperties:
+    @given(n=small_int, a=alpha, seed=seeds)
+    def test_weights_form_a_distribution(self, n, a, seed):
+        w = partition_weights(n, a, np.random.default_rng(seed))
+        assert w.shape == (n,)
+        assert np.all(w > 0)
+        assert w.sum() == pytest.approx(1.0)
+
+    @given(n=st.integers(min_value=2, max_value=40), a=alpha, seed=seeds)
+    def test_zero_alpha_minimises_max_weight(self, n, a, seed):
+        rng = np.random.default_rng(seed)
+        w = partition_weights(n, a, rng)
+        assert w.max() >= 1.0 / n - 1e-12
+
+    @given(
+        m=small_int, n=small_int, ratio=st.floats(0.0, 5.0), seed=seeds
+    )
+    def test_intermediate_matrix_totals(self, m, n, ratio, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.uniform(1, 100, size=m) * MB
+        w = partition_weights(n, 0.5, rng)
+        I = intermediate_matrix(b, ratio, w)
+        assert I.shape == (m, n)
+        assert np.all(I >= 0)
+        assert I.sum() == pytest.approx(b.sum() * ratio, rel=1e-9)
+        # row sums proportional to block sizes
+        if ratio > 0:
+            rows = I.sum(axis=1)
+            assert np.allclose(rows, b * ratio, rtol=1e-9)
+
+
+class TestProbabilityModelProperties:
+    models = [ExponentialModel(), HyperbolicModel(), LinearModel()]
+
+    @given(
+        c_ave=st.floats(0.0, 1e9, allow_nan=False),
+        cost=st.floats(0.0, 1e9, allow_nan=False),
+    )
+    def test_all_models_bounded(self, c_ave, cost):
+        for model in self.models:
+            p = float(model.probability(c_ave, cost))
+            assert 0.0 <= p <= 1.0
+
+    @given(
+        c_ave=st.floats(0.001, 1e6, allow_nan=False),
+        scale=st.floats(0.001, 1000.0, allow_nan=False),
+    )
+    def test_ratio_invariance(self, c_ave, scale):
+        """Every model depends only on the ratio c_ave / cost, so a common
+        rescale of both arguments leaves the probability unchanged."""
+        cost = c_ave * 1.7
+        for model in self.models:
+            p1 = float(model.probability(c_ave, cost))
+            p2 = float(model.probability(c_ave * scale, cost * scale))
+            assert p1 == pytest.approx(p2, rel=1e-9)
+
+
+class TestCostMatrixProperties:
+    @given(
+        k=st.integers(min_value=2, max_value=10),
+        m=st.integers(min_value=1, max_value=12),
+        seed=seeds,
+    )
+    def test_map_cost_nonnegative_zero_on_replica(self, k, m, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(1, 10, size=(k, k))
+        d = (d + d.T) / 2
+        np.fill_diagonal(d, 0.0)
+        b = rng.uniform(1, 100, size=m)
+        reps = [
+            rng.choice(k, size=rng.integers(1, min(3, k) + 1), replace=False)
+            for _ in range(m)
+        ]
+        costs = map_cost_matrix(d, b, reps)
+        assert np.all(costs >= 0)
+        for j in range(m):
+            for r in reps[j]:
+                assert costs[r, j] == 0.0
+            # cost never exceeds block size times max distance
+            assert np.all(costs[:, j] <= b[j] * d.max() + 1e-9)
+
+    @given(
+        k=st.integers(min_value=2, max_value=8),
+        m=st.integers(min_value=1, max_value=10),
+        n=st.integers(min_value=1, max_value=6),
+        seed=seeds,
+    )
+    def test_reduce_cost_linearity(self, k, m, n, seed):
+        """Cost is linear in the intermediate matrix."""
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(0, 10, size=(k, k))
+        d = (d + d.T) / 2
+        np.fill_diagonal(d, 0.0)
+        p = rng.integers(0, k, size=m)
+        I = rng.uniform(0, 100, size=(m, n))
+        c1 = reduce_cost_matrix(d, p, I)
+        c2 = reduce_cost_matrix(d, p, 3.0 * I)
+        assert np.allclose(c2, 3.0 * c1)
+        # additivity over map subsets
+        half = m // 2
+        ca = reduce_cost_matrix(d, p[:half], I[:half])
+        cb = reduce_cost_matrix(d, p[half:], I[half:])
+        assert np.allclose(ca + cb, c1)
+
+
+class TestECDFProperties:
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_ecdf_is_a_cdf(self, values):
+        xs, ps = ecdf(np.array(values))
+        assert np.all(np.diff(xs) > 0)          # strictly increasing supports
+        assert np.all(np.diff(ps) > 0)          # strictly increasing mass
+        assert ps[-1] == pytest.approx(1.0)
+        assert 0 < ps[0] <= 1
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100),
+        st.floats(0.0, 1.0),
+    )
+    def test_quantile_inverts_ecdf(self, values, q):
+        arr = np.array(values)
+        x = quantile(arr, q)
+        assert ecdf_at(arr, x) >= q - 1e-12
+
+    @given(
+        st.lists(st.floats(1.0, 1e6, allow_nan=False), min_size=1, max_size=50),
+        st.floats(0.1, 10.0),
+    )
+    def test_reduction_percent_bounds(self, baseline, factor):
+        b = np.array(baseline)
+        ours = b * factor
+        r = reduction_percent(b, ours)
+        # reduction of a uniformly scaled run is constant
+        assert np.allclose(r, 100.0 * (1 - factor), rtol=1e-9)
+        assert np.all(r <= 100.0 + 1e-9)
+
+
+class TestNetworkProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=seeds,
+        n_flows=st.integers(min_value=1, max_value=30),
+    )
+    def test_max_min_allocation_invariants(self, seed, n_flows):
+        """After an arbitrary batch of arrivals:
+        * every active flow has a positive rate;
+        * no link is oversubscribed;
+        * the allocation is max-min fair: any flow not at its cap is
+          bottlenecked at some saturated link where it has a maximal rate.
+        """
+        sim = Simulator()
+        topo = rack_topology(2, 3, host_link=1 * Gbps, tor_uplink=2 * Gbps)
+        net = FlowNetwork(sim, topo)
+        rng = np.random.default_rng(seed)
+        hosts = topo.hosts
+        for _ in range(n_flows):
+            a, b = rng.choice(len(hosts), size=2, replace=False)
+            cap = float(rng.uniform(0.01, 2.0) * Gbps) if rng.random() < 0.3 else math.inf
+            net.start_flow(hosts[a], hosts[b], float(rng.uniform(1, 500) * MB),
+                           max_rate=cap)
+        sim.run(until=1e-6)
+
+        flows = list(net._flows)
+        loads: dict = {}
+        for f in flows:
+            assert f.rate > 0
+            assert f.rate <= f.max_rate * (1 + 1e-9)
+            for link in f.route:
+                loads[link] = loads.get(link, 0.0) + f.rate
+        for link, load in loads.items():
+            assert load <= topo.link_capacity(link) * (1 + 1e-9)
+        # max-min: each uncapped flow crosses a saturated link on which it
+        # is among the fastest flows
+        for f in flows:
+            if f.rate >= f.max_rate * (1 - 1e-9):
+                continue  # cap-limited
+            bottlenecked = False
+            for link in f.route:
+                cap = topo.link_capacity(link)
+                if loads[link] >= cap * (1 - 1e-6):
+                    fastest = max(
+                        g.rate for g in net._flows if link in g.route
+                    )
+                    if f.rate >= fastest * (1 - 1e-6):
+                        bottlenecked = True
+                        break
+            assert bottlenecked, f"flow {f} is neither capped nor bottlenecked"
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=seeds, n_flows=st.integers(min_value=1, max_value=20))
+    def test_bytes_conserved_through_arbitrary_sharing(self, seed, n_flows):
+        sim = Simulator()
+        topo = rack_topology(2, 3)
+        net = FlowNetwork(sim, topo)
+        rng = np.random.default_rng(seed)
+        hosts = topo.hosts
+        total = 0.0
+        ends = []
+        for _ in range(n_flows):
+            a, b = rng.choice(len(hosts), size=2, replace=False)
+            size = float(rng.uniform(0.1, 100) * MB)
+            total += size
+            sim.schedule(
+                float(rng.uniform(0, 3)),
+                lambda a=a, b=b, size=size: net.start_flow(
+                    hosts[a], hosts[b], size,
+                    on_complete=lambda f: ends.append(f.size),
+                ),
+            )
+        sim.run()
+        assert len(ends) == n_flows
+        assert sum(ends) == pytest.approx(total)
+        assert net.bytes_transferred == pytest.approx(total)
+
+
+class TestMatrixTopologyProperties:
+    @given(
+        k=st.integers(min_value=2, max_value=8),
+        seed=seeds,
+    )
+    def test_random_matrix_topology_roundtrip(self, k, seed):
+        rng = np.random.default_rng(seed)
+        h = rng.integers(1, 20, size=(k, k)).astype(float)
+        h = (h + h.T) / 2
+        np.fill_diagonal(h, 0.0)
+        topo = MatrixTopology(h)
+        assert np.array_equal(topo.hop_matrix(), h)
+        for i in range(k):
+            for j in range(k):
+                if i == j:
+                    assert topo.route(topo.hosts[i], topo.hosts[j]) == []
+                else:
+                    assert len(topo.route(topo.hosts[i], topo.hosts[j])) == 1

@@ -1,0 +1,111 @@
+"""Unit tests for ReduceTask mechanics (fetch gating, compute phase)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import EngineConfig, Simulation, TaskState
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def running_state(num_maps=6, num_reduces=3, slowstart=0.0, seed=5):
+    spec = JobSpec.make(
+        "01", "terasort", num_maps * 64 * MB, num_maps, num_reduces
+    )
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=RandomScheduler(),
+        jobs=[spec],
+        config=EngineConfig(slowstart=slowstart),
+        seed=seed,
+    )
+    sim.tracker.start()
+    sim.sim.run(until=1e-9)
+    return sim, sim.tracker.active_jobs[0]
+
+
+class TestLifecycle:
+    def test_double_launch_rejected(self):
+        sim, job = running_state()
+        r = job.pending_reduces()[0]
+        free = sim.cluster.nodes_with_free_reduce_slots()
+        r.launch(free[0])
+        with pytest.raises(RuntimeError):
+            r.launch(free[1])
+
+    def test_slot_acquired_and_released(self):
+        sim, job = running_state()
+        node = sim.cluster.nodes_with_free_reduce_slots()[0]
+        before = node.free_reduce_slots
+        job.pending_reduces()[0].launch(node)
+        assert node.free_reduce_slots == before - 1
+        sim.sim.run()
+        assert node.free_reduce_slots == node.reduce_slots
+
+    def test_compute_waits_for_all_maps(self):
+        sim, job = running_state(slowstart=0.0)
+        # launch a reduce immediately; it must not enter compute until the
+        # last map is done
+        r = job.pending_reduces()[0]
+        r.launch(sim.cluster.nodes_with_free_reduce_slots()[0])
+        while sim.sim.step():
+            if r.computing:
+                assert job.all_maps_done
+            if r.done:
+                break
+
+    def test_shuffled_bytes_match_column(self):
+        sim, job = running_state()
+        sim.sim.run()
+        for r in job.reduces:
+            expected = job.I[:, r.index].sum()
+            assert r.shuffled_bytes == pytest.approx(expected, rel=1e-6)
+
+    def test_late_map_outputs_fetched(self):
+        """A reduce launched before most maps still collects everything."""
+        sim, job = running_state(num_maps=12, slowstart=0.0)
+        # with slowstart 0, the t=0 heartbeat may already have launched r0;
+        # grab a still-pending reduce and launch it by hand
+        r = job.pending_reduces()[0]
+        node = next(
+            n for n in sim.cluster.nodes_with_free_reduce_slots()
+        )
+        r.launch(node)
+        assert job.maps_done < 12  # launched early
+        sim.sim.run()
+        assert r.done
+        assert r.shuffled_bytes == pytest.approx(
+            job.I[:, r.index].sum(), rel=1e-6
+        )
+
+    def test_reduce_duration_includes_compute(self):
+        sim, job = running_state(num_maps=4, num_reduces=1)
+        sim.sim.run()
+        r = job.reduces[0]
+        compute_time = r.shuffled_bytes / (
+            job.spec.app.reduce_rate * r.node.compute_factor
+        )
+        assert (r.end_time - r.start_time) >= compute_time - 1e-9
+
+
+class TestSlowstartGate:
+    def test_not_schedulable_before_threshold(self):
+        sim, job = running_state(slowstart=0.9)
+        assert not job.reduces_schedulable()
+
+    def test_schedulable_after_threshold(self):
+        sim, job = running_state(num_maps=4, slowstart=0.25)
+        sim.sim.run(until=60.0)
+        if job.maps_done >= 1 and job.pending_reduces():
+            assert job.reduces_schedulable()
+
+    def test_not_schedulable_when_none_pending(self):
+        sim, job = running_state(num_reduces=2, slowstart=0.0)
+        free = iter(sim.cluster.nodes_with_free_reduce_slots())
+        for r in job.pending_reduces():
+            r.launch(next(free))
+        assert not job.reduces_schedulable()

@@ -1,0 +1,57 @@
+"""Additional rendering tests: ASCII CDF geometry and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_cdf, format_table
+
+
+class TestAsciiCDFGeometry:
+    def test_monotone_marks_per_series(self):
+        """Within one series, marks never go down as x increases."""
+        rng = np.random.default_rng(0)
+        out = ascii_cdf({"s": rng.uniform(0, 10, 50)}, width=40, height=10)
+        rows = [l.split("|", 1)[1] for l in out.splitlines()
+                if "|" in l and l.strip()[0] in "01"]
+        # column-wise: the highest mark row index must be non-increasing
+        # (CDF goes up left to right == mark rises)
+        top_mark = []
+        for col in range(40):
+            col_rows = [i for i, r in enumerate(rows) if col < len(r) and r[col] == "*"]
+            top_mark.append(min(col_rows) if col_rows else None)
+        seen = [t for t in top_mark if t is not None]
+        assert all(b <= a for a, b in zip(seen, seen[1:]))
+
+    def test_constant_series(self):
+        out = ascii_cdf({"c": np.array([5.0, 5.0, 5.0])}, width=20, height=6)
+        assert "*=c" in out
+
+    def test_many_series_distinct_markers(self):
+        series = {f"s{i}": np.array([float(i + 1)]) for i in range(4)}
+        out = ascii_cdf(series, width=20, height=6)
+        for marker in "*o+x":
+            assert marker in out
+
+    def test_axis_labels_present(self):
+        out = ascii_cdf({"a": np.array([1.0, 2.0])}, xlabel="latency (s)")
+        assert "latency (s)" in out
+        assert "1.00 |" in out
+
+
+class TestTableFormatting:
+    def test_numeric_formats(self):
+        out = format_table(["v"], [[0.0], [1234.5], [0.0001], [3.14159]])
+        assert "0" in out
+        assert "1.23e+03" in out or "1234" in out
+        assert "0.0001" in out
+        assert "3.14" in out
+
+    def test_mixed_types(self):
+        out = format_table(["a", "b"], [["text", 42], [None, 3.5]])
+        assert "text" in out and "None" in out
+
+    def test_empty_rows(self):
+        out = format_table(["only", "headers"], [])
+        assert "only" in out and "headers" in out

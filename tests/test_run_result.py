@@ -1,0 +1,69 @@
+"""Tests for RunResult views and summary semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+@pytest.fixture(scope="module")
+def result():
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=RandomScheduler(),
+        jobs=[
+            JobSpec.make("01", "terasort", 8 * 64 * MB, 8, 3),
+            JobSpec.make("02", "grep", 6 * 64 * MB, 6, 2),
+        ],
+        seed=12,
+    )
+    return sim.run()
+
+
+class TestRunResultViews:
+    def test_jct_array_ordered_by_job_id(self, result):
+        times = result.job_completion_times
+        assert times.shape == (2,)
+        recs = sorted(result.collector.job_records, key=lambda r: r.job_id)
+        assert np.allclose(times, [r.completion_time for r in recs])
+
+    def test_mean_jct(self, result):
+        assert result.mean_jct == pytest.approx(
+            float(result.job_completion_times.mean())
+        )
+
+    def test_locality_shares_sum_to_one(self, result):
+        shares = result.locality_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        for kind in ("map", "reduce"):
+            k = result.locality_shares(kind)
+            assert sum(k.values()) == pytest.approx(1.0)
+
+    def test_utilisation_in_unit_interval(self, result):
+        for kind in ("map", "reduce"):
+            u = result.utilisation(kind)
+            assert 0.0 < u <= 1.0
+
+    def test_byte_accounting_consistent(self, result):
+        # fabric + local bytes cover at least all task input bytes
+        task_bytes = sum(t.bytes_in for t in result.collector.task_records)
+        assert result.bytes_over_fabric + result.bytes_local >= task_bytes * 0.99
+
+    def test_summary_is_multiline_readable(self, result):
+        text = result.summary()
+        assert text.count("\n") >= 3
+        assert "jobs completed: 2" in text
+
+    def test_scheduler_name_propagates(self, result):
+        assert result.scheduler == "random"
+        assert result.seed == 12
+
+    def test_flows_counted(self, result):
+        # at least one flow per map input plus shuffle fetches
+        assert result.flows >= 14

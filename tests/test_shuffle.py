@@ -1,0 +1,108 @@
+"""Unit tests for the shuffle FetchManager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import FlowNetwork
+from repro.cluster.topology import rack_topology
+from repro.engine.shuffle import FetchManager
+from repro.sim import Simulator
+from repro.units import MB, Gbps
+
+
+def make(max_parallel=2, on_progress=None):
+    sim = Simulator()
+    topo = rack_topology(2, 3, host_link=1 * Gbps)
+    net = FlowNetwork(sim, topo)
+    fm = FetchManager(net, dst="r0n0", max_parallel=max_parallel,
+                      on_progress=on_progress)
+    return sim, net, fm
+
+
+class TestFetchManager:
+    def test_starts_idle(self):
+        _, _, fm = make()
+        assert fm.idle
+        assert fm.pending_bytes == 0.0
+
+    def test_fetches_added_bytes(self):
+        sim, net, fm = make()
+        fm.add("r0n1", 10 * MB)
+        assert not fm.idle
+        sim.run()
+        assert fm.idle
+        assert fm.fetched == pytest.approx(10 * MB)
+        assert fm.remote_bytes == pytest.approx(10 * MB)
+
+    def test_local_fetch_not_counted_remote(self):
+        sim, net, fm = make()
+        fm.add("r0n0", 5 * MB)  # dst == src
+        sim.run()
+        assert fm.fetched == pytest.approx(5 * MB)
+        assert fm.remote_bytes == 0.0
+
+    def test_zero_bytes_skipped(self):
+        sim, net, fm = make()
+        fm.add("r0n1", 0.0)
+        assert fm.idle
+        assert fm.fetch_count == 0
+
+    def test_negative_bytes_rejected(self):
+        _, _, fm = make()
+        with pytest.raises(ValueError):
+            fm.add("r0n1", -1.0)
+
+    def test_parallelism_bounded(self):
+        sim, net, fm = make(max_parallel=2)
+        for i in range(5):
+            fm.add(f"r1n{i % 3}", 50 * MB)
+        assert fm.active <= 2
+        sim.run(until=0.01)
+        assert fm.active <= 2
+
+    def test_aggregates_per_source(self):
+        """Bytes queued for a busy source coalesce into one later fetch."""
+        sim, net, fm = make(max_parallel=1)
+        fm.add("r0n1", 10 * MB)   # occupies the single fetcher
+        fm.add("r0n2", 5 * MB)
+        fm.add("r0n2", 7 * MB)    # aggregates with the pending 5 MB
+        assert fm.pending == {"r0n2": 12 * MB}
+        sim.run()
+        assert fm.fetch_count == 2  # not 3
+        assert fm.fetched == pytest.approx(22 * MB)
+
+    def test_progress_callback_fires_per_fetch(self):
+        calls = []
+        sim, net, fm = make(max_parallel=1, on_progress=lambda: calls.append(1))
+        fm.add("r0n1", 1 * MB)
+        fm.add("r0n2", 1 * MB)
+        sim.run()
+        assert len(calls) == 2
+
+    def test_invalid_parallelism(self):
+        sim = Simulator()
+        topo = rack_topology(1, 2)
+        net = FlowNetwork(sim, topo)
+        with pytest.raises(ValueError):
+            FetchManager(net, dst="r0n0", max_parallel=0)
+
+    def test_fifo_source_order(self):
+        """Pending sources drain in insertion order."""
+        order = []
+        sim, net, fm = make(max_parallel=1)
+        fm.add("r0n1", 1 * MB)
+        fm.add("r1n0", 1 * MB)
+        fm.add("r1n1", 1 * MB)
+        # wrap on_progress to record completion order via fetched growth
+        seen = []
+
+        def watch():
+            seen.append(fm.fetch_count)
+
+        fm.on_progress = watch
+        sim.run()
+        assert fm.fetch_count == 3
+        # _pump starts the next fetch before on_progress fires, so the
+        # counter reads 2, 3, 3 across the three completions
+        assert seen == [2, 3, 3]

@@ -1,0 +1,231 @@
+"""Unit tests for the discrete-event kernel (repro.sim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+        assert sim.now == 5.0
+
+    def test_args_are_passed(self, sim):
+        got = []
+        sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]
+
+    def test_at_absolute_time(self, sim):
+        fired = []
+        sim.at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo_order(self, sim):
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_inf_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_past_absolute_time_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_schedule_from_callback(self, sim):
+        fired = []
+
+        def first():
+            sim.schedule(2.0, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert not ev.active
+
+    def test_cancel_from_earlier_event(self, sim):
+        fired = []
+        later = sim.schedule(2.0, lambda: fired.append("later"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        ev.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControls:
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_is_resumable(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_past_raises(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=0.5)
+
+    def test_run_returns_event_count(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run() == 5
+
+    def test_max_events_budget(self, sim):
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 7
+
+    def test_step(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is False
+
+    def test_reentrant_run_raises(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_processed_counter(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.processed == 2
+
+    def test_peek(self, sim):
+        assert sim.peek() is None
+        ev = sim.schedule(4.0, lambda: None)
+        sim.schedule(7.0, lambda: None)
+        assert sim.peek() == 4.0
+        ev.cancel()
+        assert sim.peek() == 7.0
+
+
+class TestPeriodicTask:
+    def test_fires_on_period(self, sim):
+        times = []
+        task = sim.every(3.0, lambda: times.append(sim.now))
+        sim.run(until=10.0)
+        task.stop()
+        assert times == [0.0, 3.0, 6.0, 9.0]
+
+    def test_start_offset(self, sim):
+        times = []
+        sim.every(3.0, lambda: times.append(sim.now), start=1.0)
+        sim.run(until=8.0)
+        assert times == [1.0, 4.0, 7.0]
+
+    def test_stop_prevents_future_firings(self, sim):
+        times = []
+        task = sim.every(1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert times == [0.0, 1.0, 2.0]
+        assert task.stopped
+
+    def test_callback_may_stop_itself(self, sim):
+        times = []
+
+        def cb():
+            times.append(sim.now)
+            if len(times) == 2:
+                task.stop()
+
+        task = sim.every(1.0, cb)
+        sim.run(until=10.0)
+        assert times == [0.0, 1.0]
+
+    def test_jitter_applies(self, sim):
+        times = []
+        sim.every(2.0, lambda: times.append(sim.now), jitter=lambda: 0.5)
+        sim.run(until=6.0)
+        assert times == [0.0, 2.5, 5.0]
+
+    def test_bad_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+    def test_stop_is_idempotent(self, sim):
+        task = sim.every(1.0, lambda: None)
+        task.stop()
+        task.stop()
+        assert task.stopped
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def trace():
+            s = Simulator()
+            out = []
+            for i in range(50):
+                s.schedule((i * 37) % 11 + 0.25, lambda i=i: out.append((s.now, i)))
+            s.run()
+            return out
+
+        assert trace() == trace()

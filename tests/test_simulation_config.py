@@ -1,0 +1,89 @@
+"""Configuration propagation through the Simulation front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import EngineConfig, Simulation
+from repro.hdfs import RandomPlacement
+from repro.schedulers import RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def job():
+    return [JobSpec.make("01", "grep", 6 * 64 * MB, 6, 2)]
+
+
+class TestConfigPropagation:
+    def test_replication_reaches_namenode(self):
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=RandomScheduler(),
+            jobs=job(),
+            config=EngineConfig(replication=3),
+        )
+        sim.run()
+        f = sim.namenode.files["input-grep-01"]
+        assert all(b.replication == 3 for b in f.blocks)
+
+    def test_placement_policy_used(self):
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=RandomScheduler(),
+            jobs=job(),
+            placement=RandomPlacement(),
+        )
+        assert isinstance(sim.namenode.policy, RandomPlacement)
+        sim.run()
+
+    def test_fetch_pool_size_reaches_reducers(self):
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=RandomScheduler(),
+            jobs=job(),
+            config=EngineConfig(max_parallel_fetches=2),
+        )
+        sim.run()
+        jobj = sim.tracker.finished_jobs[0]
+        assert jobj.reduces[0]._fetch.max_parallel == 2
+
+    def test_heartbeat_period_reaches_tracker(self):
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=RandomScheduler(),
+            jobs=job(),
+            config=EngineConfig(heartbeat_period=7.0),
+        )
+        assert sim.tracker.config.heartbeat_period == 7.0
+
+    def test_default_config_is_hadoop_121(self):
+        cfg = EngineConfig()
+        assert cfg.heartbeat_period == 3.0
+        assert cfg.assign_multiple is False
+        assert cfg.slowstart == 0.05
+        assert cfg.max_parallel_fetches == 5
+        assert cfg.replication == 2
+        assert cfg.speculative is False
+
+    def test_seed_streams_independent(self):
+        """Changing the scheduler's draws must not change replica layout:
+        two different schedulers under one seed see identical block maps."""
+        from repro.core import ProbabilisticNetworkAwareScheduler
+
+        def layout(scheduler):
+            sim = Simulation(
+                cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+                scheduler=scheduler,
+                jobs=job(),
+                seed=77,
+            )
+            sim.run()
+            f = sim.namenode.files["input-grep-01"]
+            return [b.replicas for b in f.blocks]
+
+        assert layout(RandomScheduler()) == layout(
+            ProbabilisticNetworkAwareScheduler()
+        )

@@ -1,0 +1,143 @@
+"""Tests for the statistics helpers (repro.analysis.stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    BootstrapCI,
+    paired_bootstrap_ci,
+    paired_permutation_test,
+    seed_sweep,
+)
+
+
+class TestBootstrapCI:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(100, 5, size=40)
+        ours = base - 20 + rng.normal(0, 2, size=40)
+        ci = paired_bootstrap_ci(base, ours, seed=1)
+        assert ci.mean == pytest.approx(20, abs=3)
+        assert ci.excludes_zero
+        assert ci.low < ci.mean < ci.high
+
+    def test_no_difference_includes_zero(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(100, 10, size=60)
+        ours = base + rng.normal(0, 10, size=60)
+        ci = paired_bootstrap_ci(base, ours, seed=2)
+        assert not ci.excludes_zero
+
+    def test_interval_narrows_with_confidence(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(0, 1, 50)
+        wide = paired_bootstrap_ci(a, b, confidence=0.99, seed=3)
+        narrow = paired_bootstrap_ci(a, b, confidence=0.80, seed=3)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_deterministic_given_seed(self):
+        a = np.arange(10.0)
+        b = np.arange(10.0)[::-1]
+        assert paired_bootstrap_ci(a, b, seed=5) == paired_bootstrap_ci(a, b, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([1.0], [2.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([1.0, 2.0], [1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([1.0, 2.0], [1.0, 2.0], n_boot=10)
+
+    def test_str_format(self):
+        ci = BootstrapCI(mean=1.0, low=0.5, high=1.5, confidence=0.95)
+        assert "95% CI" in str(ci)
+
+
+class TestPermutationTest:
+    def test_detects_real_difference(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(100, 5, size=30)
+        ours = base - 15
+        p = paired_permutation_test(base, ours, seed=4)
+        assert p < 0.01
+
+    def test_null_gives_large_p(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0, 1, size=50)
+        b = a + rng.normal(0, 1, size=50)
+        p = paired_permutation_test(a, b, seed=5)
+        assert p > 0.05
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_p_value_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 1, size=12)
+        b = rng.normal(0, 1, size=12)
+        p = paired_permutation_test(a, b, n_perm=500, seed=seed)
+        assert 0.0 < p <= 1.0
+
+    def test_uniform_under_null(self):
+        """Across many null datasets, small p-values appear at ~their rate."""
+        rng = np.random.default_rng(6)
+        rejections = 0
+        trials = 100
+        for i in range(trials):
+            a = rng.normal(0, 1, size=20)
+            b = a + rng.choice([-1, 1], size=20) * rng.normal(0, 1, size=20)
+            if paired_permutation_test(a, b, n_perm=400, seed=i) < 0.1:
+                rejections += 1
+        assert rejections < trials * 0.25  # ~10% expected, generous bound
+
+
+class TestSeedSweep:
+    def test_aggregates_mean_and_se(self):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            return {"a": 10 + rng.normal(), "b": 20 + rng.normal()}
+
+        out = seed_sweep(run, seeds=range(20))
+        assert out["a"][0] == pytest.approx(10, abs=1)
+        assert out["b"][0] == pytest.approx(20, abs=1)
+        assert 0 < out["a"][1] < 1
+
+    def test_single_seed_zero_se(self):
+        out = seed_sweep(lambda s: {"x": 1.0}, seeds=[0])
+        assert out["x"] == (1.0, 0.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep(lambda s: {}, seeds=[])
+
+    def test_with_real_simulations(self):
+        """Tiny end-to-end sweep: the PNA-vs-coupling gap holds across seeds."""
+        from repro.cluster import ClusterSpec
+        from repro.core import ProbabilisticNetworkAwareScheduler
+        from repro.engine import Simulation
+        from repro.schedulers import CouplingScheduler
+        from repro.workload import table2_batch
+
+        def run(seed):
+            out = {}
+            for name, sched in (
+                ("pna", ProbabilisticNetworkAwareScheduler()),
+                ("coupling", CouplingScheduler()),
+            ):
+                sim = Simulation(
+                    cluster=ClusterSpec(num_racks=2, nodes_per_rack=4),
+                    scheduler=sched,
+                    jobs=table2_batch("terasort", scale=0.03),
+                    seed=seed,
+                )
+                out[name] = sim.run().mean_jct
+            return out
+
+        sweep = seed_sweep(run, seeds=[1, 2, 3])
+        assert sweep["pna"][0] < sweep["coupling"][0]

@@ -1,0 +1,130 @@
+"""Tests for the analytical offer-process model (repro.analysis.theory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    AcceptanceStats,
+    acceptance_stats,
+    feasible_pmin,
+    tradeoff_curve,
+)
+from repro.core import ExponentialModel, HyperbolicModel, LinearModel
+
+
+class TestAcceptanceStats:
+    def test_zero_threshold_accepts_everything_probabilistically(self):
+        costs = [1.0, 2.0, 3.0]
+        stats = acceptance_stats(costs, ExponentialModel(), 0.0)
+        assert 0 < stats.accept_rate <= 1
+        assert stats.expected_offers == pytest.approx(1 / stats.accept_rate)
+
+    def test_accepted_cost_below_offer_mean(self):
+        """The probability weighting is decreasing in cost, so accepted
+        placements are cheaper than the raw offer average."""
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(0.0, 100.0, size=500)
+        for model in (ExponentialModel(), HyperbolicModel(), LinearModel()):
+            stats = acceptance_stats(costs, model, 0.0)
+            assert stats.expected_cost < costs.mean()
+            assert stats.cost_reduction > 0
+
+    def test_local_offers_always_accepted(self):
+        stats = acceptance_stats([0.0, 0.0], ExponentialModel(), 0.9)
+        assert stats.accept_rate == 1.0
+        assert stats.expected_cost == 0.0
+
+    def test_impossible_threshold(self):
+        # uniform positive costs: every P == 1 - 1/e < 0.99
+        stats = acceptance_stats([5.0, 5.0, 5.0], ExponentialModel(), 0.99)
+        assert stats.accept_rate == 0.0
+        assert stats.expected_offers == float("inf")
+        assert np.isnan(stats.expected_cost)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            acceptance_stats([], ExponentialModel())
+        with pytest.raises(ValueError):
+            acceptance_stats([-1.0], ExponentialModel())
+        with pytest.raises(ValueError):
+            acceptance_stats([1.0], ExponentialModel(), p_min=1.5)
+
+
+class TestTradeoffCurve:
+    def test_monotone_cost_and_delay(self):
+        rng = np.random.default_rng(1)
+        costs = rng.exponential(10.0, size=1000)
+        p_mins = [0.0, 0.2, 0.4, 0.55, 0.62]
+        curve = tradeoff_curve(costs, ExponentialModel(), p_mins)
+        ecosts = [s.expected_cost for s in curve]
+        offers = [s.expected_offers for s in curve]
+        assert all(b <= a + 1e-12 for a, b in zip(ecosts, ecosts[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(offers, offers[1:]))
+
+    def test_paper_operating_point_is_cheap(self):
+        """At P_min = 0.4 the expected wait stays below ~2 offers while the
+        accepted cost drops — why 0.4 'worked' on Palmetto."""
+        rng = np.random.default_rng(2)
+        # a mixture: some local (0-cost) offers, mostly remote
+        costs = np.concatenate([
+            np.zeros(200), rng.uniform(1, 10, size=800)
+        ])
+        stats = acceptance_stats(costs, ExponentialModel(), 0.4)
+        assert stats.expected_offers < 2.5
+        assert stats.cost_reduction > 0.1
+
+
+class TestFeasiblePmin:
+    def test_with_local_offer_is_one(self):
+        assert feasible_pmin([0.0, 9.0], ExponentialModel()) == 1.0
+
+    def test_uniform_costs_is_inverse_e(self):
+        # all offers identical: P = 1 - e^-1 for each
+        p = feasible_pmin([7.0, 7.0, 7.0], ExponentialModel())
+        assert p == pytest.approx(1 - np.exp(-1))
+
+    def test_threshold_above_feasible_never_places(self):
+        costs = [3.0, 6.0, 9.0]
+        ceiling = feasible_pmin(costs, ExponentialModel())
+        stats = acceptance_stats(costs, ExponentialModel(),
+                                 min(ceiling + 1e-6, 1.0))
+        assert stats.accept_rate == 0.0
+
+
+class TestAgainstMonteCarlo:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_simulation_of_offer_process(self, seed):
+        """The closed-form statistics agree with a direct Monte-Carlo of the
+        accept/decline process."""
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0.0, 20.0, size=50)
+        model = ExponentialModel()
+        p_min = 0.3
+        stats = acceptance_stats(costs, model, p_min)
+
+        mc = np.random.default_rng(seed + 1)
+        accepted_costs = []
+        offers_used = []
+        for _ in range(3000):
+            n = 0
+            while True:
+                n += 1
+                c = float(mc.choice(costs))
+                p = float(model.probability(float(np.mean(costs)), c))
+                if p >= p_min and mc.random() < p:
+                    accepted_costs.append(c)
+                    offers_used.append(n)
+                    break
+                if n > 10_000:  # pragma: no cover - guards degenerate draws
+                    break
+        assert np.mean(accepted_costs) == pytest.approx(
+            stats.expected_cost, rel=0.08
+        )
+        assert np.mean(offers_used) == pytest.approx(
+            stats.expected_offers, rel=0.08
+        )

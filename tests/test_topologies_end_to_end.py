@@ -1,0 +1,87 @@
+"""End-to-end simulations on non-default topologies (fat-tree, matrix).
+
+``Simulation`` accepts a prebuilt :class:`~repro.cluster.Cluster` (adopting
+its clock), which is how custom topologies plug in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, FlowNetwork, fat_tree_topology, paper_example_topology
+from repro.core import ProbabilisticNetworkAwareScheduler
+from repro.engine import Simulation
+from repro.schedulers import FairScheduler, RandomScheduler
+from repro.sim import Simulator
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def build_simulation(topology_factory, scheduler, *, jobs=None, seed=6):
+    clock = Simulator()
+    cluster = Cluster(clock, topology_factory())
+    jobs = jobs or [JobSpec.make("01", "terasort", 8 * 64 * MB, 8, 4)]
+    return Simulation(cluster=cluster, scheduler=scheduler, jobs=jobs, seed=seed)
+
+
+class TestFatTree:
+    def test_job_completes_on_fat_tree(self):
+        sim = build_simulation(
+            lambda: fat_tree_topology(4),
+            ProbabilisticNetworkAwareScheduler(),
+        )
+        result = sim.run()
+        assert result.job_completion_times.size == 1
+        assert sim.tracker.all_done
+
+    def test_pna_on_fat_tree_has_locality(self):
+        sim = build_simulation(
+            lambda: fat_tree_topology(4),
+            ProbabilisticNetworkAwareScheduler(),
+            jobs=[JobSpec.make("01", "terasort", 32 * 64 * MB, 32, 8)],
+        )
+        result = sim.run()
+        assert result.locality_shares("map")["node"] > 0.3
+
+    def test_fair_on_fat_tree(self):
+        sim = build_simulation(lambda: fat_tree_topology(4), FairScheduler())
+        sim.run()
+        assert sim.tracker.all_done
+
+    def test_adopted_cluster_shares_clock(self):
+        clock = Simulator()
+        cluster = Cluster(clock, fat_tree_topology(4))
+        sim = Simulation(
+            cluster=cluster,
+            scheduler=RandomScheduler(),
+            jobs=[JobSpec.make("01", "grep", 4 * 32 * MB, 4, 2)],
+        )
+        assert sim.sim is clock
+
+
+class TestPaperExampleTopology:
+    def test_simulation_on_matrix_topology(self):
+        sim = build_simulation(
+            paper_example_topology,
+            RandomScheduler(),
+            jobs=[JobSpec.make("01", "grep", 4 * 32 * MB, 4, 2)],
+        )
+        result = sim.run()
+        assert sim.tracker.all_done
+        nodes = {t.node for t in result.collector.task_records}
+        assert nodes <= {"D1", "D2", "D3", "D4"}
+
+    def test_transfer_duration_scales_with_matrix_distance(self):
+        """On the matrix topology, pipe capacity decays with hop count, so
+        a transfer between far nodes takes longer."""
+        clock = Simulator()
+        topo = paper_example_topology()
+        net = FlowNetwork(clock, topo)
+        ends = {}
+        net.start_flow("D1", "D3", 100 * MB,
+                       lambda f: ends.setdefault("near", clock.now))   # 2 hops
+        net.start_flow("D2", "D3", 100 * MB,
+                       lambda f: ends.setdefault("far", clock.now))    # 10 hops
+        clock.run()
+        assert ends["far"] > ends["near"]

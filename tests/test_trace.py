@@ -1,0 +1,101 @@
+"""Tests for the heavy-tailed trace workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import Simulation
+from repro.schedulers import CapacityJobScheduler, RandomScheduler
+from repro.units import GB, MB
+from repro.workload import trace_workload
+
+
+class TestTraceGeneration:
+    def test_basic_shape(self):
+        rng = np.random.default_rng(0)
+        specs = trace_workload(50, rng)
+        assert len(specs) == 50
+        assert len({s.job_id for s in specs}) == 50
+        for s in specs:
+            assert s.num_maps >= 1
+            assert s.num_reduces >= 1
+            assert s.input_size >= 64 * MB
+
+    def test_arrivals_strictly_increasing(self):
+        rng = np.random.default_rng(1)
+        specs = trace_workload(40, rng, mean_interarrival=30.0)
+        times = [s.submit_time for s in specs]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_heavy_tail(self):
+        """Most jobs are small; the top decile carries most of the bytes."""
+        rng = np.random.default_rng(2)
+        specs = trace_workload(400, rng, median_size=2 * GB)
+        sizes = np.array(sorted(s.input_size for s in specs))
+        median = np.median(sizes)
+        assert median < 4 * GB
+        top_decile_bytes = sizes[-40:].sum()
+        assert top_decile_bytes > 0.5 * sizes.sum()
+
+    def test_max_size_clamped(self):
+        rng = np.random.default_rng(3)
+        specs = trace_workload(300, rng, max_size=50 * GB)
+        assert max(s.input_size for s in specs) <= 50 * GB
+
+    def test_app_mix_weights(self):
+        rng = np.random.default_rng(4)
+        specs = trace_workload(
+            300, rng, apps=("grep", "terasort"), app_weights=[3.0, 1.0]
+        )
+        greps = sum(1 for s in specs if s.app.name == "grep")
+        assert greps > 150  # ~75 % expected
+
+    def test_maps_match_split_size(self):
+        rng = np.random.default_rng(5)
+        specs = trace_workload(20, rng, bytes_per_map=256 * MB)
+        for s in specs:
+            assert s.num_maps == max(1, int(np.ceil(s.input_size / (256 * MB))))
+
+    def test_deterministic_given_rng_seed(self):
+        a = trace_workload(30, np.random.default_rng(7))
+        b = trace_workload(30, np.random.default_rng(7))
+        assert [(s.input_size, s.submit_time) for s in a] == [
+            (s.input_size, s.submit_time) for s in b
+        ]
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            trace_workload(0, rng)
+        with pytest.raises(ValueError):
+            trace_workload(5, rng, mean_interarrival=0)
+        with pytest.raises(ValueError):
+            trace_workload(5, rng, tail_alpha=1.0)
+        with pytest.raises(ValueError):
+            trace_workload(5, rng, apps=("sort-of-sort",))
+        with pytest.raises(ValueError):
+            trace_workload(5, rng, apps=("grep",), app_weights=[1.0, 2.0])
+
+
+class TestTraceSimulation:
+    def test_multi_tenant_trace_completes(self):
+        rng = np.random.default_rng(11)
+        specs = trace_workload(
+            15, rng, median_size=0.3 * GB, max_size=2 * GB,
+            mean_interarrival=20.0,
+        )
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=4),
+            scheduler=RandomScheduler(),
+            jobs=specs,
+            job_scheduler=CapacityJobScheduler(
+                {"prod": 0.7, "dev": 0.3},
+                assignments={s.job_id: ("prod" if i % 2 else "dev")
+                             for i, s in enumerate(specs)},
+            ),
+            seed=11,
+        )
+        result = sim.run()
+        assert result.job_completion_times.size == 15

@@ -1,0 +1,227 @@
+"""Unit tests for workload models and generators (repro.workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.units import GB, MB
+from repro.workload import (
+    APPLICATIONS,
+    GREP,
+    JobSpec,
+    TABLE2,
+    TERASORT,
+    WORDCOUNT,
+    intermediate_matrix,
+    job_from_entry,
+    partition_weights,
+    poisson_arrivals,
+    synthetic_batch,
+    table2_batch,
+    table2_entries,
+    table2_workload,
+)
+from repro.workload.apps import ApplicationModel
+
+
+class TestApplications:
+    def test_three_benchmark_apps_registered(self):
+        assert set(APPLICATIONS) == {"wordcount", "terasort", "grep"}
+
+    def test_terasort_shuffles_its_input(self):
+        assert TERASORT.map_output_ratio == 1.0
+
+    def test_grep_is_map_intensive(self):
+        assert GREP.map_output_ratio < 0.5
+
+    def test_wordcount_is_shuffle_heavy(self):
+        assert WORDCOUNT.map_output_ratio >= 1.5
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationModel("x", map_rate=0, reduce_rate=1, map_output_ratio=1)
+        with pytest.raises(ValueError):
+            ApplicationModel("x", map_rate=1, reduce_rate=-1, map_output_ratio=1)
+        with pytest.raises(ValueError):
+            ApplicationModel("x", map_rate=1, reduce_rate=1, map_output_ratio=-1)
+        with pytest.raises(ValueError):
+            ApplicationModel("x", 1, 1, 1, output_gamma=0)
+
+
+class TestTable2:
+    def test_thirty_jobs(self):
+        assert len(TABLE2) == 30
+
+    def test_ten_per_application(self):
+        for app in ("wordcount", "terasort", "grep"):
+            assert len(table2_entries(app)) == 10
+
+    def test_spot_check_rows(self):
+        # verbatim rows from the paper's Table II
+        by_id = {e.job_id: e for e in TABLE2}
+        assert (by_id["01"].num_maps, by_id["01"].num_reduces) == (88, 157)
+        assert (by_id["10"].num_maps, by_id["10"].num_reduces) == (930, 197)
+        assert (by_id["20"].num_maps, by_id["20"].num_reduces) == (824, 193)
+        assert (by_id["30"].num_maps, by_id["30"].num_reduces) == (893, 184)
+
+    def test_sizes_10_to_100(self):
+        for app in ("wordcount", "terasort", "grep"):
+            sizes = [e.input_gb for e in table2_entries(app)]
+            assert sizes == list(range(10, 101, 10))
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            table2_entries("pi-estimation")
+
+    def test_entry_names(self):
+        assert TABLE2[0].name == "Wordcount_10GB"
+
+
+class TestJobSpec:
+    def test_block_size(self):
+        spec = JobSpec.make("01", "wordcount", 10 * GB, num_maps=88, num_reduces=157)
+        assert spec.block_size == pytest.approx(10 * GB / 88)
+
+    def test_shuffle_size_uses_app_ratio(self):
+        spec = JobSpec.make("01", "terasort", 10 * GB, 80, 20)
+        assert spec.shuffle_size == pytest.approx(10 * GB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec.make("x", "grep", 0, 1, 1)
+        with pytest.raises(ValueError):
+            JobSpec.make("x", "grep", 1 * GB, 0, 1)
+        with pytest.raises(ValueError):
+            JobSpec.make("x", "grep", 1 * GB, 1, 0)
+        with pytest.raises(ValueError):
+            JobSpec.make("x", "grep", 1 * GB, 1, 1, submit_time=-5)
+
+    def test_make_accepts_model_instance(self):
+        spec = JobSpec.make("x", WORDCOUNT, 1 * GB, 8, 4)
+        assert spec.app is WORDCOUNT
+
+
+class TestGenerators:
+    def test_table2_batch_full_scale(self):
+        batch = table2_batch("wordcount")
+        assert len(batch) == 10
+        assert batch[0].num_maps == 88
+        assert batch[0].input_size == 10 * GB
+
+    def test_scale_preserves_bytes_per_map(self):
+        e = table2_entries("terasort")[4]  # 50 GB, 490 maps
+        full = job_from_entry(e)
+        scaled = job_from_entry(e, scale=0.1)
+        assert scaled.num_maps == 49
+        assert scaled.block_size == pytest.approx(full.block_size)
+
+    def test_scale_floors_at_one_task(self):
+        e = table2_entries("grep")[0]
+        tiny = job_from_entry(e, scale=1e-6)
+        assert tiny.num_maps == 1
+        assert tiny.num_reduces == 1
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            job_from_entry(TABLE2[0], scale=0.0)
+
+    def test_stagger(self):
+        batch = table2_batch("grep", stagger=7.0)
+        assert [s.submit_time for s in batch] == [7.0 * i for i in range(10)]
+
+    def test_workload_concatenates_three_batches(self):
+        w = table2_workload(scale=0.1)
+        assert len(w) == 30
+        assert len({s.job_id for s in w}) == 30
+
+    def test_synthetic_batch(self):
+        batch = synthetic_batch(
+            "terasort", [1 * GB, 2 * GB], bytes_per_map=128 * MB, reduces_per_job=4
+        )
+        assert batch[0].num_maps == 8
+        assert batch[1].num_maps == 16
+        assert all(s.num_reduces == 4 for s in batch)
+
+    def test_synthetic_batch_per_job_reduces(self):
+        batch = synthetic_batch(
+            "grep", [1 * GB, 1 * GB], bytes_per_map=256 * MB, reduces_per_job=[2, 5]
+        )
+        assert [s.num_reduces for s in batch] == [2, 5]
+
+    def test_synthetic_batch_length_mismatch(self):
+        with pytest.raises(ValueError):
+            synthetic_batch("grep", [1 * GB], bytes_per_map=1 * MB, reduces_per_job=[1, 2])
+
+    def test_poisson_arrivals_monotone(self):
+        batch = table2_batch("wordcount", scale=0.1)
+        rng = np.random.default_rng(5)
+        out = poisson_arrivals(batch, 30.0, rng)
+        times = [s.submit_time for s in out]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert times[0] > 0
+
+    def test_poisson_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(table2_batch("grep"), 0.0, np.random.default_rng(0))
+
+
+class TestPartitionWeights:
+    def test_uniform_when_alpha_zero(self):
+        w = partition_weights(8, 0.0, np.random.default_rng(0))
+        assert np.allclose(w, 1 / 8)
+
+    def test_normalised(self, rng):
+        w = partition_weights(50, 0.7, rng)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w > 0)
+
+    def test_skew_increases_with_alpha(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        w_lo = partition_weights(100, 0.2, rng1)
+        w_hi = partition_weights(100, 1.5, rng2)
+        assert w_hi.max() > w_lo.max()
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            partition_weights(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            partition_weights(5, -0.1, rng)
+
+
+class TestIntermediateMatrix:
+    def test_shape_and_totals(self, rng):
+        b = np.full(4, 100 * MB)
+        w = partition_weights(6, 0.0, rng)
+        I = intermediate_matrix(b, 2.0, w)
+        assert I.shape == (4, 6)
+        assert I.sum() == pytest.approx(4 * 100 * MB * 2.0)
+
+    def test_row_proportional_to_block_size(self, rng):
+        b = np.array([1.0, 2.0]) * MB
+        w = partition_weights(3, 0.0, rng)
+        I = intermediate_matrix(b, 1.0, w)
+        assert np.allclose(I[1], 2 * I[0])
+
+    def test_noise_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        b = np.full(200, 10 * MB)
+        w = partition_weights(20, 0.0, rng)
+        I = intermediate_matrix(b, 1.0, w, rng, noise_sigma=0.5)
+        exact = intermediate_matrix(b, 1.0, w)
+        assert I.sum() == pytest.approx(exact.sum(), rel=0.05)
+        assert not np.allclose(I, exact)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            intermediate_matrix(np.ones(2), 1.0, np.ones(2) / 2, noise_sigma=0.5)
+
+    def test_zero_ratio_gives_zero_matrix(self, rng):
+        I = intermediate_matrix(np.ones(3), 0.0, np.ones(4) / 4)
+        assert np.all(I == 0)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            intermediate_matrix(np.ones((2, 2)), 1.0, np.ones(2) / 2)
+        with pytest.raises(ValueError):
+            intermediate_matrix(np.ones(2), -1.0, np.ones(2) / 2)

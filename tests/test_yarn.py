@@ -1,0 +1,173 @@
+"""Tests for the YARN container mode (repro.yarn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import SlotExhausted
+from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
+from repro.engine import Simulation
+from repro.schedulers import FairScheduler, RandomScheduler
+from repro.units import MB
+from repro.workload import JobSpec, table2_batch
+from repro.yarn import ContainerNode, Resource, YarnClusterSpec
+
+
+class TestResource:
+    def test_arithmetic(self):
+        a = Resource(1024, 2)
+        b = Resource(512, 1)
+        assert a + b == Resource(1536, 3)
+        assert a - b == Resource(512, 1)
+        assert 3 * b == Resource(1536, 3)
+
+    def test_fits_in(self):
+        assert Resource(512, 1).fits_in(Resource(1024, 2))
+        assert not Resource(2048, 1).fits_in(Resource(1024, 8))
+        assert not Resource(512, 4).fits_in(Resource(1024, 2))
+
+    def test_count_fitting(self):
+        cap = Resource(8192, 8)
+        assert cap.count_fitting(Resource(1024, 1)) == 8
+        assert cap.count_fitting(Resource(2048, 1)) == 4
+        assert cap.count_fitting(Resource(1024, 3)) == 2  # vcore-bound
+
+    def test_memory_only_demand(self):
+        assert Resource(8192, 8).count_fitting(Resource(1024, 0)) == 8
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(8192, 8).count_fitting(Resource(0, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(-1, 0)
+
+
+class TestContainerNode:
+    def make(self):
+        return ContainerNode(
+            "n0", "rack0",
+            capacity=Resource(8192, 8),
+            map_demand=Resource(1024, 1),
+            reduce_demand=Resource(2048, 1),
+        )
+
+    def test_fungible_capacity(self):
+        n = self.make()
+        assert n.free_map_slots == 8
+        assert n.free_reduce_slots == 4
+
+    def test_mixed_allocation_shares_pool(self):
+        n = self.make()
+        n.acquire_reduce_slot()          # 2 GB gone
+        n.acquire_reduce_slot()          # 4 GB gone
+        assert n.free_map_slots == 4     # 4 GB left -> 4 maps
+        assert n.free_reduce_slots == 2
+        n.acquire_map_slot()
+        n.acquire_map_slot()
+        n.acquire_map_slot()
+        assert n.free_reduce_slots == 0  # 1 GB left: no 2 GB container
+        assert n.free_map_slots == 1
+
+    def test_exhaustion(self):
+        n = self.make()
+        for _ in range(8):
+            n.acquire_map_slot()
+        with pytest.raises(SlotExhausted):
+            n.acquire_map_slot()
+        with pytest.raises(SlotExhausted):
+            n.acquire_reduce_slot()
+
+    def test_release_restores_capacity(self):
+        n = self.make()
+        n.acquire_reduce_slot()
+        n.release_reduce_slot()
+        assert n.used == Resource(0, 0)
+        assert n.free_map_slots == 8
+
+    def test_over_release_rejected(self):
+        n = self.make()
+        with pytest.raises(SlotExhausted):
+            n.release_map_slot()
+
+    def test_demand_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerNode(
+                "n0", "r0",
+                capacity=Resource(1024, 1),
+                map_demand=Resource(2048, 1),
+                reduce_demand=Resource(512, 1),
+            )
+
+
+class TestYarnSimulation:
+    def test_batch_completes_under_every_scheduler(self):
+        for sched in (RandomScheduler(), FairScheduler(),
+                      ProbabilisticNetworkAwareScheduler()):
+            sim = Simulation(
+                cluster=YarnClusterSpec(num_racks=2, nodes_per_rack=3),
+                scheduler=sched,
+                jobs=table2_batch("grep", scale=0.03),
+                seed=5,
+            )
+            result = sim.run()
+            assert result.job_completion_times.size == 10
+
+    def test_resources_fully_released_after_run(self):
+        sim = Simulation(
+            cluster=YarnClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=RandomScheduler(),
+            jobs=[JobSpec.make("01", "terasort", 8 * 64 * MB, 8, 4)],
+            seed=5,
+        )
+        sim.run()
+        for node in sim.cluster.nodes:
+            assert node.used == Resource(0, 0)
+
+    def test_container_mode_flexes_map_parallelism(self):
+        """During a map-only phase, container nodes run more than 4 maps —
+        the fungibility win over static slots."""
+        from repro.engine import EngineConfig
+
+        spec = JobSpec.make("01", "terasort", 60 * 64 * MB, 60, 2)
+        sim = Simulation(
+            cluster=YarnClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=RandomScheduler(),
+            jobs=[spec],
+            config=EngineConfig(assign_multiple=True),
+            seed=5,
+        )
+        sim.tracker.start()
+        peak = 0
+        while sim.sim.step():
+            peak = max(peak, max(n.running_maps for n in sim.cluster.nodes))
+        assert peak > 4  # impossible under the 4-map slot model
+
+    def test_pna_with_netcond_on_yarn(self):
+        sim = Simulation(
+            cluster=YarnClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=ProbabilisticNetworkAwareScheduler(
+                PNAConfig(network_condition=True)
+            ),
+            jobs=table2_batch("wordcount", scale=0.02),
+            seed=5,
+        )
+        result = sim.run()
+        assert result.job_completion_times.size == 10
+
+    def test_deterministic(self):
+        def fp():
+            sim = Simulation(
+                cluster=YarnClusterSpec(num_racks=2, nodes_per_rack=3),
+                scheduler=ProbabilisticNetworkAwareScheduler(),
+                jobs=table2_batch("grep", scale=0.02),
+                seed=9,
+            )
+            result = sim.run()
+            return [
+                (t.kind, t.index, t.node, round(t.end, 6))
+                for t in result.collector.task_records
+            ]
+
+        assert fp() == fp()

@@ -1,0 +1,103 @@
+"""Property-based tests for the YARN container node (resource invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import SlotExhausted
+from repro.yarn import ContainerNode, Resource
+
+
+def make_node(mem=8192, vcores=8, map_mem=1024, red_mem=2048):
+    return ContainerNode(
+        "n0", "rack0",
+        capacity=Resource(mem, vcores),
+        map_demand=Resource(map_mem, 1),
+        reduce_demand=Resource(red_mem, 1),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.sampled_from(["am", "rm", "ar", "rr"]), max_size=60))
+def test_arbitrary_op_sequences_preserve_invariants(ops):
+    """Any mix of acquire/release calls keeps the node self-consistent:
+
+    * used never exceeds capacity or goes negative;
+    * running counters match what succeeded;
+    * free slot counts equal what the remaining pool actually fits.
+    """
+    node = make_node()
+    maps = reduces = 0
+    for op in ops:
+        try:
+            if op == "am":
+                node.acquire_map_slot()
+                maps += 1
+            elif op == "ar":
+                node.acquire_reduce_slot()
+                reduces += 1
+            elif op == "rm":
+                node.release_map_slot()
+                maps -= 1
+            else:
+                node.release_reduce_slot()
+                reduces -= 1
+        except SlotExhausted:
+            pass  # rejected ops must not mutate state (checked below)
+        # invariants after every step
+        assert not node.used.any_negative
+        assert node.used.fits_in(node.capacity)
+        assert node.running_maps == maps
+        assert node.running_reduces == reduces
+        expected_used = (
+            maps * node.map_demand + reduces * node.reduce_demand
+        )
+        assert node.used == expected_used
+        assert node.free_map_slots == node.available.count_fitting(
+            node.map_demand
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mem=st.integers(min_value=1024, max_value=65536),
+    vcores=st.integers(min_value=1, max_value=64),
+    map_mem=st.integers(min_value=128, max_value=4096),
+    red_mem=st.integers(min_value=128, max_value=4096),
+)
+def test_capacity_accounting_closed_form(mem, vcores, map_mem, red_mem):
+    cap = Resource(mem, vcores)
+    m = Resource(map_mem, 1)
+    r = Resource(red_mem, 1)
+    if not (m.fits_in(cap) and r.fits_in(cap)):
+        with pytest.raises(ValueError):
+            ContainerNode("n", "r", capacity=cap, map_demand=m, reduce_demand=r)
+        return
+    node = ContainerNode("n", "r", capacity=cap, map_demand=m, reduce_demand=r)
+    # fill with maps only: exactly min(mem//map_mem, vcores) fit
+    expected = min(mem // map_mem, vcores)
+    count = 0
+    while True:
+        try:
+            node.acquire_map_slot()
+            count += 1
+        except SlotExhausted:
+            break
+    assert count == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a_mem=st.integers(0, 10_000), a_vc=st.integers(0, 100),
+    b_mem=st.integers(0, 10_000), b_vc=st.integers(0, 100),
+)
+def test_resource_arithmetic_properties(a_mem, a_vc, b_mem, b_vc):
+    a = Resource(a_mem, a_vc)
+    b = Resource(b_mem, b_vc)
+    assert (a + b) - b == a
+    assert a + b == b + a
+    if b.fits_in(a):
+        assert not (a - b).any_negative
