@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli table3 --scenario nas
     python -m repro.cli all                 # every artefact in sequence
     repro fig7                              # installed entry point
+    repro lint src                          # static correctness checks
+    repro fig4 --check-invariants           # runtime invariant checking
 
 Scenario selection: ``--scenario {ci,medium,paper,nas}`` or the
 ``REPRO_SCALE`` environment variable (default ``ci``).
@@ -247,6 +249,13 @@ COMMANDS: Dict[str, Callable] = {
 
 
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # the lint suite has its own argument surface (paths, --list-rules)
+        from repro.lint.runner import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
@@ -255,15 +264,26 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[*COMMANDS, "all"],
-        help="which paper artefact to regenerate",
+        help="which paper artefact to regenerate (or `lint`)",
     )
     parser.add_argument(
         "--scenario",
         default=None,
         help="scenario name (ci, medium, paper, nas); default from REPRO_SCALE",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run every simulation with the runtime invariant checker on",
+    )
     args = parser.parse_args(argv)
     scenario = get_scenario(args.scenario)
+    if args.check_invariants:
+        import dataclasses
+
+        scenario = scenario.with_(
+            config=dataclasses.replace(scenario.config, check_invariants=True)
+        )
     targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     try:
         for i, name in enumerate(targets):

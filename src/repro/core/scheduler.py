@@ -129,6 +129,10 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         c_here = costs[row]                       # C_m(i, j) for each candidate
         c_ave = costs.mean(axis=0)                # Line 6: mean over N_m nodes
         probs = self.probability_model.probability(c_ave, c_here)  # Line 7
+        if ctx.invariants is not None:
+            ctx.invariants.check_probabilities(
+                probs, where=f"{self.name}.select_map[{job.spec.job_id}]"
+            )
 
         best = int(np.argmax(probs))              # Line 9
         p_best = float(probs[best])
@@ -167,6 +171,10 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         c_here = costs[row]
         c_ave = costs.mean(axis=0)                 # Line 7: mean over N_r nodes
         probs = self.probability_model.probability(c_ave, c_here)  # Line 8
+        if ctx.invariants is not None:
+            ctx.invariants.check_probabilities(
+                probs, where=f"{self.name}.select_reduce[{job.spec.job_id}]"
+            )
 
         best = int(np.argmax(probs))               # Line 10
         p_best = float(probs[best])

@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 __all__ = ["EngineConfig"]
+
+
+def _invariants_default() -> bool:
+    """Default for ``check_invariants`` — the env var lets the test suite
+    and CI enable runtime checking without touching every call site."""
+    return os.environ.get("REPRO_CHECK_INVARIANTS", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 @dataclass(frozen=True)
@@ -49,6 +61,14 @@ class EngineConfig:
     horizon:
         Safety cap on simulated seconds; a run that exceeds it raises, which
         catches scheduler livelocks in tests instead of hanging.
+    check_invariants:
+        Run the :mod:`repro.engine.invariants` checker after every
+        heartbeat round and job completion.  Read-only and RNG-free, so it
+        never changes simulated behaviour — only turns silent state
+        corruption into an :class:`~repro.engine.invariants
+        .InvariantViolation`.  Defaults from the ``REPRO_CHECK_INVARIANTS``
+        environment variable (off otherwise); the CLI exposes it as
+        ``--check-invariants`` and the test suite turns it on globally.
     """
 
     heartbeat_period: float = 3.0
@@ -61,6 +81,7 @@ class EngineConfig:
     speculative_progress_factor: float = 0.7
     speculative_cap: float = 0.1
     horizon: float = 10_000_000.0
+    check_invariants: bool = field(default_factory=_invariants_default)
 
     def __post_init__(self) -> None:
         if self.heartbeat_period <= 0:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.engine.config import EngineConfig
+from repro.engine.invariants import InvariantChecker
 from repro.engine.job import Job
 from repro.hdfs.namenode import NameNode
 from repro.metrics.collector import MetricsCollector
@@ -53,6 +54,9 @@ class JobTracker:
         self.collector = collector or MetricsCollector()
         self.config = config or EngineConfig()
         self.seed = seed
+        self.invariants: Optional[InvariantChecker] = (
+            InvariantChecker(self) if self.config.check_invariants else None
+        )
         self.ctx = SchedulerContext(
             tracker=self,
             rng=rng if rng is not None else np.random.default_rng(seed),
@@ -81,6 +85,8 @@ class JobTracker:
         self.active_jobs.remove(job)
         self.finished_jobs.append(job)
         self.collector.job_completed(job.record())
+        if self.invariants is not None:
+            self.invariants.on_job_finished(job)
         if self.all_done:
             self._stop_heartbeats()
 
@@ -123,10 +129,11 @@ class JobTracker:
     # ------------------------------------------------------------------
     def on_heartbeat(self, node: Node) -> None:
         """Fill the node's free slots, one offer round per slot."""
-        if not self.active_jobs:
-            return
-        self._offer_map_slots(node)
-        self._offer_reduce_slots(node)
+        if self.active_jobs:
+            self._offer_map_slots(node)
+            self._offer_reduce_slots(node)
+        if self.invariants is not None:
+            self.invariants.after_heartbeat()
 
     def _offer_map_slots(self, node: Node) -> None:
         budget = node.free_map_slots if self.config.assign_multiple else 1

@@ -40,6 +40,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.schedulers.base import TaskScheduler
 from repro.schedulers.joblevel import JobLevelScheduler
 from repro.sim import SimulationError, Simulator
+from repro.units import fmt_bytes
 from repro.workload.spec import JobSpec
 
 __all__ = ["Simulation", "RunResult"]
@@ -92,8 +93,8 @@ class RunResult:
                 f"locality: node {loc['node']:.1%}, rack {loc['rack']:.1%}, "
                 f"remote {loc['remote']:.1%}"
             ),
-            f"fabric bytes {self.bytes_over_fabric / 1e9:.2f} GB, "
-            f"local bytes {self.bytes_local / 1e9:.2f} GB",
+            f"fabric bytes {fmt_bytes(self.bytes_over_fabric)}, "
+            f"local bytes {fmt_bytes(self.bytes_local)}",
         ]
         return "\n".join(lines)
 

@@ -33,7 +33,11 @@ class NameNode:
     policy:
         Replica placement policy; HDFS rack-aware by default.
     rng:
-        Random generator driving placement decisions (determinism).
+        Random generator driving placement decisions.  Required: every
+        stream must be injected from the run's single ``SeedSequence``
+        fan-out — a baked-in default seed would silently correlate
+        placement with other subsystems (enforced by the ``hidden-seed``
+        lint rule).
     block_size:
         Default block size for :meth:`create_file` (128 MB, as in the
         paper's example).
@@ -43,19 +47,24 @@ class NameNode:
         self,
         cluster: Cluster,
         *,
+        rng: np.random.Generator,
         replication: int = 2,
         policy: Optional[PlacementPolicy] = None,
-        rng: Optional[np.random.Generator] = None,
         block_size: float = 128.0 * MB,
     ) -> None:
         if replication < 1:
             raise ValueError("replication must be >= 1")
         if block_size <= 0:
             raise ValueError("block_size must be positive")
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "NameNode needs an injected numpy.random.Generator "
+                "(determinism contract)"
+            )
         self.cluster = cluster
         self.replication = replication
         self.policy = policy if policy is not None else RackAwarePlacement()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng
         self.block_size = block_size
         self.files: Dict[str, HDFSFile] = {}
         self._blocks: Dict[int, Block] = {}

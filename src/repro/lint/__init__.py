@@ -1,0 +1,35 @@
+"""repro.lint — the simulation-correctness lint suite.
+
+AST-based checkers enforcing the three machine-checkable contracts the
+reproduction's credibility rests on:
+
+* **determinism** — all randomness flows through injected seeded
+  ``numpy.random.Generator`` streams and all time through the simulated
+  clock (rules ``global-rng``, ``wallclock``, ``unseeded-rng``,
+  ``hidden-seed``);
+* **unit hygiene** — no raw size/rate magic numbers where
+  :mod:`repro.units` helpers exist (rule ``magic-unit``);
+* **scheduler contract** — every ``TaskScheduler`` subclass implements the
+  required hooks, names itself, is exported from ``repro.schedulers`` and
+  never mutates ``SchedulerContext`` (rules ``scheduler-hooks``,
+  ``scheduler-name``, ``scheduler-export``, ``ctx-mutation``).
+
+Run as ``python -m repro.lint src`` or ``repro lint src``; configure via
+``[tool.repro.lint]`` in ``pyproject.toml``; waive a single occurrence with
+``# repro: lint-ok[<rule>]`` on the offending line.  The runtime
+counterpart — invariants checked while a simulation executes — lives in
+:mod:`repro.engine.invariants`.
+"""
+
+from repro.lint.config import LintConfig
+from repro.lint.runner import ALL_RULES, lint_paths, lint_sources, main
+from repro.lint.violations import Violation
+
+__all__ = [
+    "ALL_RULES",
+    "LintConfig",
+    "Violation",
+    "lint_paths",
+    "lint_sources",
+    "main",
+]

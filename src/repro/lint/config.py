@@ -1,0 +1,112 @@
+"""Lint configuration: defaults plus the ``[tool.repro.lint]`` pyproject table.
+
+The determinism rules only make sense inside the simulation-critical
+sub-packages (an experiment driver may legitimately read the wall clock), so
+the scope is configurable: a file is "deterministic scope" when any directory
+component of its path relative to the lint root appears in
+``deterministic_dirs``.  ``exclude`` removes files from linting entirely
+(``repro/units.py`` *defines* the unit constants, so it is excluded by
+default); ``select``/``ignore`` filter by rule name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+__all__ = ["LintConfig", "DEFAULT_DETERMINISTIC_DIRS", "DEFAULT_EXCLUDE"]
+
+#: Sub-packages whose behaviour must be a pure function of the injected seed.
+DEFAULT_DETERMINISTIC_DIRS: Tuple[str, ...] = (
+    "cluster",
+    "core",
+    "engine",
+    "hdfs",
+    "schedulers",
+    "sim",
+    "workload",
+)
+
+#: Path suffixes never linted (repro/units.py *defines* the unit constants).
+DEFAULT_EXCLUDE: Tuple[str, ...] = ("repro/units.py",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective configuration for one lint run."""
+
+    deterministic_dirs: Tuple[str, ...] = DEFAULT_DETERMINISTIC_DIRS
+    exclude: Tuple[str, ...] = DEFAULT_EXCLUDE
+    select: Tuple[str, ...] = ()  # empty = every rule
+    ignore: Tuple[str, ...] = ()
+    source: str = field(default="defaults", compare=False)
+
+    # ------------------------------------------------------------------
+    def rule_enabled(self, rule: str) -> bool:
+        if self.select and rule not in self.select:
+            return False
+        return rule not in self.ignore
+
+    def is_excluded(self, path: Path) -> bool:
+        """True when ``path`` (absolute) matches an exclude suffix."""
+        posix = path.as_posix()
+        return any(
+            posix == pat or posix.endswith("/" + pat) for pat in self.exclude
+        )
+
+    def in_deterministic_scope(self, rel_path: Path) -> bool:
+        return any(part in self.deterministic_dirs for part in rel_path.parts[:-1])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, start: Optional[Path] = None) -> "LintConfig":
+        """Find ``pyproject.toml`` at/above ``start`` and read the lint table.
+
+        Missing file, missing table or an unparseable TOML all fall back to
+        the defaults — the linter must be runnable on a bare checkout.
+        """
+        root = (start or Path.cwd()).resolve()
+        if root.is_file():
+            root = root.parent
+        for candidate in (root, *root.parents):
+            pyproject = candidate / "pyproject.toml"
+            if pyproject.is_file():
+                return cls.from_pyproject(pyproject)
+        return cls()
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - python < 3.11
+            return cls()
+        try:
+            data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        except (OSError, tomllib.TOMLDecodeError):
+            return cls()
+        table = data.get("tool", {}).get("repro", {}).get("lint", {})
+        if not isinstance(table, dict):
+            return cls()
+
+        def strings(key: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+            raw = table.get(key, table.get(key.replace("_", "-")))
+            if raw is None:
+                return default
+            if not isinstance(raw, list) or not all(
+                isinstance(x, str) for x in raw
+            ):
+                raise ValueError(
+                    f"[tool.repro.lint] {key} must be a list of strings"
+                )
+            return tuple(raw)
+
+        return cls(
+            deterministic_dirs=strings(
+                "deterministic_dirs", DEFAULT_DETERMINISTIC_DIRS
+            ),
+            exclude=strings("exclude", DEFAULT_EXCLUDE),
+            select=strings("select", ()),
+            ignore=strings("ignore", ()),
+            source=str(pyproject),
+        )

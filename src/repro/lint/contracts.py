@@ -1,0 +1,330 @@
+"""Scheduler-contract conformance rules (whole-project analysis).
+
+The engine's :class:`~repro.schedulers.base.TaskScheduler` strategy
+interface carries an implicit contract that a reviewer would otherwise have
+to police by hand.  These rules machine-check it across every linted file:
+
+``scheduler-hooks``
+    Every concrete ``TaskScheduler`` subclass must implement (or inherit
+    from another subclass) both ``select_map`` and ``select_reduce`` — the
+    base class raises ``NotImplementedError``, so "inheriting" from it alone
+    means a runtime crash on the first heartbeat.
+``scheduler-name``
+    Every subclass chain must override the class-level ``name`` attribute;
+    two schedulers reporting as ``"base"`` make experiment tables
+    indistinguishable.
+``scheduler-export``
+    Every public ``TaskScheduler`` subclass must be listed in the
+    ``__all__`` of ``schedulers/__init__.py`` so registries, docs and the
+    determinism regression tests can enumerate them.
+``ctx-mutation``
+    Scheduler hooks receive a shared :class:`SchedulerContext`; assigning to
+    its fields from a scheduler corrupts every other scheduler decision in
+    the run.  Any store/delete on an attribute of a parameter named ``ctx``
+    (or annotated ``SchedulerContext``) inside a scheduler class is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.violations import Violation
+
+__all__ = ["check_contracts", "RULES"]
+
+RULES = {
+    "scheduler-hooks": "TaskScheduler subclass missing select_map/select_reduce",
+    "scheduler-name": "TaskScheduler subclass chain never overrides `name`",
+    "scheduler-export": "TaskScheduler subclass absent from schedulers __all__",
+    "ctx-mutation": "scheduler mutates a SchedulerContext field",
+}
+
+_ROOT = "TaskScheduler"
+_HOOKS = ("select_map", "select_reduce")
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    bases: Tuple[str, ...]  # last segment of each base expression
+    methods: Set[str]
+    class_attrs: Set[str]
+    path: str
+    lineno: int
+    col: int
+    node: ast.ClassDef = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def _last_segment(node: ast.AST) -> Optional[str]:
+    while isinstance(node, ast.Subscript):  # Generic[...] bases
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _collect_classes(tree: ast.AST, path: str) -> List[_ClassInfo]:
+    out: List[_ClassInfo] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = tuple(
+            b for b in (_last_segment(base) for base in node.bases) if b
+        )
+        methods: Set[str] = set()
+        attrs: Set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        attrs.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                attrs.add(stmt.target.id)
+        out.append(
+            _ClassInfo(
+                name=node.name,
+                bases=bases,
+                methods=methods,
+                class_attrs=attrs,
+                path=path,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                node=node,
+            )
+        )
+    return out
+
+
+def _schedulers_exports(
+    modules: Sequence[Tuple[str, Path, ast.AST]]
+) -> Optional[Set[str]]:
+    """Names exported by a linted ``schedulers/__init__.py``, if any."""
+    for _path, rel, tree in modules:
+        if rel.parts[-2:] != ("schedulers", "__init__.py"):
+            continue
+        exported: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if "__all__" in targets and isinstance(
+                    node.value, (ast.List, ast.Tuple)
+                ):
+                    exported.update(
+                        e.value
+                        for e in node.value.elts
+                        if isinstance(e, ast.Constant)
+                        and isinstance(e.value, str)
+                    )
+        return exported
+    return None
+
+
+class _CtxMutationVisitor(ast.NodeVisitor):
+    """Flag stores/deletes on attributes of the scheduler-context param."""
+
+    def __init__(self, path: str, config: LintConfig) -> None:
+        self.path = path
+        self.config = config
+        self.violations: List[Violation] = []
+        self._ctx_names: List[Set[str]] = []
+
+    def _function(self, node) -> None:
+        names: Set[str] = set()
+        args = node.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ):
+            if arg.arg == "ctx":
+                names.add(arg.arg)
+            elif (
+                arg.annotation is not None
+                and _last_segment(arg.annotation) == "SchedulerContext"
+            ):
+                names.add(arg.arg)
+        self._ctx_names.append(names)
+        self.generic_visit(node)
+        self._ctx_names.pop()
+
+    visit_FunctionDef = _function
+    visit_AsyncFunctionDef = _function
+
+    # ------------------------------------------------------------------
+    def _is_ctx_attr(self, target: ast.AST) -> bool:
+        if not self._ctx_names:
+            return False
+        return (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in self._ctx_names[-1]
+        )
+
+    def _emit(self, node: ast.AST, target: ast.Attribute) -> None:
+        if not self.config.rule_enabled("ctx-mutation"):
+            return
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule="ctx-mutation",
+                message=(
+                    f"scheduler mutates shared context field "
+                    f"`{target.value.id}.{target.attr}`; SchedulerContext "
+                    "is read-only for schedulers"
+                ),
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if self._is_ctx_attr(target):
+                self._emit(node, target)  # type: ignore[arg-type]
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._is_ctx_attr(node.target):
+            self._emit(node, node.target)  # type: ignore[arg-type]
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_ctx_attr(node.target):
+            self._emit(node, node.target)  # type: ignore[arg-type]
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if self._is_ctx_attr(target):
+                self._emit(node, target)  # type: ignore[arg-type]
+        self.generic_visit(node)
+
+
+def check_contracts(
+    modules: Sequence[Tuple[str, Path, ast.AST]], config: LintConfig
+) -> List[Violation]:
+    """Run the scheduler-contract rules over all parsed modules.
+
+    ``modules`` is ``(display_path, rel_path, tree)`` per linted file.
+    """
+    violations: List[Violation] = []
+
+    classes: Dict[str, _ClassInfo] = {}
+    for path, _rel, tree in modules:
+        for info in _collect_classes(tree, path):
+            # first definition wins; duplicate class names across fixture
+            # trees are unlikely and a merge would only blur locations
+            classes.setdefault(info.name, info)
+
+    # transitive closure of TaskScheduler descendants
+    descendants: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for info in classes.values():
+            if info.name in descendants or info.name == _ROOT:
+                continue
+            if any(b == _ROOT or b in descendants for b in info.bases):
+                descendants.add(info.name)
+                changed = True
+
+    def chain(info: _ClassInfo) -> List[_ClassInfo]:
+        """The class plus its known ancestors, excluding the root."""
+        out: List[_ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [info.name]
+        while stack:
+            name = stack.pop()
+            if name in seen or name == _ROOT:
+                continue
+            seen.add(name)
+            node = classes.get(name)
+            if node is None:
+                continue
+            out.append(node)
+            stack.extend(node.bases)
+        return out
+
+    exports = _schedulers_exports([(p, r, t) for p, r, t in modules])
+
+    for name in sorted(descendants):
+        info = classes[name]
+        lineage = chain(info)
+        if config.rule_enabled("scheduler-hooks"):
+            for hook in _HOOKS:
+                if not any(hook in c.methods for c in lineage):
+                    violations.append(
+                        Violation(
+                            path=info.path,
+                            line=info.lineno,
+                            col=info.col,
+                            rule="scheduler-hooks",
+                            message=(
+                                f"{name} subclasses TaskScheduler but never "
+                                f"implements {hook}(); the base raises "
+                                "NotImplementedError on the first heartbeat"
+                            ),
+                        )
+                    )
+        if config.rule_enabled("scheduler-name") and not any(
+            "name" in c.class_attrs for c in lineage
+        ):
+            violations.append(
+                Violation(
+                    path=info.path,
+                    line=info.lineno,
+                    col=info.col,
+                    rule="scheduler-name",
+                    message=(
+                        f"{name} never overrides the class-level `name` "
+                        "attribute; it would report as 'base' in every "
+                        "experiment table"
+                    ),
+                )
+            )
+        if (
+            config.rule_enabled("scheduler-export")
+            and exports is not None
+            and not name.startswith("_")
+            and name not in exports
+        ):
+            violations.append(
+                Violation(
+                    path=info.path,
+                    line=info.lineno,
+                    col=info.col,
+                    rule="scheduler-export",
+                    message=(
+                        f"{name} is not exported from schedulers/__init__.py "
+                        "__all__; registries and regression tests cannot "
+                        "enumerate it"
+                    ),
+                )
+            )
+
+    # ctx-mutation: inside TaskScheduler itself and every descendant
+    interesting = descendants | {_ROOT}
+    for path, _rel, tree in modules:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name in interesting
+            ):
+                visitor = _CtxMutationVisitor(path, config)
+                for stmt in node.body:
+                    visitor.visit(stmt)
+                violations.extend(visitor.violations)
+
+    return violations

@@ -1,0 +1,326 @@
+"""Determinism hazard rules.
+
+Every CDF in the evaluation is only meaningful if a run is a pure function
+of its seed, so inside the simulation-critical sub-packages all randomness
+must flow through an injected ``numpy.random.Generator`` and all time must
+come from the simulated clock.  Four rules enforce that:
+
+``global-rng``
+    A call through stdlib ``random`` or through numpy's *global* RNG state
+    (``np.random.random()``, ``np.random.seed()``, ...).  Only the
+    generator-construction API (``default_rng``, ``Generator``,
+    ``SeedSequence`` and the bit generators) is allowed.
+``wallclock``
+    ``time.time()`` / ``monotonic()`` / ``perf_counter()`` or
+    ``datetime.now()`` / ``utcnow()`` / ``today()`` — wall-clock reads that
+    leak host timing into simulated behaviour.
+``unseeded-rng``
+    ``np.random.default_rng()`` with no seed argument: a fresh OS-entropy
+    stream, unreproducible by construction.  Flagged everywhere, not just in
+    deterministic scope.
+``hidden-seed``
+    ``default_rng(<literal>)`` / ``SeedSequence(<literal>)`` with a constant
+    seed inside library code.  Two subsystems silently sharing seed 0 are
+    correlated; library RNGs must be injected from the Simulation's single
+    ``SeedSequence`` fan-out, never self-seeded with a baked-in constant.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.violations import Violation
+
+__all__ = ["check_determinism", "RULES"]
+
+RULES = {
+    "global-rng": "call through stdlib random or numpy's global RNG state",
+    "wallclock": "wall-clock read inside simulation-critical code",
+    "unseeded-rng": "numpy default_rng() constructed without a seed",
+    "hidden-seed": "RNG self-seeded with a baked-in constant in library code",
+}
+
+#: numpy.random attributes that construct *explicit* generators (allowed).
+_GENERATOR_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _Imports(ast.NodeVisitor):
+    """Resolve local names to the modules/functions they came from."""
+
+    def __init__(self) -> None:
+        self.random_modules: Set[str] = set()  # aliases of stdlib random
+        self.random_funcs: Set[str] = set()  # from random import shuffle, ...
+        self.numpy_modules: Set[str] = set()  # aliases of numpy
+        self.np_random_modules: Set[str] = set()  # aliases of numpy.random
+        self.np_random_funcs: Dict[str, str] = {}  # local name -> origin attr
+        self.time_modules: Set[str] = set()
+        self.time_funcs: Set[str] = set()
+        self.datetime_modules: Set[str] = set()
+        self.datetime_classes: Set[str] = set()  # datetime/date class aliases
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_modules.add(local)
+            elif alias.name == "numpy":
+                self.numpy_modules.add(local)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.np_random_modules.add(alias.asname)
+                else:
+                    self.numpy_modules.add("numpy")
+            elif alias.name == "time":
+                self.time_modules.add(local)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:  # relative import — never one of the stdlib targets
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if node.module == "random":
+                self.random_funcs.add(local)
+            elif node.module == "numpy" and alias.name == "random":
+                self.np_random_modules.add(local)
+            elif node.module == "numpy.random":
+                self.np_random_funcs[local] = alias.name
+            elif node.module == "time":
+                self.time_funcs.add(local)
+            elif node.module == "datetime" and alias.name in (
+                "datetime",
+                "date",
+            ):
+                self.datetime_classes.add(local)
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        imports: _Imports,
+        config: LintConfig,
+        deterministic_scope: bool,
+    ) -> None:
+        self.path = path
+        self.imports = imports
+        self.config = config
+        self.deterministic_scope = deterministic_scope
+        self.violations: List[Violation] = []
+
+    # ------------------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.config.rule_enabled(rule):
+            self.violations.append(
+                Violation(
+                    path=self.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule=rule,
+                    message=message,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        imp = self.imports
+
+        # -- bare names bound by `from <module> import <name>` -------------
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in imp.random_funcs and self.deterministic_scope:
+                self._emit(
+                    "global-rng",
+                    node,
+                    f"stdlib random.{name}() draws from global state; "
+                    "use the injected numpy.random.Generator",
+                )
+                return
+            if name in imp.time_funcs and self.deterministic_scope:
+                self._emit(
+                    "wallclock",
+                    node,
+                    f"time.{name}() reads the wall clock; use the "
+                    "simulated clock (sim.now)",
+                )
+                return
+            origin = imp.np_random_funcs.get(name)
+            if origin is not None:
+                if origin not in _GENERATOR_API:
+                    if self.deterministic_scope:
+                        self._emit(
+                            "global-rng",
+                            node,
+                            f"numpy.random.{origin}() mutates numpy's global "
+                            "RNG state; use the injected Generator",
+                        )
+                elif origin in ("default_rng", "SeedSequence"):
+                    self._check_rng_ctor(node, origin)
+            return
+
+        dotted = _dotted(func)
+        if dotted is None:
+            # method calls on expressions: catch `<datetime class>.now()`
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _DATETIME_FUNCS
+            ):
+                base = _dotted(func.value)
+                if base is not None and (
+                    base in imp.datetime_classes
+                    or any(
+                        base == f"{m}.datetime" or base == f"{m}.date"
+                        for m in imp.datetime_modules
+                    )
+                ):
+                    if self.deterministic_scope:
+                        self._emit(
+                            "wallclock",
+                            node,
+                            f"{base}.{func.attr}() reads the wall clock; "
+                            "use the simulated clock (sim.now)",
+                        )
+            return
+
+        head, _, rest = dotted.partition(".")
+        attr = dotted.rsplit(".", 1)[-1]
+
+        # -- stdlib random module ------------------------------------------
+        if head in imp.random_modules and rest and self.deterministic_scope:
+            self._emit(
+                "global-rng",
+                node,
+                f"{dotted}() draws from stdlib random's global state; "
+                "use the injected numpy.random.Generator",
+            )
+            return
+
+        # -- time module ----------------------------------------------------
+        if (
+            head in imp.time_modules
+            and rest in _TIME_FUNCS
+            and self.deterministic_scope
+        ):
+            self._emit(
+                "wallclock",
+                node,
+                f"{dotted}() reads the wall clock; use the simulated "
+                "clock (sim.now)",
+            )
+            return
+
+        # -- datetime module ------------------------------------------------
+        if (
+            head in imp.datetime_modules or head in imp.datetime_classes
+        ) and attr in _DATETIME_FUNCS:
+            if self.deterministic_scope:
+                self._emit(
+                    "wallclock",
+                    node,
+                    f"{dotted}() reads the wall clock; use the simulated "
+                    "clock (sim.now)",
+                )
+            return
+
+        # -- numpy.random ----------------------------------------------------
+        np_attr: Optional[str] = None
+        if head in imp.numpy_modules and rest.startswith("random."):
+            np_attr = rest[len("random.") :]
+        elif head in imp.np_random_modules and rest:
+            np_attr = rest
+        if np_attr is None or "." in np_attr:
+            return
+        if np_attr not in _GENERATOR_API:
+            if self.deterministic_scope:
+                self._emit(
+                    "global-rng",
+                    node,
+                    f"{dotted}() uses numpy's global RNG state; use the "
+                    "injected Generator",
+                )
+        elif np_attr in ("default_rng", "SeedSequence"):
+            self._check_rng_ctor(node, np_attr)
+
+    # ------------------------------------------------------------------
+    def _check_rng_ctor(self, node: ast.Call, which: str) -> None:
+        """default_rng/SeedSequence: must be seeded, but not self-seeded."""
+        if which == "default_rng" and not node.args and not node.keywords:
+            self._emit(
+                "unseeded-rng",
+                node,
+                "default_rng() without a seed draws OS entropy — the run "
+                "cannot be reproduced; pass a seed or an injected "
+                "SeedSequence",
+            )
+            return
+        if not self.deterministic_scope:
+            return
+        if len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self._emit(
+                    "hidden-seed",
+                    node,
+                    f"{which}({value!r}) bakes a constant seed into library "
+                    "code, silently correlating RNG streams; inject the "
+                    "generator from the Simulation's SeedSequence fan-out",
+                )
+
+
+def check_determinism(
+    tree: ast.AST, path: str, rel_path: Path, config: LintConfig
+) -> List[Violation]:
+    """Run the determinism rules over one parsed module."""
+    imports = _Imports()
+    imports.visit(tree)
+    visitor = _DeterminismVisitor(
+        path, imports, config, config.in_deterministic_scope(rel_path)
+    )
+    visitor.visit(tree)
+    return visitor.violations

@@ -1,0 +1,193 @@
+"""Lint driver: file discovery, rule dispatch, reporting, CLI.
+
+Usage::
+
+    python -m repro.lint src          # lint a tree
+    repro lint src                    # via the installed entry point
+    python -m repro.lint --list-rules
+
+Exit status is 0 when no violation survives suppression filtering, 1
+otherwise, 2 on usage errors — so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint import contracts, determinism, units
+from repro.lint.config import LintConfig
+from repro.lint.suppress import is_suppressed, suppressions
+from repro.lint.violations import Violation
+
+__all__ = ["ALL_RULES", "lint_paths", "lint_sources", "main"]
+
+#: rule name -> one-line description, across every rule module.
+ALL_RULES = {
+    **determinism.RULES,
+    **units.RULES,
+    **contracts.RULES,
+}
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist"}
+
+
+def _iter_python_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        parts = path.relative_to(root).parts
+        if any(
+            p in _SKIP_DIRS or p.endswith(".egg-info") or p.startswith(".")
+            for p in parts[:-1]
+        ):
+            continue
+        yield path
+
+
+def lint_sources(
+    sources: Sequence[Tuple[str, Path, str]],
+    config: Optional[LintConfig] = None,
+) -> List[Violation]:
+    """Lint in-memory sources: ``(display_path, scope_path, source)`` each.
+
+    ``scope_path`` is the path (relative to the lint root) used for
+    directory-scoping decisions; ``display_path`` appears in reports.  The
+    workhorse behind :func:`lint_paths`, exposed for the rule tests.
+    """
+    config = config or LintConfig()
+    violations: List[Violation] = []
+    parsed: List[Tuple[str, Path, ast.AST]] = []
+    waivers = {}
+
+    for display, scope, source in sources:
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        parsed.append((display, scope, tree))
+        waivers[display] = suppressions(source)
+        violations.extend(determinism.check_determinism(tree, display, scope, config))
+        violations.extend(units.check_units(tree, display, scope, config))
+
+    violations.extend(contracts.check_contracts(parsed, config))
+
+    kept = [
+        v
+        for v in violations
+        if not is_suppressed(v, waivers.get(v.path, {}))
+    ]
+    return sorted(kept)
+
+
+def lint_paths(
+    paths: Sequence[Path], config: Optional[LintConfig] = None
+) -> List[Violation]:
+    """Lint every ``*.py`` file under ``paths`` and return the violations."""
+    if config is None:
+        config = LintConfig.load(paths[0] if paths else None)
+    sources: List[Tuple[str, Path, str]] = []
+    for root in paths:
+        root = Path(root)
+        if not root.exists():
+            raise FileNotFoundError(f"no such path: {root}")
+        base = root if root.is_dir() else root.parent
+        for path in _iter_python_files(root):
+            if config.is_excluded(path.resolve()):
+                continue
+            rel = path.relative_to(base)
+            sources.append((str(path), rel, path.read_text(encoding="utf-8")))
+    return lint_sources(sources, config)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule name and description, then exit",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule names to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule names to skip",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(name) for name in ALL_RULES)
+        for name, desc in sorted(ALL_RULES.items()):
+            print(f"{name:<{width}}  {desc}")
+        return 0
+
+    for name in (args.select or "").split(",") + (args.ignore or "").split(","):
+        name = name.strip()
+        if name and name not in ALL_RULES:
+            print(f"unknown rule {name!r}; see --list-rules", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    config = LintConfig.load(paths[0])
+    if args.select:
+        config = LintConfig(
+            deterministic_dirs=config.deterministic_dirs,
+            exclude=config.exclude,
+            select=tuple(s.strip() for s in args.select.split(",") if s.strip()),
+            ignore=config.ignore,
+            source=config.source,
+        )
+    if args.ignore:
+        config = LintConfig(
+            deterministic_dirs=config.deterministic_dirs,
+            exclude=config.exclude,
+            select=config.select,
+            ignore=config.ignore
+            + tuple(s.strip() for s in args.ignore.split(",") if s.strip()),
+            source=config.source,
+        )
+
+    try:
+        violations = lint_paths(paths, config)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    for v in violations:
+        print(v.format())
+    if violations:
+        print(f"\n{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""In-source suppression markers.
+
+A violation may be silenced on its own line with::
+
+    cache_ttl = 1e9  # repro: lint-ok[magic-unit]
+
+Several rules may be listed (comma-separated) and ``*`` silences every rule
+on the line.  Markers are per-line only — there is deliberately no
+file-level or block-level escape hatch, so each waived occurrence stays
+visible at the point of use.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+from repro.lint.violations import Violation
+
+__all__ = ["suppressions", "is_suppressed"]
+
+_MARKER = re.compile(r"#\s*repro:\s*lint-ok\[([^\]]*)\]")
+
+
+def suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the set of rule names waived there."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _MARKER.search(line)
+        if m:
+            rules = frozenset(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+            if rules:
+                out[lineno] = rules
+    return out
+
+
+def is_suppressed(
+    violation: Violation, waived: Dict[int, FrozenSet[str]]
+) -> bool:
+    rules = waived.get(violation.line)
+    if not rules:
+        return False
+    return "*" in rules or violation.rule in rules

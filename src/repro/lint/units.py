@@ -1,0 +1,113 @@
+"""Unit-hygiene rule: no raw size/rate magic numbers.
+
+All sizes in the library are bytes and all rates bytes/second, with
+:mod:`repro.units` providing the named constants (``KB``/``MB``/``GB``,
+``Mbps``/``Gbps``) and helpers.  A raw ``1e9`` is ambiguous three ways —
+decimal gigabyte, binary gibibyte, or gigabit — and that ambiguity is
+exactly how bytes-vs-Gbps mix-ups corrupt every downstream figure.  The
+``magic-unit`` rule therefore flags, anywhere outside ``repro/units.py``:
+
+* decimal power-of-ten literals (``1e3``, ``1e6``, ``1e9``, ``1e12``,
+  ``1e15``) used as a multiplication/division factor;
+* binary size arithmetic: ``x * 1024``, ``1024 ** n``, ``2 ** 20/30/40``
+  and ``1 << 20/30/40``.
+
+A deliberate occurrence is waived with ``# repro: lint-ok[magic-unit]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.violations import Violation
+
+__all__ = ["check_units", "RULES"]
+
+RULES = {
+    "magic-unit": "raw size/rate literal where repro.units helpers exist",
+}
+
+_KIB = 1024
+#: 10**k factors that read as KB/MB/GB/TB or Kbps/Mbps/Gbps in context.
+_DECIMAL_FACTORS = frozenset(float(10**k) for k in (3, 6, 9, 12, 15))
+#: exponents whose power-of-two / shift spells a binary size unit.
+_BINARY_EXPONENTS = frozenset({10, 20, 30, 40})
+
+
+def _const_value(node: ast.AST):
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+class _UnitsVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, config: LintConfig) -> None:
+        self.path = path
+        self.config = config
+        self.violations: List[Violation] = []
+        self._seen: Set[Tuple[int, int]] = set()
+
+    def _emit(self, node: ast.AST, message: str) -> None:
+        key = (node.lineno, node.col_offset)
+        if key in self._seen or not self.config.rule_enabled("magic-unit"):
+            return
+        self._seen.add(key)
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule="magic-unit",
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        left = _const_value(node.left)
+        right = _const_value(node.right)
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            for value in (left, right):
+                if value is not None and float(value) in _DECIMAL_FACTORS:
+                    self._emit(
+                        node,
+                        f"magic factor {value:g}: use the named constants "
+                        "or helpers from repro.units (KB/MB/GB, mbps/gbps)",
+                    )
+            if isinstance(node.op, ast.Mult) and _KIB in (left, right):
+                self._emit(
+                    node,
+                    "binary size arithmetic with raw 1024: use "
+                    "repro.units.KB/MB/GB",
+                )
+        elif isinstance(node.op, ast.Pow):
+            if (left == _KIB and isinstance(right, int) and right >= 1) or (
+                left == 2 and right in _BINARY_EXPONENTS
+            ):
+                self._emit(
+                    node,
+                    f"power-of-two size literal {left}**{right}: use "
+                    "repro.units.KB/MB/GB/TB",
+                )
+        elif isinstance(node.op, ast.LShift):
+            if left == 1 and right in _BINARY_EXPONENTS:
+                self._emit(
+                    node,
+                    f"shifted size literal 1 << {right}: use "
+                    "repro.units.KB/MB/GB/TB",
+                )
+        self.generic_visit(node)
+
+
+def check_units(
+    tree: ast.AST, path: str, rel_path: Path, config: LintConfig
+) -> List[Violation]:
+    """Run the unit-hygiene rule over one parsed module."""
+    visitor = _UnitsVisitor(path, config)
+    visitor.visit(tree)
+    return visitor.violations

@@ -1,0 +1,28 @@
+"""The violation record every lint rule emits.
+
+A :class:`Violation` pins one defect to a file, line and column, names the
+rule that fired (the same name used in ``# repro: lint-ok[<rule>]``
+suppression markers) and carries a human-readable message.  Violations order
+by location so reports are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One lint finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` — editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

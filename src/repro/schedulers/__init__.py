@@ -1,4 +1,9 @@
-"""Task- and job-level schedulers: interface, baselines, reference points."""
+"""Task- and job-level schedulers: interface, baselines, reference points.
+
+The paper's :class:`ProbabilisticNetworkAwareScheduler` is also exported
+here (lazily — it lives in :mod:`repro.core`, which imports this package,
+so an eager import would be circular).
+"""
 
 from repro.schedulers.base import SchedulerContext, TaskScheduler
 from repro.schedulers.capacity import CapacityJobScheduler
@@ -23,7 +28,27 @@ __all__ = [
     "JobLevelScheduler",
     "LARTSScheduler",
     "MatchingScheduler",
+    "PNAConfig",
+    "ProbabilisticNetworkAwareScheduler",
     "RandomScheduler",
     "SchedulerContext",
     "TaskScheduler",
 ]
+
+# Defined in repro.core.scheduler, which imports repro.schedulers.base and
+# therefore this package: resolve on first attribute access (PEP 562).
+_LAZY = {
+    "PNAConfig": "repro.core.scheduler",
+    "ProbabilisticNetworkAwareScheduler": "repro.core.scheduler",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    obj = getattr(importlib.import_module(module), name)
+    globals()[name] = obj
+    return obj

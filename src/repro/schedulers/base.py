@@ -24,6 +24,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.cluster.node import Node
+    from repro.engine.invariants import InvariantChecker
     from repro.engine.job import Job
     from repro.engine.jobtracker import JobTracker
     from repro.engine.task import MapTask, ReduceTask
@@ -60,6 +61,11 @@ class SchedulerContext:
         """The hop-count distance matrix ``H``."""
         return self.tracker.cluster.hop_matrix
 
+    @property
+    def invariants(self) -> Optional["InvariantChecker"]:
+        """The run's invariant checker, or None when checking is off."""
+        return getattr(self.tracker, "invariants", None)
+
     def free_map_nodes(self) -> List["Node"]:
         """Nodes with at least one free map slot (``N_m`` nodes)."""
         return self.tracker.cluster.nodes_with_free_map_slots()
@@ -77,6 +83,11 @@ class TaskScheduler:
     immediately launch on ``node``) or ``None`` to decline.  ``on_job_added``
     lets stateful schedulers attach per-job bookkeeping (cost caches, skip
     counters).
+
+    Contract (machine-checked by ``repro lint``): every concrete subclass
+    implements both hooks, overrides the class-level ``name``, is exported
+    from :mod:`repro.schedulers`, and treats the shared
+    :class:`SchedulerContext` as read-only.
     """
 
     #: Human-readable name used in reports and experiment tables.

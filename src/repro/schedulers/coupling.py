@@ -47,6 +47,10 @@ class CouplingScheduler(TaskScheduler):
 
     name = "coupling"
 
+    #: Algorithm-2-style rule honoured by ``select_reduce`` — advertised so
+    #: the runtime invariant checker audits the one-reducer-per-node rule.
+    avoid_reduce_colocation = True
+
     def __init__(
         self,
         *,

@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
+# The whole suite runs with the runtime invariant layer on, so every
+# engine-level test doubles as an invariant regression test.  Must be set
+# before repro is imported: Scenario's default EngineConfig is built at
+# import time.
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
+
 import numpy as np
 import pytest
 

@@ -1,0 +1,171 @@
+"""Tests for the runtime invariant checker (``repro.engine.invariants``).
+
+Positive path: a clean run with checking enabled executes thousands of
+checks and raises nothing, and enabling the checker is behaviour-neutral
+(identical metrics with it on or off).  Negative path: each invariant is
+individually broken by corrupting live state and must raise
+:class:`InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, EngineConfig, Simulation, table2_batch
+from repro.core import ProbabilisticNetworkAwareScheduler
+from repro.engine.invariants import InvariantChecker, InvariantViolation
+from repro.schedulers import FairScheduler
+
+
+def tiny_sim(check=True, scheduler=None, seed=11):
+    return Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=scheduler or ProbabilisticNetworkAwareScheduler(),
+        jobs=table2_batch("wordcount", scale=0.02)[:3],
+        config=EngineConfig(check_invariants=check),
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def live():
+    """A simulation advanced mid-run, with active jobs and a live checker."""
+    sim = tiny_sim(check=True)
+    sim.tracker.start()
+    sim.sim.run(until=30.0)
+    inv = sim.tracker.invariants
+    assert inv is not None
+    assert sim.tracker.active_jobs, "fixture needs an in-flight job"
+    return sim, inv
+
+
+# ----------------------------------------------------------------------
+# clean runs
+# ----------------------------------------------------------------------
+class TestCleanRun:
+    def test_checker_attached_and_active(self):
+        sim = tiny_sim(check=True)
+        result = sim.run()
+        inv = sim.tracker.invariants
+        assert inv is not None
+        assert inv.checks_run > 0
+        assert inv.violations_raised == 0
+        assert result.job_completion_times.size == 3
+
+    def test_disabled_config_attaches_no_checker(self):
+        sim = tiny_sim(check=False)
+        assert sim.tracker.invariants is None
+
+    def test_checking_is_behaviour_neutral(self):
+        r_on = tiny_sim(check=True).run()
+        r_off = tiny_sim(check=False).run()
+        assert np.array_equal(
+            r_on.job_completion_times, r_off.job_completion_times
+        )
+        assert r_on.bytes_over_fabric == r_off.bytes_over_fabric
+        assert r_on.bytes_local == r_off.bytes_local
+        assert r_on.sim_time == r_off.sim_time
+
+    def test_env_flag_controls_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "0")
+        assert EngineConfig().check_invariants is False
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        assert EngineConfig().check_invariants is True
+        # explicit argument always wins over the environment
+        assert EngineConfig(check_invariants=True).check_invariants is True
+
+    def test_cli_flag_parses(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2", "--check-invariants"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# broken invariants raise
+# ----------------------------------------------------------------------
+class TestViolations:
+    def test_negative_slot_count_raises(self, live):
+        sim, inv = live
+        sim.cluster.nodes[0].running_maps = -1
+        with pytest.raises(InvariantViolation, match="running_maps"):
+            inv.check_slots()
+        assert inv.violations_raised == 1
+
+    def test_slot_overflow_raises(self, live):
+        sim, inv = live
+        node = sim.cluster.nodes[0]
+        node.running_reduces = node.reduce_slots + 1
+        with pytest.raises(InvariantViolation, match="running_reduces"):
+            inv.check_slots()
+
+    def test_probability_above_one_raises(self, live):
+        _, inv = live
+        with pytest.raises(InvariantViolation, match="outside"):
+            inv.check_probabilities(np.array([0.2, 1.5]), where="test")
+
+    def test_probability_below_zero_raises(self, live):
+        _, inv = live
+        with pytest.raises(InvariantViolation, match="outside"):
+            inv.check_probabilities(-0.1, where="test")
+
+    def test_non_finite_probability_raises(self, live):
+        _, inv = live
+        with pytest.raises(InvariantViolation, match="non-finite"):
+            inv.check_probabilities(float("nan"), where="test")
+
+    def test_valid_probabilities_pass(self, live):
+        _, inv = live
+        inv.check_probabilities(np.linspace(0.0, 1.0, 5), where="test")
+
+    def test_clock_regression_raises(self, live):
+        sim, inv = live
+        inv._last_clock = sim.sim.now + 100.0
+        with pytest.raises(InvariantViolation, match="backwards"):
+            inv.check_clock()
+
+    def test_shuffle_overflow_raises(self, live):
+        sim, inv = live
+        job = sim.tracker.active_jobs[0]
+        task = job.reduces[0]
+        bound = float(np.asarray(job.I, dtype=np.float64).sum(axis=0)[0])
+        task._fetch = types.SimpleNamespace(fetched=bound * 2.0 + 10.0)
+        with pytest.raises(InvariantViolation, match="exceeds"):
+            inv.check_shuffle(job)
+
+    def test_shuffle_within_bound_passes(self, live):
+        sim, inv = live
+        inv.check_shuffle(sim.tracker.active_jobs[0])
+
+    def test_reduce_colocation_raises_under_pna(self, live):
+        sim, inv = live
+        job = sim.tracker.active_jobs[0]
+        job._reduce_node_counts["r0n0"] = 2
+        with pytest.raises(InvariantViolation, match="co-location"):
+            inv.check_colocation(job)
+
+    def test_colocation_ignored_for_permissive_scheduler(self):
+        sim = tiny_sim(check=True, scheduler=FairScheduler())
+        sim.tracker.start()
+        sim.sim.run(until=30.0)
+        inv = sim.tracker.invariants
+        job = sim.tracker.active_jobs[0]
+        job._reduce_node_counts["r0n0"] = 2
+        # FairScheduler makes no Algorithm-2 promise: nothing to enforce
+        inv.check_colocation(job)
+
+    def test_after_heartbeat_catches_corruption(self, live):
+        sim, inv = live
+        sim.cluster.nodes[-1].running_maps = -3
+        with pytest.raises(InvariantViolation):
+            inv.after_heartbeat()
+
+
+def test_checker_detects_colocation_promise():
+    sim_pna = tiny_sim(check=True)
+    assert InvariantChecker(sim_pna.tracker)._no_colocation is True
+    sim_fair = tiny_sim(check=True, scheduler=FairScheduler())
+    assert InvariantChecker(sim_fair.tracker)._no_colocation is False

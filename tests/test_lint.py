@@ -1,0 +1,373 @@
+"""Tests for the ``repro.lint`` static-analysis suite.
+
+Every rule gets at least one positive fixture (the rule fires on the
+hazard it documents) and one negative fixture (the idiomatic replacement
+passes), plus suppression, configuration and CLI coverage.  The in-memory
+``lint_sources`` entry point keeps the fixtures self-contained: each is a
+``(display_path, scope_path, source)`` triple, where the scope path decides
+whether the file counts as simulation-critical.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    LintConfig,
+    Violation,
+    lint_paths,
+    lint_sources,
+)
+from repro.lint.config import DEFAULT_DETERMINISTIC_DIRS
+from repro.lint.runner import main as lint_main
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+#: scope inside a deterministic sub-package — determinism rules apply.
+ENGINE = Path("repro/engine/mod.py")
+#: scope outside the deterministic sub-packages — they do not.
+DRIVER = Path("repro/analysis/mod.py")
+
+
+def run_lint(source, scope=ENGINE, config=None):
+    return lint_sources([("mod.py", scope, source)], config)
+
+
+def rules(violations):
+    return sorted({v.rule for v in violations})
+
+
+# ----------------------------------------------------------------------
+# global-rng
+# ----------------------------------------------------------------------
+class TestGlobalRng:
+    def test_stdlib_random_flagged(self):
+        src = "import random\nx = random.random()\n"
+        assert rules(run_lint(src)) == ["global-rng"]
+
+    def test_numpy_global_state_flagged(self):
+        src = "import numpy as np\nnp.random.seed(42)\ny = np.random.rand(3)\n"
+        assert [v.rule for v in run_lint(src)] == ["global-rng", "global-rng"]
+
+    def test_from_import_alias_flagged(self):
+        src = "from numpy.random import shuffle as sh\nsh([1, 2])\n"
+        assert rules(run_lint(src)) == ["global-rng"]
+
+    def test_injected_generator_ok(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator):\n"
+            "    return rng.random()\n"
+        )
+        assert run_lint(src) == []
+
+    def test_outside_deterministic_scope_ok(self):
+        src = "import random\nx = random.random()\n"
+        assert run_lint(src, scope=DRIVER) == []
+
+
+# ----------------------------------------------------------------------
+# wallclock
+# ----------------------------------------------------------------------
+class TestWallclock:
+    def test_time_time_flagged(self):
+        src = "import time\nt = time.time()\n"
+        assert rules(run_lint(src)) == ["wallclock"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert rules(run_lint(src)) == ["wallclock"]
+
+    def test_perf_counter_from_import_flagged(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert rules(run_lint(src)) == ["wallclock"]
+
+    def test_simulated_clock_ok(self):
+        src = "def f(sim):\n    return sim.now\n"
+        assert run_lint(src) == []
+
+    def test_outside_deterministic_scope_ok(self):
+        src = "import time\nt = time.time()\n"
+        assert run_lint(src, scope=DRIVER) == []
+
+
+# ----------------------------------------------------------------------
+# unseeded-rng / hidden-seed
+# ----------------------------------------------------------------------
+class TestRngConstruction:
+    def test_unseeded_default_rng_flagged_even_outside_scope(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules(run_lint(src, scope=DRIVER)) == ["unseeded-rng"]
+
+    def test_constant_seed_flagged_in_library_code(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules(run_lint(src)) == ["hidden-seed"]
+
+    def test_constant_seed_seedsequence_flagged(self):
+        src = "from numpy.random import SeedSequence\nss = SeedSequence(7)\n"
+        assert rules(run_lint(src)) == ["hidden-seed"]
+
+    def test_injected_seed_ok(self):
+        src = (
+            "import numpy as np\n"
+            "def build(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert run_lint(src) == []
+
+    def test_constant_seed_ok_outside_library_scope(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert run_lint(src, scope=DRIVER) == []
+
+
+# ----------------------------------------------------------------------
+# magic-unit
+# ----------------------------------------------------------------------
+class TestMagicUnit:
+    def test_decimal_factor_flagged(self):
+        assert rules(run_lint("x = b / 1e9\n")) == ["magic-unit"]
+
+    def test_binary_size_arithmetic_flagged(self):
+        assert rules(run_lint("cap = 128 * 1024 * 1024\n")) == ["magic-unit"]
+
+    def test_power_and_shift_forms_flagged(self):
+        vs = run_lint("a = 2 ** 30\nb = 1 << 20\nc = 1024 ** 3\n")
+        assert [v.rule for v in vs] == ["magic-unit"] * 3
+
+    def test_applies_outside_deterministic_scope_too(self):
+        assert rules(run_lint("x = 4 * 1e6\n", scope=DRIVER)) == ["magic-unit"]
+
+    def test_named_constants_ok(self):
+        src = "from repro.units import GB\nx = 5 * GB\n"
+        assert run_lint(src) == []
+
+    def test_unrelated_arithmetic_ok(self):
+        assert run_lint("x = 3 * 7\ny = 10 ** 2\nz = 1 << 4\n") == []
+
+
+# ----------------------------------------------------------------------
+# scheduler contracts (whole-project rules)
+# ----------------------------------------------------------------------
+INIT_SCOPE = Path("repro/schedulers/__init__.py")
+SCHED_SCOPE = Path("repro/schedulers/mine.py")
+
+GOOD_SCHEDULER = (
+    "class MyScheduler(TaskScheduler):\n"
+    '    name = "mine"\n'
+    "\n"
+    "    def select_map(self, node, job, ctx):\n"
+    "        return None\n"
+    "\n"
+    "    def select_reduce(self, node, job, ctx):\n"
+    "        return None\n"
+)
+
+
+def run_contract(sched_source, exported=()):
+    init_src = "__all__ = [" + ", ".join(repr(e) for e in exported) + "]\n"
+    return lint_sources(
+        [
+            ("schedulers/__init__.py", INIT_SCOPE, init_src),
+            ("schedulers/mine.py", SCHED_SCOPE, sched_source),
+        ]
+    )
+
+
+class TestSchedulerContracts:
+    def test_conforming_scheduler_clean(self):
+        assert run_contract(GOOD_SCHEDULER, exported=("MyScheduler",)) == []
+
+    def test_missing_hooks_flagged(self):
+        src = 'class MyScheduler(TaskScheduler):\n    name = "mine"\n'
+        vs = run_contract(src, exported=("MyScheduler",))
+        assert [v.rule for v in vs] == ["scheduler-hooks", "scheduler-hooks"]
+        assert "select_map" in vs[0].message
+        assert "select_reduce" in vs[1].message
+
+    def test_hooks_inherited_through_chain_ok(self):
+        src = GOOD_SCHEDULER + (
+            "\n\nclass Derived(MyScheduler):\n    name = \"derived\"\n"
+        )
+        assert run_contract(src, exported=("MyScheduler", "Derived")) == []
+
+    def test_missing_name_flagged(self):
+        src = (
+            "class MyScheduler(TaskScheduler):\n"
+            "    def select_map(self, node, job, ctx):\n"
+            "        return None\n"
+            "\n"
+            "    def select_reduce(self, node, job, ctx):\n"
+            "        return None\n"
+        )
+        vs = run_contract(src, exported=("MyScheduler",))
+        assert rules(vs) == ["scheduler-name"]
+
+    def test_missing_export_flagged(self):
+        vs = run_contract(GOOD_SCHEDULER, exported=())
+        assert rules(vs) == ["scheduler-export"]
+
+    def test_private_subclass_needs_no_export(self):
+        src = GOOD_SCHEDULER.replace("MyScheduler", "_Hidden")
+        assert run_contract(src) == []
+
+    def test_ctx_mutation_flagged(self):
+        src = (
+            "class MyScheduler(TaskScheduler):\n"
+            '    name = "mine"\n'
+            "\n"
+            "    def select_map(self, node, job, ctx):\n"
+            "        ctx.rng = None\n"
+            "        return None\n"
+            "\n"
+            "    def select_reduce(self, node, job, ctx):\n"
+            "        return None\n"
+        )
+        vs = run_contract(src, exported=("MyScheduler",))
+        assert rules(vs) == ["ctx-mutation"]
+        assert "ctx.rng" in vs[0].message
+
+    def test_ctx_mutation_by_annotation_flagged(self):
+        src = (
+            "class MyScheduler(TaskScheduler):\n"
+            '    name = "mine"\n'
+            "\n"
+            "    def select_map(self, node, job, context: SchedulerContext):\n"
+            "        context.tracker = None\n"
+            "        return None\n"
+            "\n"
+            "    def select_reduce(self, node, job, ctx):\n"
+            "        return None\n"
+        )
+        vs = run_contract(src, exported=("MyScheduler",))
+        assert rules(vs) == ["ctx-mutation"]
+
+    def test_ctx_reads_ok(self):
+        src = (
+            "class MyScheduler(TaskScheduler):\n"
+            '    name = "mine"\n'
+            "\n"
+            "    def select_map(self, node, job, ctx):\n"
+            "        free = ctx.free_map_nodes()\n"
+            "        return None if not free else None\n"
+            "\n"
+            "    def select_reduce(self, node, job, ctx):\n"
+            "        return None\n"
+        )
+        assert run_contract(src, exported=("MyScheduler",)) == []
+
+
+# ----------------------------------------------------------------------
+# suppression markers
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_marker_waives_matching_rule(self):
+        src = "x = b / 1e9  # repro: lint-ok[magic-unit]\n"
+        assert run_lint(src) == []
+
+    def test_marker_is_rule_specific(self):
+        src = "import time\nt = time.time()  # repro: lint-ok[magic-unit]\n"
+        assert rules(run_lint(src)) == ["wallclock"]
+
+    def test_wildcard_marker_waives_everything(self):
+        src = "import time\nt = time.time()  # repro: lint-ok[*]\n"
+        assert run_lint(src) == []
+
+
+def test_syntax_error_reported_as_parse_error():
+    vs = run_lint("def broken(:\n")
+    assert [v.rule for v in vs] == ["parse-error"]
+
+
+def test_violation_format_and_ordering():
+    a = Violation(path="a.py", line=3, col=7, rule="magic-unit", message="m")
+    b = Violation(path="a.py", line=9, col=1, rule="wallclock", message="w")
+    assert a.format() == "a.py:3:7: [magic-unit] m"
+    assert sorted([b, a]) == [a, b]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_select_restricts_rules(self):
+        config = LintConfig(select=("magic-unit",))
+        src = "import time\nt = time.time()\nx = b / 1e9\n"
+        assert rules(run_lint(src, config=config)) == ["magic-unit"]
+
+    def test_ignore_drops_rule(self):
+        config = LintConfig(ignore=("magic-unit",))
+        assert run_lint("x = b / 1e9\n", config=config) == []
+
+    def test_deterministic_dirs_configurable(self):
+        config = LintConfig(deterministic_dirs=("analysis",))
+        src = "import time\nt = time.time()\n"
+        assert rules(run_lint(src, scope=DRIVER, config=config)) == ["wallclock"]
+        assert run_lint(src, scope=ENGINE, config=config) == []
+
+    def test_pyproject_table_parsed(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\n"
+            'deterministic-dirs = ["engine"]\n'
+            'ignore = ["magic-unit"]\n',
+            encoding="utf-8",
+        )
+        config = LintConfig.load(tmp_path)
+        assert config.deterministic_dirs == ("engine",)
+        assert config.ignore == ("magic-unit",)
+        assert config.source == str(tmp_path / "pyproject.toml")
+
+    def test_repo_pyproject_defines_the_table(self):
+        config = LintConfig.load(SRC)
+        assert config.source.endswith("pyproject.toml")
+        assert config.deterministic_dirs == DEFAULT_DETERMINISTIC_DIRS
+
+
+# ----------------------------------------------------------------------
+# whole tree + CLI
+# ----------------------------------------------------------------------
+class TestWholeTree:
+    def test_src_tree_is_clean(self):
+        assert lint_paths([SRC]) == []
+
+    def test_cli_exit_zero_on_clean_tree(self, capsys):
+        assert lint_main([str(SRC)]) == 0
+
+    def test_cli_exit_one_on_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "engine"
+        bad.mkdir(parents=True)
+        (bad / "mod.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        assert lint_main([str(tmp_path)]) == 1
+        assert "wallclock" in capsys.readouterr().out
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in out
+
+    def test_cli_rejects_unknown_rule(self, capsys):
+        assert lint_main(["--select", "bogus", str(SRC)]) == 2
+
+    def test_cli_missing_path(self, capsys):
+        assert lint_main([str(SRC / "no-such-dir")]) == 2
+
+    def test_python_dash_m_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(SRC)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
