@@ -9,6 +9,10 @@ Usage::
     repro fig7                              # installed entry point
     repro lint src                          # static correctness checks
     repro fig4 --check-invariants           # runtime invariant checking
+    repro trace out.json                    # one traced run -> Perfetto JSON
+    repro trace out.jsonl --scheduler fair  # ... or the archival JSONL form
+    repro report out.jsonl                  # re-render a saved trace
+    repro fig4 --trace run.jsonl            # trace every sim of an artefact
 
 Scenario selection: ``--scenario {ci,medium,paper,nas}`` or the
 ``REPRO_SCALE`` environment variable (default ``ci``).
@@ -232,6 +236,130 @@ def _cmd_bandwidth(scenario) -> None:
     ))
 
 
+#: scheduler factories for `repro trace --scheduler`
+def _trace_schedulers() -> Dict[str, Callable]:
+    from repro.core import ProbabilisticNetworkAwareScheduler
+    from repro.schedulers import (
+        CouplingScheduler,
+        FairScheduler,
+        GreedyCostScheduler,
+        LARTSScheduler,
+        MatchingScheduler,
+        RandomScheduler,
+    )
+
+    return {
+        "pna": ProbabilisticNetworkAwareScheduler,
+        "fair": FairScheduler,
+        "coupling": CouplingScheduler,
+        "larts": LARTSScheduler,
+        "matching": MatchingScheduler,
+        "random": RandomScheduler,
+        "greedy": GreedyCostScheduler,
+    }
+
+
+def _trace_main(argv: List[str]) -> int:
+    """`repro trace <out.jsonl|out.json>` — run one traced simulation."""
+    import dataclasses
+
+    from repro.trace import (
+        ascii_timeline,
+        events_to_chrome,
+        events_to_jsonl,
+        trace_summary,
+    )
+
+    factories = _trace_schedulers()
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run one traced simulation and export the event stream.",
+    )
+    parser.add_argument(
+        "out",
+        help="output path: *.json writes Chrome/Perfetto trace-event JSON, "
+        "anything else the canonical JSONL stream",
+    )
+    parser.add_argument("--scenario", default=None,
+                        help="scenario name (ci, medium, paper, nas)")
+    parser.add_argument("--scheduler", default="pna", choices=sorted(factories),
+                        help="task scheduler to trace (default: pna)")
+    parser.add_argument("--app", default="wordcount",
+                        help="Table II application (default: wordcount)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="truncate the batch to its first N jobs")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scenario seed")
+    args = parser.parse_args(argv)
+
+    scenario = get_scenario(args.scenario)
+    changes: Dict = {
+        "config": dataclasses.replace(scenario.config, trace=True)
+    }
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    scenario = scenario.with_(**changes)
+    jobs = scenario.jobs(args.app)
+    if args.jobs > 0:
+        jobs = jobs[: args.jobs]
+    sim = scenario.simulation(factories[args.scheduler](), jobs)
+    result = sim.run()
+    recorder = result.trace
+
+    if args.out.endswith(".json"):
+        n = events_to_chrome(recorder.events, args.out)
+        print(f"wrote {n} Chrome trace events to {args.out} "
+              "(load in Perfetto / chrome://tracing)")
+    else:
+        n = events_to_jsonl(recorder.events, args.out)
+        print(f"wrote {n} events to {args.out}")
+    print()
+    print(trace_summary(recorder.events))
+    print()
+    print(ascii_timeline(recorder.events))
+    if recorder.timings:
+        print()
+        rows = [
+            (phase, f"{seconds * 1e3:.2f}")  # repro: lint-ok[magic-unit]
+            for phase, seconds in sorted(recorder.timings.items())
+        ]
+        print(format_table(
+            ["phase", "wall ms"], rows,
+            title="scheduler-decision wall time",
+        ))
+    print()
+    print(result.summary())
+    return 0
+
+
+def _report_main(argv: List[str]) -> int:
+    """`repro report <trace.jsonl>` — render a saved trace."""
+    from repro.trace import ascii_timeline, read_jsonl, trace_summary
+
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a saved JSONL trace as summary tables + timeline.",
+    )
+    parser.add_argument("trace", help="JSONL trace written by `repro trace` "
+                        "or EngineConfig(trace_jsonl=...)")
+    parser.add_argument("--width", type=int, default=64,
+                        help="timeline width in columns (default 64)")
+    args = parser.parse_args(argv)
+
+    try:
+        events = read_jsonl(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print("empty trace", file=sys.stderr)
+        return 2
+    print(trace_summary(events))
+    print()
+    print(ascii_timeline(events, width=args.width))
+    return 0
+
+
 COMMANDS: Dict[str, Callable] = {
     "table2": _cmd_table2,
     "fig3": _cmd_fig3,
@@ -256,6 +384,10 @@ def main(argv: List[str] | None = None) -> int:
         from repro.lint.runner import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
@@ -264,7 +396,7 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[*COMMANDS, "all"],
-        help="which paper artefact to regenerate (or `lint`)",
+        help="which paper artefact to regenerate (or `lint`/`trace`/`report`)",
     )
     parser.add_argument(
         "--scenario",
@@ -276,13 +408,22 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="run every simulation with the runtime invariant checker on",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append a decision-level JSONL trace of every simulation to PATH",
+    )
     args = parser.parse_args(argv)
     scenario = get_scenario(args.scenario)
-    if args.check_invariants:
+    if args.check_invariants or args.trace:
         import dataclasses
 
+        changes = {"check_invariants": True} if args.check_invariants else {}
+        if args.trace:
+            changes.update(trace=True, trace_jsonl=args.trace)
         scenario = scenario.with_(
-            config=dataclasses.replace(scenario.config, check_invariants=True)
+            config=dataclasses.replace(scenario.config, **changes)
         )
     targets = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     try:

@@ -33,6 +33,7 @@ from repro.core.cost import JobCostModel
 from repro.core.estimator import IntermediateEstimator, ProgressEstimator
 from repro.core.probability import ExponentialModel, ProbabilityModel
 from repro.schedulers.base import SchedulerContext, TaskScheduler
+from repro.trace.events import BELOW_PMIN, BERNOULLI_MISS, COLOCATION_VETO
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -136,10 +137,19 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
 
         best = int(np.argmax(probs))              # Line 9
         p_best = float(probs[best])
+        if ctx.recorder.enabled:
+            ctx.note_evaluation(
+                kind="map", job_id=job.spec.job_id, node=node,
+                candidates=len(pending), task_index=pending[best].index,
+                c_here=float(c_here[best]), c_ave=float(c_ave[best]),
+                p=p_best,
+            )
         if p_best < self.config.p_min:            # Lines 10-12
+            ctx.note_decline(BELOW_PMIN)
             return None
         if ctx.rng.random() < p_best:             # Lines 13-16
             return pending[best]
+        ctx.note_decline(BERNOULLI_MISS)
         return None
 
     # ------------------------------------------------------------------
@@ -151,6 +161,7 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         if self.config.avoid_reduce_colocation and job.has_running_reduce_on(
             node.name
         ):
+            ctx.note_decline(COLOCATION_VETO)
             return None                           # Line 1
         pending = job.pending_reduces()
         if not pending:
@@ -178,8 +189,17 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
 
         best = int(np.argmax(probs))               # Line 10
         p_best = float(probs[best])
+        if ctx.recorder.enabled:
+            ctx.note_evaluation(
+                kind="reduce", job_id=job.spec.job_id, node=node,
+                candidates=len(pending), task_index=pending[best].index,
+                c_here=float(c_here[best]), c_ave=float(c_ave[best]),
+                p=p_best,
+            )
         if p_best < self.config.p_min:              # Lines 11-13
+            ctx.note_decline(BELOW_PMIN)
             return None
         if ctx.rng.random() < p_best:               # Lines 14-17
             return pending[best]
+        ctx.note_decline(BERNOULLI_MISS)
         return None

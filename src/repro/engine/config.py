@@ -69,6 +69,17 @@ class EngineConfig:
         .InvariantViolation`.  Defaults from the ``REPRO_CHECK_INVARIANTS``
         environment variable (off otherwise); the CLI exposes it as
         ``--check-invariants`` and the test suite turns it on globally.
+    trace:
+        Record a decision-level event trace (:mod:`repro.trace`): every
+        heartbeat, slot offer, cost/probability evaluation, assignment,
+        decline (with reason), task attempt and shuffle flow.  The events
+        live on ``RunResult.trace``; off by default so the hot loop only
+        pays one boolean check per decision.
+    trace_jsonl:
+        When non-empty, append the run's event stream to this JSONL file
+        at the end of :meth:`~repro.engine.simulation.Simulation.run`
+        (implies ``trace``).  Each run is prefixed by a ``run_start``
+        event, so several runs can share one file.
     """
 
     heartbeat_period: float = 3.0
@@ -82,6 +93,8 @@ class EngineConfig:
     speculative_cap: float = 0.1
     horizon: float = 10_000_000.0
     check_invariants: bool = field(default_factory=_invariants_default)
+    trace: bool = False
+    trace_jsonl: str = ""
 
     def __post_init__(self) -> None:
         if self.heartbeat_period <= 0:

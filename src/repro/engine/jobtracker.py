@@ -25,6 +25,16 @@ from repro.metrics.collector import MetricsCollector
 from repro.schedulers.base import SchedulerContext, TaskScheduler
 from repro.schedulers.joblevel import FairJobScheduler, JobLevelScheduler
 from repro.sim import PeriodicTask, Simulator
+from repro.trace.events import (
+    NO_CANDIDATE,
+    Assign,
+    Decline,
+    Heartbeat,
+    JobFinish,
+    JobSubmit,
+    SlotOffer,
+)
+from repro.trace.recorder import NullRecorder
 from repro.workload.spec import JobSpec
 
 __all__ = ["JobTracker"]
@@ -45,6 +55,7 @@ class JobTracker:
         config: Optional[EngineConfig] = None,
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -54,6 +65,10 @@ class JobTracker:
         self.collector = collector or MetricsCollector()
         self.config = config or EngineConfig()
         self.seed = seed
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        # set by schedulers (via SchedulerContext.note_decline) to explain
+        # why the current select_* call returned None
+        self._noted_reason: Optional[str] = None
         self.invariants: Optional[InvariantChecker] = (
             InvariantChecker(self) if self.config.check_invariants else None
         )
@@ -79,12 +94,16 @@ class JobTracker:
         job = Job(spec, self)
         self.active_jobs.append(job)
         self.collector.job_submitted(spec.job_id, self.sim.now)
+        if self.recorder.enabled:
+            self.recorder.emit(JobSubmit(t=self.sim.now, job_id=spec.job_id))
         self.task_scheduler.on_job_added(job)
 
     def on_job_done(self, job: Job) -> None:
         self.active_jobs.remove(job)
         self.finished_jobs.append(job)
         self.collector.job_completed(job.record())
+        if self.recorder.enabled:
+            self.recorder.emit(JobFinish(t=self.sim.now, job_id=job.spec.job_id))
         if self.invariants is not None:
             self.invariants.on_job_finished(job)
         if self.all_done:
@@ -127,8 +146,26 @@ class JobTracker:
     # ------------------------------------------------------------------
     # slot offers
     # ------------------------------------------------------------------
+    def note_decline(self, reason: str) -> None:
+        """A scheduler explains why the in-flight ``select_*`` returns None.
+
+        Called through :meth:`SchedulerContext.note_decline`; read back by
+        the offer loop to attribute the round's decline (the head-of-line
+        job's reason wins, since its refusal is what left the slot idle).
+        """
+        self._noted_reason = reason
+
     def on_heartbeat(self, node: Node) -> None:
         """Fill the node's free slots, one offer round per slot."""
+        if self.recorder.enabled:
+            self.recorder.emit(
+                Heartbeat(
+                    t=self.sim.now,
+                    node=node.name,
+                    free_map_slots=node.free_map_slots,
+                    free_reduce_slots=node.free_reduce_slots,
+                )
+            )
         if self.active_jobs:
             self._offer_map_slots(node)
             self._offer_reduce_slots(node)
@@ -136,13 +173,28 @@ class JobTracker:
             self.invariants.after_heartbeat()
 
     def _offer_map_slots(self, node: Node) -> None:
+        rec = self.recorder
         budget = node.free_map_slots if self.config.assign_multiple else 1
         while node.free_map_slots > 0 and budget > 0:
             budget -= 1
             candidates = [j for j in self.active_jobs if j.pending_maps()]
+            if rec.enabled and candidates:
+                rec.emit(
+                    SlotOffer(
+                        t=self.sim.now, node=node.name, kind="map",
+                        jobs=len(candidates),
+                    )
+                )
             assigned = False
+            round_reason: Optional[str] = None
+            head_job = ""
             for job in self.job_scheduler.order(candidates, "map"):
-                task = self.task_scheduler.select_map(node, job, self.ctx)
+                self._noted_reason = None
+                if rec.enabled:
+                    with rec.phase("select_map"):
+                        task = self.task_scheduler.select_map(node, job, self.ctx)
+                else:
+                    task = self.task_scheduler.select_map(node, job, self.ctx)
                 if task is not None:
                     if task.assigned or task.job is not job:
                         raise RuntimeError(
@@ -150,15 +202,39 @@ class JobTracker:
                         )
                     task.launch(node)
                     self.collector.offer_assigned()
+                    if rec.enabled:
+                        rec.emit(
+                            Assign(
+                                t=self.sim.now, node=node.name, kind="map",
+                                job_id=job.spec.job_id, task_index=task.index,
+                            )
+                        )
                     assigned = True
                     break
+                if round_reason is None:
+                    round_reason = self._noted_reason
+                    head_job = job.spec.job_id
             if not assigned:
                 # a slot nobody claims may back up a straggler (Hadoop
                 # launches speculative attempts from otherwise-idle slots)
-                if self.config.speculative and self._try_speculate(node):
-                    continue
+                if self.config.speculative:
+                    if rec.enabled:
+                        with rec.phase("speculate"):
+                            launched = self._try_speculate(node)
+                    else:
+                        launched = self._try_speculate(node)
+                    if launched:
+                        continue
                 if candidates:
-                    self.collector.offer_declined()
+                    reason = round_reason or NO_CANDIDATE
+                    self.collector.offer_declined("map", reason)
+                    if rec.enabled:
+                        rec.emit(
+                            Decline(
+                                t=self.sim.now, node=node.name, kind="map",
+                                reason=reason, job_id=head_job,
+                            )
+                        )
                 return
 
     def _try_speculate(self, node: Node) -> bool:
@@ -205,15 +281,30 @@ class JobTracker:
         return True
 
     def _offer_reduce_slots(self, node: Node) -> None:
+        rec = self.recorder
         budget = node.free_reduce_slots if self.config.assign_multiple else 1
         while node.free_reduce_slots > 0 and budget > 0:
             budget -= 1
             candidates = [j for j in self.active_jobs if j.reduces_schedulable()]
             if not candidates:
                 return
+            if rec.enabled:
+                rec.emit(
+                    SlotOffer(
+                        t=self.sim.now, node=node.name, kind="reduce",
+                        jobs=len(candidates),
+                    )
+                )
             assigned = False
+            round_reason: Optional[str] = None
+            head_job = ""
             for job in self.job_scheduler.order(candidates, "reduce"):
-                task = self.task_scheduler.select_reduce(node, job, self.ctx)
+                self._noted_reason = None
+                if rec.enabled:
+                    with rec.phase("select_reduce"):
+                        task = self.task_scheduler.select_reduce(node, job, self.ctx)
+                else:
+                    task = self.task_scheduler.select_reduce(node, job, self.ctx)
                 if task is not None:
                     if task.assigned or task.job is not job:
                         raise RuntimeError(
@@ -221,8 +312,26 @@ class JobTracker:
                         )
                     task.launch(node)
                     self.collector.offer_assigned()
+                    if rec.enabled:
+                        rec.emit(
+                            Assign(
+                                t=self.sim.now, node=node.name, kind="reduce",
+                                job_id=job.spec.job_id, task_index=task.index,
+                            )
+                        )
                     assigned = True
                     break
+                if round_reason is None:
+                    round_reason = self._noted_reason
+                    head_job = job.spec.job_id
             if not assigned:
-                self.collector.offer_declined()
+                reason = round_reason or NO_CANDIDATE
+                self.collector.offer_declined("reduce", reason)
+                if rec.enabled:
+                    rec.emit(
+                        Decline(
+                            t=self.sim.now, node=node.name, kind="reduce",
+                            reason=reason, job_id=head_job,
+                        )
+                    )
                 return

@@ -21,6 +21,8 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional
 
 from repro.cluster.network import Flow, FlowNetwork
+from repro.trace.events import ShuffleFinish, ShuffleStart
+from repro.trace.recorder import NullRecorder
 
 __all__ = ["FetchManager"]
 
@@ -42,6 +44,11 @@ class FetchManager:
         Called after every completed fetch (and after enqueuing work that
         required no fetch) so the owner can re-check its completion
         condition.
+    recorder:
+        Trace recorder for shuffle flow start/finish events (defaults to
+        the no-op recorder).
+    job_id / reduce_index:
+        Identify the owning reduce task in the emitted trace events.
     """
 
     def __init__(
@@ -50,6 +57,9 @@ class FetchManager:
         dst: str,
         max_parallel: int = 5,
         on_progress: Optional[Callable[[], None]] = None,
+        recorder: Optional[NullRecorder] = None,
+        job_id: str = "",
+        reduce_index: int = -1,
     ) -> None:
         if max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
@@ -57,6 +67,9 @@ class FetchManager:
         self.dst = dst
         self.max_parallel = max_parallel
         self.on_progress = on_progress
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self.job_id = job_id
+        self.reduce_index = reduce_index
         self.pending: "OrderedDict[str, float]" = OrderedDict()
         self.active = 0
         self.fetched = 0.0        # bytes fully copied
@@ -88,13 +101,31 @@ class FetchManager:
             src, nbytes = self.pending.popitem(last=False)
             self.active += 1
             self.fetch_count += 1
-            self.network.start_flow(src, self.dst, nbytes, on_complete=self._done)
+            flow = self.network.start_flow(
+                src, self.dst, nbytes, on_complete=self._done
+            )
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    ShuffleStart(
+                        t=flow.start_time, src=src, dst=self.dst,
+                        job_id=self.job_id, reduce_index=self.reduce_index,
+                        size=nbytes,
+                    )
+                )
 
     def _done(self, flow: Flow) -> None:
         self.active -= 1
         self.fetched += flow.size
         if not flow.local:
             self.remote_bytes += flow.size
+        if self.recorder.enabled:
+            self.recorder.emit(
+                ShuffleFinish(
+                    t=self.network.sim.now, src=flow.src, dst=self.dst,
+                    job_id=self.job_id, reduce_index=self.reduce_index,
+                    size=flow.size,
+                )
+            )
         self._pump()
         if self.on_progress is not None:
             self.on_progress()

@@ -40,6 +40,9 @@ from repro.metrics.collector import MetricsCollector
 from repro.schedulers.base import TaskScheduler
 from repro.schedulers.joblevel import JobLevelScheduler
 from repro.sim import SimulationError, Simulator
+from repro.trace.events import RunStart
+from repro.trace.export import events_to_jsonl
+from repro.trace.recorder import NullRecorder, TraceRecorder
 from repro.units import fmt_bytes
 from repro.workload.spec import JobSpec
 
@@ -59,6 +62,8 @@ class RunResult:
     flows: int
     map_slots: int
     reduce_slots: int
+    #: the run's TraceRecorder when tracing was enabled, else None
+    trace: Optional[TraceRecorder] = None
 
     @property
     def job_completion_times(self) -> np.ndarray:
@@ -95,7 +100,19 @@ class RunResult:
             ),
             f"fabric bytes {fmt_bytes(self.bytes_over_fabric)}, "
             f"local bytes {fmt_bytes(self.bytes_local)}",
+            (
+                f"slot offers: {self.collector.scheduling_assignments} assigned, "
+                f"{self.collector.scheduling_declines} declined, "
+                f"{self.collector.speculative_launched} speculative launches"
+            ),
         ]
+        reasons = self.collector.declines_by_reason()
+        if reasons:
+            detail = ", ".join(
+                f"{kind}/{reason} {n}"
+                for (kind, reason), n in sorted(reasons.items())
+            )
+            lines.append(f"declines by reason: {detail}")
         return "\n".join(lines)
 
 
@@ -113,11 +130,18 @@ class Simulation:
         config: Optional[EngineConfig] = None,
         background: Optional[BackgroundSpec] = None,
         seed: int = 0,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         if not jobs:
             raise ValueError("need at least one job spec")
         self.seed = seed
         self.config = config or EngineConfig()
+        if recorder is not None:
+            self.recorder = recorder
+        elif self.config.trace or self.config.trace_jsonl:
+            self.recorder = TraceRecorder()
+        else:
+            self.recorder = NullRecorder()
         if isinstance(cluster, Cluster):
             # adopt a prebuilt cluster (custom topology) and its clock
             self.cluster = cluster
@@ -144,7 +168,12 @@ class Simulation:
             config=self.config,
             rng=np.random.default_rng(scheduler_ss),
             seed=seed,
+            recorder=self.recorder,
         )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                RunStart(t=self.sim.now, scheduler=scheduler.name, seed=seed)
+            )
         self.background: Optional[BackgroundTraffic] = None
         if background is not None:
             self.background = BackgroundTraffic(
@@ -174,6 +203,10 @@ class Simulation:
                 "likely a scheduler livelock"
             )
         net = self.cluster.network
+        if self.recorder.enabled and self.config.trace_jsonl:
+            events_to_jsonl(
+                self.recorder.events, self.config.trace_jsonl, append=True
+            )
         return RunResult(
             scheduler=self.tracker.task_scheduler.name,
             seed=self.seed,
@@ -184,4 +217,5 @@ class Simulation:
             flows=net.flows_started,
             map_slots=self.cluster.total_map_slots(),
             reduce_slots=self.cluster.total_reduce_slots(),
+            trace=self.recorder if self.recorder.enabled else None,
         )

@@ -33,6 +33,7 @@ from repro.cluster.node import Node
 from repro.engine.shuffle import FetchManager
 from repro.hdfs.block import Block
 from repro.metrics.records import TaskRecord
+from repro.trace.events import TaskFinish, TaskStart
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.engine.job import Job
@@ -168,6 +169,14 @@ class MapTask:
         self.node = node
         self.source = attempt.source
         self.hops = attempt.hops
+        recorder = self.job.tracker.recorder
+        if recorder.enabled:
+            recorder.emit(
+                TaskStart(
+                    t=self.start_time, node=node.name, kind="map",
+                    job_id=self.job.spec.job_id, task_index=self.index,
+                )
+            )
         self.job.on_map_placed(self)
 
     def launch_speculative(self, node: Node) -> None:
@@ -177,6 +186,15 @@ class MapTask:
         if any(a.node is node for a in self.attempts):
             raise RuntimeError(f"{self} already has an attempt on {node.name}")
         self.attempts.append(MapAttempt(self, node, speculative=True))
+        recorder = self.job.tracker.recorder
+        if recorder.enabled:
+            recorder.emit(
+                TaskStart(
+                    t=self.job.tracker.sim.now, node=node.name, kind="map",
+                    job_id=self.job.spec.job_id, task_index=self.index,
+                    speculative=True,
+                )
+            )
 
     def _attempt_finished(self, winner: MapAttempt) -> None:
         tracker = self.job.tracker
@@ -208,6 +226,14 @@ class MapTask:
                 attempts=len(self.attempts),
             )
         )
+        if tracker.recorder.enabled:
+            tracker.recorder.emit(
+                TaskFinish(
+                    t=self.end_time, node=winner.node.name, kind="map",
+                    job_id=self.job.spec.job_id, task_index=self.index,
+                    locality=locality, attempts=len(self.attempts),
+                )
+            )
         self.job.on_map_done(self)
 
     # ------------------------------------------------------------------
@@ -277,6 +303,13 @@ class ReduceTask:
         self.node = node
         self.state = TaskState.RUNNING
         self.start_time = tracker.sim.now
+        if tracker.recorder.enabled:
+            tracker.recorder.emit(
+                TaskStart(
+                    t=self.start_time, node=node.name, kind="reduce",
+                    job_id=self.job.spec.job_id, task_index=self.index,
+                )
+            )
         self.job.on_reduce_placed(self)
         overhead = self.job.spec.app.task_overhead
         tracker.sim.schedule(overhead, self._start_fetching)
@@ -288,6 +321,9 @@ class ReduceTask:
             dst=self.node.name,
             max_parallel=tracker.config.max_parallel_fetches,
             on_progress=self._maybe_compute,
+            recorder=tracker.recorder,
+            job_id=self.job.spec.job_id,
+            reduce_index=self.index,
         )
         for m in self.job.maps:
             if m.done:
@@ -349,6 +385,14 @@ class ReduceTask:
                 cost=cost,
             )
         )
+        if tracker.recorder.enabled:
+            tracker.recorder.emit(
+                TaskFinish(
+                    t=self.end_time, node=self.node.name, kind="reduce",
+                    job_id=self.job.spec.job_id, task_index=self.index,
+                    locality=locality, attempts=1,
+                )
+            )
         self.job.on_reduce_done(self)
 
     def __repr__(self) -> str:

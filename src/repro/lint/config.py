@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Tuple
 
-__all__ = ["LintConfig", "DEFAULT_DETERMINISTIC_DIRS", "DEFAULT_EXCLUDE"]
+__all__ = [
+    "LintConfig",
+    "DEFAULT_DETERMINISTIC_DIRS",
+    "DEFAULT_EXCLUDE",
+    "DEFAULT_NO_PRINT_EXCLUDE",
+]
 
 #: Sub-packages whose behaviour must be a pure function of the injected seed.
 DEFAULT_DETERMINISTIC_DIRS: Tuple[str, ...] = (
@@ -31,6 +36,14 @@ DEFAULT_DETERMINISTIC_DIRS: Tuple[str, ...] = (
 #: Path suffixes never linted (repro/units.py *defines* the unit constants).
 DEFAULT_EXCLUDE: Tuple[str, ...] = ("repro/units.py",)
 
+#: Entry-point files allowed to print: the CLI surfaces and the lint driver.
+DEFAULT_NO_PRINT_EXCLUDE: Tuple[str, ...] = (
+    "repro/cli.py",
+    "repro/__main__.py",
+    "repro/lint/runner.py",
+    "repro/lint/__main__.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -38,6 +51,7 @@ class LintConfig:
 
     deterministic_dirs: Tuple[str, ...] = DEFAULT_DETERMINISTIC_DIRS
     exclude: Tuple[str, ...] = DEFAULT_EXCLUDE
+    no_print_exclude: Tuple[str, ...] = DEFAULT_NO_PRINT_EXCLUDE
     select: Tuple[str, ...] = ()  # empty = every rule
     ignore: Tuple[str, ...] = ()
     source: str = field(default="defaults", compare=False)
@@ -106,6 +120,9 @@ class LintConfig:
                 "deterministic_dirs", DEFAULT_DETERMINISTIC_DIRS
             ),
             exclude=strings("exclude", DEFAULT_EXCLUDE),
+            no_print_exclude=strings(
+                "no_print_exclude", DEFAULT_NO_PRINT_EXCLUDE
+            ),
             select=strings("select", ()),
             ignore=strings("ignore", ()),
             source=str(pyproject),

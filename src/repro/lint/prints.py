@@ -1,0 +1,99 @@
+"""Output-hygiene rule: library code must not call ``print()``.
+
+The library's contract is that every component *returns* its output —
+strings from renderers, records from the collector, events through the
+trace recorder — and only the entry points (``cli.py``, ``__main__.py``,
+the lint driver itself) write to stdout.  A stray ``print()`` inside the
+engine or a scheduler bypasses all of that: it cannot be captured by
+callers, pollutes benchmark output, and hides information the trace
+recorder should carry.  The ``no-print`` rule flags every call to the
+``print`` builtin outside the waived entry-point files.
+
+Waive a file via ``no-print-exclude`` in ``[tool.repro.lint]`` (path
+suffixes, like ``exclude``), or a single call with
+``# repro: lint-ok[no-print]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List
+
+from repro.lint.config import LintConfig
+from repro.lint.violations import Violation
+
+__all__ = ["check_prints", "RULES"]
+
+RULES = {
+    "no-print": "print() in library code; return strings or emit trace events",
+}
+
+
+class _PrintVisitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: List[Violation] = []
+        self._shadowed = False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            not self._shadowed
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self.violations.append(
+                Violation(
+                    path=self.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="no-print",
+                    message=(
+                        "print() call in library code: return the string "
+                        "or emit a trace event instead"
+                    ),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node) -> None:
+        # a local parameter named ``print`` shadows the builtin for the body
+        args = node.args
+        names = {
+            a.arg
+            for a in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            )
+        }
+        if "print" in names:
+            outer, self._shadowed = self._shadowed, True
+            self.generic_visit(node)
+            self._shadowed = outer
+        else:
+            self.generic_visit(node)
+
+
+def check_prints(
+    tree: ast.AST, path: str, rel_path: Path, config: LintConfig
+) -> List[Violation]:
+    """Run the output-hygiene rule over one parsed module."""
+    if not config.rule_enabled("no-print"):
+        return []
+    posix = Path(rel_path).as_posix()
+    if any(
+        posix == pat or posix.endswith("/" + pat)
+        for pat in config.no_print_exclude
+    ):
+        return []
+    visitor = _PrintVisitor(path)
+    visitor.visit(tree)
+    return visitor.violations

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.lint import contracts, determinism, units
+from repro.lint import contracts, determinism, prints, units
 from repro.lint.config import LintConfig
 from repro.lint.suppress import is_suppressed, suppressions
 from repro.lint.violations import Violation
@@ -29,6 +30,7 @@ __all__ = ["ALL_RULES", "lint_paths", "lint_sources", "main"]
 ALL_RULES = {
     **determinism.RULES,
     **units.RULES,
+    **prints.RULES,
     **contracts.RULES,
 }
 
@@ -83,6 +85,7 @@ def lint_sources(
         waivers[display] = suppressions(source)
         violations.extend(determinism.check_determinism(tree, display, scope, config))
         violations.extend(units.check_units(tree, display, scope, config))
+        violations.extend(prints.check_prints(tree, display, scope, config))
 
     violations.extend(contracts.check_contracts(parsed, config))
 
@@ -158,21 +161,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     paths = [Path(p) for p in args.paths]
     config = LintConfig.load(paths[0])
     if args.select:
-        config = LintConfig(
-            deterministic_dirs=config.deterministic_dirs,
-            exclude=config.exclude,
+        config = dataclasses.replace(
+            config,
             select=tuple(s.strip() for s in args.select.split(",") if s.strip()),
-            ignore=config.ignore,
-            source=config.source,
         )
     if args.ignore:
-        config = LintConfig(
-            deterministic_dirs=config.deterministic_dirs,
-            exclude=config.exclude,
-            select=config.select,
+        config = dataclasses.replace(
+            config,
             ignore=config.ignore
             + tuple(s.strip() for s in args.ignore.split(",") if s.strip()),
-            source=config.source,
         )
 
     try:

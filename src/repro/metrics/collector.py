@@ -29,6 +29,12 @@ class MetricsCollector:
         self.scheduling_declines = 0      # slot offers the task scheduler refused
         self.scheduling_assignments = 0
         self.speculative_launched = 0     # backup map attempts started
+        #: declined offers split by slot kind and announced reason; the
+        #: per-reason counts always sum to ``scheduling_declines``
+        self.decline_reasons: Dict[str, Counter] = {
+            "map": Counter(),
+            "reduce": Counter(),
+        }
 
     # ------------------------------------------------------------------
     # engine-facing hooks
@@ -42,8 +48,13 @@ class MetricsCollector:
     def task_completed(self, record: TaskRecord) -> None:
         self.task_records.append(record)
 
-    def offer_declined(self) -> None:
+    def offer_declined(
+        self, kind: str = "map", reason: str = "no_candidate"
+    ) -> None:
+        if kind not in self.decline_reasons:
+            raise ValueError(f"bad slot kind {kind!r}")
         self.scheduling_declines += 1
+        self.decline_reasons[kind][reason] += 1
 
     def offer_assigned(self) -> None:
         self.scheduling_assignments += 1
@@ -96,12 +107,40 @@ class MetricsCollector:
         """Sum of hop-model transmission costs over all placements."""
         return sum(t.cost for t in self.task_records)
 
+    def declines_by_reason(
+        self, kind: Optional[str] = None
+    ) -> Dict[Tuple[str, str], int]:
+        """Decline counts keyed by ``(kind, reason)``; empty buckets omitted.
+
+        Restrict to one slot kind with ``kind="map"`` / ``"reduce"``.
+        """
+        if kind is not None and kind not in self.decline_reasons:
+            raise ValueError(f"bad slot kind {kind!r}")
+        kinds = (kind,) if kind is not None else tuple(self.decline_reasons)
+        return {
+            (k, reason): n
+            for k in kinds
+            for reason, n in self.decline_reasons[k].items()
+            if n
+        }
+
     def makespan(self) -> float:
         """First submission to last completion across the run."""
-        if not self.job_records:
+        if not self.job_records and not self.task_records:
             return 0.0
-        start = min(self.submitted.values()) if self.submitted else 0.0
-        return max(r.finish for r in self.job_records) - start
+        if self.submitted:
+            start = min(self.submitted.values())
+        elif self.task_records:
+            # a collector rebuilt from an older export may lack submission
+            # times; the earliest task start beats pretending t=0
+            start = min(t.start for t in self.task_records)
+        else:
+            start = min(r.submit for r in self.job_records)
+        if self.job_records:
+            end = max(r.finish for r in self.job_records)
+        else:
+            end = max(t.end for t in self.task_records)
+        return end - start
 
     # ------------------------------------------------------------------
     # slot occupancy (cluster resource utilisation, Section III-A)

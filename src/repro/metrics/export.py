@@ -59,6 +59,10 @@ def collector_to_json(collector: MetricsCollector, path: PathLike) -> None:
         "scheduling_declines": collector.scheduling_declines,
         "scheduling_assignments": collector.scheduling_assignments,
         "speculative_launched": collector.speculative_launched,
+        "decline_reasons": {
+            kind: dict(counts)
+            for kind, counts in collector.decline_reasons.items()
+        },
     }
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1)
@@ -75,4 +79,7 @@ def collector_from_json(path: PathLike) -> MetricsCollector:
     collector.scheduling_declines = payload.get("scheduling_declines", 0)
     collector.scheduling_assignments = payload.get("scheduling_assignments", 0)
     collector.speculative_launched = payload.get("speculative_launched", 0)
+    # absent in exports predating per-reason accounting
+    for kind, counts in payload.get("decline_reasons", {}).items():
+        collector.decline_reasons[kind].update(counts)
     return collector

@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
+from repro.trace.events import Evaluate
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.cluster.node import Node
@@ -29,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.jobtracker import JobTracker
     from repro.engine.task import MapTask, ReduceTask
     from repro.hdfs.namenode import NameNode
+    from repro.trace.recorder import NullRecorder
 
 __all__ = ["SchedulerContext", "TaskScheduler"]
 
@@ -73,6 +76,51 @@ class SchedulerContext:
     def free_reduce_nodes(self) -> List["Node"]:
         """Nodes with at least one free reduce slot (``N_r`` nodes)."""
         return self.tracker.cluster.nodes_with_free_reduce_slots()
+
+    # -- observability (does not change scheduling state) ---------------
+
+    @property
+    def recorder(self) -> "NullRecorder":
+        """The run's trace recorder (the no-op recorder when disabled)."""
+        return self.tracker.recorder
+
+    def note_decline(self, reason: str) -> None:
+        """Announce why the current ``select_*`` call is about to decline.
+
+        Call immediately before ``return None``; the offer loop turns the
+        note into a per-reason decline count and (when tracing) a
+        ``decline`` event.  See :mod:`repro.trace.events` for the reason
+        vocabulary.
+        """
+        self.tracker.note_decline(reason)
+
+    def note_evaluation(
+        self,
+        *,
+        kind: str,
+        job_id: str,
+        node: "Node",
+        candidates: int,
+        task_index: int,
+        c_here: float,
+        c_ave: float,
+        p: float,
+    ) -> None:
+        """Trace one cost/probability evaluation (PNA Formulae 1-5).
+
+        No-op unless tracing is on; schedulers may call it unguarded, but
+        hot paths should still check ``ctx.recorder.enabled`` first to skip
+        argument marshalling.
+        """
+        rec = self.tracker.recorder
+        if rec.enabled:
+            rec.emit(
+                Evaluate(
+                    t=self.tracker.sim.now, node=node.name, kind=kind,
+                    job_id=job_id, candidates=candidates,
+                    task_index=task_index, c_here=c_here, c_ave=c_ave, p=p,
+                )
+            )
 
 
 class TaskScheduler:

@@ -33,6 +33,12 @@ import numpy as np
 from repro.core.cost import JobCostModel
 from repro.core.estimator import CurrentSizeEstimator
 from repro.schedulers.base import SchedulerContext, TaskScheduler
+from repro.trace.events import (
+    BERNOULLI_MISS,
+    COLOCATION_VETO,
+    COUPLING_GATE,
+    LOCALITY_WAIT,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -104,6 +110,7 @@ class CouplingScheduler(TaskScheduler):
                 p = self.p_remote
             if ctx.rng.random() < p:
                 return task
+        ctx.note_decline(BERNOULLI_MISS)
         return None
 
     # ------------------------------------------------------------------
@@ -113,6 +120,7 @@ class CouplingScheduler(TaskScheduler):
         self, node: "Node", job: "Job", ctx: SchedulerContext
     ) -> Optional["ReduceTask"]:
         if job.has_running_reduce_on(node.name):
+            ctx.note_decline(COLOCATION_VETO)
             return None
         pending = job.pending_reduces()
         if not pending:
@@ -120,6 +128,7 @@ class CouplingScheduler(TaskScheduler):
         # coupling gate: launched reducers track map progress
         allowed = math.ceil(job.map_progress(ctx.now) * job.num_reduces)
         if job.launched_reduce_count() >= allowed:
+            ctx.note_decline(COUPLING_GATE)
             return None
 
         # oldest-waiting reduce task is the candidate (deterministic)
@@ -144,4 +153,5 @@ class CouplingScheduler(TaskScheduler):
         if c_here <= c_min * self.centrality_tolerance or waited >= max_wait:
             self._first_offer.pop(tkey, None)
             return task
+        ctx.note_decline(LOCALITY_WAIT)
         return None

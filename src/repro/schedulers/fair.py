@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.schedulers.base import SchedulerContext, TaskScheduler
+from repro.trace.events import LOCALITY_WAIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -93,6 +94,9 @@ class FairScheduler(TaskScheduler):
         if skips >= d1 and rack:
             return rack[0]
         self._skips[jid] = skips + 1
+        if rack or remote:
+            # work exists here, but delay scheduling holds out for locality
+            ctx.note_decline(LOCALITY_WAIT)
         return None
 
     def select_reduce(

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.schedulers.base import SchedulerContext
 from repro.schedulers.fair import FairScheduler
+from repro.trace.events import COLOCATION_VETO, LOCALITY_WAIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -77,6 +78,7 @@ class LARTSScheduler(FairScheduler):
         self, node: "Node", job: "Job", ctx: SchedulerContext
     ) -> Optional["ReduceTask"]:
         if job.has_running_reduce_on(node.name):
+            ctx.note_decline(COLOCATION_VETO)
             return None
         pending = job.pending_reduces()
         if not pending:
@@ -102,4 +104,5 @@ class LARTSScheduler(FairScheduler):
         if waited >= self.rack_wait:
             self._first_offer.pop(key, None)
             return task
+        ctx.note_decline(LOCALITY_WAIT)
         return None

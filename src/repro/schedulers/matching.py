@@ -28,6 +28,7 @@ from scipy.optimize import linear_sum_assignment
 from repro.core.cost import JobCostModel
 from repro.core.estimator import IntermediateEstimator, ProgressEstimator
 from repro.schedulers.base import SchedulerContext, TaskScheduler
+from repro.trace.events import COLOCATION_VETO, UNMATCHED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -100,6 +101,7 @@ class MatchingScheduler(TaskScheduler):
             cost[:, c] = node_costs[unique[int(nidx)], :]
         row = self._assign_for_node(node, cost, slot_nodes)
         if row is None:
+            ctx.note_decline(UNMATCHED)
             return None
         return pending[row]
 
@@ -107,6 +109,7 @@ class MatchingScheduler(TaskScheduler):
         self, node: "Node", job: "Job", ctx: SchedulerContext
     ) -> Optional["ReduceTask"]:
         if self.avoid_reduce_colocation and job.has_running_reduce_on(node.name):
+            ctx.note_decline(COLOCATION_VETO)
             return None
         pending = job.pending_reduces()
         if not pending:
@@ -118,6 +121,7 @@ class MatchingScheduler(TaskScheduler):
                     and job.has_running_reduce_on(n.name))
         ]
         if not free:
+            ctx.note_decline(COLOCATION_VETO)
             return None
         slot_nodes = self._expand_slots(free, lambda n: n.free_reduce_slots)
         reduce_idx = np.array([r.index for r in pending], dtype=np.int64)

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.cost import JobCostModel
 from repro.core.estimator import IntermediateEstimator, ProgressEstimator
 from repro.schedulers.base import SchedulerContext, TaskScheduler
+from repro.trace.events import COLOCATION_VETO
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -84,6 +85,7 @@ class GreedyCostScheduler(TaskScheduler):
         self, node: "Node", job: "Job", ctx: SchedulerContext
     ) -> Optional["ReduceTask"]:
         if self.avoid_reduce_colocation and job.has_running_reduce_on(node.name):
+            ctx.note_decline(COLOCATION_VETO)
             return None
         pending = job.pending_reduces()
         if not pending:

@@ -1,0 +1,83 @@
+"""Decision-level run tracing: typed events, recorders, and exporters.
+
+The engine emits one :class:`~repro.trace.events.TraceEvent` per decision
+(heartbeat, slot offer, cost/probability evaluation, assign, decline with
+reason, task start/finish, shuffle flow) into a
+:class:`~repro.trace.recorder.TraceRecorder`; the default
+:class:`~repro.trace.recorder.NullRecorder` keeps the disabled path off the
+hot loop.  Exporters turn the stream into deterministic JSONL, Perfetto-
+loadable Chrome trace-event JSON, or ASCII summaries/timelines.
+
+Enable per run with ``EngineConfig(trace=True)`` (inspect
+``RunResult.trace``), persist with ``EngineConfig(trace_jsonl=path)``, or
+use the CLI: ``repro trace out.json`` / ``repro <experiment> --trace path``
+/ ``repro report path``.
+"""
+
+from .events import (
+    Assign,
+    BELOW_PMIN,
+    BERNOULLI_MISS,
+    COLOCATION_VETO,
+    COUPLING_GATE,
+    DECLINE_REASONS,
+    Decline,
+    Evaluate,
+    Heartbeat,
+    JobFinish,
+    JobSubmit,
+    LOCALITY_WAIT,
+    NO_CANDIDATE,
+    RunStart,
+    ShuffleFinish,
+    ShuffleStart,
+    SlotOffer,
+    TaskFinish,
+    TaskStart,
+    TraceEvent,
+    UNMATCHED,
+    as_dicts,
+)
+from .export import (
+    chrome_trace,
+    events_to_chrome,
+    events_to_jsonl,
+    jsonl_lines,
+    read_jsonl,
+)
+from .recorder import NullRecorder, TraceRecorder
+from .render import ascii_timeline, trace_summary
+
+__all__ = [
+    "Assign",
+    "BELOW_PMIN",
+    "BERNOULLI_MISS",
+    "COLOCATION_VETO",
+    "COUPLING_GATE",
+    "DECLINE_REASONS",
+    "Decline",
+    "Evaluate",
+    "Heartbeat",
+    "JobFinish",
+    "JobSubmit",
+    "LOCALITY_WAIT",
+    "NO_CANDIDATE",
+    "NullRecorder",
+    "RunStart",
+    "ShuffleFinish",
+    "ShuffleStart",
+    "SlotOffer",
+    "TaskFinish",
+    "TaskStart",
+    "TraceEvent",
+    "TraceRecorder",
+    "UNMATCHED",
+    "as_dicts",
+    "ascii_timeline",
+    "chrome_trace",
+    "events_to_chrome",
+    "events_to_jsonl",
+    "jsonl_lines",
+    "read_jsonl",
+    "trace_summary",
+]

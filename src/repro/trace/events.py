@@ -1,0 +1,246 @@
+"""Typed, sim-clock-stamped trace events.
+
+Every decision the engine makes on a heartbeat — and everything those
+decisions cause (task launches, shuffle flows, job completions) — is
+describable as one of the small frozen dataclasses below.  Each event
+carries the simulated timestamp ``t`` and a class-level ``type`` tag;
+:meth:`TraceEvent.to_dict` renders the canonical wire form used by the
+JSONL and Chrome-trace exporters (``type`` first, then the fields in
+definition order), so two runs with equal seeds serialise byte-identically.
+
+The decline-reason vocabulary is shared with
+:class:`~repro.metrics.collector.MetricsCollector`'s per-reason counters:
+
+``below_pmin``
+    Algorithm 1/2's threshold rule: the best acceptance probability fell
+    below ``P_min`` (PNA).
+``bernoulli_miss``
+    The acceptance coin came up tails (PNA's one draw per offer, or the
+    Coupling Scheduler's coarse-locality coin).
+``colocation_veto``
+    Algorithm 2 line 1: the node already runs one of the job's reducers.
+``no_candidate``
+    The scheduler returned ``None`` without announcing a reason — typically
+    nothing placeable was pending.
+``locality_wait``
+    A delay-scheduling-style skip: the scheduler is holding out for a
+    better-placed slot (Fair's delay, LARTS/Coupling reduce waits).
+``coupling_gate``
+    The Coupling Scheduler's gradual-launch gate: enough reducers are
+    already running for the current map progress.
+``unmatched``
+    The matching scheduler's snapshot optimum left the offering node empty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Union
+
+__all__ = [
+    "Assign",
+    "DECLINE_REASONS",
+    "Decline",
+    "Evaluate",
+    "Heartbeat",
+    "JobFinish",
+    "JobSubmit",
+    "RunStart",
+    "ShuffleFinish",
+    "ShuffleStart",
+    "SlotOffer",
+    "TaskFinish",
+    "TaskStart",
+    "TraceEvent",
+    "as_dicts",
+]
+
+#: Canonical decline reasons (see the module docstring for semantics).
+BELOW_PMIN = "below_pmin"
+BERNOULLI_MISS = "bernoulli_miss"
+COLOCATION_VETO = "colocation_veto"
+NO_CANDIDATE = "no_candidate"
+LOCALITY_WAIT = "locality_wait"
+COUPLING_GATE = "coupling_gate"
+UNMATCHED = "unmatched"
+
+DECLINE_REASONS = (
+    BELOW_PMIN,
+    BERNOULLI_MISS,
+    COLOCATION_VETO,
+    NO_CANDIDATE,
+    LOCALITY_WAIT,
+    COUPLING_GATE,
+    UNMATCHED,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: a simulated timestamp plus the class-level ``type`` tag."""
+
+    t: float
+
+    #: wire tag; every concrete subclass overrides it.
+    type = "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical dict form: ``type`` first, fields in definition order."""
+        out: Dict[str, object] = {"type": self.type}
+        for f in dataclasses.fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(frozen=True)
+class RunStart(TraceEvent):
+    """Emitted once when a traced Simulation is constructed."""
+
+    scheduler: str
+    seed: int
+
+    type = "run_start"
+
+
+@dataclass(frozen=True)
+class JobSubmit(TraceEvent):
+    job_id: str
+
+    type = "job_submit"
+
+
+@dataclass(frozen=True)
+class JobFinish(TraceEvent):
+    job_id: str
+
+    type = "job_finish"
+
+
+@dataclass(frozen=True)
+class Heartbeat(TraceEvent):
+    """One node heartbeat reaching the JobTracker."""
+
+    node: str
+    free_map_slots: int
+    free_reduce_slots: int
+
+    type = "heartbeat"
+
+
+@dataclass(frozen=True)
+class SlotOffer(TraceEvent):
+    """A free slot offered to the runnable jobs (one per offer round)."""
+
+    node: str
+    kind: str  # "map" | "reduce"
+    jobs: int  # candidate jobs with schedulable work
+
+    type = "offer"
+
+
+@dataclass(frozen=True)
+class Evaluate(TraceEvent):
+    """A per-offer cost/probability evaluation (PNA Formulae 1-5).
+
+    ``c_here``/``c_ave``/``p`` describe the *best* candidate of the offered
+    job: the transmission cost of running it on the offering node, the mean
+    cost over all nodes with a free slot of the kind, and the resulting
+    acceptance probability ``P = model(C_ave, C_here)``.
+    """
+
+    node: str
+    kind: str
+    job_id: str
+    candidates: int  # pending tasks scored in this evaluation
+    task_index: int  # index of the best candidate
+    c_here: float
+    c_ave: float
+    p: float
+
+    type = "evaluate"
+
+
+@dataclass(frozen=True)
+class Assign(TraceEvent):
+    node: str
+    kind: str
+    job_id: str
+    task_index: int
+
+    type = "assign"
+
+
+@dataclass(frozen=True)
+class Decline(TraceEvent):
+    """One counted slot decline (mirrors ``scheduling_declines`` exactly).
+
+    ``reason`` is the head-of-line job's announced reason — the job whose
+    refusal left the slot idle — or ``no_candidate`` when no scheduler
+    announced one.
+    """
+
+    node: str
+    kind: str
+    reason: str
+    job_id: str
+
+    type = "decline"
+
+
+@dataclass(frozen=True)
+class TaskStart(TraceEvent):
+    node: str
+    kind: str
+    job_id: str
+    task_index: int
+    speculative: bool = False
+
+    type = "task_start"
+
+
+@dataclass(frozen=True)
+class TaskFinish(TraceEvent):
+    node: str
+    kind: str
+    job_id: str
+    task_index: int
+    locality: str
+    attempts: int
+
+    type = "task_finish"
+
+
+@dataclass(frozen=True)
+class ShuffleStart(TraceEvent):
+    """A shuffle fetch flow leaving a map node for a reducer."""
+
+    src: str
+    dst: str
+    job_id: str
+    reduce_index: int
+    size: float
+
+    type = "shuffle_start"
+
+
+@dataclass(frozen=True)
+class ShuffleFinish(TraceEvent):
+    src: str
+    dst: str
+    job_id: str
+    reduce_index: int
+    size: float
+
+    type = "shuffle_finish"
+
+
+EventLike = Union[TraceEvent, Dict[str, object]]
+
+
+def as_dicts(events: Iterable[EventLike]) -> List[Dict[str, object]]:
+    """Normalise a mixed event stream to plain dicts (exporter input)."""
+    out: List[Dict[str, object]] = []
+    for ev in events:
+        out.append(ev.to_dict() if isinstance(ev, TraceEvent) else dict(ev))
+    return out

@@ -1,0 +1,225 @@
+"""Trace exporters: deterministic JSONL and Chrome trace-event JSON.
+
+JSONL is the canonical archival form: one event per line, keys sorted,
+compact separators — equal-seed runs serialise byte-identically, which the
+test suite asserts.  The Chrome form (``{"traceEvents": [...]}``) loads in
+Perfetto / ``chrome://tracing`` with cluster nodes as *processes* and task
+slots / shuffle flows as *threads*, so a run can be inspected as a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .events import EventLike, as_dicts
+
+__all__ = [
+    "chrome_trace",
+    "events_to_chrome",
+    "events_to_jsonl",
+    "jsonl_lines",
+    "read_jsonl",
+]
+
+# Thread-id bases per span family; Perfetto sorts lanes by tid, so map
+# slots render above reduce slots above shuffle flows on every node.
+_MAP_TID = 0
+_REDUCE_TID = 100
+_SHUFFLE_TID = 200
+_DECISION_TID = 999
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+
+def jsonl_lines(events: Iterable[EventLike]) -> List[str]:
+    """Canonical one-line-per-event encoding (sorted keys, compact)."""
+    return [
+        json.dumps(ev, sort_keys=True, separators=(",", ":"))
+        for ev in as_dicts(events)
+    ]
+
+
+def events_to_jsonl(events: Iterable[EventLike], path: str, *, append: bool = False) -> int:
+    """Write the canonical JSONL stream to ``path``; returns events written."""
+    lines = jsonl_lines(events)
+    with open(path, "a" if append else "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return len(lines)
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL trace back into a list of plain event dicts."""
+    out: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def _pack_lanes(spans: Sequence[Tuple[float, float]]) -> List[int]:
+    """Greedy interval packing: lane index per span, reusing freed lanes.
+
+    ``spans`` must be sorted by start time; a lane is free once its last
+    span ended at or before the new span's start.
+    """
+    lane_end: List[float] = []
+    lanes: List[int] = []
+    for start, end in spans:
+        for i, busy_until in enumerate(lane_end):
+            if busy_until <= start:
+                lane_end[i] = end
+                lanes.append(i)
+                break
+        else:
+            lane_end.append(end)
+            lanes.append(len(lane_end) - 1)
+    return lanes
+
+
+def chrome_trace(events: Iterable[EventLike]) -> Dict[str, object]:
+    """Build a Chrome trace-event dict (nodes = processes, slots = threads)."""
+    evs = as_dicts(events)
+    horizon = max((float(e.get("t", 0.0)) for e in evs), default=0.0)
+
+    nodes = sorted(
+        {str(e["node"]) for e in evs if "node" in e}
+        | {str(e["dst"]) for e in evs if "dst" in e}
+    )
+    pid_of = {name: i + 1 for i, name in enumerate(nodes)}
+    jt_pid = len(nodes) + 1  # synthetic process for job-level events
+
+    out: List[Dict[str, object]] = []
+    for name, pid in pid_of.items():
+        out.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": name}})
+    out.append({"ph": "M", "name": "process_name", "pid": jt_pid, "tid": 0,
+                "args": {"name": "jobtracker"}})
+
+    # -- task spans: pair task_start with its task_finish on the same node.
+    # Speculative losers and still-running tasks never see a finish event;
+    # close those spans at the trace horizon.
+    open_spans: Dict[Tuple[str, str, str, int], Dict[str, object]] = {}
+    spans: List[Dict[str, object]] = []
+    for e in evs:
+        etype = e["type"]
+        if etype == "task_start":
+            key = (str(e["node"]), str(e["kind"]), str(e["job_id"]), int(e["task_index"]))
+            open_spans[key] = e
+        elif etype == "task_finish":
+            key = (str(e["node"]), str(e["kind"]), str(e["job_id"]), int(e["task_index"]))
+            start = open_spans.pop(key, None)
+            if start is not None:
+                spans.append({
+                    "node": key[0], "kind": key[1],
+                    "name": f"{key[2]}/{key[1]}[{key[3]}]",
+                    "t0": float(start["t"]), "t1": float(e["t"]),
+                    "args": {"job": key[2], "index": key[3],
+                             "locality": e.get("locality", ""),
+                             "speculative": bool(start.get("speculative", False))},
+                })
+        elif etype in ("shuffle_start", "shuffle_finish"):
+            pass  # handled below
+    for key, start in open_spans.items():
+        spans.append({
+            "node": key[0], "kind": key[1],
+            "name": f"{key[2]}/{key[1]}[{key[3]}] (unfinished)",
+            "t0": float(start["t"]), "t1": horizon,
+            "args": {"job": key[2], "index": key[3],
+                     "speculative": bool(start.get("speculative", False))},
+        })
+
+    # -- shuffle spans live on the destination (reducer) node.
+    open_flows: Dict[Tuple[str, str, str, int], Dict[str, object]] = {}
+    for e in evs:
+        if e["type"] == "shuffle_start":
+            key = (str(e["src"]), str(e["dst"]), str(e["job_id"]), int(e["reduce_index"]))
+            open_flows[key] = e
+        elif e["type"] == "shuffle_finish":
+            key = (str(e["src"]), str(e["dst"]), str(e["job_id"]), int(e["reduce_index"]))
+            start = open_flows.pop(key, None)
+            if start is not None:
+                spans.append({
+                    "node": key[1], "kind": "shuffle",
+                    "name": f"{key[2]} {key[0]}->{key[1]}",
+                    "t0": float(start["t"]), "t1": float(e["t"]),
+                    "args": {"job": key[2], "src": key[0],
+                             "bytes": float(e.get("size", 0.0))},
+                })
+    for key, start in open_flows.items():
+        spans.append({
+            "node": key[1], "kind": "shuffle",
+            "name": f"{key[2]} {key[0]}->{key[1]} (unfinished)",
+            "t0": float(start["t"]), "t1": horizon,
+            "args": {"job": key[2], "src": key[0]},
+        })
+
+    # -- pack concurrent spans of a (node, kind) into slot lanes.
+    tid_base = {"map": _MAP_TID, "reduce": _REDUCE_TID, "shuffle": _SHUFFLE_TID}
+    by_group: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    for span in spans:
+        by_group.setdefault((str(span["node"]), str(span["kind"])), []).append(span)
+    for (node, kind), group in sorted(by_group.items()):
+        group.sort(key=lambda s: (s["t0"], s["t1"], s["name"]))
+        lanes = _pack_lanes([(float(s["t0"]), float(s["t1"])) for s in group])
+        base = tid_base[kind]
+        for lane in sorted(set(lanes)):
+            out.append({"ph": "M", "name": "thread_name", "pid": pid_of[node],
+                        "tid": base + lane, "args": {"name": f"{kind} {lane}"}})
+        for span, lane in zip(group, lanes):
+            out.append({
+                "ph": "X", "name": span["name"], "cat": kind,
+                "pid": pid_of[node], "tid": base + lane,
+                "ts": float(span["t0"]) * _US,
+                "dur": max(float(span["t1"]) - float(span["t0"]), 0.0) * _US,
+                "args": span["args"],
+            })
+
+    # -- instants: per-node scheduling decisions and job-level milestones.
+    decision_nodes = set()
+    for e in evs:
+        etype = e["type"]
+        if etype == "decline":
+            node = str(e["node"])
+            decision_nodes.add(node)
+            out.append({
+                "ph": "i", "s": "t", "cat": "decision",
+                "name": f"decline:{e['reason']}",
+                "pid": pid_of[node], "tid": _DECISION_TID,
+                "ts": float(e["t"]) * _US,
+                "args": {"kind": e["kind"], "job": e.get("job_id", "")},
+            })
+        elif etype == "evaluate":
+            node = str(e["node"])
+            decision_nodes.add(node)
+            out.append({
+                "ph": "i", "s": "t", "cat": "decision", "name": "evaluate",
+                "pid": pid_of[node], "tid": _DECISION_TID,
+                "ts": float(e["t"]) * _US,
+                "args": {"kind": e["kind"], "job": e["job_id"],
+                         "c_here": e["c_here"], "c_ave": e["c_ave"], "p": e["p"]},
+            })
+        elif etype in ("job_submit", "job_finish", "run_start"):
+            out.append({
+                "ph": "i", "s": "p", "cat": "job", "name": f"{etype}:{e.get('job_id', e.get('scheduler', ''))}",
+                "pid": jt_pid, "tid": 0,
+                "ts": float(e["t"]) * _US, "args": {},
+            })
+    for node in sorted(decision_nodes):
+        out.append({"ph": "M", "name": "thread_name", "pid": pid_of[node],
+                    "tid": _DECISION_TID, "args": {"name": "scheduler decisions"}})
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def events_to_chrome(events: Iterable[EventLike], path: str) -> int:
+    """Write the Chrome trace-event JSON to ``path``; returns event count."""
+    doc = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(doc["traceEvents"])  # type: ignore[arg-type]

@@ -1,0 +1,78 @@
+"""Event recorders: the real `TraceRecorder` and the no-op `NullRecorder`.
+
+The engine holds exactly one recorder per run and calls it unconditionally;
+call sites guard event *construction* behind ``recorder.enabled`` so that a
+disabled run (the default, :class:`NullRecorder`) pays only one attribute
+read per decision and allocates nothing.
+
+Wall-clock phase timings (`phase("select_map")` etc.) are kept separate
+from the event stream on purpose: events carry only simulated time so the
+JSONL export stays byte-identical across equal-seed runs, while
+``timings`` answers "where does the scheduler spend real time".
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+from .events import Decline, TraceEvent
+
+__all__ = ["NullRecorder", "TraceRecorder"]
+
+
+class NullRecorder:
+    """Recorder that records nothing; the engine's default.
+
+    ``enabled`` is a plain class attribute so hot loops can branch on it
+    without a method call; ``emit`` exists so unguarded call sites are
+    still safe.
+    """
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield
+
+
+class TraceRecorder(NullRecorder):
+    """Accumulates typed trace events plus per-phase wall-clock timings."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        #: cumulative wall seconds per scheduler-decision phase.
+        self.timings: Dict[str, float] = defaultdict(float)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accrue the wall time of the enclosed block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[name] += time.perf_counter() - t0
+
+    # -- views ----------------------------------------------------------
+
+    def counts(self) -> "Counter[str]":
+        """Event counts keyed by event type tag."""
+        return Counter(ev.type for ev in self.events)
+
+    def declines_by_reason(self) -> Dict[Tuple[str, str], int]:
+        """Decline counts keyed by ``(kind, reason)``."""
+        out: "Counter[Tuple[str, str]]" = Counter()
+        for ev in self.events:
+            if isinstance(ev, Decline):
+                out[(ev.kind, ev.reason)] += 1
+        return dict(out)

@@ -11,6 +11,7 @@ import pytest
 from repro.cluster import ClusterSpec
 from repro.engine import Simulation
 from repro.metrics import (
+    MetricsCollector,
     collector_from_json,
     collector_to_json,
     jobs_to_csv,
@@ -67,6 +68,25 @@ class TestJSONRoundtrip:
             loaded.scheduling_assignments
             == finished_collector.scheduling_assignments
         )
+        assert loaded.decline_reasons == finished_collector.decline_reasons
+        assert (
+            loaded.declines_by_reason()
+            == finished_collector.declines_by_reason()
+        )
+
+    def test_decline_reasons_roundtrip(self, tmp_path):
+        collector = MetricsCollector()
+        collector.offer_declined("map", "locality_wait")
+        collector.offer_declined("reduce", "colocation_veto")
+        collector.offer_declined("reduce", "colocation_veto")
+        path = tmp_path / "declines.json"
+        collector_to_json(collector, path)
+        loaded = collector_from_json(path)
+        assert loaded.scheduling_declines == 3
+        assert loaded.declines_by_reason() == {
+            ("map", "locality_wait"): 1,
+            ("reduce", "colocation_veto"): 2,
+        }
 
     def test_loaded_collector_supports_analysis(self, finished_collector, tmp_path):
         path = tmp_path / "run.json"

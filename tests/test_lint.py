@@ -264,6 +264,48 @@ class TestSchedulerContracts:
 
 
 # ----------------------------------------------------------------------
+# no-print
+# ----------------------------------------------------------------------
+class TestNoPrint:
+    def test_print_call_flagged(self):
+        assert rules(run_lint('print("hello")\n')) == ["no-print"]
+
+    def test_flagged_anywhere_in_the_tree(self):
+        src = "def report(x):\n    print(x)\n"
+        assert rules(run_lint(src, scope=DRIVER)) == ["no-print"]
+
+    def test_excluded_entry_points_may_print(self):
+        src = 'print("usage: ...")\n'
+        cli = Path("repro/cli.py")
+        assert run_lint(src, scope=cli) == []
+
+    def test_exclusion_is_configurable(self):
+        config = LintConfig(no_print_exclude=("repro/analysis/mod.py",))
+        assert run_lint('print("x")\n', scope=DRIVER, config=config) == []
+        assert rules(run_lint('print("x")\n', config=config)) == ["no-print"]
+
+    def test_shadowed_print_is_not_flagged(self):
+        src = "def emit(print):\n    print('x')\n"
+        assert run_lint(src) == []
+
+    def test_method_named_print_is_not_flagged(self):
+        assert run_lint("dev.print('x')\n") == []
+
+    def test_marker_waives(self):
+        src = 'print("dbg")  # repro: lint-ok[no-print]\n'
+        assert run_lint(src) == []
+
+    def test_pyproject_key_parsed(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\n"
+            'no-print-exclude = ["repro/tools/dump.py"]\n',
+            encoding="utf-8",
+        )
+        config = LintConfig.load(tmp_path)
+        assert config.no_print_exclude == ("repro/tools/dump.py",)
+
+
+# ----------------------------------------------------------------------
 # suppression markers
 # ----------------------------------------------------------------------
 class TestSuppression:

@@ -103,6 +103,42 @@ class TestCollector:
         assert c.makespan() == 30.0
         assert MetricsCollector().makespan() == 0.0
 
+    def test_makespan_falls_back_to_earliest_task_start(self):
+        # no job_submitted() calls, but tasks were recorded: anchor on the
+        # earliest task start instead of returning a bogus end-of-run value
+        c = MetricsCollector()
+        c.task_completed(tr(index=0, start=4.0, end=10.0))
+        c.task_completed(tr(index=1, start=2.0, end=30.0))
+        assert c.makespan() == 28.0
+
+    def test_makespan_falls_back_to_job_submit_times(self):
+        c = MetricsCollector()
+        c.job_completed(jr(job="01", submit=3.0, finish=23.0))
+        assert c.makespan() == 20.0
+
+    def test_offer_declined_reason_accounting(self):
+        c = MetricsCollector()
+        c.offer_declined()  # defaults: map / no_candidate
+        c.offer_declined("map", "below_pmin")
+        c.offer_declined("reduce", "colocation_veto")
+        c.offer_declined("reduce", "colocation_veto")
+        assert c.scheduling_declines == 4
+        assert c.declines_by_reason() == {
+            ("map", "no_candidate"): 1,
+            ("map", "below_pmin"): 1,
+            ("reduce", "colocation_veto"): 2,
+        }
+        assert c.declines_by_reason("reduce") == {
+            ("reduce", "colocation_veto"): 2,
+        }
+
+    def test_offer_declined_rejects_unknown_kind(self):
+        c = MetricsCollector()
+        with pytest.raises(ValueError):
+            c.offer_declined("shuffle", "no_candidate")
+        with pytest.raises(ValueError):
+            c.declines_by_reason("shuffle")
+
     def test_occupancy_series(self):
         c = MetricsCollector()
         c.task_completed(tr(index=0, start=0, end=10))
