@@ -1,0 +1,95 @@
+"""Churn robustness — scheduler comparison under node failure (extension).
+
+The paper evaluates on a healthy cluster; production MapReduce clusters
+lose TaskTrackers constantly.  This bench runs PNA, Fair and Coupling under
+0 %, 5 % and 15 % node churn (renewal up/down process, 90 s mean downtime,
+15 s tracker expiry) on one seeded workload and reports mean JCT plus the
+recovery work each level forces (attempts killed, maps re-executed).
+
+Every run must finish every job: the recovery path (tracker expiry, attempt
+re-scheduling, lost-map re-execution) is what keeps a churned run from
+livelocking, so completion *is* the assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import ProbabilisticNetworkAwareScheduler
+from repro.faults import FaultPlan, NodeChurn
+from repro.schedulers import CouplingScheduler, FairScheduler
+
+CHURN_LEVELS = (0.0, 0.05, 0.15)
+
+SCHEDULERS = {
+    "pna": ProbabilisticNetworkAwareScheduler,
+    "fair": FairScheduler,
+    "coupling": CouplingScheduler,
+}
+
+
+def _run(scenario, factory, level: float):
+    plan = (
+        FaultPlan(churn=NodeChurn(level=level, mean_downtime=90.0))
+        if level > 0
+        else None
+    )
+    cfg = replace(scenario.config, faults=plan, tracker_expiry_interval=15.0)
+    sim = scenario.with_(config=cfg).simulation(
+        factory(), scenario.jobs("wordcount")
+    )
+    return sim.run()
+
+
+def test_churn_degradation(benchmark, scenario):
+    def sweep():
+        return {
+            name: {level: _run(scenario, factory, level) for level in CHURN_LEVELS}
+            for name, factory in SCHEDULERS.items()
+        }
+
+    results = run_once(benchmark, sweep)
+
+    rows = []
+    for name, by_level in results.items():
+        base = by_level[0.0].mean_jct
+        for level, res in by_level.items():
+            c = res.collector
+            rows.append((
+                name,
+                f"{level:.0%}",
+                f"{res.mean_jct:.1f}",
+                f"{res.mean_jct / base - 1:+.1%}" if level else "—",
+                c.nodes_lost,
+                c.attempts_killed,
+                c.maps_reexecuted,
+            ))
+    print()
+    print(format_table(
+        ["scheduler", "churn", "mean JCT (s)", "vs healthy",
+         "node losses", "attempts killed", "maps re-run"],
+        rows,
+        title=f"JCT degradation under node churn [{scenario.name}]",
+    ))
+
+    expected = len(scenario.jobs("wordcount"))
+    for name, by_level in results.items():
+        for level, res in by_level.items():
+            done = res.collector.job_completion_times().size
+            assert done == expected, (
+                f"{name} @ churn {level:.0%}: only {done}/{expected} jobs "
+                "finished — recovery failed to drain the workload"
+            )
+            if level == 0.0:
+                # a healthy run must look exactly like a no-faults build
+                assert res.collector.nodes_lost == 0
+                assert res.collector.attempts_killed == 0
+                assert res.collector.maps_reexecuted == 0
+    for name, by_level in results.items():
+        benchmark.extra_info[f"jct_{name}"] = {
+            f"{level:.0%}": round(res.mean_jct, 1)
+            for level, res in by_level.items()
+        }

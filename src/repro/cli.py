@@ -13,8 +13,10 @@ Usage::
     repro trace out.jsonl --scheduler fair  # ... or the archival JSONL form
     repro report out.jsonl                  # re-render a saved trace
     repro fig4 --trace run.jsonl            # trace every sim of an artefact
+    repro run --faults plan.json            # one run under a fault plan
+    repro run --scheduler fair --seed 3     # one plain run, summary printed
 
-Scenario selection: ``--scenario {ci,medium,paper,nas}`` or the
+Scenario selection: ``--scenario {ci,medium,paper,nas,churn}`` or the
 ``REPRO_SCALE`` environment variable (default ``ci``).
 """
 
@@ -332,6 +334,72 @@ def _trace_main(argv: List[str]) -> int:
     return 0
 
 
+def _run_main(argv: List[str]) -> int:
+    """`repro run` — one simulation, optionally under a fault plan."""
+    import dataclasses
+
+    from repro.faults import load_plan
+
+    factories = _trace_schedulers()
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run one simulation and print its summary, optionally "
+        "injecting a declarative fault plan.",
+    )
+    parser.add_argument("--scenario", default=None,
+                        help="scenario name (ci, medium, paper, nas, churn)")
+    parser.add_argument("--scheduler", default="pna", choices=sorted(factories),
+                        help="task scheduler (default: pna)")
+    parser.add_argument("--app", default="wordcount",
+                        help="Table II application (default: wordcount)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="truncate the batch to its first N jobs")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scenario seed")
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="JSON fault plan (see repro.faults.FaultPlan); "
+                        "overrides the scenario's own plan")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="append the run's JSONL event trace to PATH")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run with the runtime invariant checker on")
+    args = parser.parse_args(argv)
+
+    scenario = get_scenario(args.scenario)
+    changes: Dict = {}
+    if args.faults is not None:
+        try:
+            changes["faults"] = load_plan(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load fault plan: {exc}", file=sys.stderr)
+            return 2
+    if args.check_invariants:
+        changes["check_invariants"] = True
+    if args.trace:
+        changes.update(trace=True, trace_jsonl=args.trace)
+    if changes:
+        scenario = scenario.with_(
+            config=dataclasses.replace(scenario.config, **changes)
+        )
+    if args.seed is not None:
+        scenario = scenario.with_(seed=args.seed)
+    jobs = scenario.jobs(args.app)
+    if args.jobs > 0:
+        jobs = jobs[: args.jobs]
+    sim = scenario.simulation(factories[args.scheduler](), jobs)
+    result = sim.run()
+    print(result.summary())
+    if sim.faults is not None:
+        inj = sim.faults
+        print(
+            f"injected: {inj.crashes_injected} crashes, "
+            f"{inj.revivals} revivals, "
+            f"{inj.attempt_failures_injected} attempt failures, "
+            f"{inj.heartbeats_dropped} heartbeats dropped"
+        )
+    return 0
+
+
 def _report_main(argv: List[str]) -> int:
     """`repro report <trace.jsonl>` — render a saved trace."""
     from repro.trace import ascii_timeline, read_jsonl, trace_summary
@@ -386,6 +454,8 @@ def main(argv: List[str] | None = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -396,7 +466,8 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[*COMMANDS, "all"],
-        help="which paper artefact to regenerate (or `lint`/`trace`/`report`)",
+        help="which paper artefact to regenerate "
+        "(or `lint`/`trace`/`run`/`report`)",
     )
     parser.add_argument(
         "--scenario",

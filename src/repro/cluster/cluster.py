@@ -180,10 +180,13 @@ class Cluster:
     # slot views (inputs to C_ave in Formulae 4-5)
     # ------------------------------------------------------------------
     def nodes_with_free_map_slots(self) -> List[Node]:
-        return [n for n in self.nodes if n.free_map_slots > 0]
+        return [n for n in self.nodes if n.alive and n.free_map_slots > 0]
 
     def nodes_with_free_reduce_slots(self) -> List[Node]:
-        return [n for n in self.nodes if n.free_reduce_slots > 0]
+        return [n for n in self.nodes if n.alive and n.free_reduce_slots > 0]
+
+    def alive_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.alive]
 
     def total_map_slots(self) -> int:
         return sum(n.map_slots for n in self.nodes)

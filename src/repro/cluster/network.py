@@ -190,6 +190,9 @@ class FlowNetwork:
         self._link_flows: Dict[LinkKey, int] = {}      # live flow count
         self._link_ids: Dict[LinkKey, int] = {}
         self._caps_arr = np.zeros(0, dtype=np.float64)
+        # transient capacity rescaling (fault injection); absent key = 1.0,
+        # so zero-fault runs never touch these floats
+        self._cap_factors: Dict[LinkKey, float] = {}
         # slot-indexed state of active fabric flows
         self._flows: List[Flow] = []
         self._routes: List[np.ndarray] = []
@@ -268,7 +271,7 @@ class FlowNetwork:
             if lid is None:
                 lid = self._link_ids[link] = len(self._link_ids)
                 self._caps_arr = np.append(
-                    self._caps_arr, self.topology.link_capacity(link)
+                    self._caps_arr, self.effective_capacity(link)
                 )
             ids[i] = lid
         flow.route_ids = ids
@@ -299,6 +302,38 @@ class FlowNetwork:
         return self._link_flows.get(link, 0)
 
     # ------------------------------------------------------------------
+    # transient capacity rescaling (fault injection)
+    # ------------------------------------------------------------------
+    def effective_capacity(self, link: LinkKey) -> float:
+        """The link's current capacity: nominal times any degradation."""
+        cap = self.topology.link_capacity(link)
+        if self._cap_factors:
+            cap *= self._cap_factors.get(link, 1.0)
+        return cap
+
+    def capacity_factor(self, link: LinkKey) -> float:
+        return self._cap_factors.get(link, 1.0)
+
+    def set_capacity_factor(self, link: LinkKey, factor: float) -> None:
+        """Rescale a link's capacity (1.0 restores nominal).
+
+        In-flight flows are settled at the current instant and their rates
+        recomputed against the degraded capacity via a zero-delay tick, so
+        the change takes effect immediately and deterministically.
+        """
+        if not (factor > 0.0) or math.isinf(factor):
+            raise ValueError(f"capacity factor must be finite and > 0, got {factor}")
+        if factor == 1.0:
+            self._cap_factors.pop(link, None)
+        else:
+            self._cap_factors[link] = factor
+        lid = self._link_ids.get(link)
+        if lid is not None:
+            self._settle_all()
+            self._caps_arr[lid] = self.effective_capacity(link)
+            self._mark_dirty()
+
+    # ------------------------------------------------------------------
     # live path-rate estimation (network-condition-aware cost input)
     # ------------------------------------------------------------------
     def path_rate(self, src: str, dst: str) -> float:
@@ -312,7 +347,7 @@ class FlowNetwork:
             return self.local_bandwidth
         rate = math.inf
         for link in self.topology.route(src, dst):
-            cap = self.topology.link_capacity(link)
+            cap = self.effective_capacity(link)
             share = cap / (self._link_flows.get(link, 0) + 1)
             rate = min(rate, share)
         return rate

@@ -53,6 +53,15 @@ class Node:
 
     running_maps: int = field(default=0, init=False)
     running_reduces: int = field(default=0, init=False)
+    #: physical liveness, toggled by the fault injector.  A dead node's
+    #: flows are frozen and its slots are unofferable; the JobTracker
+    #: notices via missed heartbeats (``tracker_expiry_interval``), not
+    #: instantly — exactly like a real TaskTracker loss.
+    alive: bool = field(default=True, init=False)
+    #: bumped by the fault injector on every crash so the tracker can tell
+    #: a restarted node from one that never went away (a TaskTracker that
+    #: re-registers within the expiry window still lost all its state).
+    incarnation: int = field(default=0, init=False)
 
     # ------------------------------------------------------------------
     # slot accounting

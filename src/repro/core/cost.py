@@ -131,12 +131,19 @@ class JobCostModel:
         """Create a model and register it on the job's event hooks."""
         model = cls(job)
         job.map_done_listeners.append(model._on_map_done)
+        job.map_lost_listeners.append(model._on_map_lost)
         return model
 
     def _on_map_done(self, task: "MapTask") -> None:
         """Fold a completed map's exact contribution into the ``Sc`` cache."""
         p = task.node.index
         self._Sc += np.outer(self._hops[p, :], self.job.I[task.index, :])
+
+    def _on_map_lost(self, task: "MapTask") -> None:
+        """Unfold a lost map's contribution: its output died with its node
+        and the re-execution will fold a fresh placement back in."""
+        p = task.node.index
+        self._Sc -= np.outer(self._hops[p, :], self.job.I[task.index, :])
 
     # ------------------------------------------------------------------
     # Formula (1)

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults.spec import FaultPlan
 
 __all__ = ["EngineConfig"]
 
@@ -58,6 +62,27 @@ class EngineConfig:
     speculative_cap:
         At most this fraction of a job's maps may have live backup attempts
         simultaneously.
+    tracker_expiry_interval:
+        Seconds without a heartbeat before the tracker writes a node off
+        (``mapred.tasktracker.expiry.interval``, Hadoop default 600 s; the
+        simulator defaults to 30 s — 10 heartbeat periods — so recovery
+        dynamics are visible at simulation scale).  On expiry the node's
+        running attempts are killed and its completed map outputs that any
+        unfinished reduce still needs are re-executed.
+    max_attempts:
+        Per-task retry budget (``mapred.map.max.attempts``, default 4).
+        Only genuine task failures count — attempts killed by node loss
+        are re-scheduled for free, as in Hadoop.  A task that fails
+        ``max_attempts`` times fails its job.
+    max_task_failures_per_tracker:
+        Per-job node blacklisting threshold
+        (``mapred.max.tracker.failures``, default 4): once a job sees this
+        many task failures on one node, the job stops accepting that
+        node's slots.
+    faults:
+        Optional :class:`~repro.faults.spec.FaultPlan` injected during the
+        run.  ``None`` (or an empty plan) leaves the run bit-for-bit
+        identical to a build without fault support.
     horizon:
         Safety cap on simulated seconds; a run that exceeds it raises, which
         catches scheduler livelocks in tests instead of hanging.
@@ -91,25 +116,67 @@ class EngineConfig:
     speculative_min_age: float = 15.0
     speculative_progress_factor: float = 0.7
     speculative_cap: float = 0.1
+    tracker_expiry_interval: float = 30.0
+    max_attempts: int = 4
+    max_task_failures_per_tracker: int = 4
+    faults: Optional[FaultPlan] = None
     horizon: float = 10_000_000.0
     check_invariants: bool = field(default_factory=_invariants_default)
     trace: bool = False
     trace_jsonl: str = ""
 
     def __post_init__(self) -> None:
-        if self.heartbeat_period <= 0:
-            raise ValueError("heartbeat_period must be positive")
-        if not 0.0 <= self.slowstart <= 1.0:
-            raise ValueError("slowstart must be in [0, 1]")
-        if self.max_parallel_fetches < 1:
-            raise ValueError("max_parallel_fetches must be >= 1")
-        if self.replication < 1:
-            raise ValueError("replication must be >= 1")
-        if self.speculative_min_age < 0:
-            raise ValueError("speculative_min_age must be >= 0")
-        if not 0.0 < self.speculative_progress_factor <= 1.0:
-            raise ValueError("speculative_progress_factor must be in (0, 1]")
-        if not 0.0 < self.speculative_cap <= 1.0:
-            raise ValueError("speculative_cap must be in (0, 1]")
-        if self.horizon <= 0:
-            raise ValueError("horizon must be positive")
+        # every numeric knob is range-checked *and* NaN-checked: NaN slips
+        # through ordinary comparisons (NaN <= 0 is False), so a typo'd
+        # config would otherwise fail deep inside the run
+        self._require_finite("heartbeat_period", positive=True)
+        self._require_unit_interval("slowstart")
+        self._require_int("max_parallel_fetches", minimum=1)
+        self._require_int("replication", minimum=1)
+        self._require_finite("speculative_min_age")
+        self._require_unit_interval(
+            "speculative_progress_factor", exclusive_zero=True
+        )
+        self._require_unit_interval("speculative_cap", exclusive_zero=True)
+        self._require_finite("tracker_expiry_interval", positive=True)
+        self._require_int("max_attempts", minimum=1)
+        self._require_int("max_task_failures_per_tracker", minimum=1)
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
+        # horizon may be inf ("no cap") but never NaN or <= 0
+        if math.isnan(self.horizon) or self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _require_finite(self, name: str, *, positive: bool = False) -> None:
+        value = getattr(self, name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{name} must be a number, got {value!r}")
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"{name} must be finite, got {value}")
+        if positive and value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+        if not positive and value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+
+    def _require_unit_interval(
+        self, name: str, *, exclusive_zero: bool = False
+    ) -> None:
+        value = getattr(self, name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{name} must be a number, got {value!r}")
+        low_ok = value > 0.0 if exclusive_zero else value >= 0.0
+        if math.isnan(value) or not low_ok or value > 1.0:
+            bounds = "(0, 1]" if exclusive_zero else "[0, 1]"
+            raise ValueError(f"{name} must be in {bounds}, got {value}")
+
+    def _require_int(self, name: str, *, minimum: int) -> None:
+        value = getattr(self, name)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        if value < minimum:
+            raise ValueError(f"{name} must be >= {minimum}, got {value}")

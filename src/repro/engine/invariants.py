@@ -15,7 +15,12 @@ figure of the paper silently assumes:
    its partition's column of the intermediate matrix ``I`` contains;
 5. **Algorithm 2, line 1** — under a scheduler that declares
    ``avoid_reduce_colocation``, no node ever runs two reducers of the same
-   job.
+   job;
+6. **liveness** (fault runs) — no task is ever assigned to a dead or
+   blacklisted node, a node the tracker has written off runs zero
+   attempts, every task's charged failure count stays within
+   ``max_attempts``, and slot accounting survives crash/rejoin cycles
+   (re-checked from the live attempt lists, not just the counters).
 
 Checks are wired into the JobTracker after every heartbeat round and at
 every job completion, so a violation surfaces as an
@@ -36,6 +41,7 @@ import numpy as np
 from repro.sim import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
     from repro.engine.job import Job
     from repro.engine.jobtracker import JobTracker
     from repro.schedulers.base import TaskScheduler
@@ -146,6 +152,97 @@ class InvariantChecker:
                     "produce"
                 )
 
+    def check_assignment(self, node: "Node", job: "Job") -> None:
+        """Invariant 6a: assignments land only on live, non-blacklisted
+        nodes.  Called by the offer loop immediately before every launch."""
+        self.checks_run += 1
+        if not node.alive:
+            self._fail(
+                f"job {job.spec.job_id} assigned a task to dead node "
+                f"{node.name}"
+            )
+        if node.name in job.blacklisted:
+            self._fail(
+                f"job {job.spec.job_id} assigned a task to its blacklisted "
+                f"node {node.name}"
+            )
+
+    def check_attempt_budgets(self, job: "Job") -> None:
+        """Invariant 6b: charged failures never exceed ``max_attempts``."""
+        self.checks_run += 1
+        cap = self.tracker.config.max_attempts
+        for task in (*job.maps, *job.reduces):
+            if task.failures > cap:
+                kind = "map" if hasattr(task, "block") else "reduce"
+                self._fail(
+                    f"job {job.spec.job_id} {kind} {task.index}: "
+                    f"{task.failures} charged failures exceed "
+                    f"max_attempts={cap}"
+                )
+
+    def check_slot_conservation(self) -> None:
+        """Invariant 6c: per-node slot counters equal the live attempts.
+
+        Recomputed from the attempt lists themselves, so a crash/rejoin
+        cycle that leaks (or double-releases) a slot is caught even while
+        the counter still sits inside ``[0, capacity]``.
+        """
+        self.checks_run += 1
+        maps: Dict[str, int] = {}
+        reduces: Dict[str, int] = {}
+        from repro.engine.task import TaskState  # local: avoids an import cycle
+
+        for job in self.tracker.active_jobs:
+            for m in job.maps:
+                if m.state is not TaskState.RUNNING:
+                    continue
+                for attempt in m.attempts:
+                    if not attempt.cancelled:
+                        name = attempt.node.name
+                        maps[name] = maps.get(name, 0) + 1
+            for r in job.reduces:
+                if r.state is TaskState.RUNNING:
+                    name = r.node.name
+                    reduces[name] = reduces.get(name, 0) + 1
+        for node in self.tracker.cluster.nodes:
+            if node.running_maps != maps.get(node.name, 0):
+                self._fail(
+                    f"node {node.name}: running_maps counter "
+                    f"{node.running_maps} != {maps.get(node.name, 0)} live "
+                    "map attempts (slot leak across failure handling)"
+                )
+            if node.running_reduces != reduces.get(node.name, 0):
+                self._fail(
+                    f"node {node.name}: running_reduces counter "
+                    f"{node.running_reduces} != {reduces.get(node.name, 0)} "
+                    "live reduce attempts (slot leak across failure handling)"
+                )
+
+    def after_node_loss(self, node: "Node") -> None:
+        """Invariant 6d: a written-off node runs nothing and holds no slots."""
+        self.checks_run += 1
+        if node.running_maps != 0 or node.running_reduces != 0:
+            self._fail(
+                f"lost node {node.name} still accounts "
+                f"{node.running_maps} maps / {node.running_reduces} reduces"
+            )
+        for job in self.tracker.active_jobs:
+            for m in job.running_maps():
+                if any(
+                    not a.cancelled and a.node is node for a in m.attempts
+                ):
+                    self._fail(
+                        f"lost node {node.name} still runs an attempt of "
+                        f"job {job.spec.job_id} map {m.index}"
+                    )
+            for r in job.running_reduces():
+                if r.node is node:
+                    self._fail(
+                        f"lost node {node.name} still runs job "
+                        f"{job.spec.job_id} reduce {r.index}"
+                    )
+        self.check_slot_conservation()
+
     def check_colocation(self, job: "Job") -> None:
         """Invariant 5: one reducer per node per job (Algorithm 2 line 1)."""
         if not self._no_colocation:
@@ -166,9 +263,11 @@ class InvariantChecker:
         """Full sweep after each heartbeat round of slot offers."""
         self.check_clock()
         self.check_slots()
+        self.check_slot_conservation()
         for job in self.tracker.active_jobs:
             self.check_shuffle(job)
             self.check_colocation(job)
+            self.check_attempt_budgets(job)
 
     def on_job_finished(self, job: "Job") -> None:
         """Final per-job audit, then drop the job's cached bound."""

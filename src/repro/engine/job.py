@@ -11,7 +11,7 @@ events to any attached cost models, job completion to the tracker.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Set
 
 import numpy as np
 
@@ -67,10 +67,19 @@ class Job:
         # node name -> count of this job's reducers running there (the Fair
         # scheduler may co-locate several; PNA/Coupling refuse to)
         self._reduce_node_counts: Counter = Counter()
+        #: set True by :meth:`fail`; a failed job never completes
+        self.failed = False
+        #: node name -> charged task failures this job saw there
+        self.node_failures: Counter = Counter()
+        #: nodes this job refuses slots from (Hadoop per-job blacklisting)
+        self.blacklisted: Set[str] = set()
 
         #: Hooks for cost models: called with the task on placement/completion.
         self.map_placed_listeners: List[Callable[[MapTask], None]] = []
         self.map_done_listeners: List[Callable[[MapTask], None]] = []
+        #: called when a completed map's output is lost to node failure,
+        #: *before* the task resets (listeners may read ``task.node``)
+        self.map_lost_listeners: List[Callable[[MapTask], None]] = []
 
     # ------------------------------------------------------------------
     # state queries
@@ -148,6 +157,12 @@ class Job:
     def on_reduce_placed(self, task: ReduceTask) -> None:
         self._reduce_node_counts[task.node.name] += 1
 
+    def on_reduce_unplaced(self, task: ReduceTask) -> None:
+        """A reduce attempt died (kill/fail) — drop its placement count."""
+        self._reduce_node_counts[task.node.name] -= 1
+        if self._reduce_node_counts[task.node.name] <= 0:
+            del self._reduce_node_counts[task.node.name]
+
     def on_reduce_done(self, task: ReduceTask) -> None:
         self.reduces_done += 1
         self._reduce_node_counts[task.node.name] -= 1
@@ -156,6 +171,78 @@ class Job:
         if self.done:
             self.finish_time = self.tracker.sim.now
             self.tracker.on_job_done(self)
+
+    def on_map_lost(self, task: MapTask) -> None:
+        """A completed map's output died with its node; it will re-run."""
+        self.maps_done -= 1
+        for hook in self.map_lost_listeners:
+            hook(task)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def note_node_failure(self, node_name: str) -> None:
+        """Charge one task failure against ``node_name`` (blacklisting)."""
+        self.node_failures[node_name] += 1
+        threshold = self.tracker.config.max_task_failures_per_tracker
+        if (
+            self.node_failures[node_name] >= threshold
+            and node_name not in self.blacklisted
+        ):
+            self.blacklisted.add(node_name)
+            self.tracker.record_blacklisting(
+                self, node_name, self.node_failures[node_name]
+            )
+
+    def kill_tasks_on(self, node) -> int:
+        """Kill every attempt of this job running on ``node``; returns the
+        number of attempts killed (node loss — not charged to the tasks)."""
+        killed = 0
+        for m in self.maps:
+            if m.state is not TaskState.RUNNING:
+                continue
+            for attempt in [a for a in m.attempts if a.node is node]:
+                m.kill_attempt(attempt)
+                killed += 1
+        for r in self.reduces:
+            if r.state is TaskState.RUNNING and r.node is node:
+                r.kill()
+                killed += 1
+        return killed
+
+    def relaunch_lost_maps(self, node) -> int:
+        """Re-execute completed maps whose output died with ``node``.
+
+        Hadoop 1.x re-runs a completed map when its TaskTracker is lost and
+        the job still has reduces that need the output; reducers that have
+        already copied the partition keep their bytes.
+        """
+        lost = 0
+        for m in self.maps:
+            if m.state is not TaskState.DONE or m.node is not node:
+                continue
+            if not any(r.needs_map(m.index) for r in self.reduces):
+                continue
+            self.tracker.record_map_output_lost(self, m)
+            self.on_map_lost(m)
+            m.reset_after_output_loss()
+            lost += 1
+        return lost
+
+    def fail(self, reason: str) -> None:
+        """Abort the job (retry budget exhausted): kill all running work."""
+        if self.failed or self.done:
+            return
+        self.failed = True
+        for m in self.maps:
+            if m.state is TaskState.RUNNING:
+                for attempt in list(m.attempts):
+                    m.kill_attempt(attempt, record=False)
+        for r in self.reduces:
+            if r.state is TaskState.RUNNING:
+                r.kill(record=False)
+        self.finish_time = self.tracker.sim.now
+        self.tracker.on_job_failed(self, reason)
 
     # ------------------------------------------------------------------
     def record(self) -> JobRecord:

@@ -11,7 +11,8 @@ triggered when JobTracker receives a heartbeat").
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -26,18 +27,47 @@ from repro.schedulers.base import SchedulerContext, TaskScheduler
 from repro.schedulers.joblevel import FairJobScheduler, JobLevelScheduler
 from repro.sim import PeriodicTask, Simulator
 from repro.trace.events import (
+    BLACKLISTED,
     NO_CANDIDATE,
+    NODE_DEAD,
+    NODE_LOST,
+    TASK_ERROR,
     Assign,
+    AttemptFailed,
+    Blacklisted,
     Decline,
     Heartbeat,
+    JobFail,
     JobFinish,
     JobSubmit,
+    MapOutputLost,
+    NodeDown,
+    NodeUp,
     SlotOffer,
 )
 from repro.trace.recorder import NullRecorder
 from repro.workload.spec import JobSpec
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.engine.task import MapTask
+    from repro.faults.injector import FaultInjector
+
 __all__ = ["JobTracker"]
+
+
+@dataclass
+class _NodeView:
+    """The tracker's belief about one TaskTracker (node).
+
+    The tracker never reads ``Node.alive`` to *detect* failure — like
+    Hadoop's master, it only observes missed heartbeats and restarted
+    incarnations, so there is a realistic detection lag of up to
+    ``tracker_expiry_interval`` between a crash and recovery starting.
+    """
+
+    last_heartbeat: float
+    incarnation: int
+    lost: bool = False
 
 
 class JobTracker:
@@ -78,9 +108,18 @@ class JobTracker:
         )
         self.active_jobs: List[Job] = []
         self.finished_jobs: List[Job] = []
+        self.failed_jobs: List[Job] = []
         self._expected = 0
         self._heartbeats: List[PeriodicTask] = []
         self._started = False
+        #: the run's fault injector, if any (set by ``Simulation``)
+        self.faults: Optional["FaultInjector"] = None
+        #: run-once hooks fired when the last job finishes or fails
+        self.on_all_done_hooks: List[Callable[[], None]] = []
+        self._node_views: Dict[str, _NodeView] = {
+            n.name: _NodeView(last_heartbeat=sim.now, incarnation=n.incarnation)
+            for n in cluster.nodes
+        }
 
     # ------------------------------------------------------------------
     # job lifecycle
@@ -107,12 +146,29 @@ class JobTracker:
         if self.invariants is not None:
             self.invariants.on_job_finished(job)
         if self.all_done:
-            self._stop_heartbeats()
+            self._finish_run()
+
+    def on_job_failed(self, job: Job, reason: str) -> None:
+        """A job aborted (a task exhausted ``max_attempts``)."""
+        self.active_jobs.remove(job)
+        self.failed_jobs.append(job)
+        self.collector.job_failed(job.spec.job_id, self.sim.now)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                JobFail(t=self.sim.now, job_id=job.spec.job_id, reason=reason)
+            )
+        if self.all_done:
+            self._finish_run()
 
     @property
     def all_done(self) -> bool:
-        """Every submitted (and to-be-submitted) job has completed."""
-        return len(self.finished_jobs) == self._expected
+        """Every submitted (and to-be-submitted) job has completed or failed."""
+        return len(self.finished_jobs) + len(self.failed_jobs) == self._expected
+
+    def _finish_run(self) -> None:
+        self._stop_heartbeats()
+        for hook in self.on_all_done_hooks:
+            hook()
 
     # ------------------------------------------------------------------
     # heartbeats
@@ -139,9 +195,181 @@ class JobTracker:
 
     def _make_heartbeat(self, node: Node):
         def heartbeat() -> None:
-            self.on_heartbeat(node)
+            self._heartbeat_tick(node)
 
         return heartbeat
+
+    def _heartbeat_tick(self, node: Node) -> None:
+        """One heartbeat interval elapsed on ``node``: deliver or miss it.
+
+        A heartbeat is missed when the node is dead or the injector drops
+        it; enough consecutive misses expire the tracker.  A delivered
+        heartbeat from a lost node re-registers it, and a delivered
+        heartbeat carrying a new incarnation means the node crashed and
+        restarted inside the expiry window — its previous state is gone
+        even though the tracker never saw it miss.
+        """
+        view = self._node_views[node.name]
+        now = self.sim.now
+        delivered = node.alive and not (
+            self.faults is not None and self.faults.heartbeat_dropped(node)
+        )
+        if not delivered:
+            if (
+                not view.lost
+                and now - view.last_heartbeat >= self.config.tracker_expiry_interval
+            ):
+                self._on_node_lost(node, "expired")
+            return
+        if view.lost:
+            self._rejoin(node)
+            return
+        if view.incarnation != node.incarnation:
+            self._on_node_lost(node, "restarted")
+            self._rejoin(node)
+            return
+        view.last_heartbeat = now
+        self.on_heartbeat(node)
+
+    # ------------------------------------------------------------------
+    # node failure / recovery
+    # ------------------------------------------------------------------
+    def on_node_crashed(self, node: Node) -> None:
+        """*Physical* crash hook, called by the fault injector at crash time.
+
+        Freezes the engine-owned I/O touching the dead node (its running
+        attempts' flows, shuffle fetches from it) so no bytes keep moving
+        through a dead box.  No *logical* recovery happens here — slots,
+        attempts and map outputs are only written off once the tracker
+        notices via :meth:`_heartbeat_tick`, preserving Hadoop's detection
+        lag.  Background (other-tenant) traffic is deliberately untouched.
+        """
+        for job in self.active_jobs:
+            for m in job.running_maps():
+                for attempt in list(m.attempts):
+                    attempt.on_node_crashed(node)
+            for r in job.running_reduces():
+                if r.node is node:
+                    r.freeze()
+                else:
+                    r.on_source_lost(node.name)
+
+    def _on_node_lost(self, node: Node, reason: str) -> None:
+        """*Logical* loss processing (tracker expiry or detected restart).
+
+        Kills the node's running attempts (uncharged — they re-schedule),
+        re-executes its completed maps that some unfinished reduce still
+        needs, and aborts other reducers' fetches from it.
+        """
+        view = self._node_views[node.name]
+        view.lost = True
+        killed = 0
+        lost_maps = 0
+        for job in list(self.active_jobs):
+            killed += job.kill_tasks_on(node)
+        for job in list(self.active_jobs):
+            lost_maps += job.relaunch_lost_maps(node)
+            for r in job.running_reduces():
+                r.on_source_lost(node.name)
+        self.collector.node_lost()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                NodeDown(
+                    t=self.sim.now, node=node.name, reason=reason,
+                    killed_attempts=killed, lost_maps=lost_maps,
+                )
+            )
+        if self.invariants is not None:
+            self.invariants.after_node_loss(node)
+
+    def _rejoin(self, node: Node) -> None:
+        """A lost node heartbeats again: re-register it with empty slots.
+
+        Hadoop spends the re-registration heartbeat reinitialising the
+        TaskTracker, so no slots are offered this round; the idle slots are
+        accounted as ``node_dead`` declines to keep offer bookkeeping
+        exact.
+        """
+        view = self._node_views[node.name]
+        view.lost = False
+        view.incarnation = node.incarnation
+        view.last_heartbeat = self.sim.now
+        self.collector.node_rejoined()
+        if self.recorder.enabled:
+            self.recorder.emit(NodeUp(t=self.sim.now, node=node.name))
+        if node.free_map_slots > 0:
+            self._record_decline(node, "map", NODE_DEAD, "")
+        if node.free_reduce_slots > 0:
+            self._record_decline(node, "reduce", NODE_DEAD, "")
+        if self.invariants is not None:
+            self.invariants.after_heartbeat()
+
+    # ------------------------------------------------------------------
+    # failure bookkeeping (called from task / job failure paths)
+    # ------------------------------------------------------------------
+    def record_attempt_failure(
+        self, job: Job, kind: str, task_index: int, node_name: str, failures: int
+    ) -> None:
+        """A charged task error: count it, trace it, then let it escalate
+        (node blacklisting, and job abort at ``max_attempts``)."""
+        self.collector.attempt_failed()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                AttemptFailed(
+                    t=self.sim.now, node=node_name, kind=kind,
+                    job_id=job.spec.job_id, task_index=task_index,
+                    reason=TASK_ERROR, failures=failures,
+                )
+            )
+        job.note_node_failure(node_name)
+        if failures >= self.config.max_attempts:
+            job.fail("attempts_exhausted")
+
+    def record_attempt_killed(
+        self, job: Job, kind: str, task_index: int, node_name: str, failures: int
+    ) -> None:
+        """An uncharged kill (node loss): count and trace it only."""
+        self.collector.attempt_killed()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                AttemptFailed(
+                    t=self.sim.now, node=node_name, kind=kind,
+                    job_id=job.spec.job_id, task_index=task_index,
+                    reason=NODE_LOST, failures=failures,
+                )
+            )
+
+    def record_map_output_lost(self, job: Job, task: "MapTask") -> None:
+        self.collector.map_reexecuted()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                MapOutputLost(
+                    t=self.sim.now, node=task.node.name,
+                    job_id=job.spec.job_id, task_index=task.index,
+                )
+            )
+
+    def record_blacklisting(self, job: Job, node_name: str, failures: int) -> None:
+        self.collector.node_blacklisted()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                Blacklisted(
+                    t=self.sim.now, node=node_name,
+                    job_id=job.spec.job_id, failures=failures,
+                )
+            )
+
+    def _record_decline(
+        self, node: Node, kind: str, reason: str, head_job: str
+    ) -> None:
+        self.collector.offer_declined(kind, reason)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                Decline(
+                    t=self.sim.now, node=node.name, kind=kind,
+                    reason=reason, job_id=head_job,
+                )
+            )
 
     # ------------------------------------------------------------------
     # slot offers
@@ -189,6 +417,13 @@ class JobTracker:
             round_reason: Optional[str] = None
             head_job = ""
             for job in self.job_scheduler.order(candidates, "map"):
+                if node.name in job.blacklisted:
+                    # the job refuses this node's slots; never even ask
+                    # the scheduler (mirrors Hadoop's per-job blacklist)
+                    if round_reason is None:
+                        round_reason = BLACKLISTED
+                        head_job = job.spec.job_id
+                    continue
                 self._noted_reason = None
                 if rec.enabled:
                     with rec.phase("select_map"):
@@ -200,6 +435,8 @@ class JobTracker:
                         raise RuntimeError(
                             f"scheduler returned invalid map task {task}"
                         )
+                    if self.invariants is not None:
+                        self.invariants.check_assignment(node, job)
                     task.launch(node)
                     self.collector.offer_assigned()
                     if rec.enabled:
@@ -250,6 +487,8 @@ class JobTracker:
         best = None
         best_frac = 1.0
         for job in self.active_jobs:
+            if node.name in job.blacklisted:
+                continue
             running = job.running_maps()
             if not running:
                 continue
@@ -299,6 +538,11 @@ class JobTracker:
             round_reason: Optional[str] = None
             head_job = ""
             for job in self.job_scheduler.order(candidates, "reduce"):
+                if node.name in job.blacklisted:
+                    if round_reason is None:
+                        round_reason = BLACKLISTED
+                        head_job = job.spec.job_id
+                    continue
                 self._noted_reason = None
                 if rec.enabled:
                     with rec.phase("select_reduce"):
@@ -310,6 +554,8 @@ class JobTracker:
                         raise RuntimeError(
                             f"scheduler returned invalid reduce task {task}"
                         )
+                    if self.invariants is not None:
+                        self.invariants.check_assignment(node, job)
                     task.launch(node)
                     self.collector.offer_assigned()
                     if rec.enabled:

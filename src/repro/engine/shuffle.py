@@ -13,12 +13,20 @@ keeping the simulated flow count tractable:
 
 This aggregation is what keeps paper-scale runs (930 maps × ~180 reduces per
 job) inside a few hundred concurrent flows instead of hundreds of thousands.
+
+Failure support: each enqueued chunk may carry a *key* (the feeding map's
+index).  :meth:`FetchManager.abort_source` cancels everything pending or in
+flight from one source and reports the lost keys, so the owning reduce can
+forget those partitions and re-request them once the map re-executes —
+Hadoop's fetch-failure / re-fetch path.  ``fetched`` is only credited when
+a flow completes, so aborted transfers never pollute the byte-conservation
+invariant.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.network import Flow, FlowNetwork
 from repro.trace.events import ShuffleFinish, ShuffleStart
@@ -44,6 +52,9 @@ class FetchManager:
         Called after every completed fetch (and after enqueuing work that
         required no fetch) so the owner can re-check its completion
         condition.
+    on_fetched:
+        Called with the tuple of keys a completed flow delivered (before
+        ``on_progress``); lets the owner track per-map delivery.
     recorder:
         Trace recorder for shuffle flow start/finish events (defaults to
         the no-op recorder).
@@ -60,6 +71,7 @@ class FetchManager:
         recorder: Optional[NullRecorder] = None,
         job_id: str = "",
         reduce_index: int = -1,
+        on_fetched: Optional[Callable[[Tuple[int, ...]], None]] = None,
     ) -> None:
         if max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
@@ -67,14 +79,20 @@ class FetchManager:
         self.dst = dst
         self.max_parallel = max_parallel
         self.on_progress = on_progress
+        self.on_fetched = on_fetched
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.job_id = job_id
         self.reduce_index = reduce_index
         self.pending: "OrderedDict[str, float]" = OrderedDict()
+        #: keys (map indices) riding along with each source's pending bytes
+        self._pending_keys: Dict[str, List[int]] = {}
+        #: in-flight flow -> (source, keys aboard)
+        self._inflight: Dict[Flow, Tuple[str, Tuple[int, ...]]] = {}
         self.active = 0
         self.fetched = 0.0        # bytes fully copied
         self.remote_bytes = 0.0   # subset of fetched that crossed the fabric
         self.fetch_count = 0
+        self.aborted_bytes = 0.0  # bytes dropped by abort_source
 
     # ------------------------------------------------------------------
     @property
@@ -87,23 +105,32 @@ class FetchManager:
         return sum(self.pending.values())
 
     # ------------------------------------------------------------------
-    def add(self, src: str, nbytes: float) -> None:
-        """Enqueue ``nbytes`` of map output available on node ``src``."""
+    def add(self, src: str, nbytes: float, key: Optional[int] = None) -> None:
+        """Enqueue ``nbytes`` of map output available on node ``src``.
+
+        ``key`` tags the chunk with the feeding map's index so an abort can
+        report which partitions were lost; untagged chunks are supported
+        for callers that never abort.
+        """
         if nbytes < 0:
             raise ValueError(f"negative fetch size {nbytes}")
         if nbytes <= _MIN_FETCH_BYTES:
             return
         self.pending[src] = self.pending.get(src, 0.0) + nbytes
+        if key is not None:
+            self._pending_keys.setdefault(src, []).append(key)
         self._pump()
 
     def _pump(self) -> None:
         while self.active < self.max_parallel and self.pending:
             src, nbytes = self.pending.popitem(last=False)
+            keys = tuple(self._pending_keys.pop(src, ()))
             self.active += 1
             self.fetch_count += 1
             flow = self.network.start_flow(
                 src, self.dst, nbytes, on_complete=self._done
             )
+            self._inflight[flow] = (src, keys)
             if self.recorder.enabled:
                 self.recorder.emit(
                     ShuffleStart(
@@ -114,6 +141,7 @@ class FetchManager:
                 )
 
     def _done(self, flow: Flow) -> None:
+        src, keys = self._inflight.pop(flow)
         self.active -= 1
         self.fetched += flow.size
         if not flow.local:
@@ -127,5 +155,48 @@ class FetchManager:
                 )
             )
         self._pump()
+        if self.on_fetched is not None and keys:
+            self.on_fetched(keys)
         if self.on_progress is not None:
             self.on_progress()
+
+    # ------------------------------------------------------------------
+    # failure paths
+    # ------------------------------------------------------------------
+    def abort_source(self, src: str) -> List[int]:
+        """Drop every pending byte and cancel every in-flight flow from
+        ``src``; returns the keys whose data was lost (idempotent).
+
+        Bytes of cancelled flows are *not* credited to ``fetched`` — the
+        owner must re-request the lost partitions, keeping shuffle byte
+        totals conserved across the re-fetch.
+        """
+        lost: List[int] = []
+        dropped = self.pending.pop(src, None)
+        if dropped is not None:
+            self.aborted_bytes += dropped
+            lost.extend(self._pending_keys.pop(src, ()))
+        stale = [f for f, (s, _) in self._inflight.items() if s == src]
+        for flow in stale:
+            _, keys = self._inflight.pop(flow)
+            self.network.cancel_flow(flow)
+            self.active -= 1
+            self.aborted_bytes += flow.size
+            lost.extend(keys)
+        if stale:
+            self._pump()
+        return lost
+
+    def abort_all(self) -> List[int]:
+        """Cancel everything (reduce attempt teardown); returns lost keys."""
+        lost: List[int] = []
+        for src in list(self.pending):
+            lost.extend(self._pending_keys.pop(src, ()))
+            self.aborted_bytes += self.pending.pop(src)
+        for flow, (_, keys) in list(self._inflight.items()):
+            self.network.cancel_flow(flow)
+            self.aborted_bytes += flow.size
+            lost.extend(keys)
+        self._inflight.clear()
+        self.active = 0
+        return lost

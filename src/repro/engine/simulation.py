@@ -34,6 +34,7 @@ from repro.cluster.background import BackgroundSpec, BackgroundTraffic
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.engine.config import EngineConfig
 from repro.engine.jobtracker import JobTracker
+from repro.faults.injector import FaultInjector
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.placement import PlacementPolicy
 from repro.metrics.collector import MetricsCollector
@@ -113,6 +114,20 @@ class RunResult:
                 for (kind, reason), n in sorted(reasons.items())
             )
             lines.append(f"declines by reason: {detail}")
+        c = self.collector
+        if (
+            c.nodes_lost or c.attempts_killed or c.attempts_failed
+            or c.maps_reexecuted or c.blacklistings or c.failed_jobs
+        ):
+            lines.append(
+                f"faults: {c.nodes_lost} node losses "
+                f"({c.nodes_rejoined} rejoined), "
+                f"{c.attempts_killed} attempts killed, "
+                f"{c.attempts_failed} attempts failed, "
+                f"{c.maps_reexecuted} maps re-executed, "
+                f"{c.blacklistings} blacklistings, "
+                f"{len(c.failed_jobs)} jobs failed"
+            )
         return "\n".join(lines)
 
 
@@ -152,7 +167,9 @@ class Simulation:
             self.sim = Simulator()
             self.cluster = cluster.build(self.sim)
         ss = np.random.SeedSequence(seed)
-        placement_ss, scheduler_ss, background_ss = ss.spawn(3)
+        # the first three children are spawned in the same order as ever,
+        # so adding the faults stream left existing runs bit-for-bit intact
+        placement_ss, scheduler_ss, background_ss, faults_ss = ss.spawn(4)
         self.namenode = NameNode(
             self.cluster,
             replication=self.config.replication,
@@ -174,6 +191,12 @@ class Simulation:
             self.recorder.emit(
                 RunStart(t=self.sim.now, scheduler=scheduler.name, seed=seed)
             )
+        self.faults: Optional[FaultInjector] = None
+        if self.config.faults is not None and not self.config.faults.empty:
+            self.faults = FaultInjector(
+                self.config.faults, self.cluster, self.tracker, faults_ss
+            )
+            self.tracker.faults = self.faults
         self.background: Optional[BackgroundTraffic] = None
         if background is not None:
             self.background = BackgroundTraffic(
@@ -192,6 +215,8 @@ class Simulation:
     def run(self, until: Optional[float] = None) -> RunResult:
         """Run to completion (or ``until``) and return the measurements."""
         self.tracker.start()
+        if self.faults is not None:
+            self.faults.start()
         if self.background is not None:
             self.background.start()
         horizon = until if until is not None else self.config.horizon

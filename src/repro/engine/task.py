@@ -19,24 +19,37 @@ Progress introspection used by the schedulers:
 * ``MapTask.current_output(now)`` — the ``A_jf`` vector of Section II-B-2
   (``I[j, :] * read_fraction ** gamma``, with gamma = 1 for the benchmark
   applications).
+
+Failure semantics (Hadoop 1.x):
+
+* an attempt killed by **node loss** releases its slot and the task returns
+  to PENDING for re-scheduling — the kill is not charged to the task;
+* an injected **task error** (``MapAttempt.fail`` / ``ReduceTask.fail``)
+  is charged: ``failures`` counts toward ``max_attempts``, after which the
+  job aborts, and toward per-job node blacklisting;
+* a completed map whose node dies loses its output; if any unfinished
+  reduce still needs the partition the task is reset and re-executed, and
+  reduces re-fetch from the re-run (``ReduceTask`` tracks per-map delivery
+  so bytes already copied are never fetched twice).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.cluster.network import Flow
 from repro.cluster.node import Node
-from repro.engine.shuffle import FetchManager
+from repro.engine.shuffle import _MIN_FETCH_BYTES, FetchManager
 from repro.hdfs.block import Block
 from repro.metrics.records import TaskRecord
 from repro.trace.events import TaskFinish, TaskStart
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.engine.job import Job
+    from repro.sim import Event
 
 __all__ = ["TaskState", "MapAttempt", "MapTask", "ReduceTask"]
 
@@ -79,11 +92,30 @@ class MapAttempt:
         node.acquire_map_slot()
         overhead = task.job.spec.app.task_overhead
         task.job.tracker.sim.schedule(overhead, self._start_input)
+        faults = task.job.tracker.faults
+        if faults is not None:
+            faults.on_map_attempt(self)
 
     def _start_input(self) -> None:
         if self.cancelled:
             return
+        if self.flow is not None and not self.flow.done:
+            return
+        if not self.node.alive:
+            return  # frozen; the tracker kills this attempt at expiry
         tracker = self.task.job.tracker
+        if self.source is None or not tracker.cluster.node(self.source).alive:
+            resolved = tracker.namenode.closest_live_replica(
+                self.task.block, self.node.name
+            )
+            if resolved is None:
+                # every replica host is down; poll until one rejoins
+                self.source = None
+                tracker.sim.schedule(
+                    tracker.config.heartbeat_period, self._start_input
+                )
+                return
+            self.source, self.hops = resolved
         rate_cap = self.task.job.spec.app.map_rate * self.node.compute_factor
         self.flow = tracker.cluster.network.start_flow(
             self.source,
@@ -107,6 +139,37 @@ class MapAttempt:
         if self.flow is not None and not self.flow.done:
             self.task.job.tracker.cluster.network.cancel_flow(self.flow)
         self.node.release_map_slot()
+
+    def fail(self) -> None:
+        """An injected task error: charge the task and retire the attempt."""
+        if self.cancelled or self.task.done:
+            return
+        if self not in self.task.attempts:
+            # stale: the task was reset (e.g. lost output) after this
+            # failure was scheduled; the attempt no longer holds anything
+            return
+        self.task.on_attempt_failed(self)
+
+    def on_node_crashed(self, dead: Node) -> None:
+        """Physical crash handling: freeze or fail over this attempt's I/O.
+
+        If *our* node died the input flow is frozen (the slot stays held
+        until the tracker notices via expiry).  If the *source replica*
+        died the read restarts from another live replica — conservatively
+        from byte zero, like a reader losing its datanode connection.
+        """
+        if self.cancelled or self.task.done:
+            return
+        if self.node is dead:
+            if self.flow is not None and not self.flow.done:
+                self.task.job.tracker.cluster.network.cancel_flow(self.flow)
+                self.flow = None
+            return
+        if self.source == dead.name and self.flow is not None and not self.flow.done:
+            self.task.job.tracker.cluster.network.cancel_flow(self.flow)
+            self.flow = None
+            self.source = None
+            self._start_input()
 
     def d_read(self, now: float) -> float:
         if self.flow is None:
@@ -135,6 +198,11 @@ class MapTask:
         self.start_time: float = float("nan")
         self.end_time: float = float("nan")
         self.attempts: List[MapAttempt] = []
+        #: attempts retired in earlier executions (kills, failures, lost
+        #: output re-runs); task records report past + live attempts
+        self.past_attempts = 0
+        #: charged failures (task errors), bounded by ``max_attempts``
+        self.failures = 0
 
     # ------------------------------------------------------------------
     @property
@@ -211,6 +279,7 @@ class MapTask:
         locality = _classify_locality(
             winner.node, list(self.block.replicas), tracker.cluster
         )
+        attempts = self.past_attempts + len(self.attempts)
         tracker.collector.task_completed(
             TaskRecord(
                 job_id=self.job.spec.job_id,
@@ -223,7 +292,7 @@ class MapTask:
                 bytes_in=self.size,
                 bytes_moved=0.0 if locality == "node" else self.size,
                 cost=self.size * self.hops,
-                attempts=len(self.attempts),
+                attempts=attempts,
             )
         )
         if tracker.recorder.enabled:
@@ -231,10 +300,63 @@ class MapTask:
                 TaskFinish(
                     t=self.end_time, node=winner.node.name, kind="map",
                     job_id=self.job.spec.job_id, task_index=self.index,
-                    locality=locality, attempts=len(self.attempts),
+                    locality=locality, attempts=attempts,
                 )
             )
         self.job.on_map_done(self)
+
+    # ------------------------------------------------------------------
+    # failure paths
+    # ------------------------------------------------------------------
+    def _reset_to_pending(self) -> None:
+        """Return to PENDING for re-scheduling (slots already released)."""
+        self.past_attempts += len(self.attempts)
+        self.attempts = []
+        self.state = TaskState.PENDING
+        self.node = None
+        self.source = None
+        self.hops = 0.0
+        self.start_time = float("nan")
+        self.end_time = float("nan")
+
+    def kill_attempt(self, attempt: MapAttempt, *, record: bool = True) -> None:
+        """Kill one attempt (node loss / job abort) — not charged.
+
+        When the last live attempt dies the task returns to PENDING and
+        will be re-scheduled on a later heartbeat.
+        """
+        if attempt not in self.attempts:
+            return
+        node_name = attempt.node.name
+        attempt.cancel()
+        self.attempts.remove(attempt)
+        self.past_attempts += 1
+        if self.state is TaskState.RUNNING and not self.attempts:
+            self._reset_to_pending()
+        if record:
+            self.job.tracker.record_attempt_killed(
+                self.job, "map", self.index, node_name, self.failures
+            )
+
+    def on_attempt_failed(self, attempt: MapAttempt) -> None:
+        """Charge an injected task error against this task's retry budget."""
+        node_name = attempt.node.name
+        attempt.cancel()
+        if attempt in self.attempts:
+            self.attempts.remove(attempt)
+            self.past_attempts += 1
+        self.failures += 1
+        if self.state is TaskState.RUNNING and not self.attempts:
+            self._reset_to_pending()
+        self.job.tracker.record_attempt_failure(
+            self.job, "map", self.index, node_name, self.failures
+        )
+
+    def reset_after_output_loss(self) -> None:
+        """A completed map's node died: forget the execution and re-run."""
+        if self.state is not TaskState.DONE:
+            raise RuntimeError(f"{self} has no completed output to lose")
+        self._reset_to_pending()
 
     # ------------------------------------------------------------------
     # progress (heartbeat payload)
@@ -277,6 +399,16 @@ class ReduceTask:
         self.end_time: float = float("nan")
         self.computing = False
         self._fetch: Optional[FetchManager] = None
+        self._finish_event: Optional["Event"] = None
+        #: map indices whose partition bytes this attempt holds
+        self._delivered: Set[int] = set()
+        #: map indices enqueued with the fetcher but not yet delivered
+        self._requested: Set[int] = set()
+        #: bumped on every (re)launch/teardown so stale events are inert
+        self.attempt_epoch = 0
+        #: charged failures (task errors), bounded by ``max_attempts``
+        self.failures = 0
+        self.past_attempts = 0
 
     # ------------------------------------------------------------------
     @property
@@ -291,6 +423,22 @@ class ReduceTask:
     def shuffled_bytes(self) -> float:
         return self._fetch.fetched if self._fetch is not None else 0.0
 
+    def needs_map(self, map_index: int) -> bool:
+        """Does this reduce still need map ``map_index``'s output?
+
+        Used on node loss to decide whether a completed map on the dead
+        node must re-execute.  Computing/finished attempts hold their
+        bytes; a running attempt needs every undelivered non-empty
+        partition; a pending task will need all of them.
+        """
+        if self.state is TaskState.DONE or self.computing:
+            return False
+        if float(self.job.I[map_index, self.index]) <= _MIN_FETCH_BYTES:
+            return False
+        if self.state is TaskState.RUNNING:
+            return map_index not in self._delivered
+        return True
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -303,6 +451,7 @@ class ReduceTask:
         self.node = node
         self.state = TaskState.RUNNING
         self.start_time = tracker.sim.now
+        epoch = self.attempt_epoch
         if tracker.recorder.enabled:
             tracker.recorder.emit(
                 TaskStart(
@@ -312,9 +461,13 @@ class ReduceTask:
             )
         self.job.on_reduce_placed(self)
         overhead = self.job.spec.app.task_overhead
-        tracker.sim.schedule(overhead, self._start_fetching)
+        tracker.sim.schedule(overhead, self._start_fetching, epoch)
+        if tracker.faults is not None:
+            tracker.faults.on_reduce_attempt(self)
 
-    def _start_fetching(self) -> None:
+    def _start_fetching(self, epoch: int) -> None:
+        if epoch != self.attempt_epoch or self.state is not TaskState.RUNNING:
+            return
         tracker = self.job.tracker
         self._fetch = FetchManager(
             network=tracker.cluster.network,
@@ -324,20 +477,49 @@ class ReduceTask:
             recorder=tracker.recorder,
             job_id=self.job.spec.job_id,
             reduce_index=self.index,
+            on_fetched=self._on_fetched,
         )
         for m in self.job.maps:
             if m.done:
-                self._fetch.add(m.node.name, float(self.job.I[m.index, self.index]))
+                self._request(m)
         self._maybe_compute()
 
     def on_map_output(self, map_task: MapTask) -> None:
         """A feeding map finished while this reduce runs: fetch its output."""
         if self._fetch is None:
             return  # still in start-up overhead; _start_fetching will pick it up
-        self._fetch.add(
-            map_task.node.name, float(self.job.I[map_task.index, self.index])
-        )
+        self._request(map_task)
         self._maybe_compute()
+
+    def _request(self, map_task: MapTask) -> None:
+        """Enqueue one completed map's partition (idempotent per delivery)."""
+        j = map_task.index
+        if j in self._delivered or j in self._requested:
+            return
+        if self.node is None or not self.node.alive:
+            return  # frozen on a dead node; the tracker will kill us
+        nbytes = float(self.job.I[j, self.index])
+        if nbytes <= _MIN_FETCH_BYTES:
+            self._delivered.add(j)  # empty partition: nothing to copy
+            return
+        self._requested.add(j)
+        self._fetch.add(map_task.node.name, nbytes, key=j)
+
+    def _on_fetched(self, keys: Tuple[int, ...]) -> None:
+        self._delivered.update(keys)
+        self._requested.difference_update(keys)
+
+    def on_source_lost(self, node_name: str) -> None:
+        """A source node died: abort its fetches and forget the requests.
+
+        The lost partitions re-enter via ``on_map_output`` once their maps
+        re-execute; bytes already fully delivered are kept (a reducer never
+        re-copies output it already holds).
+        """
+        if self._fetch is None:
+            return
+        lost = self._fetch.abort_source(node_name)
+        self._requested.difference_update(lost)
 
     def _maybe_compute(self) -> None:
         """Enter the reduce/merge phase once every byte has arrived."""
@@ -345,22 +527,23 @@ class ReduceTask:
             return
         if self._fetch is None or not self._fetch.idle:
             return
-        if not self.job.all_maps_done:
+        if len(self._delivered) < self.job.num_maps:
             return
         self.computing = True
         node_rate = self.job.spec.app.reduce_rate * self.node.compute_factor
         duration = self._fetch.fetched / node_rate
-        self.job.tracker.sim.schedule(duration, self._finish)
+        self._finish_event = self.job.tracker.sim.schedule(duration, self._finish)
 
     def _finish(self) -> None:
         tracker = self.job.tracker
         self.state = TaskState.DONE
         self.end_time = tracker.sim.now
+        self._finish_event = None
         self.node.release_reduce_slot()
         feeders = [
             m.node.name
             for m in self.job.maps
-            if self.job.I[m.index, self.index] > 0
+            if self.job.I[m.index, self.index] > 0 and m.node is not None
         ]
         locality = _classify_locality(self.node, feeders, tracker.cluster)
         hops = tracker.cluster.hop_matrix
@@ -369,6 +552,7 @@ class ReduceTask:
             sum(
                 self.job.I[m.index, self.index] * hops[m.node.index, i]
                 for m in self.job.maps
+                if m.node is not None
             )
         )
         tracker.collector.task_completed(
@@ -390,10 +574,70 @@ class ReduceTask:
                 TaskFinish(
                     t=self.end_time, node=self.node.name, kind="reduce",
                     job_id=self.job.spec.job_id, task_index=self.index,
-                    locality=locality, attempts=1,
+                    locality=locality, attempts=1 + self.past_attempts,
                 )
             )
         self.job.on_reduce_done(self)
+
+    # ------------------------------------------------------------------
+    # failure paths
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Physical crash of our node: stop all I/O and the compute timer.
+
+        The slot stays held and the task stays RUNNING — the tracker kills
+        the attempt when it notices the node is gone (expiry/restart),
+        mirroring the window in which a real JobTracker still believes a
+        dead TaskTracker is healthy.
+        """
+        if self._finish_event is not None:
+            self._finish_event.cancel()
+            self._finish_event = None
+        if self._fetch is not None:
+            self._fetch.abort_all()
+
+    def _teardown_attempt(self) -> Node:
+        """Common attempt teardown; returns the node the attempt ran on."""
+        node = self.node
+        assert node is not None
+        self.attempt_epoch += 1
+        if self._finish_event is not None:
+            self._finish_event.cancel()
+            self._finish_event = None
+        if self._fetch is not None:
+            self._fetch.abort_all()
+        node.release_reduce_slot()
+        self.job.on_reduce_unplaced(self)
+        self.computing = False
+        self._fetch = None
+        self._delivered = set()
+        self._requested = set()
+        self.past_attempts += 1
+        self.state = TaskState.PENDING
+        self.node = None
+        self.start_time = float("nan")
+        self.end_time = float("nan")
+        return node
+
+    def kill(self, *, record: bool = True) -> None:
+        """Kill the running attempt (node loss / job abort) — not charged."""
+        if self.state is not TaskState.RUNNING:
+            return
+        node = self._teardown_attempt()
+        if record:
+            self.job.tracker.record_attempt_killed(
+                self.job, "reduce", self.index, node.name, self.failures
+            )
+
+    def fail(self) -> None:
+        """An injected task error: charge it and return to PENDING."""
+        if self.state is not TaskState.RUNNING:
+            return
+        node = self._teardown_attempt()
+        self.failures += 1
+        self.job.tracker.record_attempt_failure(
+            self.job, "reduce", self.index, node.name, self.failures
+        )
 
     def __repr__(self) -> str:
         return (

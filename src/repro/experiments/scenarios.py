@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster import BackgroundSpec, ClusterSpec
 from repro.engine import EngineConfig, RunResult, Simulation
+from repro.faults import FaultPlan, NodeChurn
 from repro.hdfs import PlacementPolicy, SubsetPlacement
 from repro.schedulers import TaskScheduler
 from repro.workload import JobSpec, table2_batch
@@ -102,11 +103,32 @@ def _nas() -> Scenario:
     return _ci().with_(name="nas", placement=SubsetPlacement(fraction=1 / 3))
 
 
+def _churn() -> Scenario:
+    """The CI scenario under node churn (5 % of nodes down on average).
+
+    Exercises the full Hadoop-1.x recovery path — tracker expiry, attempt
+    re-scheduling, lost-map re-execution — at a churn level where every
+    run sees several node losses yet all jobs still finish.  The expiry
+    interval is shortened to 5 heartbeat periods so detection lag doesn't
+    dominate the (short) CI runs.
+    """
+    base = _ci()
+    return base.with_(
+        name="churn",
+        config=replace(
+            base.config,
+            faults=FaultPlan(churn=NodeChurn(level=0.05, mean_downtime=90.0)),
+            tracker_expiry_interval=15.0,
+        ),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "ci": _ci,
     "medium": _medium,
     "paper": _paper,
     "nas": _nas,
+    "churn": _churn,
 }
 
 

@@ -1,0 +1,31 @@
+"""Deterministic fault injection: declarative plans + a seeded injector.
+
+Declare *what* fails in a :class:`FaultPlan` (scheduled crashes, node
+churn, per-attempt task failures, heartbeat loss, link degradation), hand
+it to ``EngineConfig(faults=plan)`` or ``repro run --faults plan.json``,
+and the engine recovers the way Hadoop 1.x does: tracker expiry, attempt
+re-scheduling, lost-map re-execution, retry caps and per-job node
+blacklisting.  See ``README.md`` ("Injecting failures") for a quickstart.
+"""
+
+from .injector import FaultInjector
+from .spec import (
+    FaultPlan,
+    HeartbeatLoss,
+    LinkDegradation,
+    NodeChurn,
+    NodeCrash,
+    TaskFailures,
+    load_plan,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "HeartbeatLoss",
+    "LinkDegradation",
+    "NodeChurn",
+    "NodeCrash",
+    "TaskFailures",
+    "load_plan",
+]

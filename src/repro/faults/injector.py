@@ -1,0 +1,286 @@
+"""The FaultInjector: executes a :class:`~repro.faults.spec.FaultPlan`.
+
+The injector is the *physical* side of failure: it flips ``Node.alive``,
+freezes a dead node's flows (through the tracker's crash hook), rescales
+link capacities, drops heartbeats, and schedules attempt failures.  The
+*logical* side — expiry detection, attempt kills, lost-map re-execution,
+blacklisting — lives in the JobTracker, which only ever observes failures
+through missed heartbeats and incarnation changes, exactly like Hadoop's
+master.
+
+Determinism follows the :class:`~repro.cluster.background.BackgroundTraffic`
+discipline: the injector owns one child of the run's ``SeedSequence`` and
+spawns an independent substream per fault family (churn, task failures,
+heartbeat loss), so enabling one family never shifts another's draws, and
+an empty plan draws nothing at all.  All activity is driven by the sim
+clock; the tracker's all-done hook cancels anything still pending so the
+event queue drains when the workload finishes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.cluster.topology import LinkKey
+from repro.faults.spec import FaultPlan, LinkDegradation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+    from repro.engine.jobtracker import JobTracker
+    from repro.engine.task import MapAttempt, ReduceTask
+    from repro.sim import Event
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives one :class:`FaultPlan` against a live simulation.
+
+    Parameters
+    ----------
+    plan:
+        What to inject.  Must be non-empty (the Simulation skips injector
+        construction for empty plans so zero-fault runs stay untouched).
+    cluster:
+        The cluster whose nodes and links the plan targets.
+    tracker:
+        The JobTracker; the injector calls its ``on_node_crashed`` physical
+        hook and registers itself for heartbeat-drop queries and attempt
+        sampling.
+    seed_seq:
+        The injector's child of the run's ``SeedSequence`` fan-out.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        cluster: "Cluster",
+        tracker: "JobTracker",
+        seed_seq: np.random.SeedSequence,
+    ) -> None:
+        self.plan = plan
+        self.cluster = cluster
+        self.tracker = tracker
+        self.sim = tracker.sim
+        churn_ss, taskfail_ss, heartbeat_ss = seed_seq.spawn(3)
+        self._churn_rng = np.random.default_rng(churn_ss)
+        self._taskfail_rng = np.random.default_rng(taskfail_ss)
+        self._heartbeat_rng = np.random.default_rng(heartbeat_ss)
+        self._pending: List["Event"] = []
+        self._stopped = False
+        # observability counters (surfaced via RunResult.summary)
+        self.crashes_injected = 0
+        self.revivals = 0
+        self.attempt_failures_injected = 0
+        self.heartbeats_dropped = 0
+        self._validate_targets()
+
+    # ------------------------------------------------------------------
+    def _validate_targets(self) -> None:
+        names = {n.name for n in self.cluster.nodes}
+        racks = {n.rack for n in self.cluster.nodes}
+        for crash in self.plan.crashes:
+            if crash.node not in names:
+                raise ValueError(f"crash targets unknown node {crash.node!r}")
+        if self.plan.churn is not None and self.plan.churn.nodes is not None:
+            for name in self.plan.churn.nodes:
+                if name not in names:
+                    raise ValueError(f"churn targets unknown node {name!r}")
+        for deg in self.plan.degradations:
+            if deg.node is not None and deg.node not in names:
+                raise ValueError(f"degradation targets unknown node {deg.node!r}")
+            if deg.rack is not None and deg.rack not in racks:
+                raise ValueError(f"degradation targets unknown rack {deg.rack!r}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the plan (idempotent; called by ``Simulation.run``)."""
+        if self._stopped or self._pending:
+            return
+        for crash in self.plan.crashes:
+            self._pending.append(
+                self.sim.at(crash.at, self._crash, crash.node, crash.down_for)
+            )
+        churn = self.plan.churn
+        if churn is not None:
+            targets = (
+                churn.nodes
+                if churn.nodes is not None
+                else tuple(n.name for n in self.cluster.nodes)
+            )
+            for name in targets:  # cluster order = deterministic draw order
+                self._schedule_churn_crash(name, first=True)
+        for deg in self.plan.degradations:
+            self._pending.append(self.sim.at(deg.at, self._apply_degradation, deg))
+        self.tracker.on_all_done_hooks.append(self.stop)
+
+    def stop(self) -> None:
+        """Cancel everything still pending so the event queue can drain."""
+        self._stopped = True
+        for ev in self._pending:
+            ev.cancel()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # node crash / revival
+    # ------------------------------------------------------------------
+    def _crash(self, name: str, down_for: Optional[float]) -> None:
+        if self._stopped:
+            return
+        node = self.cluster.node(name)
+        if not node.alive:
+            return  # overlapping crash sources; the node is already down
+        node.alive = False
+        node.incarnation += 1
+        self.crashes_injected += 1
+        self.tracker.on_node_crashed(node)
+        if down_for is not None:
+            self._pending.append(self.sim.schedule(down_for, self._revive, name))
+
+    def _revive(self, name: str) -> None:
+        if self._stopped:
+            return
+        node = self.cluster.node(name)
+        if node.alive:
+            return
+        node.alive = True
+        self.revivals += 1
+
+    # ------------------------------------------------------------------
+    # churn (per-node renewal process)
+    # ------------------------------------------------------------------
+    def _schedule_churn_crash(self, name: str, *, first: bool = False) -> None:
+        churn = self.plan.churn
+        assert churn is not None
+        delay = float(self._churn_rng.exponential(churn.mean_uptime))
+        if first and churn.start > self.sim.now:
+            delay += churn.start - self.sim.now
+        self._pending.append(self.sim.schedule(delay, self._churn_crash, name))
+
+    def _churn_crash(self, name: str) -> None:
+        if self._stopped:
+            return
+        down = float(self._churn_rng.exponential(self.plan.churn.mean_downtime))
+        self._crash(name, None)
+        self._pending.append(self.sim.schedule(down, self._churn_revive, name))
+
+    def _churn_revive(self, name: str) -> None:
+        if self._stopped:
+            return
+        self._revive(name)
+        self._schedule_churn_crash(name)
+
+    # ------------------------------------------------------------------
+    # per-attempt task failures
+    # ------------------------------------------------------------------
+    def on_map_attempt(self, attempt: "MapAttempt") -> None:
+        """Sample a failure for a freshly started map attempt."""
+        tf = self.plan.task_failures
+        if tf is None or self._stopped:
+            return
+        if self._taskfail_rng.random() >= tf.prob:
+            return
+        delay = float(self._taskfail_rng.exponential(tf.mean_delay))
+        self._pending.append(self.sim.schedule(delay, self._fail_map, attempt))
+
+    def _fail_map(self, attempt: "MapAttempt") -> None:
+        if self._stopped or attempt.cancelled or attempt.task.done:
+            return
+        if not attempt.node.alive:
+            return  # the node-loss path will kill (not fail) this attempt
+        self.attempt_failures_injected += 1
+        attempt.fail()
+
+    def on_reduce_attempt(self, task: "ReduceTask") -> None:
+        """Sample a failure for a freshly launched reduce attempt."""
+        tf = self.plan.task_failures
+        if tf is None or self._stopped:
+            return
+        if self._taskfail_rng.random() >= tf.prob:
+            return
+        delay = float(self._taskfail_rng.exponential(tf.mean_delay))
+        self._pending.append(
+            self.sim.schedule(delay, self._fail_reduce, task, task.attempt_epoch)
+        )
+
+    def _fail_reduce(self, task: "ReduceTask", epoch: int) -> None:
+        if self._stopped or task.attempt_epoch != epoch or task.done:
+            return
+        if task.node is None or not task.node.alive:
+            return
+        self.attempt_failures_injected += 1
+        task.fail()
+
+    # ------------------------------------------------------------------
+    # heartbeat loss
+    # ------------------------------------------------------------------
+    def heartbeat_dropped(self, node: "Node") -> bool:
+        """One Bernoulli draw per would-be-delivered heartbeat."""
+        hb = self.plan.heartbeat_loss
+        if hb is None or self._stopped:
+            return False
+        dropped = bool(self._heartbeat_rng.random() < hb.prob)
+        if dropped:
+            self.heartbeats_dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # link degradation
+    # ------------------------------------------------------------------
+    def _access_link(self, host: str) -> Optional[LinkKey]:
+        topo = self.cluster.topology
+        for other in topo.hosts:
+            if other != host:
+                return topo.route(host, other)[0]
+        return None
+
+    def _links_for(self, deg: LinkDegradation) -> List[LinkKey]:
+        topo = self.cluster.topology
+        links: List[LinkKey] = []
+        if deg.node is not None:
+            access = self._access_link(deg.node)
+            if access is not None:
+                links.append(access)
+            return links
+        hosts_in = [h for h in topo.hosts if topo.rack_of(h) == deg.rack]
+        hosts_out = [h for h in topo.hosts if topo.rack_of(h) != deg.rack]
+        for h in hosts_in:
+            access = self._access_link(h)
+            if access is not None and access not in links:
+                links.append(access)
+        if hosts_in and hosts_out:
+            # rack-side half of an inter-rack route covers the uplink(s)
+            route = topo.route(hosts_in[0], hosts_out[0])
+            for link in route[: (len(route) + 1) // 2]:
+                if link not in links:
+                    links.append(link)
+        return links
+
+    def _apply_degradation(self, deg: LinkDegradation) -> None:
+        if self._stopped:
+            return
+        network = self.cluster.network
+        for link in self._links_for(deg):
+            network.set_capacity_factor(link, deg.factor)
+        self._pending.append(
+            self.sim.schedule(deg.duration, self._restore_degradation, deg)
+        )
+
+    def _restore_degradation(self, deg: LinkDegradation) -> None:
+        # restore even when stopped mid-run: leaving the fabric degraded
+        # would surprise anything the caller runs on the cluster afterwards
+        network = self.cluster.network
+        for link in self._links_for(deg):
+            network.set_capacity_factor(link, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(crashes={self.crashes_injected}, "
+            f"revivals={self.revivals}, "
+            f"attempt_failures={self.attempt_failures_injected})"
+        )

@@ -1,0 +1,262 @@
+"""Declarative fault plans: what goes wrong, when, and how badly.
+
+A :class:`FaultPlan` is a frozen, validated description of every failure a
+run should experience — scheduled node crashes, steady-state node churn,
+per-attempt task failures, heartbeat loss, and transient link degradation.
+Plans are pure data: they import nothing from the engine, round-trip
+through JSON (``repro run --faults plan.json``), and are embedded in
+:class:`~repro.engine.config.EngineConfig` so a scenario's failure regime
+travels with its other knobs.
+
+The executable counterpart is :class:`~repro.faults.injector.FaultInjector`,
+which draws all randomness from its own child RNG stream — an empty plan
+(or no plan) leaves the run bit-for-bit identical to a fault-free one.
+
+Units: times and durations in simulated seconds; probabilities in [0, 1];
+``LinkDegradation.factor`` multiplies link capacity (0.5 = half speed).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = [
+    "FaultPlan",
+    "HeartbeatLoss",
+    "LinkDegradation",
+    "NodeChurn",
+    "NodeCrash",
+    "TaskFailures",
+    "load_plan",
+]
+
+
+def _check_finite(name: str, value: float, *, minimum: float = 0.0) -> None:
+    if math.isnan(value) or math.isinf(value) or value < minimum:
+        raise ValueError(f"{name} must be finite and >= {minimum}, got {value}")
+
+
+def _check_prob(name: str, value: float) -> None:
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One scheduled node crash.
+
+    Attributes
+    ----------
+    at:
+        Simulated time of the crash.
+    node:
+        Name of the node to kill (must exist in the cluster at run time).
+    down_for:
+        Seconds until the node rejoins; ``None`` keeps it down forever.
+    """
+
+    at: float
+    node: str
+    down_for: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_finite("at", self.at)
+        if not self.node:
+            raise ValueError("node name must be non-empty")
+        if self.down_for is not None:
+            _check_finite("down_for", self.down_for)
+            if self.down_for <= 0:
+                raise ValueError(f"down_for must be > 0, got {self.down_for}")
+
+
+@dataclass(frozen=True)
+class NodeChurn:
+    """Steady-state node churn: each node alternates up/down phases.
+
+    Every affected node runs an independent renewal process with
+    exponential up and down times.  ``level`` is the long-run fraction of
+    time a node spends down, so mean uptime is derived as
+    ``mean_downtime * (1 - level) / level`` — e.g. ``level=0.05`` with
+    2-minute outages keeps ~5 % of the fleet down at any instant.
+
+    Attributes
+    ----------
+    level:
+        Steady-state unavailable fraction per node, in (0, 1).
+    mean_downtime:
+        Mean outage duration in seconds (exponentially distributed).
+    start:
+        Churn begins at this simulated time (nodes are stable before it).
+    nodes:
+        Restrict churn to these node names; ``None`` churns every node.
+    """
+
+    level: float
+    mean_downtime: float = 120.0
+    start: float = 0.0
+    nodes: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.level) or not 0.0 < self.level < 1.0:
+            raise ValueError(f"churn level must be in (0, 1), got {self.level}")
+        _check_finite("mean_downtime", self.mean_downtime)
+        if self.mean_downtime <= 0:
+            raise ValueError("mean_downtime must be > 0")
+        _check_finite("start", self.start)
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", tuple(self.nodes))
+            if not self.nodes:
+                raise ValueError("nodes must be None or non-empty")
+
+    @property
+    def mean_uptime(self) -> float:
+        """Mean up-phase duration implied by ``level`` and ``mean_downtime``."""
+        return self.mean_downtime * (1.0 - self.level) / self.level
+
+
+@dataclass(frozen=True)
+class TaskFailures:
+    """Independent per-attempt task failures (bad disk, OOM, bug).
+
+    Each attempt fails with probability ``prob``, after an exponentially
+    distributed delay from its start (mean ``mean_delay`` seconds, capped
+    at the attempt's natural completion — an attempt that finishes first
+    escapes).  Failed attempts count toward ``max_attempts`` and toward
+    per-node blacklisting, unlike node-loss kills.
+    """
+
+    prob: float
+    mean_delay: float = 10.0
+
+    def __post_init__(self) -> None:
+        _check_prob("prob", self.prob)
+        _check_finite("mean_delay", self.mean_delay)
+        if self.mean_delay <= 0:
+            raise ValueError("mean_delay must be > 0")
+
+
+@dataclass(frozen=True)
+class HeartbeatLoss:
+    """Each delivered heartbeat is independently dropped with ``prob``.
+
+    Sustained loss makes the tracker expire a perfectly healthy node —
+    the spurious-failure path Hadoop's expiry logic is known for.
+    """
+
+    prob: float
+
+    def __post_init__(self) -> None:
+        _check_prob("prob", self.prob)
+        if self.prob >= 1.0:
+            raise ValueError("heartbeat loss prob must be < 1 (no node could ever report)")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Transient capacity loss on one node's access link or one rack.
+
+    Exactly one of ``node``/``rack`` must be set.  A node degradation
+    rescales the host's access link; a rack degradation rescales the
+    rack-side links (every member host's access link plus the uplink
+    toward the core).  Capacity returns to nominal after ``duration``.
+    """
+
+    at: float
+    duration: float
+    factor: float
+    node: Optional[str] = None
+    rack: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _check_finite("at", self.at)
+        _check_finite("duration", self.duration)
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if math.isnan(self.factor) or math.isinf(self.factor) or self.factor <= 0:
+            raise ValueError(f"factor must be finite and > 0, got {self.factor}")
+        if (self.node is None) == (self.rack is None):
+            raise ValueError("set exactly one of node/rack")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Aggregate fault description for one run."""
+
+    crashes: Tuple[NodeCrash, ...] = ()
+    churn: Optional[NodeChurn] = None
+    task_failures: Optional[TaskFailures] = None
+    heartbeat_loss: Optional[HeartbeatLoss] = None
+    degradations: Tuple[LinkDegradation, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "degradations", tuple(self.degradations))
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.crashes
+            and self.churn is None
+            and self.task_failures is None
+            and self.heartbeat_loss is None
+            and not self.degradations
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form; ``from_dict(to_dict(p)) == p``."""
+        out: Dict[str, object] = {
+            "crashes": [asdict(c) for c in self.crashes],
+            "degradations": [asdict(d) for d in self.degradations],
+        }
+        for name in ("churn", "task_failures", "heartbeat_loss"):
+            value = getattr(self, name)
+            out[name] = asdict(value) if value is not None else None
+        churn = out["churn"]
+        if isinstance(churn, dict) and churn.get("nodes") is not None:
+            churn["nodes"] = list(churn["nodes"])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+
+        def build(klass, value):
+            return klass(**value) if value is not None else None
+
+        churn = data.get("churn")
+        if churn is not None:
+            churn = dict(churn)
+            if churn.get("nodes") is not None:
+                churn["nodes"] = tuple(churn["nodes"])
+        return cls(
+            crashes=tuple(NodeCrash(**c) for c in data.get("crashes", ())),
+            churn=build(NodeChurn, churn),
+            task_failures=build(TaskFailures, data.get("task_failures")),
+            heartbeat_loss=build(HeartbeatLoss, data.get("heartbeat_loss")),
+            degradations=tuple(
+                LinkDegradation(**d) for d in data.get("degradations", ())
+            ),
+        )
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def load_plan(path: Union[str, Path]) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file."""
+    return FaultPlan.from_json(Path(path).read_text(encoding="utf-8"))

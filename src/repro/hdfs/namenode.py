@@ -178,6 +178,30 @@ class NameNode:
                 best_node = r
         return best_node, float(best_h)
 
+    def closest_live_replica(
+        self, block: Block, node_name: str
+    ) -> Optional[Tuple[str, float]]:
+        """Like :meth:`closest_replica` but skipping dead replica hosts.
+
+        Returns ``None`` when no replica host is currently alive — the
+        caller (a map attempt) must then wait for a host to rejoin.  With
+        every node alive this returns exactly :meth:`closest_replica`.
+        """
+        hops = self.cluster.hop_matrix
+        i = self.cluster.node(node_name).index
+        best_node: Optional[str] = None
+        best_h = float("inf")
+        for r in block.replicas:
+            if not self.cluster.node(r).alive:
+                continue
+            h = float(hops[i, self.cluster.node(r).index])
+            if h < best_h:
+                best_h = h
+                best_node = r
+        if best_node is None:
+            return None
+        return best_node, best_h
+
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------

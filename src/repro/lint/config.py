@@ -27,6 +27,7 @@ DEFAULT_DETERMINISTIC_DIRS: Tuple[str, ...] = (
     "cluster",
     "core",
     "engine",
+    "faults",
     "hdfs",
     "schedulers",
     "sim",

@@ -1,0 +1,133 @@
+"""Closed-vocabulary rule for decline and failure reasons.
+
+Every decline a scheduler announces (``ctx.note_decline(...)``,
+``collector.offer_declined(kind, reason)``, ``Decline(reason=...)``) and
+every failure the recovery path records (``AttemptFailed(reason=...)``,
+``JobFail(reason=...)``, ``NodeDown(reason=...)``, ``job.fail(reason)``)
+must use a reason from the closed vocabularies in
+:mod:`repro.trace.events` — ``DECLINE_REASONS``, ``FAILURE_REASONS`` and
+``NODE_DOWN_REASONS``.  A typo'd or ad-hoc reason string would silently
+fork the vocabulary: traces stop aggregating, the collector's per-reason
+counters split, and CI's decline/trace reconciliation breaks.
+
+The ``unknown-reason`` rule flags any *string literal* passed in one of
+those positions that is not in the vocabulary.  Dynamic reasons
+(variables, constants imported from :mod:`repro.trace.events`) are out of
+scope — the vocabulary constants themselves are the recommended spelling.
+A deliberate extension is waived with ``# repro: lint-ok[unknown-reason]``
+or per-file/project-wide via the ``[tool.repro.lint]`` ``ignore`` table in
+``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.violations import Violation
+from repro.trace.events import (
+    DECLINE_REASONS,
+    FAILURE_REASONS,
+    NODE_DOWN_REASONS,
+)
+
+__all__ = ["check_reasons", "RULES"]
+
+RULES = {
+    "unknown-reason": "decline/failure reason outside the closed vocabulary",
+}
+
+#: call-site name -> (reason argument position, keyword name, vocabulary)
+_DECLINE_VOCAB = frozenset(DECLINE_REASONS)
+_FAILURE_VOCAB = frozenset(FAILURE_REASONS)
+_NODE_DOWN_VOCAB = frozenset(NODE_DOWN_REASONS)
+
+_CALL_SITES = {
+    # ctx.note_decline("reason") / tracker.note_decline("reason")
+    "note_decline": (0, "reason", _DECLINE_VOCAB, "DECLINE_REASONS"),
+    # collector.offer_declined(kind, reason)
+    "offer_declined": (1, "reason", _DECLINE_VOCAB, "DECLINE_REASONS"),
+    # trace event constructors (always keyword-called, positions defensive)
+    "Decline": (None, "reason", _DECLINE_VOCAB, "DECLINE_REASONS"),
+    "AttemptFailed": (None, "reason", _FAILURE_VOCAB, "FAILURE_REASONS"),
+    "JobFail": (None, "reason", _FAILURE_VOCAB, "FAILURE_REASONS"),
+    "NodeDown": (None, "reason", _NODE_DOWN_VOCAB, "NODE_DOWN_REASONS"),
+}
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class _ReasonsVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, config: LintConfig) -> None:
+        self.path = path
+        self.config = config
+        self.violations: List[Violation] = []
+
+    def _emit(self, node: ast.AST, message: str) -> None:
+        if not self.config.rule_enabled("unknown-reason"):
+            return
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule="unknown-reason",
+                message=message,
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _callee_name(node)
+        site = _CALL_SITES.get(name) if name else None
+        if site is not None:
+            pos, kw, vocab, vocab_name = site
+            arg: Optional[ast.expr] = None
+            for keyword in node.keywords:
+                if keyword.arg == kw:
+                    arg = keyword.value
+                    break
+            if arg is None and pos is not None and len(node.args) > pos:
+                arg = node.args[pos]
+            value = _literal(arg)
+            if value is not None and value not in vocab:
+                self._emit(
+                    arg,
+                    f"{name}(...) reason {value!r} is not in "
+                    f"repro.trace.events.{vocab_name}; add it to the "
+                    "vocabulary or fix the spelling",
+                )
+        elif name == "fail":
+            # job.fail("reason") — the only fail() overload taking a string
+            value = _literal(node.args[0]) if len(node.args) == 1 else None
+            if value is not None and value not in _FAILURE_VOCAB:
+                self._emit(
+                    node.args[0],
+                    f"fail(...) reason {value!r} is not in "
+                    "repro.trace.events.FAILURE_REASONS; add it to the "
+                    "vocabulary or fix the spelling",
+                )
+        self.generic_visit(node)
+
+
+def check_reasons(
+    tree: ast.AST, path: str, rel_path: Path, config: LintConfig
+) -> List[Violation]:
+    """Run the closed-vocabulary rule over one parsed module."""
+    visitor = _ReasonsVisitor(path, config)
+    visitor.visit(tree)
+    return visitor.violations

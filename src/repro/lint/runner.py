@@ -19,7 +19,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.lint import contracts, determinism, prints, units
+from repro.lint import contracts, determinism, prints, reasons, units
 from repro.lint.config import LintConfig
 from repro.lint.suppress import is_suppressed, suppressions
 from repro.lint.violations import Violation
@@ -32,6 +32,7 @@ ALL_RULES = {
     **units.RULES,
     **prints.RULES,
     **contracts.RULES,
+    **reasons.RULES,
 }
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist"}
@@ -86,6 +87,7 @@ def lint_sources(
         violations.extend(determinism.check_determinism(tree, display, scope, config))
         violations.extend(units.check_units(tree, display, scope, config))
         violations.extend(prints.check_prints(tree, display, scope, config))
+        violations.extend(reasons.check_reasons(tree, display, scope, config))
 
     violations.extend(contracts.check_contracts(parsed, config))
 

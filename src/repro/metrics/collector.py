@@ -35,6 +35,16 @@ class MetricsCollector:
             "map": Counter(),
             "reduce": Counter(),
         }
+        # fault / recovery counters (all stay 0 on fault-free runs)
+        self.nodes_lost = 0          # tracker expiries + detected restarts
+        self.nodes_rejoined = 0      # lost nodes that re-registered
+        self.attempts_killed = 0     # attempts lost to node failure (uncharged)
+        self.attempts_failed = 0     # charged task errors
+        self.maps_reexecuted = 0     # completed maps re-run after output loss
+        self.blacklistings = 0       # (job, node) blacklist events
+        #: job ids that aborted after exhausting a task's retry budget,
+        #: with abort times
+        self.failed_jobs: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # engine-facing hooks
@@ -58,6 +68,27 @@ class MetricsCollector:
 
     def offer_assigned(self) -> None:
         self.scheduling_assignments += 1
+
+    def job_failed(self, job_id: str, now: float) -> None:
+        self.failed_jobs[job_id] = now
+
+    def node_lost(self) -> None:
+        self.nodes_lost += 1
+
+    def node_rejoined(self) -> None:
+        self.nodes_rejoined += 1
+
+    def attempt_killed(self) -> None:
+        self.attempts_killed += 1
+
+    def attempt_failed(self) -> None:
+        self.attempts_failed += 1
+
+    def map_reexecuted(self) -> None:
+        self.maps_reexecuted += 1
+
+    def node_blacklisted(self) -> None:
+        self.blacklistings += 1
 
     # ------------------------------------------------------------------
     # derived views

@@ -16,18 +16,27 @@ use the CLI: ``repro trace out.json`` / ``repro <experiment> --trace path``
 
 from .events import (
     Assign,
+    AttemptFailed,
     BELOW_PMIN,
     BERNOULLI_MISS,
+    BLACKLISTED,
+    Blacklisted,
     COLOCATION_VETO,
     COUPLING_GATE,
     DECLINE_REASONS,
     Decline,
     Evaluate,
+    FAILURE_REASONS,
     Heartbeat,
+    JobFail,
     JobFinish,
     JobSubmit,
     LOCALITY_WAIT,
+    MapOutputLost,
+    NODE_DEAD,
     NO_CANDIDATE,
+    NodeDown,
+    NodeUp,
     RunStart,
     ShuffleFinish,
     ShuffleStart,
@@ -50,18 +59,27 @@ from .render import ascii_timeline, trace_summary
 
 __all__ = [
     "Assign",
+    "AttemptFailed",
     "BELOW_PMIN",
     "BERNOULLI_MISS",
+    "BLACKLISTED",
+    "Blacklisted",
     "COLOCATION_VETO",
     "COUPLING_GATE",
     "DECLINE_REASONS",
     "Decline",
     "Evaluate",
+    "FAILURE_REASONS",
     "Heartbeat",
+    "JobFail",
     "JobFinish",
     "JobSubmit",
     "LOCALITY_WAIT",
+    "MapOutputLost",
+    "NODE_DEAD",
     "NO_CANDIDATE",
+    "NodeDown",
+    "NodeUp",
     "NullRecorder",
     "RunStart",
     "ShuffleFinish",

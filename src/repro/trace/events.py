@@ -30,6 +30,19 @@ The decline-reason vocabulary is shared with
     already running for the current map progress.
 ``unmatched``
     The matching scheduler's snapshot optimum left the offering node empty.
+``node_dead``
+    The offering node is dead or written off by tracker expiry — its slots
+    cannot take work until it rejoins (fault-injection runs only).
+``blacklisted``
+    The head-of-line job has blacklisted the offering node after repeated
+    task failures there (``max_task_failures_per_tracker``).
+
+Attempt-failure reasons (``FAILURE_REASONS``) form a second closed
+vocabulary used by :class:`AttemptFailed` / :class:`JobFail`:
+``task_error`` (an injected per-attempt failure — counts toward
+``max_attempts``), ``node_lost`` (the attempt's node died — the attempt is
+killed, not charged), and ``attempts_exhausted`` (a task failed
+``max_attempts`` times, failing its job).
 """
 
 from __future__ import annotations
@@ -40,12 +53,20 @@ from typing import Dict, Iterable, List, Union
 
 __all__ = [
     "Assign",
+    "AttemptFailed",
+    "Blacklisted",
     "DECLINE_REASONS",
     "Decline",
     "Evaluate",
+    "FAILURE_REASONS",
     "Heartbeat",
+    "JobFail",
     "JobFinish",
     "JobSubmit",
+    "MapOutputLost",
+    "NODE_DOWN_REASONS",
+    "NodeDown",
+    "NodeUp",
     "RunStart",
     "ShuffleFinish",
     "ShuffleStart",
@@ -64,6 +85,8 @@ NO_CANDIDATE = "no_candidate"
 LOCALITY_WAIT = "locality_wait"
 COUPLING_GATE = "coupling_gate"
 UNMATCHED = "unmatched"
+NODE_DEAD = "node_dead"
+BLACKLISTED = "blacklisted"
 
 DECLINE_REASONS = (
     BELOW_PMIN,
@@ -73,6 +96,29 @@ DECLINE_REASONS = (
     LOCALITY_WAIT,
     COUPLING_GATE,
     UNMATCHED,
+    NODE_DEAD,
+    BLACKLISTED,
+)
+
+#: Canonical attempt-failure reasons (see the module docstring).
+TASK_ERROR = "task_error"
+NODE_LOST = "node_lost"
+ATTEMPTS_EXHAUSTED = "attempts_exhausted"
+
+FAILURE_REASONS = (
+    TASK_ERROR,
+    NODE_LOST,
+    ATTEMPTS_EXHAUSTED,
+)
+
+#: How the tracker wrote a node off: missed heartbeats until expiry, or a
+#: delivered heartbeat carrying a new incarnation (crash + quick restart).
+EXPIRED = "expired"
+RESTARTED = "restarted"
+
+NODE_DOWN_REASONS = (
+    EXPIRED,
+    RESTARTED,
 )
 
 
@@ -233,6 +279,86 @@ class ShuffleFinish(TraceEvent):
     size: float
 
     type = "shuffle_finish"
+
+
+@dataclass(frozen=True)
+class NodeDown(TraceEvent):
+    """The tracker wrote a node off (expiry or detected restart).
+
+    ``killed_attempts`` counts running attempts killed on the node,
+    ``lost_maps`` the completed maps whose output was lost and which will
+    re-execute.  ``reason`` is ``"expired"`` (missed heartbeats for
+    ``tracker_expiry_interval``) or ``"restarted"`` (the node crashed and
+    came back within the window; its old incarnation's state is gone).
+    """
+
+    node: str
+    reason: str
+    killed_attempts: int
+    lost_maps: int
+
+    type = "node_down"
+
+
+@dataclass(frozen=True)
+class NodeUp(TraceEvent):
+    """A written-off node heartbeats again and rejoins the cluster."""
+
+    node: str
+
+    type = "node_up"
+
+
+@dataclass(frozen=True)
+class AttemptFailed(TraceEvent):
+    """One task attempt ended abnormally.
+
+    ``reason`` comes from ``FAILURE_REASONS``: ``task_error`` counts toward
+    the task's ``max_attempts`` budget, ``node_lost`` does not (Hadoop's
+    KILLED vs FAILED distinction).  ``failures`` is the task's charged
+    failure count after this event.
+    """
+
+    node: str
+    kind: str  # "map" | "reduce"
+    job_id: str
+    task_index: int
+    reason: str
+    failures: int
+
+    type = "attempt_failed"
+
+
+@dataclass(frozen=True)
+class MapOutputLost(TraceEvent):
+    """A completed map's output died with its node; the map re-executes."""
+
+    node: str
+    job_id: str
+    task_index: int
+
+    type = "map_output_lost"
+
+
+@dataclass(frozen=True)
+class Blacklisted(TraceEvent):
+    """A job blacklists a node after ``max_task_failures_per_tracker``."""
+
+    node: str
+    job_id: str
+    failures: int
+
+    type = "blacklisted"
+
+
+@dataclass(frozen=True)
+class JobFail(TraceEvent):
+    """A job was aborted (a task exhausted ``max_attempts``)."""
+
+    job_id: str
+    reason: str
+
+    type = "job_fail"
 
 
 EventLike = Union[TraceEvent, Dict[str, object]]

@@ -1,0 +1,285 @@
+"""Fault-injection tests: plan validation, JSON round trip, determinism.
+
+Covers the acceptance criteria of the fault work at the *injection* layer:
+plans validate and round-trip through JSON, an empty (or absent) plan
+leaves a traced run byte-for-byte identical to a fault-free build, fault
+runs are reproducible under a fixed seed, each fault family draws from an
+independent RNG substream, and every plan family (scheduled crash, churn,
+task failures, heartbeat loss, link degradation) drives the run to
+completion through the recovery path.  Recovery *mechanics* (kills,
+re-execution, blacklisting) are tested in ``test_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import EngineConfig, Simulation
+from repro.faults import (
+    FaultPlan,
+    HeartbeatLoss,
+    LinkDegradation,
+    NodeChurn,
+    NodeCrash,
+    TaskFailures,
+    load_plan,
+)
+from repro.schedulers import FairScheduler
+from repro.trace import jsonl_lines
+from repro.trace.events import JobFail, NodeDown, NodeUp
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def jobs(n=2, num_maps=6, app="wordcount"):
+    return [
+        JobSpec.make(f"{i:02d}", app, num_maps * 64 * MB, num_maps, 2)
+        for i in range(1, n + 1)
+    ]
+
+
+def run(plan=None, seed=7, **knobs):
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=FairScheduler(),
+        jobs=jobs(),
+        seed=seed,
+        config=EngineConfig(faults=plan, **knobs),
+    )
+    return sim, sim.run()
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+class TestSpecValidation:
+    def test_crash_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at=float("nan"), node="r0n0")
+        with pytest.raises(ValueError):
+            NodeCrash(at=-1.0, node="r0n0")
+        with pytest.raises(ValueError):
+            NodeCrash(at=0.0, node="")
+        with pytest.raises(ValueError):
+            NodeCrash(at=0.0, node="r0n0", down_for=0.0)
+
+    def test_churn_level_must_be_open_interval(self):
+        for level in (0.0, 1.0, -0.1, float("nan")):
+            with pytest.raises(ValueError):
+                NodeChurn(level=level)
+        with pytest.raises(ValueError):
+            NodeChurn(level=0.1, mean_downtime=0.0)
+        with pytest.raises(ValueError):
+            NodeChurn(level=0.1, nodes=())
+
+    def test_churn_mean_uptime_from_level(self):
+        churn = NodeChurn(level=0.2, mean_downtime=60.0)
+        assert churn.mean_uptime == pytest.approx(240.0)
+
+    def test_task_failures_prob_bounds(self):
+        for prob in (-0.1, 1.5, float("nan")):
+            with pytest.raises(ValueError):
+                TaskFailures(prob=prob)
+        with pytest.raises(ValueError):
+            TaskFailures(prob=0.5, mean_delay=0.0)
+        TaskFailures(prob=1.0)  # certainty is allowed for task failures
+
+    def test_heartbeat_loss_below_one(self):
+        with pytest.raises(ValueError):
+            HeartbeatLoss(prob=1.0)  # no node could ever report
+        HeartbeatLoss(prob=0.0)
+
+    def test_degradation_target_exclusive(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(at=0.0, duration=10.0, factor=0.5)
+        with pytest.raises(ValueError):
+            LinkDegradation(
+                at=0.0, duration=10.0, factor=0.5, node="r0n0", rack="r0"
+            )
+        with pytest.raises(ValueError):
+            LinkDegradation(at=0.0, duration=10.0, factor=0.0, node="r0n0")
+        with pytest.raises(ValueError):
+            LinkDegradation(at=0.0, duration=0.0, factor=0.5, node="r0n0")
+
+    def test_empty_property(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(crashes=(NodeCrash(at=1.0, node="r0n0"),)).empty
+        assert not FaultPlan(heartbeat_loss=HeartbeatLoss(prob=0.1)).empty
+
+    def test_injector_rejects_unknown_targets(self):
+        plan = FaultPlan(crashes=(NodeCrash(at=1.0, node="nope"),))
+        with pytest.raises(ValueError, match="unknown node"):
+            Simulation(
+                cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+                scheduler=FairScheduler(),
+                jobs=jobs(1),
+                config=EngineConfig(faults=plan),
+            )
+
+
+# ----------------------------------------------------------------------
+# JSON round trip
+# ----------------------------------------------------------------------
+FULL_PLAN = FaultPlan(
+    crashes=(
+        NodeCrash(at=10.0, node="r0n1", down_for=60.0),
+        NodeCrash(at=20.0, node="r1n2"),
+    ),
+    churn=NodeChurn(level=0.05, mean_downtime=90.0, start=30.0,
+                    nodes=("r0n0", "r1n0")),
+    task_failures=TaskFailures(prob=0.02, mean_delay=5.0),
+    heartbeat_loss=HeartbeatLoss(prob=0.01),
+    degradations=(
+        LinkDegradation(at=40.0, duration=15.0, factor=0.25, node="r0n2"),
+        LinkDegradation(at=50.0, duration=15.0, factor=0.5, rack="rack1"),
+    ),
+)
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        assert FaultPlan.from_dict(FULL_PLAN.to_dict()) == FULL_PLAN
+
+    def test_json_round_trip(self):
+        assert FaultPlan.from_json(FULL_PLAN.to_json()) == FULL_PLAN
+
+    def test_load_plan_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FULL_PLAN.to_json(), encoding="utf-8")
+        assert load_plan(path) == FULL_PLAN
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"crashes": [], "typo": 1})
+
+    def test_validation_applies_on_load(self):
+        data = FULL_PLAN.to_dict()
+        data["task_failures"] = {"prob": 2.0}
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# zero-fault identity and determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_empty_plan_is_byte_identical_to_no_plan(self):
+        sim_none, res_none = run(plan=None, trace=True)
+        sim_empty, res_empty = run(plan=FaultPlan(), trace=True)
+        assert sim_none.faults is None
+        assert sim_empty.faults is None  # empty plans skip the injector
+        assert jsonl_lines(res_none.trace.events) == jsonl_lines(
+            res_empty.trace.events
+        )
+
+    def test_same_seed_same_faulted_trace(self):
+        plan = FaultPlan(
+            churn=NodeChurn(level=0.10, mean_downtime=60.0),
+            task_failures=TaskFailures(prob=0.05),
+        )
+        _, r1 = run(plan=plan, trace=True, tracker_expiry_interval=9.0)
+        _, r2 = run(plan=plan, trace=True, tracker_expiry_interval=9.0)
+        assert jsonl_lines(r1.trace.events) == jsonl_lines(r2.trace.events)
+
+    def test_different_seed_different_faults(self):
+        plan = FaultPlan(churn=NodeChurn(level=0.10, mean_downtime=60.0))
+        _, r1 = run(plan=plan, seed=7, trace=True, tracker_expiry_interval=9.0)
+        _, r2 = run(plan=plan, seed=8, trace=True, tracker_expiry_interval=9.0)
+        assert jsonl_lines(r1.trace.events) != jsonl_lines(r2.trace.events)
+
+    def test_fault_families_draw_independent_streams(self):
+        """A zero-probability family must not shift another family's draws."""
+        base = FaultPlan(task_failures=TaskFailures(prob=0.05))
+        extended = FaultPlan(
+            task_failures=TaskFailures(prob=0.05),
+            heartbeat_loss=HeartbeatLoss(prob=0.0),
+        )
+        _, r1 = run(plan=base, trace=True)
+        _, r2 = run(plan=extended, trace=True)
+        assert jsonl_lines(r1.trace.events) == jsonl_lines(r2.trace.events)
+
+
+# ----------------------------------------------------------------------
+# each family drives the run to completion through recovery
+# ----------------------------------------------------------------------
+class TestFamiliesEndToEnd:
+    def test_scheduled_crash_expiry_and_rejoin(self):
+        plan = FaultPlan(crashes=(NodeCrash(at=10.0, node="r0n1",
+                                            down_for=20.0),))
+        sim, res = run(plan=plan, trace=True, tracker_expiry_interval=9.0)
+        downs = [e for e in res.trace.events if isinstance(e, NodeDown)]
+        ups = [e for e in res.trace.events if isinstance(e, NodeUp)]
+        assert [e.node for e in downs] == ["r0n1"]
+        assert downs[0].reason == "expired"
+        assert [e.node for e in ups] == ["r0n1"]
+        assert ups[0].t > downs[0].t
+        assert res.collector.nodes_lost == 1
+        assert res.collector.nodes_rejoined == 1
+        assert res.collector.job_completion_times().size == len(jobs())
+
+    def test_permanent_crash_still_drains(self):
+        plan = FaultPlan(crashes=(NodeCrash(at=10.0, node="r0n1"),))
+        sim, res = run(plan=plan, trace=True, tracker_expiry_interval=9.0)
+        assert res.collector.nodes_lost == 1
+        assert res.collector.nodes_rejoined == 0
+        assert not any(isinstance(e, NodeUp) for e in res.trace.events)
+        assert res.collector.job_completion_times().size == len(jobs())
+
+    def test_certain_task_failure_exhausts_attempts(self):
+        plan = FaultPlan(task_failures=TaskFailures(prob=1.0, mean_delay=0.5))
+        sim, res = run(plan=plan, trace=True, max_attempts=2)
+        fails = [e for e in res.trace.events if isinstance(e, JobFail)]
+        assert fails and all(e.reason == "attempts_exhausted" for e in fails)
+        assert set(res.collector.failed_jobs) == {"01", "02"}
+        assert sim.tracker.all_done
+
+    def test_heartbeat_loss_causes_spurious_expiry(self):
+        plan = FaultPlan(heartbeat_loss=HeartbeatLoss(prob=0.6))
+        sim, res = run(plan=plan, seed=11, heartbeat_period=3.0,
+                       tracker_expiry_interval=6.0)
+        assert sim.faults.heartbeats_dropped > 0
+        assert res.collector.nodes_lost > 0          # healthy nodes expired
+        assert res.collector.nodes_rejoined > 0      # ...and came back
+        assert sim.faults.crashes_injected == 0      # nothing actually died
+        assert res.collector.job_completion_times().size == len(jobs())
+
+    def test_degradation_slows_the_run(self):
+        deg = LinkDegradation(at=0.0, duration=1e6, factor=0.05, node="r0n0")
+        _, healthy = run(plan=None, seed=5)
+        _, degraded = run(plan=FaultPlan(degradations=(deg,)), seed=5)
+        assert (
+            degraded.collector.job_completion_times().max()
+            > healthy.collector.job_completion_times().max()
+        )
+
+    def test_degradation_applies_and_restores_on_schedule(self):
+        deg = LinkDegradation(at=1.0, duration=5.0, factor=0.25, node="r0n0")
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=FairScheduler(),
+            jobs=jobs(1),
+            config=EngineConfig(faults=FaultPlan(degradations=(deg,))),
+        )
+        (link,) = sim.faults._links_for(deg)
+        net = sim.cluster.network
+        sim.run(until=2.0)  # inside the [1, 6) degradation window
+        assert net.capacity_factor(link) == pytest.approx(0.25)
+        sim.sim.run(until=10.0)
+        assert net.capacity_factor(link) == pytest.approx(1.0)
+
+    def test_rack_degradation_covers_member_links(self):
+        deg = LinkDegradation(at=0.0, duration=10.0, factor=0.5, rack="rack0")
+        plan = FaultPlan(degradations=(deg,))
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+            scheduler=FairScheduler(),
+            jobs=jobs(1),
+            config=EngineConfig(faults=plan),
+        )
+        links = sim.faults._links_for(deg)
+        # three member access links plus at least one uplink toward the core
+        assert len(links) >= 4
+        node_deg = LinkDegradation(at=0.0, duration=10.0, factor=0.5,
+                                   node="r0n0")
+        assert len(sim.faults._links_for(node_deg)) == 1

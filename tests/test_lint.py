@@ -306,6 +306,64 @@ class TestNoPrint:
 
 
 # ----------------------------------------------------------------------
+# unknown-reason (closed decline/failure vocabularies)
+# ----------------------------------------------------------------------
+class TestUnknownReason:
+    def test_vocabulary_literals_pass(self):
+        src = (
+            'ctx.note_decline("below_pmin")\n'
+            'collector.offer_declined("map", "blacklisted")\n'
+            'Decline(t=0.0, node="n", kind="map", reason="node_dead", job_id="")\n'
+            'job.fail("attempts_exhausted")\n'
+            'NodeDown(t=0.0, node="n", reason="expired", killed_attempts=0, '
+            "lost_maps=0)\n"
+        )
+        assert run_lint(src) == []
+
+    def test_typo_in_decline_reason_flagged(self):
+        vs = run_lint('ctx.note_decline("below_pmim")\n')
+        assert rules(vs) == ["unknown-reason"]
+        assert "DECLINE_REASONS" in vs[0].message
+
+    def test_offer_declined_positional_reason_checked(self):
+        vs = run_lint('collector.offer_declined("map", "blacklistd")\n')
+        assert rules(vs) == ["unknown-reason"]
+
+    def test_event_keyword_reasons_checked(self):
+        src = (
+            'AttemptFailed(t=0.0, node="n", kind="map", job_id="j", '
+            'task_index=0, reason="task_eror", failures=1)\n'
+            'JobFail(t=0.0, job_id="j", reason="gave_up")\n'
+            'NodeDown(t=0.0, node="n", reason="vanished", killed_attempts=0, '
+            "lost_maps=0)\n"
+        )
+        vs = run_lint(src)
+        assert [v.rule for v in vs] == ["unknown-reason"] * 3
+
+    def test_job_fail_string_literal_checked(self):
+        vs = run_lint('job.fail("out_of_retries")\n')
+        assert rules(vs) == ["unknown-reason"]
+        # fail() with a non-string (or no) argument is someone else's fail()
+        assert run_lint("attempt.fail()\n") == []
+        assert run_lint("thing.fail(5)\n") == []
+
+    def test_dynamic_reasons_out_of_scope(self):
+        assert run_lint("ctx.note_decline(reason_var)\n") == []
+        assert run_lint("ctx.note_decline(BELOW_PMIN)\n") == []
+
+    def test_applies_outside_deterministic_scope(self):
+        # the vocabulary is global: drivers and exporters must honour it too
+        vs = run_lint('ctx.note_decline("nonsense")\n', scope=DRIVER)
+        assert rules(vs) == ["unknown-reason"]
+
+    def test_waiver_and_ignore(self):
+        waived = 'ctx.note_decline("custom")  # repro: lint-ok[unknown-reason]\n'
+        assert run_lint(waived) == []
+        config = LintConfig(ignore=("unknown-reason",))
+        assert run_lint('ctx.note_decline("custom")\n', config=config) == []
+
+
+# ----------------------------------------------------------------------
 # suppression markers
 # ----------------------------------------------------------------------
 class TestSuppression:

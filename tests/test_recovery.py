@@ -1,0 +1,265 @@
+"""Hadoop-1.x failure recovery: expiry, kills, re-execution, retry budgets.
+
+These tests drive the recovery machinery directly (no FaultInjector): a
+"crash" flips ``Node.alive`` and calls the tracker's physical hook, exactly
+what the injector does.  Covered: running attempts are killed (uncharged)
+at tracker expiry and re-scheduled; completed map outputs that unfinished
+reduces still need re-execute with shuffle bytes conserved across the
+re-fetch; a crash-and-quick-reboot is detected through the incarnation
+number; charged failures exhaust ``max_attempts`` and fail the job;
+repeated failures on one node blacklist it for the job and its offers are
+declined.  The runtime invariant checker is active throughout (conftest
+sets ``REPRO_CHECK_INVARIANTS=1``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import EngineConfig, Simulation
+from repro.schedulers import FairScheduler
+from repro.trace.events import NodeDown, NodeUp
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def build(num_maps=6, num_reduces=2, seed=3, block=64 * MB, **knobs):
+    spec = JobSpec.make("01", "terasort", num_maps * block, num_maps,
+                        num_reduces)
+    return Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=FairScheduler(),
+        jobs=[spec],
+        seed=seed,
+        config=EngineConfig(**knobs),
+    )
+
+
+def started(**kw):
+    """A running simulation (heartbeats live) frozen just after t=0."""
+    sim = build(**kw)
+    sim.run(until=1e-9)
+    return sim, sim.tracker.active_jobs[0]
+
+
+def paused(**kw):
+    """A simulation that never starts heartbeats — full manual control."""
+    sim = build(**kw)
+    sim.sim.run(until=1e-9)
+    return sim, sim.tracker.active_jobs[0]
+
+
+def crash(sim, node):
+    """What the FaultInjector does physically: die and lose all state."""
+    node.alive = False
+    node.incarnation += 1
+    sim.tracker.on_node_crashed(node)
+
+
+def step_until(sim, cond, step=0.25, limit=4000):
+    for _ in range(limit):
+        if cond():
+            return True
+        sim.sim.run(until=sim.sim.now + step)
+    return False
+
+
+# ----------------------------------------------------------------------
+# node loss end to end
+# ----------------------------------------------------------------------
+class TestNodeLoss:
+    def test_running_map_killed_uncharged_and_rescheduled(self):
+        sim, job = started(tracker_expiry_interval=6.0)
+        assert step_until(sim, lambda: job.running_maps())
+        task = job.running_maps()[0]
+        dead = task.attempts[0].node
+        crash(sim, dead)
+        sim.sim.run()
+        assert sim.tracker.all_done and job.done
+        assert task.failures == 0            # node loss is KILLED, not FAILED
+        assert task.past_attempts >= 1
+        assert task.node is not dead         # re-ran on a live node
+        assert sim.tracker.collector.attempts_killed >= 1
+        assert sim.tracker.collector.nodes_lost == 1
+        assert dead.running_maps == 0 and dead.running_reduces == 0
+
+    def test_lost_map_output_reexecuted_and_bytes_conserved(self):
+        sim, job = started(num_maps=4, block=256 * MB,
+                           tracker_expiry_interval=6.0)
+
+        def lost_candidate():
+            for m in job.maps:
+                if m.done and any(r.needs_map(m.index) for r in job.reduces):
+                    return m
+            return None
+
+        assert step_until(sim, lambda: lost_candidate() is not None)
+        victim = lost_candidate()
+        dead = victim.node
+        crash(sim, dead)
+        sim.sim.run()
+        assert sim.tracker.all_done and job.done
+        assert sim.tracker.collector.maps_reexecuted >= 1
+        assert victim.done and victim.node is not dead
+        # every reduce copied each non-empty partition exactly once: aborted
+        # transfers were never credited and the re-fetch made them whole
+        for r in job.reduces:
+            expected = sum(
+                float(job.I[j, r.index])
+                for j in range(job.num_maps)
+                if float(job.I[j, r.index]) > 1e-9
+            )
+            assert r.shuffled_bytes == pytest.approx(expected)
+
+    def test_running_reduce_rescheduled_after_node_loss(self):
+        sim, job = started(num_maps=4, block=256 * MB,
+                           tracker_expiry_interval=6.0)
+        assert step_until(sim, lambda: job.running_reduces())
+        reduce_task = job.running_reduces()[0]
+        dead = reduce_task.node
+        crash(sim, dead)
+        sim.sim.run()
+        assert sim.tracker.all_done and job.done
+        assert reduce_task.done and reduce_task.node is not dead
+        assert reduce_task.past_attempts >= 1
+        assert reduce_task.failures == 0
+        assert sim.tracker.collector.attempts_killed >= 1
+
+    def test_restart_detected_by_incarnation(self):
+        # a long expiry window: only the incarnation check can catch this
+        sim, job = started(trace=True, tracker_expiry_interval=300.0)
+        assert step_until(sim, lambda: job.running_maps())
+        node = job.running_maps()[0].attempts[0].node
+        crash(sim, node)
+        node.alive = True  # rebooted before a single heartbeat was missed
+        sim.sim.run()
+        assert sim.tracker.all_done and job.done
+        downs = [e for e in sim.recorder.events if isinstance(e, NodeDown)]
+        ups = [e for e in sim.recorder.events if isinstance(e, NodeUp)]
+        assert [(e.node, e.reason) for e in downs] == [(node.name, "restarted")]
+        assert [e.node for e in ups] == [node.name]
+        assert sim.tracker.collector.nodes_lost == 1
+        assert sim.tracker.collector.nodes_rejoined == 1
+
+    def test_map_input_fails_over_to_live_replica(self):
+        sim, job = paused()
+        node = sim.cluster.node("r0n0")
+        # find a map whose chosen replica is remote from r0n0
+        attempt = None
+        for task in list(job.pending_maps()):
+            task.launch(node)
+            if task.attempts[0].source != node.name:
+                attempt = task.attempts[0]
+                break
+        assert attempt is not None, "no remote-input map under this seed"
+        src = sim.cluster.node(attempt.source)
+        sim.sim.run(until=sim.sim.now + 1.0)  # input flow under way
+        crash(sim, src)
+        sim.sim.run(until=sim.sim.now + 500.0)
+        assert attempt.task.done
+        assert attempt.task.node is node
+
+    def test_map_input_polls_until_a_replica_revives(self):
+        sim, job = paused(replication=2)
+        node = sim.cluster.node("r0n0")
+        attempt = None
+        for task in list(job.pending_maps()):
+            task.launch(node)
+            if task.attempts[0].source != node.name:
+                attempt = task.attempts[0]
+                break
+        assert attempt is not None
+        sim.sim.run(until=sim.sim.now + 1.0)
+        # kill every replica holder: the read has nowhere to go
+        holders = []
+        while attempt.source is not None:
+            holder = sim.cluster.node(attempt.source)
+            holders.append(holder)
+            crash(sim, holder)
+            sim.sim.run(until=sim.sim.now + 0.1)
+        sim.sim.run(until=sim.sim.now + 30.0)
+        assert not attempt.task.done          # stuck polling, not crashed
+        holders[0].alive = True               # one replica comes back
+        sim.sim.run(until=sim.sim.now + 500.0)
+        assert attempt.task.done
+
+
+# ----------------------------------------------------------------------
+# attempt budgets: KILLED vs FAILED, max_attempts, blacklisting
+# ----------------------------------------------------------------------
+class TestAttemptBudgets:
+    def test_kill_attempt_uncharged_and_slot_released(self):
+        sim, job = paused()
+        task = job.pending_maps()[0]
+        node = sim.cluster.node("r0n0")
+        task.launch(node)
+        attempt = task.attempts[0]
+        task.kill_attempt(attempt)
+        assert task in job.pending_maps()
+        assert task.failures == 0
+        assert task.past_attempts == 1
+        assert node.running_maps == 0
+        assert sim.tracker.collector.attempts_killed == 1
+        task.kill_attempt(attempt)  # already retired: a no-op
+        assert task.past_attempts == 1
+        assert sim.tracker.collector.attempts_killed == 1
+
+    def test_stale_fail_after_kill_is_noop(self):
+        sim, job = paused()
+        task = job.pending_maps()[0]
+        task.launch(sim.cluster.node("r0n0"))
+        attempt = task.attempts[0]
+        task.kill_attempt(attempt)
+        attempt.fail()  # failure injected before the kill landed
+        assert task.failures == 0
+        assert sim.tracker.collector.attempts_failed == 0
+
+    def test_stale_fail_after_output_loss_reset_is_noop(self):
+        sim, job = paused()
+        task = job.pending_maps()[0]
+        node = sim.cluster.node("r0n0")
+        task.launch(node)
+        winner = task.attempts[0]
+        sim.sim.run(until=sim.sim.now + 500.0)
+        assert task.done
+        task.reset_after_output_loss()
+        assert task in job.pending_maps()
+        winner.fail()  # scheduled against the old execution: must not charge
+        assert task.failures == 0
+        assert task in job.pending_maps()
+
+    def test_max_attempts_exhaustion_fails_job(self):
+        sim, job = paused(max_attempts=2)
+        task = job.pending_maps()[0]
+        for name in ("r0n0", "r0n1"):
+            task.launch(sim.cluster.node(name))
+            task.attempts[0].fail()
+        assert task.failures == 2
+        assert job.failed
+        assert job in sim.tracker.failed_jobs
+        assert "01" in sim.tracker.collector.failed_jobs
+        assert sim.tracker.collector.attempts_failed == 2
+        # the abort killed every other task and released every slot
+        assert all(
+            n.running_maps == 0 and n.running_reduces == 0
+            for n in sim.cluster.nodes
+        )
+        assert sim.tracker.all_done
+
+    def test_blacklisted_node_declined_in_offers(self):
+        # enough maps that the backlog outlives the first heartbeat round,
+        # so the blacklisted node's own offers meet pending work
+        sim, job = started(num_maps=24, max_task_failures_per_tracker=2)
+        node = sim.cluster.node("r0n0")
+        job.note_node_failure(node.name)
+        assert node.name not in job.blacklisted
+        job.note_node_failure(node.name)
+        assert node.name in job.blacklisted
+        assert sim.tracker.collector.blacklistings == 1
+        sim.sim.run()
+        assert sim.tracker.all_done and job.done
+        declines = sim.tracker.collector.decline_reasons
+        assert (
+            declines["map"]["blacklisted"] + declines["reduce"]["blacklisted"]
+        ) >= 1

@@ -106,3 +106,70 @@ class TestFetchManager:
         # _pump starts the next fetch before on_progress fires, so the
         # counter reads 2, 3, 3 across the three completions
         assert seen == [2, 3, 3]
+
+
+class TestFailurePaths:
+    """Keyed fetches, aborts and re-fetches (the fetch-failure path)."""
+
+    def test_abort_reports_pending_and_inflight_keys(self):
+        sim, net, fm = make(max_parallel=1)
+        fm.add("r0n1", 10 * MB, key=0)   # in flight
+        fm.add("r0n2", 5 * MB, key=1)    # pending
+        fm.add("r0n2", 7 * MB, key=2)    # aggregates; both keys ride along
+        assert sorted(fm.abort_source("r0n2")) == [1, 2]
+        assert fm.aborted_bytes == pytest.approx(12 * MB)
+        assert fm.abort_source("r0n1") == [0]
+        assert fm.idle
+        sim.run()
+        assert fm.fetched == 0.0         # aborted bytes never credited
+
+    def test_abort_source_is_idempotent(self):
+        sim, net, fm = make()
+        fm.add("r0n1", 10 * MB, key=0)
+        assert fm.abort_source("r0n1") == [0]
+        assert fm.abort_source("r0n1") == []
+        assert fm.aborted_bytes == pytest.approx(10 * MB)
+
+    def test_abort_frees_the_fetcher_for_pending_work(self):
+        sim, net, fm = make(max_parallel=1)
+        fm.add("r0n1", 10 * MB, key=0)
+        fm.add("r0n2", 5 * MB, key=1)
+        fm.abort_source("r0n1")
+        assert fm.active == 1            # the pending source was pumped in
+        sim.run()
+        assert fm.fetched == pytest.approx(5 * MB)
+
+    def test_refetch_conserves_bytes(self):
+        sim, net, fm = make(max_parallel=1)
+        fm.add("r0n1", 10 * MB, key=0)
+        fm.add("r1n0", 4 * MB, key=1)
+        sim.run(until=0.001)             # r0n1 in flight, partially copied
+        assert fm.abort_source("r0n1") == [0]
+        fm.add("r1n1", 10 * MB, key=0)   # the map re-ran elsewhere
+        sim.run()
+        assert fm.fetched == pytest.approx(14 * MB)
+        assert fm.aborted_bytes == pytest.approx(10 * MB)
+        assert fm.idle
+
+    def test_abort_all_returns_every_key(self):
+        sim, net, fm = make(max_parallel=1)
+        fm.add("r0n1", 10 * MB, key=0)
+        fm.add("r0n2", 5 * MB, key=1)
+        fm.add("r1n0", 5 * MB, key=2)
+        assert sorted(fm.abort_all()) == [0, 1, 2]
+        assert fm.idle
+        sim.run()
+        assert fm.fetch_count == 1       # only the first flow ever started
+        assert fm.fetched == 0.0
+        assert fm.aborted_bytes == pytest.approx(20 * MB)
+
+    def test_on_fetched_callback_delivers_keys(self):
+        delivered = []
+        sim, net, fm = make(max_parallel=1)
+        fm.on_fetched = lambda keys: delivered.extend(keys)
+        fm.add("r0n1", 1 * MB, key=0)
+        fm.add("r0n2", 1 * MB, key=1)
+        fm.add("r0n2", 1 * MB, key=2)
+        sim.run()
+        assert sorted(delivered) == [0, 1, 2]
+        assert fm.fetched == pytest.approx(3 * MB)

@@ -87,3 +87,52 @@ class TestConfigPropagation:
         assert layout(RandomScheduler()) == layout(
             ProbabilisticNetworkAwareScheduler()
         )
+
+
+class TestConfigValidation:
+    """EngineConfig rejects NaN, infinite and out-of-range knobs eagerly."""
+
+    @pytest.mark.parametrize("knob,value", [
+        ("heartbeat_period", 0.0),
+        ("heartbeat_period", -1.0),
+        ("heartbeat_period", float("nan")),
+        ("heartbeat_period", float("inf")),
+        ("slowstart", -0.1),
+        ("slowstart", 1.5),
+        ("slowstart", float("nan")),
+        ("max_parallel_fetches", 0),
+        ("max_parallel_fetches", 2.5),
+        ("replication", 0),
+        ("speculative_min_age", float("nan")),
+        ("speculative_min_age", -1.0),
+        ("speculative_progress_factor", 0.0),
+        ("speculative_progress_factor", float("nan")),
+        ("speculative_cap", 0.0),
+        ("speculative_cap", 1.5),
+        ("tracker_expiry_interval", 0.0),
+        ("tracker_expiry_interval", float("nan")),
+        ("max_attempts", 0),
+        ("max_attempts", True),
+        ("max_task_failures_per_tracker", 0),
+        ("horizon", 0.0),
+        ("horizon", float("nan")),
+        ("faults", "plan.json"),
+    ])
+    def test_bad_knob_rejected(self, knob, value):
+        with pytest.raises(ValueError, match=knob):
+            EngineConfig(**{knob: value})
+
+    def test_nan_does_not_slip_through_comparisons(self):
+        # NaN <= 0 is False, so a naive range check would accept it
+        with pytest.raises(ValueError):
+            EngineConfig(slowstart=float("nan"))
+
+    def test_infinite_horizon_allowed(self):
+        assert EngineConfig(horizon=float("inf")).horizon == float("inf")
+
+    def test_fault_knobs_have_hadoop_defaults(self):
+        cfg = EngineConfig()
+        assert cfg.tracker_expiry_interval == 30.0
+        assert cfg.max_attempts == 4
+        assert cfg.max_task_failures_per_tracker == 4
+        assert cfg.faults is None
