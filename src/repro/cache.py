@@ -1,0 +1,37 @@
+"""The `REPRO_NO_CACHE` escape hatch for the hot-path caches.
+
+PR 4 made the per-heartbeat scheduling path recompute-free: the flow
+network memoises its rate matrix on an epoch counter, the cluster caches
+its free-slot views and the inverse-rate distance matrix, jobs cache their
+pending/running task lists, and the cost model keeps the completed-map
+index arrays incrementally.  Every one of those caches is required to be
+*behaviour-invisible* — a same-seed run must stay byte-identical whether
+the caches are on or off.
+
+Setting ``REPRO_NO_CACHE=1`` in the environment routes all of them back to
+the naive recompute-everything paths.  That is the reference behaviour the
+determinism tests compare against (``tests/test_perf_cache.py``), and the
+first thing to reach for when a caching bug is suspected.
+
+The flag is read **once per object construction** (network, cluster, job,
+cost model), not per call: tests can monkeypatch the environment and build
+a fresh :class:`~repro.engine.simulation.Simulation`, while a running
+simulation never changes behaviour midway.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["caching_disabled"]
+
+#: Environment variable that disables every hot-path cache when set.
+ENV_VAR = "REPRO_NO_CACHE"
+
+
+def caching_disabled() -> bool:
+    """True when ``REPRO_NO_CACHE`` requests the unoptimised reference paths.
+
+    Any value other than empty/``0`` counts as set.
+    """
+    return os.environ.get(ENV_VAR, "") not in ("", "0")

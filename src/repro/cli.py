@@ -15,6 +15,8 @@ Usage::
     repro fig4 --trace run.jsonl            # trace every sim of an artefact
     repro run --faults plan.json            # one run under a fault plan
     repro run --scheduler fair --seed 3     # one plain run, summary printed
+    repro bench --quick                     # perf smoke -> BENCH_perf.json
+    repro bench --baseline BENCH_perf.json  # fail on >2x wall regression
 
 Scenario selection: ``--scenario {ci,medium,paper,nas,churn}`` or the
 ``REPRO_SCALE`` environment variable (default ``ci``).
@@ -400,6 +402,75 @@ def _run_main(argv: List[str]) -> int:
     return 0
 
 
+def _bench_main(argv: List[str]) -> int:
+    """`repro bench` — time representative scenarios, write BENCH_perf.json."""
+    from repro.experiments.perf import (
+        check_regression,
+        load_baseline,
+        run_bench,
+        write_bench,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark the scheduler hot path on representative "
+        "scenarios and write a canonical-JSON perf artifact.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small-cluster cases only (the CI smoke set)")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
+                        help="artifact path (default: BENCH_perf.json)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="committed baseline JSON to compare against; "
+                        "exit 1 if any case regressed beyond --factor")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="regression threshold versus the baseline "
+                        "(default: 2.0x wall time)")
+    parser.add_argument("--no-speedup", action="store_true",
+                        help="skip the REPRO_NO_CACHE=1 reference re-run")
+    args = parser.parse_args(argv)
+
+    doc = run_bench(
+        quick=args.quick,
+        measure_speedup=not args.no_speedup,
+        progress=print,
+    )
+    write_bench(doc, args.out)
+    print(f"wrote {args.out}")
+    print()
+    rows = [
+        (name, f"{r['wall_s']:.3f}", f"{r['events_per_s']:,.0f}",
+         f"{r['offers_per_s']:,.0f}", r["nodes"], r["jobs"])
+        for name, r in doc["cases"].items()
+    ]
+    print(format_table(
+        ["case", "wall (s)", "events/s", "offers/s", "nodes", "jobs"], rows,
+        title=f"scheduler hot-path benchmark ({doc['mode']})",
+    ))
+    if "speedup" in doc:
+        s = doc["speedup"]
+        print(
+            f"\ncache speedup on {s['case']}: {s['factor']:.2f}x "
+            f"({s['nocache_wall_s']:.3f}s naive -> "
+            f"{s['cached_wall_s']:.3f}s cached)"
+        )
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        if baseline is None:
+            print(f"\nno usable baseline at {args.baseline}; skipping "
+                  "regression check")
+            return 0
+        failures = check_regression(doc, baseline, factor=args.factor)
+        if failures:
+            print("\nwall-time regression vs baseline:", file=sys.stderr)
+            for msg in failures:
+                print(f"  {msg}", file=sys.stderr)
+            return 1
+        print(f"\nno regression vs {args.baseline} "
+              f"(threshold {args.factor:.1f}x)")
+    return 0
+
+
 def _report_main(argv: List[str]) -> int:
     """`repro report <trace.jsonl>` — render a saved trace."""
     from repro.trace import ascii_timeline, read_jsonl, trace_summary
@@ -458,6 +529,8 @@ def main(argv: List[str] | None = None) -> int:
         return _run_main(argv[1:])
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
@@ -467,7 +540,7 @@ def main(argv: List[str] | None = None) -> int:
         "experiment",
         choices=[*COMMANDS, "all"],
         help="which paper artefact to regenerate "
-        "(or `lint`/`trace`/`run`/`report`)",
+        "(or `lint`/`trace`/`run`/`report`/`bench`)",
     )
     parser.add_argument(
         "--scenario",

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cache import caching_disabled
 from repro.cluster.network import FlowNetwork
 from repro.cluster.node import Node
 from repro.cluster.topology import Topology, rack_topology
@@ -119,6 +120,14 @@ class Cluster:
             self._by_name[host] = node
         self.network = FlowNetwork(sim, topology, local_bandwidth=disk_bandwidth)
         self._hops = topology.hop_matrix().astype(np.float64)
+        # hot-path caches (all behaviour-invisible; REPRO_NO_CACHE bypasses)
+        self._no_cache = caching_disabled()
+        self._free_map_view: Optional[tuple] = None
+        self._free_reduce_view: Optional[tuple] = None
+        self._inv_rate_cache: Optional[tuple] = None
+        self._default_inv_scale: Optional[float] = None
+        for node in self.nodes:
+            node._slot_watcher = self._invalidate_slot_views
 
     # ------------------------------------------------------------------
     def node(self, name: str) -> Node:
@@ -158,32 +167,101 @@ class Cluster:
         default the matrix is scaled so that an idle host link's inverse
         rate maps to 2.0, the same-rack hop count).
         """
+        if self._no_cache:
+            return self._inverse_rate_matrix_uncached(scale=scale)
+        key = (self.network.epoch, scale)
+        cached = self._inv_rate_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         rates = self.network.rate_matrix()
         inv = 1.0 / rates
         np.fill_diagonal(inv, 0.0)
         if scale is None:
-            # an idle host-access-link path (inverse rate 1/ref) maps to hop
-            # count 2, the same-rack distance
-            refs = []
-            hosts = self.topology.hosts
-            for h in hosts:
-                for other in hosts:
-                    if other != h:
-                        route = self.topology.route(h, other)
-                        refs.append(self.topology.link_capacity(route[0]))
-                        break
-            ref = max(refs) if refs else 1.0
-            scale = 2.0 * ref
+            if self._default_inv_scale is None:
+                self._default_inv_scale = self._default_scale()
+            scale_value = self._default_inv_scale
+        else:
+            scale_value = scale
+        out = inv * scale_value
+        out.setflags(write=False)
+        self._inv_rate_cache = (key, out)
+        return out
+
+    def _default_scale(self) -> float:
+        """Default normalisation: an idle host-access-link path (inverse
+        rate 1/ref) maps to hop count 2, the same-rack distance.  Depends
+        only on the static topology."""
+        refs = []
+        hosts = self.topology.hosts
+        for h in hosts:
+            for other in hosts:
+                if other != h:
+                    route = self.topology.route(h, other)
+                    refs.append(self.topology.link_capacity(route[0]))
+                    break
+        return 2.0 * (max(refs) if refs else 1.0)
+
+    def _inverse_rate_matrix_uncached(
+        self, *, scale: Optional[float] = None
+    ) -> np.ndarray:
+        """Reference path: full recompute per call (``REPRO_NO_CACHE=1``)."""
+        rates = self.network.rate_matrix()
+        inv = 1.0 / rates
+        np.fill_diagonal(inv, 0.0)
+        if scale is None:
+            scale = self._default_scale()
         return inv * scale
 
     # ------------------------------------------------------------------
     # slot views (inputs to C_ave in Formulae 4-5)
     # ------------------------------------------------------------------
     def nodes_with_free_map_slots(self) -> List[Node]:
-        return [n for n in self.nodes if n.alive and n.free_map_slots > 0]
+        return list(self.free_map_slot_view()[0])
 
     def nodes_with_free_reduce_slots(self) -> List[Node]:
-        return [n for n in self.nodes if n.alive and n.free_reduce_slots > 0]
+        return list(self.free_reduce_slot_view()[0])
+
+    def free_map_slot_view(self) -> tuple:
+        """Cached ``(nodes, idx, pos)`` view of nodes with free map slots.
+
+        ``nodes`` is the offerable-node list in index order, ``idx`` their
+        dense cluster indices (int64) and ``pos`` the inverse lookup:
+        ``pos[node.index]`` is that node's row in ``idx`` (−1 if the node
+        has no free slot).  Arrays are read-only; the view is invalidated
+        automatically on any slot or liveness transition (see
+        ``Node.__setattr__``).
+        """
+        view = self._free_map_view
+        if view is None or self._no_cache:
+            nodes = [n for n in self.nodes if n.alive and n.free_map_slots > 0]
+            view = self._make_slot_view(nodes)
+            if self._no_cache:
+                return view
+            self._free_map_view = view
+        return view
+
+    def free_reduce_slot_view(self) -> tuple:
+        """As :meth:`free_map_slot_view`, for reduce slots."""
+        view = self._free_reduce_view
+        if view is None or self._no_cache:
+            nodes = [n for n in self.nodes if n.alive and n.free_reduce_slots > 0]
+            view = self._make_slot_view(nodes)
+            if self._no_cache:
+                return view
+            self._free_reduce_view = view
+        return view
+
+    def _make_slot_view(self, nodes: List[Node]) -> tuple:
+        idx = np.fromiter((n.index for n in nodes), np.int64, len(nodes))
+        pos = np.full(len(self.nodes), -1, dtype=np.int64)
+        pos[idx] = np.arange(len(nodes), dtype=np.int64)
+        idx.setflags(write=False)
+        pos.setflags(write=False)
+        return (nodes, idx, pos)
+
+    def _invalidate_slot_views(self) -> None:
+        self._free_map_view = None
+        self._free_reduce_view = None
 
     def alive_nodes(self) -> List[Node]:
         return [n for n in self.nodes if n.alive]

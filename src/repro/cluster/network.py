@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.cache import caching_disabled
 from repro.cluster.topology import LinkKey, Topology
 from repro.sim import Event, Simulator
 from repro.units import MB
@@ -186,6 +187,17 @@ class FlowNetwork:
         self.topology = topology
         self.local_bandwidth = local_bandwidth
         self._next_fid = 0
+        #: Monotone state-version counter: bumped whenever anything that
+        #: affects :meth:`path_rate` changes (fabric flow attach/detach,
+        #: capacity-factor change).  Consumers cache derived matrices keyed
+        #: on this value — see :meth:`rate_matrix` and
+        #: ``Cluster.inverse_rate_matrix``.
+        self.epoch = 0
+        self._no_cache = caching_disabled()
+        # epoch-keyed rate_matrix cache + lazily built static route tensor
+        self._rm_cache: Optional[np.ndarray] = None
+        self._rm_epoch = -1
+        self._rm_static: Optional[tuple] = None
         # per-link bookkeeping (path_rate estimates + dense registry)
         self._link_flows: Dict[LinkKey, int] = {}      # live flow count
         self._link_ids: Dict[LinkKey, int] = {}
@@ -201,6 +213,17 @@ class FlowNetwork:
         self._rates = np.zeros(cap0)
         self._caps = np.zeros(cap0)
         self._route_lens = np.zeros(cap0, dtype=np.int64)
+        # incremental link→flow index for the fast refill: a pad-filled
+        # (slot, link) route matrix, per-link member-slot lists, and a
+        # running per-link flow count.  The pad id equals len(_caps_arr)
+        # at all times; registering a new link rewrites live pad entries.
+        self._matW = 4
+        self._mat = np.zeros((cap0, self._matW), dtype=np.int64)
+        self._members: List[List[int]] = []
+        self._mpos: List[Dict[int, int]] = []  # slot → index in _members[l]
+        self._nflows_base = np.zeros(0)
+        self._finite_caps = 0  # attached flows with a finite max_rate
+        self._refill_deferred = False
         self._last_settle = sim.now
         self._tick_event: Optional[Event] = None
         # run counters
@@ -273,8 +296,17 @@ class FlowNetwork:
                 self._caps_arr = np.append(
                     self._caps_arr, self.effective_capacity(link)
                 )
+                self._members.append([])
+                self._mpos.append({})
+                self._nflows_base = np.append(self._nflows_base, 0.0)
+                # live rows padded with the old pad id (== lid) now collide
+                # with the freshly registered link — repoint them
+                if self._flows:
+                    live = self._mat[: len(self._flows)]
+                    live[live == lid] = lid + 1
             ids[i] = lid
         flow.route_ids = ids
+        self.epoch += 1
         self._settle_all()
         self._attach(flow)
         self._mark_dirty()
@@ -290,6 +322,11 @@ class FlowNetwork:
             flow._completion = None
         if flow._slot != _NO_SLOT:
             self._settle_all()
+            if self._refill_deferred:
+                # a same-instant tick deferred its refill; flush it so the
+                # final rate frozen into the detached flow is the fresh one
+                self._refill_deferred = False
+                self._refill()
             self._detach(flow)
             self._mark_dirty()
 
@@ -327,6 +364,9 @@ class FlowNetwork:
             self._cap_factors.pop(link, None)
         else:
             self._cap_factors[link] = factor
+        # Bump even when the link carries no flow yet: path_rate consults
+        # effective_capacity for every route link, registered or not.
+        self.epoch += 1
         lid = self._link_ids.get(link)
         if lid is not None:
             self._settle_all()
@@ -359,7 +399,38 @@ class FlowNetwork:
         ``b``; the diagonal holds the local disk rate.  The paper's
         network-condition-aware variant feeds ``1 / R`` in place of the hop
         matrix (Section II-B-3).
+
+        The matrix is computed as one vectorised gather+min over a padded
+        ``(k, k, max_route)`` link-index tensor precomputed from the static
+        topology, and cached keyed on :attr:`epoch` — so the two offers of a
+        heartbeat (and every heartbeat while no flow changed) share one
+        matrix.  The returned array is read-only; copy before mutating.
+        Values are bit-identical to the per-pair :meth:`path_rate` walk
+        (same shares, and ``min`` over the same float set is exact), which
+        remains the reference path under ``REPRO_NO_CACHE=1``.
         """
+        if self._no_cache:
+            return self._rate_matrix_uncached()
+        if self._rm_cache is not None and self._rm_epoch == self.epoch:
+            return self._rm_cache
+        if self._rm_static is None:
+            self._rm_static = self._build_rate_matrix_static()
+        tensor, links = self._rm_static
+        share = np.empty(len(links) + 1, dtype=np.float64)
+        for s, link in enumerate(links):
+            share[s] = self.effective_capacity(link) / (
+                self._link_flows.get(link, 0) + 1
+            )
+        share[len(links)] = math.inf  # padding id: never the min
+        r = share[tensor].min(axis=2)
+        np.fill_diagonal(r, self.local_bandwidth)
+        r.setflags(write=False)
+        self._rm_cache = r
+        self._rm_epoch = self.epoch
+        return r
+
+    def _rate_matrix_uncached(self) -> np.ndarray:
+        """Reference implementation: per-pair route walk (O(k² · route))."""
         hosts = self.topology.hosts
         k = len(hosts)
         r = np.empty((k, k), dtype=np.float64)
@@ -368,6 +439,41 @@ class FlowNetwork:
             for b in range(a + 1, k):
                 r[a, b] = r[b, a] = self.path_rate(hosts[a], hosts[b])
         return r
+
+    def _build_rate_matrix_static(self) -> tuple:
+        """Precompute the per-pair route link-id tensor from the topology.
+
+        Routes are static for the lifetime of a topology (degradation only
+        rescales capacities), so this runs once.  Uses route(a, b) for a < b
+        mirrored into (b, a), matching the reference loop exactly even if a
+        topology's routes were asymmetric.  Link ids here are private to the
+        tensor (ordered by first traversal), independent of the
+        ``_link_ids`` registry whose order the max-min refill depends on.
+        """
+        hosts = self.topology.hosts
+        k = len(hosts)
+        sid: Dict[LinkKey, int] = {}
+        links: List[LinkKey] = []
+        routes = {}
+        max_len = 1
+        for a in range(k):
+            for b in range(a + 1, k):
+                route = self.topology.route(hosts[a], hosts[b])
+                ids = []
+                for link in route:
+                    s = sid.get(link)
+                    if s is None:
+                        s = sid[link] = len(links)
+                        links.append(link)
+                    ids.append(s)
+                routes[(a, b)] = ids
+                max_len = max(max_len, len(ids))
+        pad = len(links)
+        tensor = np.full((k, k, max_len), pad, dtype=np.int64)
+        for (a, b), ids in routes.items():
+            tensor[a, b, : len(ids)] = ids
+            tensor[b, a, : len(ids)] = ids
+        return tensor, links
 
     # ------------------------------------------------------------------
     # slot management
@@ -381,12 +487,32 @@ class FlowNetwork:
             self._route_lens = np.concatenate(
                 [self._route_lens, np.zeros(slot, dtype=np.int64)]
             )
+            self._mat = np.concatenate(
+                [self._mat, np.full_like(self._mat, len(self._caps_arr))]
+            )
+        ids = flow.route_ids
+        if len(ids) > self._matW:  # a longer route than any seen: widen
+            wider = np.full(
+                (len(self._mat), len(ids)), len(self._caps_arr), dtype=np.int64
+            )
+            wider[:, : self._matW] = self._mat
+            self._mat, self._matW = wider, len(ids)
         self._flows.append(flow)
-        self._routes.append(flow.route_ids)
+        self._routes.append(ids)
         self._rem[slot] = flow.size
         self._rates[slot] = 0.0
         self._caps[slot] = flow.max_rate
-        self._route_lens[slot] = len(flow.route_ids)
+        self._route_lens[slot] = len(ids)
+        row = self._mat[slot]
+        row[: len(ids)] = ids
+        row[len(ids):] = len(self._caps_arr)  # re-pad a recycled slot's tail
+        for lid in ids:
+            m = self._members[lid]
+            self._mpos[lid][slot] = len(m)
+            m.append(slot)
+            self._nflows_base[lid] += 1.0
+        if math.isfinite(flow.max_rate):
+            self._finite_caps += 1
         flow._slot = slot
 
     def _detach(self, flow: Flow) -> None:
@@ -400,6 +526,16 @@ class FlowNetwork:
         flow._slot = _NO_SLOT
         last = len(self._flows) - 1
         moved = self._flows[last]
+        for lid in flow.route_ids:
+            m = self._members[lid]
+            i = self._mpos[lid].pop(slot)
+            tail = m.pop()
+            if tail != slot:  # swap-remove; member order is insignificant
+                m[i] = tail
+                self._mpos[lid][tail] = i
+            self._nflows_base[lid] -= 1.0
+        if math.isfinite(flow.max_rate):
+            self._finite_caps -= 1
         if slot != last:
             self._flows[slot] = moved
             self._routes[slot] = self._routes[last]
@@ -407,6 +543,11 @@ class FlowNetwork:
             self._rates[slot] = self._rates[last]
             self._caps[slot] = self._caps[last]
             self._route_lens[slot] = self._route_lens[last]
+            self._mat[slot] = self._mat[last]
+            for lid in moved.route_ids:
+                i = self._mpos[lid].pop(last)
+                self._members[lid][i] = slot
+                self._mpos[lid][slot] = i
             moved._slot = slot
         self._flows.pop()
         self._routes.pop()
@@ -416,6 +557,7 @@ class FlowNetwork:
                 self._link_flows.pop(link, None)
             else:
                 self._link_flows[link] = n
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # the tick: settle → finish → refill → schedule
@@ -478,6 +620,23 @@ class FlowNetwork:
                 self._detach(flow)
             for flow in drained:
                 self._complete(flow)   # callbacks may start flows
+        # A completion callback that started (or cancelled) a flow has
+        # scheduled a zero-delay follow-up tick at this very instant.  The
+        # rates computed here would be recomputed there, unobserved in
+        # between: simulated time cannot advance first, and over a
+        # zero-width interval ``Flow.bytes_done`` multiplies the rate by
+        # zero.  Defer the refill to that tick (``cancel_flow`` flushes the
+        # deferral so a detaching flow still freezes a fresh final rate).
+        ev = self._tick_event
+        if (
+            not self._no_cache
+            and ev is not None
+            and ev.active
+            and ev.time <= self.sim.now
+        ):
+            self._refill_deferred = True
+            return
+        self._refill_deferred = False
         self._refill()
         self._schedule_next()
 
@@ -486,7 +645,14 @@ class FlowNetwork:
         n = len(self._flows)
         if n == 0:
             return
-        horizon = float((self._rem[:n] / self._rates[:n]).min())
+        # A capacity factor driven to ~0 can stall flows at rate 0; they
+        # must not poison the horizon with a division warning / inf, and at
+        # least one flow has to be progressing or no future tick would ever
+        # drain the fabric.
+        rates = self._rates[:n]
+        progressing = rates > 0.0
+        assert progressing.any(), "all fabric flows stalled at rate 0"
+        horizon = float((self._rem[:n][progressing] / rates[progressing]).min())
         assert horizon > 0, "drained flow survived the tick"
         ev = self._tick_event
         if ev is not None and ev.active and ev.time <= self.sim.now + horizon:
@@ -498,10 +664,116 @@ class FlowNetwork:
     def _refill(self) -> None:
         """Recompute max-min fair rates for all fabric flows.
 
-        Progressive filling with per-flow rate caps, fully vectorised:
-        repeatedly find the tightest constraint — the smallest per-link fair
-        share or the smallest unfrozen flow cap — and freeze the implicated
-        flows at that rate.
+        Progressive filling with per-flow rate caps: repeatedly find the
+        tightest constraint — the smallest per-link fair share or the
+        smallest unfrozen flow cap — and freeze the implicated flows at
+        that rate.
+
+        This is the fast implementation: the link→flow index is maintained
+        incrementally across calls (``_mat``, ``_members``,
+        ``_nflows_base``) instead of being rebuilt, candidates are
+        gathered through plain Python lists (cheaper than ragged numpy
+        gathers at these sizes), and pad entries in the route matrix
+        funnel into a sentinel row where they are numerically inert
+        (``residual == inf``).  Each freeze iteration performs the same
+        floating-point operations on the same operand sets as
+        :meth:`_refill_reference` (the ``REPRO_NO_CACHE=1`` escape
+        hatch): within one iteration the candidate *set* alone determines
+        the result — frozen-mask writes, equal-scalar rate stores, and
+        ``ufunc.at`` updates with one scalar all commute — so the two are
+        bit-identical.  ``tests/test_perf_cache.py`` holds them to
+        byte-identical traces.
+        """
+        if self._no_cache:
+            return self._refill_reference()
+        nF = len(self._flows)
+        if nF == 0:
+            return
+        n_links = len(self._caps_arr)
+        mat = self._mat
+        members = self._members
+
+        residual = np.empty(n_links + 1)
+        residual[:n_links] = self._caps_arr
+        residual[n_links] = math.inf  # pad sentinel: inf - k*rate stays inf
+        nflows = np.empty(n_links + 1)
+        nflows[:n_links] = self._nflows_base
+        nflows[n_links] = 1.0
+
+        # Per-flow rate caps: an infinite (or NaN) cap can never win the
+        # "tightest constraint" race against a finite link share, so only
+        # finite-capped flows need sorting — and in the common all-uncapped
+        # case (no caller passes ``max_rate``) the machinery is skipped
+        # entirely.  The stable sort restricted to the finite subset yields
+        # the same equal-cap groups in the same slot order as the
+        # reference's full argsort.
+        if self._finite_caps:
+            flow_caps = self._caps[:nF]
+            fin = np.nonzero(np.isfinite(flow_caps))[0]
+            sel = fin[np.argsort(flow_caps[fin], kind="stable")]
+            cap_slots = sel.tolist()
+            cap_vals = flow_caps[sel].tolist()
+        else:
+            cap_slots = []
+            cap_vals = []
+        n_cap = len(cap_slots)
+        cap_ptr = 0
+
+        frozen = bytearray(nF)
+        fnp = np.frombuffer(frozen, dtype=np.uint8)  # writable view
+        new_rates = self._rates
+        share = np.empty(n_links + 1)
+        mask = np.empty(n_links + 1, dtype=bool)
+        share_links = share[:n_links]  # view excluding the pad row
+        # local bindings: the loop runs ~dozens of times per refill and the
+        # attribute lookups are a measurable share of its cost
+        inf = math.inf
+        fill, greater, divide = share.fill, np.greater, np.divide
+        argmin, asarray = share_links.argmin, np.array
+        sub_at, add_at = np.subtract.at, np.add.at
+        left = nF
+        while left > 0:
+            fill(inf)
+            greater(nflows, 0.0, out=mask)
+            divide(residual, nflows, out=share, where=mask)
+            lstar = int(argmin())
+            best_share = float(share[lstar])
+            while cap_ptr < n_cap and frozen[cap_slots[cap_ptr]]:
+                cap_ptr += 1
+            min_cap = cap_vals[cap_ptr] if cap_ptr < n_cap else inf
+            if min_cap < best_share:
+                rate = min_cap
+                j = cap_ptr
+                while j < n_cap and cap_vals[j] == rate:
+                    j += 1
+                fra = asarray(
+                    [s for s in cap_slots[cap_ptr:j] if not frozen[s]],
+                    dtype=np.int64,
+                )
+            else:
+                assert best_share < inf, "uncapped flow with no route links"
+                rate = best_share
+                ml = members[lstar]
+                if len(ml) <= 48:
+                    fra = asarray(
+                        [s for s in ml if not frozen[s]], dtype=np.int64
+                    )
+                else:
+                    mla = asarray(ml, dtype=np.int64)
+                    fra = mla[fnp[mla] == 0]
+            fnp[fra] = 1
+            new_rates[fra] = rate
+            left -= len(fra)
+            links_fr = mat[fra].ravel()
+            sub_at(residual, links_fr, rate)
+            add_at(nflows, links_fr, -1.0)
+
+    def _refill_reference(self) -> None:
+        """The original fully-indexed refill (``REPRO_NO_CACHE`` path).
+
+        Builds the flow→link and link→flow CSR structures up front and
+        gathers frozen flows' links through them.  Kept verbatim as the
+        A/B reference for :meth:`_refill`.
         """
         nF = len(self._flows)
         if nF == 0:

@@ -22,6 +22,10 @@ class SlotExhausted(RuntimeError):
     """Raised when acquiring a slot on a node that has none free."""
 
 
+#: Fields whose writes invalidate the cluster's cached free-slot views.
+_WATCHED_FIELDS = frozenset({"running_maps", "running_reduces", "alive"})
+
+
 @dataclass
 class Node:
     """A single cluster machine.
@@ -95,6 +99,18 @@ class Node:
         self.running_reduces -= 1
 
     # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        # Slot/liveness writes notify the owning cluster so it can dirty its
+        # cached free-slot views.  A plain attribute hook (rather than
+        # wrapping acquire/release) also catches subclasses that write the
+        # counters directly (repro.yarn's ContainerNode) and the fault
+        # injector toggling ``alive``.
+        object.__setattr__(self, name, value)
+        if name in _WATCHED_FIELDS:
+            watcher = self.__dict__.get("_slot_watcher")
+            if watcher is not None:
+                watcher()
+
     def __hash__(self) -> int:
         return hash(self.name)
 

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cache import caching_disabled
 from repro.core.estimator import IntermediateEstimator, ProgressEstimator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -124,6 +125,10 @@ class JobCostModel:
         # caches keyed to the static hop matrix
         self._map_cost_hops: Optional[np.ndarray] = None
         self._Sc = np.zeros((self._k, self._n), dtype=np.float64)
+        # completed-map index arrays for the custom-distance branch, keyed
+        # on the job's map_version (any map state/placement change)
+        self._no_cache = caching_disabled()
+        self._done_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -202,22 +207,45 @@ class JobCostModel:
             dmat = self._hops
         else:
             dmat = distance
-            done = [m for m in self.job.maps if m.done]
-            if done:
+            if self._no_cache:
+                done = [m for m in self.job.maps if m.done]
                 p_done = np.array([m.node.index for m in done], dtype=np.int64)
-                i_done = self.job.I[np.ix_(
-                    np.array([m.index for m in done]), reduce_indices
-                )]
+                idx_done = np.array([m.index for m in done], dtype=np.int64)
+            else:
+                p_done, idx_done = self._done_arrays()
+            if len(p_done):
+                i_done = self.job.I[np.ix_(idx_done, reduce_indices)]
                 base = dmat[np.ix_(node_indices, p_done)] @ i_done
             else:
                 base = np.zeros((len(node_indices), len(reduce_indices)))
 
         if running:
-            p_run = np.array([m.node.index for m in running], dtype=np.int64)
-            est_rows = np.stack([est.estimate(m, now) for m in running])
+            if self._no_cache:
+                p_run = np.array(
+                    [m.node.index for m in running], dtype=np.int64
+                )
+                est_rows = np.stack([est.estimate(m, now) for m in running])
+            else:
+                p_run = self.job.running_map_node_index_array()
+                est_rows = est.estimate_many(running, now)
             est_rows = est_rows[:, reduce_indices]
             base = base + dmat[np.ix_(node_indices, p_run)] @ est_rows
         return base
+
+    def _done_arrays(self) -> tuple:
+        """Cached (node-index, task-index) arrays of completed maps, in task
+        order — exactly ``[m for m in job.maps if m.done]``."""
+        version = self.job.map_version
+        cached = self._done_cache
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        done = [m for m in self.job.maps if m.done]
+        p = np.fromiter((m.node.index for m in done), np.int64, len(done))
+        idx = np.fromiter((m.index for m in done), np.int64, len(done))
+        p.setflags(write=False)
+        idx.setflags(write=False)
+        self._done_cache = (version, p, idx)
+        return p, idx
 
     def realised_reduce_costs(
         self, node_indices: np.ndarray, reduce_indices: np.ndarray

@@ -27,7 +27,7 @@ information; every estimator returns zeros for it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -51,6 +51,21 @@ class IntermediateEstimator:
         """Estimated final ``I_hat[j, :]`` for map ``task`` at time ``now``."""
         raise NotImplementedError
 
+    def estimate_many(
+        self, tasks: Sequence["MapTask"], now: float
+    ) -> np.ndarray:
+        """Estimate all of ``tasks`` at once: the ``(m', n)`` matrix whose
+        row ``i`` equals ``estimate(tasks[i], now)`` exactly (bit-identical
+        — the cost model's determinism depends on it).
+
+        All tasks must belong to the same job.  Subclasses override this
+        with allocation-light implementations writing straight into one
+        output matrix; this default falls back to the per-task loop.
+        """
+        if not tasks:
+            raise ValueError("estimate_many requires at least one task")
+        return np.stack([self.estimate(t, now) for t in tasks])
+
 
 class ProgressEstimator(IntermediateEstimator):
     """The paper's estimator: ``A_jf * B_j / d_read_j`` (Formula 3)."""
@@ -66,6 +81,29 @@ class ProgressEstimator(IntermediateEstimator):
         current = task.current_output(now)
         return current * (task.size / d_read)
 
+    def estimate_many(
+        self, tasks: Sequence["MapTask"], now: float
+    ) -> np.ndarray:
+        if not tasks:
+            raise ValueError("estimate_many requires at least one task")
+        job = tasks[0].job
+        I = job.I
+        gamma = job.spec.app.output_gamma
+        rows = np.empty((len(tasks), I.shape[1]), dtype=np.float64)
+        for i, task in enumerate(tasks):
+            if task.done:
+                rows[i] = I[task.index]
+                continue
+            d_read = task.d_read(now)
+            if d_read <= 0.0:
+                rows[i] = 0.0
+                continue
+            # same op order as estimate(): (I * frac**gamma) * (size/d_read)
+            frac = task.read_fraction(now)
+            np.multiply(I[task.index], frac**gamma, out=rows[i])
+            rows[i] *= task.size / d_read
+        return rows
+
 
 class CurrentSizeEstimator(IntermediateEstimator):
     """Coupling's proxy: use the in-progress size ``A_jf`` as-is."""
@@ -77,6 +115,23 @@ class CurrentSizeEstimator(IntermediateEstimator):
             return task.job.I[task.index]
         return task.current_output(now)
 
+    def estimate_many(
+        self, tasks: Sequence["MapTask"], now: float
+    ) -> np.ndarray:
+        if not tasks:
+            raise ValueError("estimate_many requires at least one task")
+        job = tasks[0].job
+        I = job.I
+        gamma = job.spec.app.output_gamma
+        rows = np.empty((len(tasks), I.shape[1]), dtype=np.float64)
+        for i, task in enumerate(tasks):
+            if task.done:
+                rows[i] = I[task.index]
+            else:
+                frac = task.read_fraction(now)
+                np.multiply(I[task.index], frac**gamma, out=rows[i])
+        return rows
+
 
 class OracleEstimator(IntermediateEstimator):
     """Ground truth — the final ``I`` row, regardless of progress."""
@@ -85,3 +140,11 @@ class OracleEstimator(IntermediateEstimator):
 
     def estimate(self, task: "MapTask", now: float) -> np.ndarray:
         return task.job.I[task.index]
+
+    def estimate_many(
+        self, tasks: Sequence["MapTask"], now: float
+    ) -> np.ndarray:
+        if not tasks:
+            raise ValueError("estimate_many requires at least one task")
+        idx = np.fromiter((t.index for t in tasks), np.int64, len(tasks))
+        return tasks[0].job.I[idx]

@@ -121,12 +121,12 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         if not pending:
             return None
         model = self.cost_model(job)
-        free = ctx.free_map_nodes()
-        free_idx = np.array([n.index for n in free], dtype=np.int64)
-        task_idx = np.array([m.index for m in pending], dtype=np.int64)
+        _, free_idx, free_pos = ctx.free_map_view()
+        task_idx = job.pending_map_index_array()
         costs = model.map_costs(free_idx, task_idx, distance=self._distance(ctx))
 
-        row = int(np.nonzero(free_idx == node.index)[0][0])
+        row = int(free_pos[node.index])
+        assert row >= 0, f"offered node {node.name} not in the free-slot view"
         c_here = costs[row]                       # C_m(i, j) for each candidate
         c_ave = costs.mean(axis=0)                # Line 6: mean over N_m nodes
         probs = self.probability_model.probability(c_ave, c_here)  # Line 7
@@ -167,9 +167,8 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         if not pending:
             return None
         model = self.cost_model(job)
-        free = ctx.free_reduce_nodes()
-        free_idx = np.array([n.index for n in free], dtype=np.int64)
-        reduce_idx = np.array([r.index for r in pending], dtype=np.int64)
+        _, free_idx, free_pos = ctx.free_reduce_view()
+        reduce_idx = job.pending_reduce_index_array()
         costs = model.reduce_costs(                # Lines 3-5 (Formula 3)
             free_idx,
             reduce_idx,
@@ -178,7 +177,8 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
             distance=self._distance(ctx),
         )
 
-        row = int(np.nonzero(free_idx == node.index)[0][0])
+        row = int(free_pos[node.index])
+        assert row >= 0, f"offered node {node.name} not in the free-slot view"
         c_here = costs[row]
         c_ave = costs.mean(axis=0)                 # Line 7: mean over N_r nodes
         probs = self.probability_model.probability(c_ave, c_here)  # Line 8

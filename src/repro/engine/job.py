@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Set
 
 import numpy as np
 
+from repro.cache import caching_disabled
 from repro.engine.task import MapTask, ReduceTask, TaskState
 from repro.metrics.records import JobRecord
 from repro.workload.partition import intermediate_matrix, partition_weights
@@ -81,6 +82,21 @@ class Job:
         #: *before* the task resets (listeners may read ``task.node``)
         self.map_lost_listeners: List[Callable[[MapTask], None]] = []
 
+        # hot-path caches of the task-state queries below, dirty-flagged by
+        # the task lifecycle methods (launch / finish / reset).  The
+        # ``map_version`` counter lets external caches (JobCostModel's
+        # completed-map arrays) key on "any map changed state/placement".
+        self._no_cache = caching_disabled()
+        self.map_version = 0
+        self.reduce_version = 0
+        self._pending_maps: Optional[List[MapTask]] = None
+        self._running_maps: Optional[List[MapTask]] = None
+        self._pending_reduces: Optional[List[ReduceTask]] = None
+        self._running_reduces: Optional[List[ReduceTask]] = None
+        self._pending_map_idx: Optional[np.ndarray] = None
+        self._pending_reduce_idx: Optional[np.ndarray] = None
+        self._running_map_nodes: Optional[np.ndarray] = None
+
     # ------------------------------------------------------------------
     # state queries
     # ------------------------------------------------------------------
@@ -112,19 +128,97 @@ class Job:
         )
 
     def pending_maps(self) -> List[MapTask]:
-        return [m for m in self.maps if m.state is TaskState.PENDING]
+        if self._no_cache:
+            return [m for m in self.maps if m.state is TaskState.PENDING]
+        if self._pending_maps is None:
+            self._pending_maps = [
+                m for m in self.maps if m.state is TaskState.PENDING
+            ]
+        return self._pending_maps
 
     def pending_reduces(self) -> List[ReduceTask]:
-        return [r for r in self.reduces if r.state is TaskState.PENDING]
+        if self._no_cache:
+            return [r for r in self.reduces if r.state is TaskState.PENDING]
+        if self._pending_reduces is None:
+            self._pending_reduces = [
+                r for r in self.reduces if r.state is TaskState.PENDING
+            ]
+        return self._pending_reduces
 
     def started_maps(self) -> List[MapTask]:
         return [m for m in self.maps if m.state is not TaskState.PENDING]
 
     def running_maps(self) -> List[MapTask]:
-        return [m for m in self.maps if m.state is TaskState.RUNNING]
+        if self._no_cache:
+            return [m for m in self.maps if m.state is TaskState.RUNNING]
+        if self._running_maps is None:
+            self._running_maps = [
+                m for m in self.maps if m.state is TaskState.RUNNING
+            ]
+        return self._running_maps
 
     def running_reduces(self) -> List[ReduceTask]:
-        return [r for r in self.reduces if r.state is TaskState.RUNNING]
+        if self._no_cache:
+            return [r for r in self.reduces if r.state is TaskState.RUNNING]
+        if self._running_reduces is None:
+            self._running_reduces = [
+                r for r in self.reduces if r.state is TaskState.RUNNING
+            ]
+        return self._running_reduces
+
+    def pending_map_index_array(self) -> np.ndarray:
+        """Indices of pending maps, in task order (read-only int64)."""
+        if self._no_cache:
+            return np.array(
+                [m.index for m in self.pending_maps()], dtype=np.int64
+            )
+        if self._pending_map_idx is None:
+            pend = self.pending_maps()
+            idx = np.fromiter((m.index for m in pend), np.int64, len(pend))
+            idx.setflags(write=False)
+            self._pending_map_idx = idx
+        return self._pending_map_idx
+
+    def pending_reduce_index_array(self) -> np.ndarray:
+        """Indices of pending reduces, in task order (read-only int64)."""
+        if self._no_cache:
+            return np.array(
+                [r.index for r in self.pending_reduces()], dtype=np.int64
+            )
+        if self._pending_reduce_idx is None:
+            pend = self.pending_reduces()
+            idx = np.fromiter((r.index for r in pend), np.int64, len(pend))
+            idx.setflags(write=False)
+            self._pending_reduce_idx = idx
+        return self._pending_reduce_idx
+
+    def running_map_node_index_array(self) -> np.ndarray:
+        """Node index of each running map, aligned with :meth:`running_maps`."""
+        if self._no_cache:
+            return np.array(
+                [m.node.index for m in self.running_maps()], dtype=np.int64
+            )
+        if self._running_map_nodes is None:
+            run = self.running_maps()
+            idx = np.fromiter((m.node.index for m in run), np.int64, len(run))
+            idx.setflags(write=False)
+            self._running_map_nodes = idx
+        return self._running_map_nodes
+
+    def _invalidate_map_views(self) -> None:
+        """A map task changed state or placement; drop derived caches."""
+        self.map_version += 1
+        self._pending_maps = None
+        self._running_maps = None
+        self._pending_map_idx = None
+        self._running_map_nodes = None
+
+    def _invalidate_reduce_views(self) -> None:
+        """A reduce task changed state; drop derived caches."""
+        self.reduce_version += 1
+        self._pending_reduces = None
+        self._running_reduces = None
+        self._pending_reduce_idx = None
 
     def launched_reduce_count(self) -> int:
         """Reduces running or finished (Coupling's gradual-launch gate)."""

@@ -237,6 +237,7 @@ class MapTask:
         self.node = node
         self.source = attempt.source
         self.hops = attempt.hops
+        self.job._invalidate_map_views()
         recorder = self.job.tracker.recorder
         if recorder.enabled:
             recorder.emit(
@@ -272,6 +273,7 @@ class MapTask:
         self.node = winner.node
         self.source = winner.source
         self.hops = winner.hops
+        self.job._invalidate_map_views()
         winner.node.release_map_slot()
         for attempt in self.attempts:
             if attempt is not winner:
@@ -318,6 +320,7 @@ class MapTask:
         self.hops = 0.0
         self.start_time = float("nan")
         self.end_time = float("nan")
+        self.job._invalidate_map_views()
 
     def kill_attempt(self, attempt: MapAttempt, *, record: bool = True) -> None:
         """Kill one attempt (node loss / job abort) — not charged.
@@ -451,6 +454,7 @@ class ReduceTask:
         self.node = node
         self.state = TaskState.RUNNING
         self.start_time = tracker.sim.now
+        self.job._invalidate_reduce_views()
         epoch = self.attempt_epoch
         if tracker.recorder.enabled:
             tracker.recorder.emit(
@@ -538,6 +542,7 @@ class ReduceTask:
         tracker = self.job.tracker
         self.state = TaskState.DONE
         self.end_time = tracker.sim.now
+        self.job._invalidate_reduce_views()
         self._finish_event = None
         self.node.release_reduce_slot()
         feeders = [
@@ -617,6 +622,7 @@ class ReduceTask:
         self.node = None
         self.start_time = float("nan")
         self.end_time = float("nan")
+        self.job._invalidate_reduce_views()
         return node
 
     def kill(self, *, record: bool = True) -> None:

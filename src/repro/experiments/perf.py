@@ -1,0 +1,249 @@
+"""Performance benchmark harness — `repro bench` and ``BENCH_perf.json``.
+
+The scheduler hot path (epoch-cached rate matrices, vectorised estimation,
+cached slot/task views — see ``docs/API.md`` § Performance) is only worth
+its complexity if the speedup is real and *stays* real.  This module times
+a fixed set of representative scenarios and writes the measurements to a
+canonical-JSON artifact so CI and future PRs can track the trajectory:
+
+* **cases** — wall time, simulated events/s and slot offers/s for each
+  scheduler family (PNA hop-count, PNA network-condition, Fair, Coupling)
+  on a small (16-node) and, outside ``--quick``, large (100- and
+  200-node) clusters, with and without node churn;
+* **speedup** — the same network-condition case re-run with
+  ``REPRO_NO_CACHE=1`` (the unoptimised reference paths), giving the
+  cached-vs-naive factor on the exact workload where the optimisation
+  matters most — the live inverse-rate matrix feeds every decision there;
+* **regression gate** — :func:`check_regression` compares a fresh run
+  against a committed baseline and flags any case that got more than
+  ``factor``× slower (CI fails at 2×).
+
+Determinism note: the *measurements* (wall seconds) are of course not
+deterministic, but every simulation inside them is — same seed, same
+byte-identical trace, cached or not (``tests/test_perf_cache.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.cluster import ClusterSpec
+from repro.experiments.scenarios import Scenario
+from repro.faults import FaultPlan, NodeChurn
+from repro.schedulers import TaskScheduler
+
+__all__ = [
+    "BenchCase",
+    "bench_cases",
+    "check_regression",
+    "load_baseline",
+    "run_bench",
+    "run_case",
+    "write_bench",
+]
+
+#: 16 nodes — the CI scale.
+SMALL_CLUSTER = ClusterSpec(num_racks=4, nodes_per_rack=4)
+#: 100 nodes — the k ≥ 100 regime where the O(k²·route) rate-matrix walk
+#: used to dominate (Palmetto-scale sweeps).
+LARGE_CLUSTER = ClusterSpec(num_racks=5, nodes_per_rack=20)
+#: 200 nodes — the speedup showcase: the naive rate-matrix walk grows
+#: quadratically in k while the cached path stays near-linear, so this is
+#: where the cached-vs-naive factor is most visible.
+XL_CLUSTER = ClusterSpec(num_racks=8, nodes_per_rack=25)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed scenario: a scheduler on a cluster, churned or healthy."""
+
+    name: str
+    scheduler: str  # "pna" | "pna-netcond" | "fair" | "coupling"
+    cluster: ClusterSpec
+    scale: float = 0.25
+    churn: bool = False
+    app: str = "wordcount"
+    seed: int = 42
+
+    def make_scheduler(self) -> TaskScheduler:
+        from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
+        from repro.schedulers import CouplingScheduler, FairScheduler
+
+        if self.scheduler == "pna":
+            return ProbabilisticNetworkAwareScheduler()
+        if self.scheduler == "pna-netcond":
+            return ProbabilisticNetworkAwareScheduler(
+                PNAConfig(network_condition=True)
+            )
+        if self.scheduler == "fair":
+            return FairScheduler()
+        if self.scheduler == "coupling":
+            return CouplingScheduler()
+        raise ValueError(f"unknown scheduler kind {self.scheduler!r}")
+
+    def scenario(self) -> Scenario:
+        base = Scenario(
+            name=self.name, cluster=self.cluster, scale=self.scale,
+            seed=self.seed,
+        )
+        if self.churn:
+            base = base.with_(
+                config=replace(
+                    base.config,
+                    faults=FaultPlan(
+                        churn=NodeChurn(level=0.05, mean_downtime=90.0)
+                    ),
+                    tracker_expiry_interval=15.0,
+                )
+            )
+        return base
+
+
+def bench_cases(*, quick: bool = False) -> List[BenchCase]:
+    """The case set: small cluster always; large cluster unless ``quick``."""
+    cases = [
+        BenchCase("pna_hop", "pna", SMALL_CLUSTER),
+        BenchCase("pna_netcond", "pna-netcond", SMALL_CLUSTER),
+        BenchCase("fair", "fair", SMALL_CLUSTER),
+        BenchCase("coupling", "coupling", SMALL_CLUSTER),
+        BenchCase("pna_netcond_churn", "pna-netcond", SMALL_CLUSTER, churn=True),
+    ]
+    if not quick:
+        cases += [
+            BenchCase("large_pna_hop", "pna", LARGE_CLUSTER),
+            BenchCase("large_pna_netcond", "pna-netcond", LARGE_CLUSTER),
+            BenchCase("large_fair", "fair", LARGE_CLUSTER),
+            BenchCase(
+                "large_pna_netcond_churn", "pna-netcond", LARGE_CLUSTER,
+                churn=True,
+            ),
+            BenchCase("xl_pna_netcond", "pna-netcond", XL_CLUSTER),
+        ]
+    return cases
+
+
+def run_case(case: BenchCase) -> Dict:
+    """Build and run one case end-to-end; returns its measurement record."""
+    scenario = case.scenario()
+    t0 = time.perf_counter()
+    sim = scenario.simulation(case.make_scheduler(), scenario.jobs(case.app))
+    result = sim.run()
+    wall = time.perf_counter() - t0
+    c = result.collector
+    offers = c.scheduling_assignments + c.scheduling_declines
+    events = sim.sim.processed
+    return {
+        "wall_s": round(wall, 3),
+        "events": events,
+        "offers": offers,
+        "events_per_s": round(events / wall, 1),
+        "offers_per_s": round(offers / wall, 1),
+        "makespan_s": round(c.makespan(), 3),
+        "nodes": case.cluster.num_nodes,
+        "jobs": int(c.job_completion_times().size),
+    }
+
+
+def _run_case_nocache(case: BenchCase) -> Dict:
+    """Run a case on the unoptimised reference paths (REPRO_NO_CACHE=1)."""
+    previous = os.environ.get("REPRO_NO_CACHE")
+    os.environ["REPRO_NO_CACHE"] = "1"
+    try:
+        return run_case(case)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NO_CACHE", None)
+        else:
+            os.environ["REPRO_NO_CACHE"] = previous
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    measure_speedup: bool = True,
+    speedup_case: Optional[str] = None,
+    progress=None,
+) -> Dict:
+    """Run the full benchmark; returns the ``BENCH_perf.json`` document.
+
+    ``progress`` (optional) is called with a message before each run —
+    the CLI wires it to print.
+    """
+    cases = bench_cases(quick=quick)
+    doc: Dict = {
+        "bench": "repro-perf",
+        "version": 1,
+        "mode": "quick" if quick else "full",
+        "cases": {},
+    }
+    for case in cases:
+        if progress is not None:
+            progress(f"running {case.name} ({case.cluster.num_nodes} nodes)")
+        doc["cases"][case.name] = run_case(case)
+
+    if measure_speedup:
+        # the cached-vs-naive factor, on the largest netcond case in the set
+        # (the scenario the tentpole optimisation targets)
+        if speedup_case is None:
+            speedup_case = (
+                "pna_netcond" if quick else "xl_pna_netcond"
+            )
+        target = next(c for c in cases if c.name == speedup_case)
+        if progress is not None:
+            progress(f"re-running {target.name} with REPRO_NO_CACHE=1")
+        nocache = _run_case_nocache(target)
+        cached_wall = doc["cases"][target.name]["wall_s"]
+        doc["speedup"] = {
+            "case": target.name,
+            "cached_wall_s": cached_wall,
+            "nocache_wall_s": nocache["wall_s"],
+            "factor": round(nocache["wall_s"] / cached_wall, 2),
+        }
+    return doc
+
+
+def write_bench(doc: Dict, path: str) -> None:
+    """Write the document as canonical JSON (sorted keys, no whitespace)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    """Load a committed baseline document; None if absent or empty."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read().strip()
+    except OSError:
+        return None
+    if not text:
+        return None
+    return json.loads(text)
+
+
+def check_regression(
+    current: Dict, baseline: Dict, *, factor: float = 2.0
+) -> List[str]:
+    """Wall-time regressions of ``current`` versus ``baseline``.
+
+    Compares every case name present in both documents; returns one
+    message per case whose wall time grew by more than ``factor``×.
+    Empty list = no regression.
+    """
+    failures = []
+    base_cases = baseline.get("cases", {})
+    for name, record in current.get("cases", {}).items():
+        base = base_cases.get(name)
+        if base is None or base.get("wall_s", 0) <= 0:
+            continue
+        ratio = record["wall_s"] / base["wall_s"]
+        if ratio > factor:
+            failures.append(
+                f"{name}: {record['wall_s']:.3f}s vs baseline "
+                f"{base['wall_s']:.3f}s ({ratio:.2f}x > {factor:.1f}x)"
+            )
+    return failures

@@ -77,6 +77,15 @@ class SchedulerContext:
         """Nodes with at least one free reduce slot (``N_r`` nodes)."""
         return self.tracker.cluster.nodes_with_free_reduce_slots()
 
+    def free_map_view(self) -> tuple:
+        """Cached ``(nodes, idx, pos)`` free-map-slot view — hot-path form
+        of :meth:`free_map_nodes`; see ``Cluster.free_map_slot_view``."""
+        return self.tracker.cluster.free_map_slot_view()
+
+    def free_reduce_view(self) -> tuple:
+        """Cached ``(nodes, idx, pos)`` free-reduce-slot view."""
+        return self.tracker.cluster.free_reduce_slot_view()
+
     # -- observability (does not change scheduling state) ---------------
 
     @property

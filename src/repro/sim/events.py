@@ -17,7 +17,11 @@ testable.
 Design notes (per the "make it work, make it reliable, then optimise"
 workflow of the scientific-Python guides): the hot path is ``heapq`` push/pop
 of small tuples, which profiles far below the numpy work done in the
-schedulers, so no further optimisation is warranted here.
+schedulers.  Bookkeeping, however, must stay O(1): :attr:`Simulator.pending`
+is a live counter maintained on push/pop/cancel (not an O(queue) scan), and
+the queue is compacted when tombstoned (cancelled) entries outnumber live
+ones, so long churn runs — which cancel heartbeat and retry events
+constantly — cannot grow the heap without bound.
 """
 
 from __future__ import annotations
@@ -54,10 +58,18 @@ class Event:
     callback: Callable[..., None]
     args: tuple = ()
     cancelled: bool = field(default=False, compare=False)
+    # Back-reference for O(1) `Simulator.pending` accounting: set by
+    # `Simulator.at`, cleared when the entry leaves the heap.
+    _owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    _in_queue: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_queue and self._owner is not None:
+            self._owner._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -136,6 +148,8 @@ class Simulator:
         self._seq: Iterator[int] = itertools.count()
         self._running = False
         self._processed = 0
+        self._live = 0
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -157,7 +171,10 @@ class Simulator:
         if math.isnan(time) or math.isinf(time):
             raise SimulationError(f"non-finite time: {time}")
         event = Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        event._owner = self
+        event._in_queue = True
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def every(
@@ -181,7 +198,27 @@ class Simulator:
 
     def _drop_cancelled(self) -> None:
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue)._in_queue = False
+            self._tombstones -= 1
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled: update counters, maybe compact.
+
+        Compaction rebuilds the heap without tombstones once they outnumber
+        live events (and are numerous enough to matter), keeping the queue
+        O(live) on churn-heavy runs.  ``heapify`` preserves the ``(time,
+        seq)`` total order, so pop order — and therefore the simulated
+        schedule — is unchanged.
+        """
+        self._live -= 1
+        self._tombstones += 1
+        if self._tombstones > 64 and self._tombstones > self._live:
+            for event in self._queue:
+                if event.cancelled:
+                    event._in_queue = False
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._tombstones = 0
 
     def step(self) -> bool:
         """Run the single next event.  Returns False if the queue is empty."""
@@ -189,6 +226,8 @@ class Simulator:
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
+        event._in_queue = False
+        self._live -= 1
         assert event.time >= self.now, "event queue went backwards"
         self.now = event.time
         self._processed += 1
@@ -221,6 +260,8 @@ class Simulator:
                 if until is not None and nxt.time > until:
                     break
                 event = heapq.heappop(self._queue)
+                event._in_queue = False
+                self._live -= 1
                 self.now = event.time
                 self._processed += 1
                 processed += 1
@@ -236,8 +277,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     @property
     def processed(self) -> int:

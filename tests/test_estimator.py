@@ -145,6 +145,60 @@ class TestOracleEstimator:
         assert np.array_equal(est, job.I[task.index])
 
 
+class TestEstimateMany:
+    """The vectorised batch API must be bit-identical to the per-task loop."""
+
+    ESTIMATORS = [ProgressEstimator, CurrentSizeEstimator, OracleEstimator]
+
+    @pytest.mark.parametrize("est_cls", ESTIMATORS)
+    @pytest.mark.parametrize("gamma", [1.0, 2.0])
+    def test_matches_per_task_loop(self, est_cls, gamma):
+        sim = make_sim(gamma=gamma)
+        sim.tracker.start()
+        sim.sim.run(until=30.0)  # mixed population: done + in-flight maps
+        job = (sim.tracker.active_jobs or sim.tracker.finished_jobs)[0]
+        tasks = [m for m in job.maps if m.done or m.node is not None]
+        assert tasks
+        est = est_cls()
+        now = sim.sim.now
+        many = est.estimate_many(tasks, now)
+        loop = np.stack([est.estimate(t, now) for t in tasks])
+        # exact equality: rows must be bit-identical, not merely close
+        assert np.array_equal(many, loop)
+
+    @pytest.mark.parametrize("est_cls", ESTIMATORS)
+    def test_zero_progress_rows_match(self, est_cls):
+        sim = make_sim()
+        sim.tracker.start()
+        sim.sim.run(until=0.0)  # placed at t=0, but no bytes read yet
+        job = sim.tracker.active_jobs[0]
+        now = sim.sim.now
+        tasks = [
+            m for m in job.maps if m.node is not None and m.d_read(now) == 0.0
+        ]
+        assert tasks, "no zero-progress placed maps at t=0"
+        est = est_cls()
+        many = est.estimate_many(tasks, now)
+        loop = np.stack([est.estimate(t, now) for t in tasks])
+        assert np.array_equal(many, loop)
+
+    @pytest.mark.parametrize("est_cls", ESTIMATORS)
+    def test_completed_maps_return_exact_rows(self, est_cls):
+        sim = make_sim()
+        sim.tracker.start()
+        sim.sim.run(until=60.0)
+        job = (sim.tracker.active_jobs or sim.tracker.finished_jobs)[0]
+        done = [m for m in job.maps if m.done]
+        assert done
+        many = est_cls().estimate_many(done, sim.sim.now)
+        assert np.array_equal(many, job.I[[m.index for m in done]])
+
+    @pytest.mark.parametrize("est_cls", ESTIMATORS)
+    def test_empty_batch_rejected(self, est_cls):
+        with pytest.raises(ValueError):
+            est_cls().estimate_many([], 0.0)
+
+
 class TestPaperExample:
     """The 10 MB / 5 MB scenario of Section II-B-2.
 
