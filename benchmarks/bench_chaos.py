@@ -1,0 +1,93 @@
+"""Chaos intensity sweep — JCT inflation versus fault pressure (extension).
+
+``repro chaos`` proves the engine *survives* randomized adversity; this
+bench quantifies what that adversity *costs*.  Each scheduler family runs
+the same seeded workload under randomized fault plans (bounded crashes,
+churn, heartbeat loss, link degradation, tracker crashes — plus degraded
+telemetry for the network-condition PNA) at increasing intensity, and the
+table reports mean JCT inflation over the fault-free run alongside the
+recovery work each level forced.
+
+Every run must finish every job: plans are survivable by construction
+(crashes always revive, no charged task failures), so completion is the
+assertion, and intensity 0 must be byte-for-byte a plain healthy run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments.chaos import (
+    chaos_schedulers,
+    cluster_targets,
+    random_fault_plan,
+    random_telemetry,
+    run_chaos_case,
+)
+
+INTENSITIES = (0.0, 0.5, 1.0, 2.0)
+SEED = 23
+
+
+def _sweep(scenario):
+    nodes, racks = cluster_targets(scenario.cluster)
+    results = {}
+    for name, factory in chaos_schedulers().items():
+        by_level = {}
+        for level in INTENSITIES:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([SEED, int(level * 10)])
+            )
+            plan = random_fault_plan(rng, nodes, racks, intensity=level)
+            telemetry = (
+                random_telemetry(rng, intensity=level)
+                if name == "pna" and level > 0
+                else None
+            )
+            run, _ = run_chaos_case(
+                0, name, factory, plan, telemetry, SEED, quick=True
+            )
+            by_level[level] = run
+        results[name] = by_level
+    return results
+
+
+def test_chaos_intensity_sweep(benchmark, scenario):
+    results = run_once(benchmark, lambda: _sweep(scenario))
+
+    rows = []
+    for name, by_level in results.items():
+        base = by_level[0.0].makespan
+        for level, run in by_level.items():
+            rows.append((
+                name,
+                f"{level:.1f}",
+                f"{run.makespan:.1f}",
+                f"{run.makespan / base - 1:+.1%}" if level else "—",
+                len(run.plan.crashes),
+                "yes" if run.plan.tracker_crashes else "no",
+            ))
+    print()
+    print(format_table(
+        ["scheduler", "intensity", "makespan (s)", "vs healthy",
+         "crashes", "tracker crash"],
+        rows,
+        title=f"JCT inflation vs chaos intensity [{scenario.name}]",
+    ))
+
+    for name, by_level in results.items():
+        for level, run in by_level.items():
+            assert run.ok, (
+                f"{name} @ intensity {level}: {run.violations}"
+            )
+            assert run.jobs_completed == 4, (
+                f"{name} @ intensity {level}: only {run.jobs_completed}/4 "
+                "jobs finished — recovery failed to drain the workload"
+            )
+    for name, by_level in results.items():
+        benchmark.extra_info[f"makespan_{name}"] = {
+            f"{level:.1f}": round(run.makespan, 1)
+            for level, run in by_level.items()
+        }

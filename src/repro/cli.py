@@ -17,6 +17,8 @@ Usage::
     repro run --scheduler fair --seed 3     # one plain run, summary printed
     repro bench --quick                     # perf smoke -> BENCH_perf.json
     repro bench --baseline BENCH_perf.json  # fail on >2x wall regression
+    repro chaos --rounds 20 --seed 1        # randomized-fault soak, verified
+    repro chaos --rounds 3 --quick          # the CI chaos smoke
 
 Scenario selection: ``--scenario {ci,medium,paper,nas,churn}`` or the
 ``REPRO_SCALE`` environment variable (default ``ci``).
@@ -365,6 +367,11 @@ def _run_main(argv: List[str]) -> int:
                         help="append the run's JSONL event trace to PATH")
     parser.add_argument("--check-invariants", action="store_true",
                         help="run with the runtime invariant checker on")
+    parser.add_argument("--max-stall-iters", type=int, default=None,
+                        metavar="N",
+                        help="abort with a diagnostic dump after N "
+                        "consecutive events without the sim clock advancing "
+                        "(0 disables the watchdog)")
     args = parser.parse_args(argv)
 
     scenario = get_scenario(args.scenario)
@@ -377,6 +384,11 @@ def _run_main(argv: List[str]) -> int:
             return 2
     if args.check_invariants:
         changes["check_invariants"] = True
+    if args.max_stall_iters is not None:
+        if args.max_stall_iters < 0:
+            print("--max-stall-iters must be >= 0", file=sys.stderr)
+            return 2
+        changes["max_stall_iters"] = args.max_stall_iters
     if args.trace:
         changes.update(trace=True, trace_jsonl=args.trace)
     if changes:
@@ -457,7 +469,13 @@ def _bench_main(argv: List[str]) -> int:
     if args.baseline is not None:
         baseline = load_baseline(args.baseline)
         if baseline is None:
-            print(f"\nno usable baseline at {args.baseline}; skipping "
+            print(f"\nwarning: no usable baseline at {args.baseline} "
+                  "(missing, empty, or malformed); skipping regression check")
+            return 0
+        overlap = set(doc.get("cases", {})) & set(baseline.get("cases", {}))
+        if not overlap:
+            print(f"\nwarning: baseline {args.baseline} shares no case "
+                  "names with this run (incompatible case set); skipping "
                   "regression check")
             return 0
         failures = check_regression(doc, baseline, factor=args.factor)
@@ -469,6 +487,49 @@ def _bench_main(argv: List[str]) -> int:
         print(f"\nno regression vs {args.baseline} "
               f"(threshold {args.factor:.1f}x)")
     return 0
+
+
+def _chaos_main(argv: List[str]) -> int:
+    """`repro chaos` — randomized-fault soak across every scheduler."""
+    from repro.experiments.chaos import run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Soak every scheduler family under seed-reproducible "
+        "randomized fault plans (crashes, churn, heartbeat loss, link "
+        "degradation, tracker crashes, degraded telemetry) with runtime "
+        "invariants on, verifying completion, shuffle byte conservation, "
+        "trace/collector reconciliation and determinism.",
+    )
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="number of randomized fault plans (default: 20)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="soak seed; same seed = same plans and traces")
+    parser.add_argument("--intensity", type=float, default=1.0,
+                        help="fault intensity multiplier (default: 1.0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="truncate each run's batch to 4 jobs (CI smoke)")
+    parser.add_argument("--trace", metavar="PATH", default="",
+                        help="append every run's JSONL event trace to PATH")
+    args = parser.parse_args(argv)
+
+    if args.rounds < 1:
+        print("--rounds must be >= 1", file=sys.stderr)
+        return 2
+    if args.intensity < 0:
+        print("--intensity must be >= 0", file=sys.stderr)
+        return 2
+    report = run_chaos(
+        rounds=args.rounds,
+        seed=args.seed,
+        intensity=args.intensity,
+        quick=args.quick,
+        progress=print,
+        trace_path=args.trace,
+    )
+    print()
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _report_main(argv: List[str]) -> int:
@@ -531,6 +592,8 @@ def main(argv: List[str] | None = None) -> int:
         return _report_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
@@ -540,7 +603,7 @@ def main(argv: List[str] | None = None) -> int:
         "experiment",
         choices=[*COMMANDS, "all"],
         help="which paper artefact to regenerate "
-        "(or `lint`/`trace`/`run`/`report`/`bench`)",
+        "(or `lint`/`trace`/`run`/`report`/`bench`/`chaos`)",
     )
     parser.add_argument(
         "--scenario",

@@ -4,6 +4,7 @@ from repro.cluster.background import BackgroundSpec, BackgroundTraffic
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.cluster.network import Flow, FlowNetwork
 from repro.cluster.node import Node, SlotExhausted
+from repro.cluster.telemetry import TelemetryConfig, TelemetryMonitor
 from repro.cluster.topology import (
     GraphTopology,
     MatrixTopology,
@@ -25,6 +26,8 @@ __all__ = [
     "MatrixTopology",
     "Node",
     "SlotExhausted",
+    "TelemetryConfig",
+    "TelemetryMonitor",
     "Topology",
     "fat_tree_topology",
     "paper_example_topology",

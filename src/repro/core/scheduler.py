@@ -106,9 +106,18 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         return self._models[job.spec.job_id]
 
     def _distance(self, ctx: SchedulerContext) -> Optional[np.ndarray]:
-        """None selects the cached hop matrix; otherwise live inverse rates."""
+        """None selects the cached hop matrix; otherwise live inverse rates.
+
+        With a telemetry monitor attached the scheduler sees the
+        measurement plane's possibly stale/noisy view (per-path hop-count
+        fallback included) instead of oracle truth; the monitor itself
+        returns None once every path is stale.
+        """
         if not self.config.network_condition:
             return None
+        monitor = ctx.telemetry
+        if monitor is not None:
+            return monitor.distance_matrix(ctx.now)
         return ctx.cluster.inverse_rate_matrix()
 
     # ------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from repro.engine.config import EngineConfig
 from repro.engine.job import Job
 from repro.engine.jobtracker import JobTracker
+from repro.engine.journal import Journal, JournalEntry
 from repro.engine.shuffle import FetchManager
 from repro.engine.simulation import RunResult, Simulation
 from repro.engine.task import MapAttempt, MapTask, ReduceTask, TaskState
@@ -12,6 +13,8 @@ __all__ = [
     "FetchManager",
     "Job",
     "JobTracker",
+    "Journal",
+    "JournalEntry",
     "MapAttempt",
     "MapTask",
     "ReduceTask",

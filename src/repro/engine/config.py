@@ -7,6 +7,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cluster.telemetry import TelemetryConfig
 from repro.faults.spec import FaultPlan
 
 __all__ = ["EngineConfig"]
@@ -105,6 +106,24 @@ class EngineConfig:
         at the end of :meth:`~repro.engine.simulation.Simulation.run`
         (implies ``trace``).  Each run is prefixed by a ``run_start``
         event, so several runs can share one file.
+    telemetry:
+        Optional :class:`~repro.cluster.telemetry.TelemetryConfig`.  When
+        set, network-condition-aware schedulers read path rates from a
+        periodic, possibly stale/noisy/lossy telemetry monitor instead of
+        the oracle ``Cluster.inverse_rate_matrix()``; paths whose last
+        measurement exceeds the staleness budget fall back to hop counts.
+        ``None`` (the default) keeps the oracle behaviour bit-for-bit.
+    journal:
+        Keep a write-ahead journal (:mod:`repro.engine.journal`) of job
+        and attempt transitions even without any ``TrackerCrash`` fault
+        (a plan containing tracker crashes enables it automatically).
+        Pure bookkeeping — never affects scheduling decisions.
+    max_stall_iters:
+        No-progress watchdog: abort the run with a diagnostic dump if this
+        many consecutive events execute without the sim clock advancing
+        (a livelocked scheduler or event loop).  ``0`` disables the
+        watchdog.  The default is far above any legitimate same-instant
+        burst (one heartbeat round is tens of events).
     """
 
     heartbeat_period: float = 3.0
@@ -124,6 +143,9 @@ class EngineConfig:
     check_invariants: bool = field(default_factory=_invariants_default)
     trace: bool = False
     trace_jsonl: str = ""
+    telemetry: Optional[TelemetryConfig] = None
+    journal: bool = False
+    max_stall_iters: int = 100_000
 
     def __post_init__(self) -> None:
         # every numeric knob is range-checked *and* NaN-checked: NaN slips
@@ -145,6 +167,14 @@ class EngineConfig:
             raise ValueError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
             )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetryConfig
+        ):
+            raise ValueError(
+                "telemetry must be a TelemetryConfig or None, got "
+                f"{type(self.telemetry).__name__}"
+            )
+        self._require_int("max_stall_iters", minimum=0)
         # horizon may be inf ("no cap") but never NaN or <= 0
         if math.isnan(self.horizon) or self.horizon <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon}")

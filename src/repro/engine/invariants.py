@@ -20,7 +20,11 @@ figure of the paper silently assumes:
    blacklisted node, a node the tracker has written off runs zero
    attempts, every task's charged failure count stays within
    ``max_attempts``, and slot accounting survives crash/rejoin cycles
-   (re-checked from the live attempt lists, not just the counters).
+   (re-checked from the live attempt lists, not just the counters);
+7. **control-plane recovery** (``TrackerCrash`` runs) — the write-ahead
+   journal always replays to exactly the engine's job state while the
+   master is up, and a restarted master leaves no orphaned attempts
+   (no settled job accounts running work).
 
 Checks are wired into the JobTracker after every heartbeat round and at
 every job completion, so a violation surfaces as an
@@ -243,6 +247,44 @@ class InvariantChecker:
                     )
         self.check_slot_conservation()
 
+    def check_journal(self) -> None:
+        """Invariant 7a: the recovery journal replays to the engine's state.
+
+        Only meaningful while the tracker is up — a down tracker's journal
+        is *supposed* to lag (that is what restart-time resync repairs).
+        """
+        journal = self.tracker.journal
+        if journal is None or self.tracker.tracker_down:
+            return
+        self.checks_run += 1
+        problems = journal.reconcile(self.tracker)
+        if problems:
+            self._fail(
+                "journal/state reconciliation failed: " + "; ".join(problems)
+            )
+
+    def after_tracker_restart(self) -> None:
+        """Invariant 7b: a restarted master rebuilt a consistent world.
+
+        No orphaned attempts (a completed or failed job accounts zero
+        running work), slot counters match the live attempt lists, and the
+        resynced journal replays to exactly the engine's state.
+        """
+        self.check_clock()
+        self.check_slots()
+        self.check_slot_conservation()
+        from repro.engine.task import TaskState  # local: avoids an import cycle
+
+        for job in self.tracker.finished_jobs + self.tracker.failed_jobs:
+            for task in (*job.maps, *job.reduces):
+                if task.state is TaskState.RUNNING:
+                    self._fail(
+                        f"orphaned attempt after tracker restart: job "
+                        f"{job.spec.job_id} task {task.index} still RUNNING "
+                        "though its job is settled"
+                    )
+        self.check_journal()
+
     def check_colocation(self, job: "Job") -> None:
         """Invariant 5: one reducer per node per job (Algorithm 2 line 1)."""
         if not self._no_colocation:
@@ -268,6 +310,7 @@ class InvariantChecker:
             self.check_shuffle(job)
             self.check_colocation(job)
             self.check_attempt_budgets(job)
+        self.check_journal()
 
     def on_job_finished(self, job: "Job") -> None:
         """Final per-job audit, then drop the job's cached bound."""

@@ -243,6 +243,7 @@ class Job:
 
     def on_map_done(self, task: MapTask) -> None:
         self.maps_done += 1
+        self.tracker.journal_write("map_done", self.spec.job_id, task.index)
         for hook in self.map_done_listeners:
             hook(task)
         for r in self.running_reduces():
@@ -259,6 +260,7 @@ class Job:
 
     def on_reduce_done(self, task: ReduceTask) -> None:
         self.reduces_done += 1
+        self.tracker.journal_write("reduce_done", self.spec.job_id, task.index)
         self._reduce_node_counts[task.node.name] -= 1
         if self._reduce_node_counts[task.node.name] <= 0:
             del self._reduce_node_counts[task.node.name]
@@ -269,6 +271,7 @@ class Job:
     def on_map_lost(self, task: MapTask) -> None:
         """A completed map's output died with its node; it will re-run."""
         self.maps_done -= 1
+        self.tracker.journal_write("map_lost", self.spec.job_id, task.index)
         for hook in self.map_lost_listeners:
             hook(task)
 

@@ -21,6 +21,7 @@ from repro.cluster.node import Node
 from repro.engine.config import EngineConfig
 from repro.engine.invariants import InvariantChecker
 from repro.engine.job import Job
+from repro.engine.journal import Journal
 from repro.hdfs.namenode import NameNode
 from repro.metrics.collector import MetricsCollector
 from repro.schedulers.base import SchedulerContext, TaskScheduler
@@ -32,6 +33,7 @@ from repro.trace.events import (
     NODE_DEAD,
     NODE_LOST,
     TASK_ERROR,
+    TRACKER_DOWN,
     Assign,
     AttemptFailed,
     Blacklisted,
@@ -44,6 +46,8 @@ from repro.trace.events import (
     NodeDown,
     NodeUp,
     SlotOffer,
+    TrackerDown,
+    TrackerUp,
 )
 from repro.trace.recorder import NullRecorder
 from repro.workload.spec import JobSpec
@@ -114,12 +118,26 @@ class JobTracker:
         self._started = False
         #: the run's fault injector, if any (set by ``Simulation``)
         self.faults: Optional["FaultInjector"] = None
+        #: the run's telemetry monitor, if any (set by ``Simulation``)
+        self.telemetry = None
         #: run-once hooks fired when the last job finishes or fails
         self.on_all_done_hooks: List[Callable[[], None]] = []
         self._node_views: Dict[str, _NodeView] = {
             n.name: _NodeView(last_heartbeat=sim.now, incarnation=n.incarnation)
             for n in cluster.nodes
         }
+        #: True while a ``TrackerCrash`` fault has the master down
+        self.tracker_down = False
+        self._deferred_specs: List[JobSpec] = []
+        self.journal: Optional[Journal] = (
+            Journal()
+            if self.config.journal
+            or (
+                self.config.faults is not None
+                and self.config.faults.tracker_crashes
+            )
+            else None
+        )
 
     # ------------------------------------------------------------------
     # job lifecycle
@@ -130,9 +148,14 @@ class JobTracker:
         self.sim.at(spec.submit_time, self._submit, spec)
 
     def _submit(self, spec: JobSpec) -> None:
+        if self.tracker_down:
+            # the master is down: the client retries until it comes back
+            self._deferred_specs.append(spec)
+            return
         job = Job(spec, self)
         self.active_jobs.append(job)
         self.collector.job_submitted(spec.job_id, self.sim.now)
+        self.journal_write("job_submitted", spec.job_id)
         if self.recorder.enabled:
             self.recorder.emit(JobSubmit(t=self.sim.now, job_id=spec.job_id))
         self.task_scheduler.on_job_added(job)
@@ -141,6 +164,7 @@ class JobTracker:
         self.active_jobs.remove(job)
         self.finished_jobs.append(job)
         self.collector.job_completed(job.record())
+        self.journal_write("job_finished", job.spec.job_id)
         if self.recorder.enabled:
             self.recorder.emit(JobFinish(t=self.sim.now, job_id=job.spec.job_id))
         if self.invariants is not None:
@@ -153,6 +177,7 @@ class JobTracker:
         self.active_jobs.remove(job)
         self.failed_jobs.append(job)
         self.collector.job_failed(job.spec.job_id, self.sim.now)
+        self.journal_write("job_failed", job.spec.job_id)
         if self.recorder.enabled:
             self.recorder.emit(
                 JobFail(t=self.sim.now, job_id=job.spec.job_id, reason=reason)
@@ -165,10 +190,70 @@ class JobTracker:
         """Every submitted (and to-be-submitted) job has completed or failed."""
         return len(self.finished_jobs) + len(self.failed_jobs) == self._expected
 
+    def all_jobs(self) -> List[Job]:
+        """Every job the run knows about, in submission order per list."""
+        return self.active_jobs + self.finished_jobs + self.failed_jobs
+
     def _finish_run(self) -> None:
         self._stop_heartbeats()
         for hook in self.on_all_done_hooks:
             hook()
+
+    # ------------------------------------------------------------------
+    # write-ahead journal
+    # ------------------------------------------------------------------
+    def journal_write(self, kind: str, job_id: str, index: int = -1) -> None:
+        """Append one transition to the recovery journal.
+
+        A no-op without a journal, and — crucially — while the tracker is
+        down: whatever completes during an outage is exactly what
+        :meth:`on_tracker_restarted` must recover from status reports.
+        """
+        if self.journal is None or self.tracker_down:
+            return
+        self.journal.append(self.sim.now, kind, job_id, index)
+
+    # ------------------------------------------------------------------
+    # tracker crash / restart (``TrackerCrash`` faults)
+    # ------------------------------------------------------------------
+    def on_tracker_crashed(self) -> None:
+        """The master process dies: heartbeats go unanswered.
+
+        Running tasks and shuffles keep going (they are TaskTracker-owned,
+        like Hadoop), but free slots sit idle, completions go unjournalled,
+        and client submissions queue until the restart.
+        """
+        self.tracker_down = True
+        self.collector.tracker_crashed()
+        if self.recorder.enabled:
+            self.recorder.emit(TrackerDown(t=self.sim.now))
+
+    def on_tracker_restarted(self) -> None:
+        """The master restarts: replay the journal, resync, re-register.
+
+        Every node's heartbeat clock is reset (re-registration grace — a
+        restarted master cannot expire nodes for heartbeats *it* missed),
+        the journal is reconciled against tracker status reports, and
+        deferred client submissions are admitted.
+        """
+        self.tracker_down = False
+        now = self.sim.now
+        for view in self._node_views.values():
+            view.last_heartbeat = now
+        resynced = self.journal.resync(self, now) if self.journal else 0
+        self.collector.tracker_restarted()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                TrackerUp(
+                    t=now, resynced_entries=resynced,
+                    deferred_jobs=len(self._deferred_specs),
+                )
+            )
+        deferred, self._deferred_specs = self._deferred_specs, []
+        for spec in deferred:
+            self._submit(spec)
+        if self.invariants is not None:
+            self.invariants.after_tracker_restart()
 
     # ------------------------------------------------------------------
     # heartbeats
@@ -211,6 +296,17 @@ class JobTracker:
         """
         view = self._node_views[node.name]
         now = self.sim.now
+        if self.tracker_down:
+            # the heartbeat reaches a dead master: no view updates, no
+            # expiry clock, no offers.  Free slots on live registered nodes
+            # are charged as tracker_down declines so slot accounting shows
+            # exactly what the outage cost.
+            if node.alive and not view.lost and self.active_jobs:
+                if node.free_map_slots > 0:
+                    self._record_decline(node, "map", TRACKER_DOWN, "")
+                if node.free_reduce_slots > 0:
+                    self._record_decline(node, "reduce", TRACKER_DOWN, "")
+            return
         delivered = node.alive and not (
             self.faults is not None and self.faults.heartbeat_dropped(node)
         )

@@ -1,0 +1,218 @@
+"""Write-ahead journal of job/attempt state for JobTracker restart.
+
+Hadoop 1.x's ``JobTracker`` (with ``mapred.jobtracker.restart.recover``)
+logs job lifecycle transitions to a recovery file; after a master restart
+it replays that log, then reconciles against the TaskTracker status
+reports that arrive as the fleet re-registers.  This module models that
+discipline for the simulator's control plane:
+
+* While the tracker is **up**, every observed transition —
+  ``job_submitted``, ``map_done``, ``map_lost``, ``reduce_done``,
+  ``job_finished``, ``job_failed`` — is appended as a
+  :class:`JournalEntry` (the write-ahead half).
+* While the tracker is **down** (a ``TrackerCrash`` fault), nothing is
+  written: completions that happen during the outage are exactly the
+  entries the journal *misses*.
+* On restart, :meth:`Journal.resync` walks the engine's authoritative job
+  state — standing in for the tracker status reports carried by
+  re-registration heartbeats — and appends the missing entries, marked
+  ``resync=True`` so recovery is distinguishable from live observation.
+* :meth:`Journal.reconcile` is the matching invariant: replaying the
+  journal (:meth:`rebuild`) must land on exactly the engine's state —
+  no orphaned completions, no forgotten jobs.
+
+The journal is pure bookkeeping: it never drives scheduling decisions,
+so enabling it cannot perturb a run's trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.engine.jobtracker import JobTracker
+
+__all__ = ["Journal", "JournalEntry", "JournalState", "JOURNAL_KINDS"]
+
+#: Closed vocabulary of journalled transitions.
+JOB_SUBMITTED = "job_submitted"
+MAP_DONE = "map_done"
+MAP_LOST = "map_lost"
+REDUCE_DONE = "reduce_done"
+JOB_FINISHED = "job_finished"
+JOB_FAILED = "job_failed"
+
+JOURNAL_KINDS = (
+    JOB_SUBMITTED,
+    MAP_DONE,
+    MAP_LOST,
+    REDUCE_DONE,
+    JOB_FINISHED,
+    JOB_FAILED,
+)
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One logged transition: ``(time, kind, job, task index, resync?)``.
+
+    ``index`` is ``-1`` for job-level entries; ``resync`` marks entries
+    reconstructed from tracker status reports after a restart rather than
+    observed live.
+    """
+
+    t: float
+    kind: str
+    job_id: str
+    index: int = -1
+    resync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOURNAL_KINDS:
+            raise ValueError(f"unknown journal entry kind {self.kind!r}")
+
+
+@dataclass
+class JournalState:
+    """Replayed per-job view: what the journal says a job looks like."""
+
+    maps_done: Set[int] = field(default_factory=set)
+    reduces_done: Set[int] = field(default_factory=set)
+    finished: bool = False
+    failed: bool = False
+
+
+class Journal:
+    """An in-order, append-only log with replay and reconciliation."""
+
+    def __init__(self) -> None:
+        self.entries: List[JournalEntry] = []
+        self.resynced_entries = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def append(
+        self,
+        t: float,
+        kind: str,
+        job_id: str,
+        index: int = -1,
+        *,
+        resync: bool = False,
+    ) -> None:
+        self.entries.append(JournalEntry(t, kind, job_id, index, resync))
+        if resync:
+            self.resynced_entries += 1
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def rebuild(self) -> Dict[str, JournalState]:
+        """Replay the log into per-job state (``map_lost`` undoes
+        ``map_done``, in order — a re-executed map may re-complete)."""
+        jobs: Dict[str, JournalState] = {}
+        for e in self.entries:
+            state = jobs.setdefault(e.job_id, JournalState())
+            if e.kind == MAP_DONE:
+                state.maps_done.add(e.index)
+            elif e.kind == MAP_LOST:
+                state.maps_done.discard(e.index)
+            elif e.kind == REDUCE_DONE:
+                state.reduces_done.add(e.index)
+            elif e.kind == JOB_FINISHED:
+                state.finished = True
+            elif e.kind == JOB_FAILED:
+                state.failed = True
+        return jobs
+
+    # ------------------------------------------------------------------
+    # restart-time recovery
+    # ------------------------------------------------------------------
+    def resync(self, tracker: "JobTracker", now: float) -> int:
+        """Append whatever the outage made the journal miss.
+
+        The engine's job objects stand in for the tracker status reports
+        a restarted Hadoop master collects from re-registering
+        TaskTrackers.  Returns the number of entries appended.
+        """
+        replayed = self.rebuild()
+        appended = 0
+
+        def add(kind: str, job_id: str, index: int = -1) -> None:
+            nonlocal appended
+            self.append(now, kind, job_id, index, resync=True)
+            appended += 1
+
+        for job in tracker.all_jobs():
+            state = replayed.get(job.spec.job_id, JournalState())
+            if job.spec.job_id not in replayed:
+                add(JOB_SUBMITTED, job.spec.job_id)
+            done_maps = {
+                i for i, t in enumerate(job.maps) if t.done
+            }
+            for i in sorted(done_maps - state.maps_done):
+                add(MAP_DONE, job.spec.job_id, i)
+            for i in sorted(state.maps_done - done_maps):
+                add(MAP_LOST, job.spec.job_id, i)
+            done_reduces = {
+                i for i, t in enumerate(job.reduces) if t.done
+            }
+            for i in sorted(done_reduces - state.reduces_done):
+                add(REDUCE_DONE, job.spec.job_id, i)
+            if job in tracker.finished_jobs and not state.finished:
+                add(JOB_FINISHED, job.spec.job_id)
+            if job in tracker.failed_jobs and not state.failed:
+                add(JOB_FAILED, job.spec.job_id)
+        return appended
+
+    # ------------------------------------------------------------------
+    # invariant support
+    # ------------------------------------------------------------------
+    def reconcile(self, tracker: "JobTracker") -> List[str]:
+        """Journal-vs-engine discrepancies; empty list means consistent.
+
+        Only meaningful while the tracker is up (a down tracker is
+        *supposed* to be behind — that is what :meth:`resync` repairs).
+        """
+        problems: List[str] = []
+        replayed = self.rebuild()
+        seen: Set[str] = set()
+        for job in tracker.all_jobs():
+            job_id = job.spec.job_id
+            seen.add(job_id)
+            state = replayed.get(job_id)
+            if state is None:
+                problems.append(f"job {job_id} missing from journal")
+                continue
+            engine_maps = {i for i, t in enumerate(job.maps) if t.done}
+            if engine_maps != state.maps_done:
+                problems.append(
+                    f"job {job_id} maps_done mismatch: engine "
+                    f"{sorted(engine_maps)} vs journal "
+                    f"{sorted(state.maps_done)}"
+                )
+            engine_reds = {i for i, t in enumerate(job.reduces) if t.done}
+            if engine_reds != state.reduces_done:
+                problems.append(
+                    f"job {job_id} reduces_done mismatch: engine "
+                    f"{sorted(engine_reds)} vs journal "
+                    f"{sorted(state.reduces_done)}"
+                )
+            if (job in tracker.finished_jobs) != state.finished:
+                problems.append(
+                    f"job {job_id} finished flag mismatch "
+                    f"(engine {job in tracker.finished_jobs}, "
+                    f"journal {state.finished})"
+                )
+            if (job in tracker.failed_jobs) != state.failed:
+                problems.append(
+                    f"job {job_id} failed flag mismatch "
+                    f"(engine {job in tracker.failed_jobs}, "
+                    f"journal {state.failed})"
+                )
+        for job_id in replayed:
+            if job_id not in seen:
+                problems.append(f"journal has unknown job {job_id}")
+        return problems

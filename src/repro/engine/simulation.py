@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.cluster.background import BackgroundSpec, BackgroundTraffic
 from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.telemetry import TelemetryMonitor
 from repro.engine.config import EngineConfig
 from repro.engine.jobtracker import JobTracker
 from repro.faults.injector import FaultInjector
@@ -128,6 +129,11 @@ class RunResult:
                 f"{c.blacklistings} blacklistings, "
                 f"{len(c.failed_jobs)} jobs failed"
             )
+        if c.tracker_crashes:
+            lines.append(
+                f"control plane: {c.tracker_crashes} tracker crashes, "
+                f"{c.tracker_restarts} restarts"
+            )
         return "\n".join(lines)
 
 
@@ -167,9 +173,15 @@ class Simulation:
             self.sim = Simulator()
             self.cluster = cluster.build(self.sim)
         ss = np.random.SeedSequence(seed)
-        # the first three children are spawned in the same order as ever,
-        # so adding the faults stream left existing runs bit-for-bit intact
-        placement_ss, scheduler_ss, background_ss, faults_ss = ss.spawn(4)
+        # children are keyed by spawn index, so appending the faults (4th)
+        # and telemetry (5th) streams left existing runs bit-for-bit intact
+        (
+            placement_ss,
+            scheduler_ss,
+            background_ss,
+            faults_ss,
+            telemetry_ss,
+        ) = ss.spawn(5)
         self.namenode = NameNode(
             self.cluster,
             replication=self.config.replication,
@@ -197,6 +209,15 @@ class Simulation:
                 self.config.faults, self.cluster, self.tracker, faults_ss
             )
             self.tracker.faults = self.faults
+        self.telemetry: Optional[TelemetryMonitor] = None
+        if self.config.telemetry is not None:
+            self.telemetry = TelemetryMonitor(
+                self.cluster,
+                self.config.telemetry,
+                np.random.default_rng(telemetry_ss),
+                recorder=self.recorder,
+            )
+            self.tracker.telemetry = self.telemetry
         self.background: Optional[BackgroundTraffic] = None
         if background is not None:
             self.background = BackgroundTraffic(
@@ -212,6 +233,32 @@ class Simulation:
         for spec in self.specs:
             self.tracker.submit_spec(spec)
 
+    def _stall_diagnostics(self) -> str:
+        """Engine-level context for StallError dumps: job progress, flows."""
+        lines = ["engine state:"]
+        net = self.cluster.network
+        lines.append(
+            f"  live flows: {net.active_flows} "
+            f"(started {net.flows_started} total)"
+        )
+        for job in self.tracker.active_jobs:
+            running_maps = len(job.running_maps())
+            running_reduces = len(job.running_reduces())
+            fetching = sum(
+                len(r._fetch.pending) + r._fetch.active
+                for r in job.running_reduces()
+                if getattr(r, "_fetch", None) is not None
+            )
+            lines.append(
+                f"  job {job.spec.job_id}: maps {job.maps_done}/"
+                f"{job.num_maps} done ({running_maps} running), reduces "
+                f"{job.reduces_done}/{job.num_reduces} done "
+                f"({running_reduces} running, {fetching} undrained fetches)"
+            )
+        if not self.tracker.active_jobs:
+            lines.append("  no active jobs")
+        return "\n".join(lines)
+
     def run(self, until: Optional[float] = None) -> RunResult:
         """Run to completion (or ``until``) and return the measurements."""
         self.tracker.start()
@@ -219,8 +266,21 @@ class Simulation:
             self.faults.start()
         if self.background is not None:
             self.background.start()
+        if (
+            self.telemetry is not None
+            and 0 < self.config.telemetry.period < float("inf")
+        ):
+            sampler = self.sim.every(
+                self.config.telemetry.period, self.telemetry.sample,
+                start=self.sim.now,
+            )
+            self.tracker.on_all_done_hooks.append(sampler.stop)
         horizon = until if until is not None else self.config.horizon
-        self.sim.run(until=horizon)
+        self.sim.stall_diagnostics = self._stall_diagnostics
+        self.sim.run(
+            until=horizon,
+            max_stall_iters=self.config.max_stall_iters or None,
+        )
         if until is None and not self.tracker.all_done:
             raise SimulationError(
                 f"simulation hit the {horizon:.0f} s horizon with "

@@ -214,7 +214,12 @@ def write_bench(doc: Dict, path: str) -> None:
 
 
 def load_baseline(path: str) -> Optional[Dict]:
-    """Load a committed baseline document; None if absent or empty."""
+    """Load a committed baseline document; None if unusable.
+
+    Missing files, empty files, malformed JSON and non-object documents
+    all return None — a stale or corrupted baseline must degrade the CLI
+    to a warning, never crash a benchmark run.
+    """
     try:
         with open(path, "r", encoding="utf-8") as fh:
             text = fh.read().strip()
@@ -222,7 +227,11 @@ def load_baseline(path: str) -> Optional[Dict]:
         return None
     if not text:
         return None
-    return json.loads(text)
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return None
+    return doc if isinstance(doc, dict) else None
 
 
 def check_regression(

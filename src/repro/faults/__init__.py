@@ -16,6 +16,7 @@ from .spec import (
     NodeChurn,
     NodeCrash,
     TaskFailures,
+    TrackerCrash,
     load_plan,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "NodeChurn",
     "NodeCrash",
     "TaskFailures",
+    "TrackerCrash",
     "load_plan",
 ]

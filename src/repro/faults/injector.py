@@ -76,6 +76,7 @@ class FaultInjector:
         self.revivals = 0
         self.attempt_failures_injected = 0
         self.heartbeats_dropped = 0
+        self.tracker_crashes_injected = 0
         self._validate_targets()
 
     # ------------------------------------------------------------------
@@ -117,6 +118,10 @@ class FaultInjector:
                 self._schedule_churn_crash(name, first=True)
         for deg in self.plan.degradations:
             self._pending.append(self.sim.at(deg.at, self._apply_degradation, deg))
+        for tc in self.plan.tracker_crashes:
+            self._pending.append(
+                self.sim.at(tc.at, self._tracker_crash, tc.down_for)
+            )
         self.tracker.on_all_done_hooks.append(self.stop)
 
     def stop(self) -> None:
@@ -150,6 +155,21 @@ class FaultInjector:
             return
         node.alive = True
         self.revivals += 1
+
+    # ------------------------------------------------------------------
+    # tracker crash / restart
+    # ------------------------------------------------------------------
+    def _tracker_crash(self, down_for: float) -> None:
+        if self._stopped or self.tracker.tracker_down:
+            return
+        self.tracker_crashes_injected += 1
+        self.tracker.on_tracker_crashed()
+        self._pending.append(self.sim.schedule(down_for, self._tracker_restart))
+
+    def _tracker_restart(self) -> None:
+        if self._stopped or not self.tracker.tracker_down:
+            return
+        self.tracker.on_tracker_restarted()
 
     # ------------------------------------------------------------------
     # churn (per-node renewal process)

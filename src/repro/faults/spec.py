@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import asdict, dataclass, fields
+from dataclasses import MISSING, asdict, dataclass, fields
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -31,18 +31,33 @@ __all__ = [
     "NodeChurn",
     "NodeCrash",
     "TaskFailures",
+    "TrackerCrash",
     "load_plan",
 ]
 
 
+def _check_number(name: str, value: object) -> None:
+    """Reject non-numeric values with a clean error before any arithmetic:
+    ``math.isnan("x")`` would raise a TypeError deep inside validation."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+
+
 def _check_finite(name: str, value: float, *, minimum: float = 0.0) -> None:
+    _check_number(name, value)
     if math.isnan(value) or math.isinf(value) or value < minimum:
         raise ValueError(f"{name} must be finite and >= {minimum}, got {value}")
 
 
 def _check_prob(name: str, value: float) -> None:
+    _check_number(name, value)
     if math.isnan(value) or not 0.0 <= value <= 1.0:
         raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_name(name: str, value: object) -> None:
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"{name} must be a non-empty string, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -65,8 +80,7 @@ class NodeCrash:
 
     def __post_init__(self) -> None:
         _check_finite("at", self.at)
-        if not self.node:
-            raise ValueError("node name must be non-empty")
+        _check_name("node", self.node)
         if self.down_for is not None:
             _check_finite("down_for", self.down_for)
             if self.down_for <= 0:
@@ -108,9 +122,17 @@ class NodeChurn:
             raise ValueError("mean_downtime must be > 0")
         _check_finite("start", self.start)
         if self.nodes is not None:
+            if isinstance(self.nodes, (str, bytes)) or not hasattr(
+                self.nodes, "__iter__"
+            ):
+                raise ValueError(
+                    f"nodes must be a list of node names, got {self.nodes!r}"
+                )
             object.__setattr__(self, "nodes", tuple(self.nodes))
             if not self.nodes:
                 raise ValueError("nodes must be None or non-empty")
+            for n in self.nodes:
+                _check_name("nodes[*]", n)
 
     @property
     def mean_uptime(self) -> float:
@@ -176,10 +198,84 @@ class LinkDegradation:
         _check_finite("duration", self.duration)
         if self.duration <= 0:
             raise ValueError("duration must be > 0")
+        _check_number("factor", self.factor)
         if math.isnan(self.factor) or math.isinf(self.factor) or self.factor <= 0:
             raise ValueError(f"factor must be finite and > 0, got {self.factor}")
         if (self.node is None) == (self.rack is None):
             raise ValueError("set exactly one of node/rack")
+        if self.node is not None:
+            _check_name("node", self.node)
+        if self.rack is not None:
+            _check_name("rack", self.rack)
+
+
+@dataclass(frozen=True)
+class TrackerCrash:
+    """The JobTracker itself crashes and restarts (control-plane fault).
+
+    While down, heartbeats go unanswered: no slot offers happen, no node is
+    expired, and job submissions are queued.  At ``at + down_for`` the
+    tracker restarts, re-registers every TaskTracker via its next
+    heartbeat, and rebuilds job state from the write-ahead journal plus
+    tracker status reports (Hadoop 1.x ``mapred.jobtracker.restart.recover``
+    semantics).  ``down_for`` is mandatory — a master that never returns
+    would leave the run unfinishable by construction.
+    """
+
+    at: float
+    down_for: float
+
+    def __post_init__(self) -> None:
+        _check_finite("at", self.at)
+        _check_finite("down_for", self.down_for)
+        if self.down_for <= 0:
+            raise ValueError(f"down_for must be > 0, got {self.down_for}")
+
+
+def _build_entry(klass, value: object, path: str):
+    """Construct one fault dataclass from a plain dict, turning every way
+    the input can be malformed into a ``ValueError`` that names the
+    offending field by path (``crashes[2].down_for``, ...) — callers never
+    see a traceback from deep inside the injector."""
+    if not isinstance(value, dict):
+        raise ValueError(
+            f"{path}: expected an object, got {type(value).__name__}"
+        )
+    allowed = {f.name for f in fields(klass)}
+    unknown = sorted(set(map(str, value)) - allowed)
+    if unknown:
+        raise ValueError(f"{path}.{unknown[0]}: unknown field")
+    missing = [
+        f.name
+        for f in fields(klass)
+        if f.default is MISSING
+        and f.default_factory is MISSING
+        and f.name not in value
+    ]
+    if missing:
+        raise ValueError(f"{path}.{missing[0]}: missing required field")
+    try:
+        return klass(**value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def _build_optional(klass, value: object, path: str):
+    return _build_entry(klass, value, path) if value is not None else None
+
+
+def _build_list(klass, values: object, path: str) -> tuple:
+    if values is None:
+        return ()
+    if isinstance(values, (str, bytes, dict)) or not hasattr(
+        values, "__iter__"
+    ):
+        raise ValueError(
+            f"{path}: expected a list, got {type(values).__name__}"
+        )
+    return tuple(
+        _build_entry(klass, v, f"{path}[{i}]") for i, v in enumerate(values)
+    )
 
 
 @dataclass(frozen=True)
@@ -191,10 +287,12 @@ class FaultPlan:
     task_failures: Optional[TaskFailures] = None
     heartbeat_loss: Optional[HeartbeatLoss] = None
     degradations: Tuple[LinkDegradation, ...] = ()
+    tracker_crashes: Tuple[TrackerCrash, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "degradations", tuple(self.degradations))
+        object.__setattr__(self, "tracker_crashes", tuple(self.tracker_crashes))
 
     @property
     def empty(self) -> bool:
@@ -205,6 +303,7 @@ class FaultPlan:
             and self.task_failures is None
             and self.heartbeat_loss is None
             and not self.degradations
+            and not self.tracker_crashes
         )
 
     # ------------------------------------------------------------------
@@ -215,6 +314,7 @@ class FaultPlan:
         out: Dict[str, object] = {
             "crashes": [asdict(c) for c in self.crashes],
             "degradations": [asdict(d) for d in self.degradations],
+            "tracker_crashes": [asdict(c) for c in self.tracker_crashes],
         }
         for name in ("churn", "task_failures", "heartbeat_loss"):
             value = getattr(self, name)
@@ -225,27 +325,36 @@ class FaultPlan:
         return out
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+    def from_dict(cls, data: object) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
         known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
+        unknown = sorted(set(map(str, data)) - known)
         if unknown:
-            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
-
-        def build(klass, value):
-            return klass(**value) if value is not None else None
+            raise ValueError(f"unknown fault plan keys: {unknown}")
 
         churn = data.get("churn")
-        if churn is not None:
+        if isinstance(churn, dict) and churn.get("nodes") is not None:
             churn = dict(churn)
-            if churn.get("nodes") is not None:
-                churn["nodes"] = tuple(churn["nodes"])
+            nodes = churn["nodes"]
+            if isinstance(nodes, (list, tuple)):
+                churn["nodes"] = tuple(nodes)
         return cls(
-            crashes=tuple(NodeCrash(**c) for c in data.get("crashes", ())),
-            churn=build(NodeChurn, churn),
-            task_failures=build(TaskFailures, data.get("task_failures")),
-            heartbeat_loss=build(HeartbeatLoss, data.get("heartbeat_loss")),
-            degradations=tuple(
-                LinkDegradation(**d) for d in data.get("degradations", ())
+            crashes=_build_list(NodeCrash, data.get("crashes"), "crashes"),
+            churn=_build_optional(NodeChurn, churn, "churn"),
+            task_failures=_build_optional(
+                TaskFailures, data.get("task_failures"), "task_failures"
+            ),
+            heartbeat_loss=_build_optional(
+                HeartbeatLoss, data.get("heartbeat_loss"), "heartbeat_loss"
+            ),
+            degradations=_build_list(
+                LinkDegradation, data.get("degradations"), "degradations"
+            ),
+            tracker_crashes=_build_list(
+                TrackerCrash, data.get("tracker_crashes"), "tracker_crashes"
             ),
         )
 

@@ -42,6 +42,8 @@ class MetricsCollector:
         self.attempts_failed = 0     # charged task errors
         self.maps_reexecuted = 0     # completed maps re-run after output loss
         self.blacklistings = 0       # (job, node) blacklist events
+        self.tracker_crashes = 0     # JobTracker (master) failures
+        self.tracker_restarts = 0    # journal-replay recoveries
         #: job ids that aborted after exhausting a task's retry budget,
         #: with abort times
         self.failed_jobs: Dict[str, float] = {}
@@ -83,6 +85,12 @@ class MetricsCollector:
 
     def attempt_failed(self) -> None:
         self.attempts_failed += 1
+
+    def tracker_crashed(self) -> None:
+        self.tracker_crashes += 1
+
+    def tracker_restarted(self) -> None:
+        self.tracker_restarts += 1
 
     def map_reexecuted(self) -> None:
         self.maps_reexecuted += 1

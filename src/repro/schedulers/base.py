@@ -69,6 +69,11 @@ class SchedulerContext:
         """The run's invariant checker, or None when checking is off."""
         return getattr(self.tracker, "invariants", None)
 
+    @property
+    def telemetry(self):
+        """The run's telemetry monitor, or None for oracle measurements."""
+        return getattr(self.tracker, "telemetry", None)
+
     def free_map_nodes(self) -> List["Node"]:
         """Nodes with at least one free map slot (``N_m`` nodes)."""
         return self.tracker.cluster.nodes_with_free_map_slots()

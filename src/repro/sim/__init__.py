@@ -1,5 +1,11 @@
 """Discrete-event simulation kernel (clock, events, periodic tasks)."""
 
-from repro.sim.events import Event, PeriodicTask, SimulationError, Simulator
+from repro.sim.events import (
+    Event,
+    PeriodicTask,
+    SimulationError,
+    Simulator,
+    StallError,
+)
 
-__all__ = ["Event", "PeriodicTask", "SimulationError", "Simulator"]
+__all__ = ["Event", "PeriodicTask", "SimulationError", "Simulator", "StallError"]

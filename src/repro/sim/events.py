@@ -32,7 +32,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
-__all__ = ["Event", "PeriodicTask", "Simulator", "SimulationError"]
+__all__ = ["Event", "PeriodicTask", "Simulator", "SimulationError", "StallError"]
 
 
 class SimulationError(RuntimeError):
@@ -40,6 +40,17 @@ class SimulationError(RuntimeError):
 
     Examples: scheduling an event in the past, or re-running a simulator
     whose clock has already been driven past the requested horizon.
+    """
+
+
+class StallError(SimulationError):
+    """The no-progress watchdog fired: too many events at one instant.
+
+    A livelocked model (an event that keeps rescheduling itself with zero
+    delay, a scheduler ping-ponging work at a single timestamp) executes
+    events forever without the clock advancing.  Rather than hanging,
+    ``Simulator.run(max_stall_iters=...)`` raises this with a dump of the
+    queue head and any attached :attr:`Simulator.stall_diagnostics`.
     """
 
 
@@ -150,6 +161,9 @@ class Simulator:
         self._processed = 0
         self._live = 0
         self._tombstones = 0
+        #: optional callable returning extra context for StallError dumps
+        #: (the engine attaches per-job progress and live-flow state)
+        self.stall_diagnostics: Optional[Callable[[], str]] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -234,14 +248,22 @@ class Simulator:
         event.callback(*event.args)
         return True
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        max_stall_iters: Optional[int] = None,
+    ) -> int:
         """Run events until the queue drains, ``until`` passes, or the budget
         of ``max_events`` is spent.
 
         Returns the number of events processed by this call.  When ``until``
         is given, the clock is advanced to exactly ``until`` even if the last
         event fired earlier (so back-to-back ``run(until=...)`` calls observe
-        a monotone clock).
+        a monotone clock).  ``max_stall_iters`` arms the no-progress
+        watchdog: if that many consecutive events execute without the clock
+        moving, the run aborts with a :class:`StallError` instead of
+        livelocking.
         """
         if self._running:
             raise SimulationError("re-entrant Simulator.run")
@@ -249,6 +271,7 @@ class Simulator:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
         self._running = True
         processed = 0
+        stall_iters = 0
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -262,6 +285,13 @@ class Simulator:
                 event = heapq.heappop(self._queue)
                 event._in_queue = False
                 self._live -= 1
+                if max_stall_iters is not None:
+                    if event.time > self.now:
+                        stall_iters = 0
+                    else:
+                        stall_iters += 1
+                        if stall_iters >= max_stall_iters:
+                            self._raise_stall(stall_iters, event)
                 self.now = event.time
                 self._processed += 1
                 processed += 1
@@ -271,6 +301,28 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = until
         return processed
+
+    def _raise_stall(self, stall_iters: int, event: Event) -> None:
+        """Build the StallError diagnostic dump and raise it."""
+        self._drop_cancelled()
+        head = [repr(e) for e in sorted(self._queue)[:10]]
+        lines = [
+            f"no-progress watchdog: {stall_iters} consecutive events at "
+            f"t={self.now:.6g} without the clock advancing",
+            f"current event: {event!r}",
+            f"pending events: {self.pending}",
+        ]
+        if head:
+            lines.append("queue head:")
+            lines.extend(f"  {h}" for h in head)
+        if self.stall_diagnostics is not None:
+            try:
+                extra = self.stall_diagnostics()
+            except Exception as exc:  # noqa: BLE001 - diagnostics best-effort
+                extra = f"(stall_diagnostics failed: {exc!r})"
+            if extra:
+                lines.append(extra)
+        raise StallError("\n".join(lines))
 
     # ------------------------------------------------------------------
     # introspection

@@ -36,6 +36,10 @@ The decline-reason vocabulary is shared with
 ``blacklisted``
     The head-of-line job has blacklisted the offering node after repeated
     task failures there (``max_task_failures_per_tracker``).
+``tracker_down``
+    The JobTracker itself is down (a ``TrackerCrash`` fault): the node's
+    heartbeat went unanswered, so its free slots sit idle until the
+    tracker restarts and re-registers the fleet.
 
 Attempt-failure reasons (``FAILURE_REASONS``) form a second closed
 vocabulary used by :class:`AttemptFailed` / :class:`JobFail`:
@@ -71,9 +75,12 @@ __all__ = [
     "ShuffleFinish",
     "ShuffleStart",
     "SlotOffer",
+    "StaleTelemetry",
     "TaskFinish",
     "TaskStart",
     "TraceEvent",
+    "TrackerDown",
+    "TrackerUp",
     "as_dicts",
 ]
 
@@ -87,6 +94,7 @@ COUPLING_GATE = "coupling_gate"
 UNMATCHED = "unmatched"
 NODE_DEAD = "node_dead"
 BLACKLISTED = "blacklisted"
+TRACKER_DOWN = "tracker_down"
 
 DECLINE_REASONS = (
     BELOW_PMIN,
@@ -98,6 +106,7 @@ DECLINE_REASONS = (
     UNMATCHED,
     NODE_DEAD,
     BLACKLISTED,
+    TRACKER_DOWN,
 )
 
 #: Canonical attempt-failure reasons (see the module docstring).
@@ -359,6 +368,47 @@ class JobFail(TraceEvent):
     reason: str
 
     type = "job_fail"
+
+
+@dataclass(frozen=True)
+class TrackerDown(TraceEvent):
+    """The JobTracker crashed: in-flight offers are void, heartbeats go
+    unanswered, and no scheduling happens until the restart."""
+
+    type = "tracker_down"
+
+
+@dataclass(frozen=True)
+class TrackerUp(TraceEvent):
+    """The JobTracker restarted and rebuilt its state.
+
+    ``resynced_entries`` counts write-ahead-journal records reconstructed
+    from tracker status reports (completions the journal missed while the
+    master was down); ``deferred_jobs`` counts submissions queued during
+    the outage and admitted now.
+    """
+
+    resynced_entries: int
+    deferred_jobs: int
+
+    type = "tracker_up"
+
+
+@dataclass(frozen=True)
+class StaleTelemetry(TraceEvent):
+    """The telemetry monitor's stale-path set changed.
+
+    ``stale_paths`` is the number of directed node pairs whose last path
+    rate measurement is older than the staleness budget (those decisions
+    fall back to the hop-count matrix); ``total_paths`` is the number of
+    off-diagonal pairs.  Emitted only when the count changes, so a healthy
+    monitor emits nothing.
+    """
+
+    stale_paths: int
+    total_paths: int
+
+    type = "stale_telemetry"
 
 
 EventLike = Union[TraceEvent, Dict[str, object]]

@@ -1,0 +1,136 @@
+"""``repro bench --baseline`` must degrade gracefully, never crash.
+
+A stale, corrupted or incompatible baseline artifact (someone committed
+``BENCH_perf.json`` from a different case set, or the file got
+truncated) should cost a warning and a skipped regression check — a
+benchmark run that produced good measurements must not exit non-zero
+because the *comparison input* is unusable.  ``run_bench`` is stubbed so
+these tests exercise only the CLI's baseline handling, not the timing
+harness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.perf import check_regression, load_baseline
+
+FAKE_DOC = {
+    "bench": "repro-perf",
+    "version": 1,
+    "mode": "quick",
+    "cases": {
+        "pna_hop": {"wall_s": 1.0, "events_per_s": 1000.0,
+                    "offers_per_s": 100.0, "nodes": 16, "jobs": 8},
+    },
+}
+
+
+@pytest.fixture
+def stub_bench(monkeypatch):
+    import repro.experiments.perf as perf
+
+    monkeypatch.setattr(
+        perf, "run_bench", lambda **kw: json.loads(json.dumps(FAKE_DOC))
+    )
+
+
+def bench(tmp_path, *extra):
+    return main(["bench", "--quick", "--out", str(tmp_path / "out.json"),
+                 *extra])
+
+
+# ----------------------------------------------------------------------
+# load_baseline unit behaviour
+# ----------------------------------------------------------------------
+class TestLoadBaseline:
+    def test_missing_file(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) is None
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.json"
+        p.write_text("")
+        assert load_baseline(str(p)) is None
+
+    def test_malformed_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"cases": [truncated')
+        assert load_baseline(str(p)) is None
+
+    def test_non_object_document(self, tmp_path):
+        p = tmp_path / "list.json"
+        p.write_text("[1, 2, 3]")
+        assert load_baseline(str(p)) is None
+
+    def test_valid_document(self, tmp_path):
+        p = tmp_path / "ok.json"
+        p.write_text(json.dumps(FAKE_DOC))
+        assert load_baseline(str(p)) == FAKE_DOC
+
+
+# ----------------------------------------------------------------------
+# CLI paths
+# ----------------------------------------------------------------------
+class TestBenchBaselineCli:
+    def test_missing_baseline_warns_and_passes(self, stub_bench, tmp_path,
+                                               capsys):
+        code = bench(tmp_path, "--baseline", str(tmp_path / "absent.json"))
+        assert code == 0
+        assert "warning: no usable baseline" in capsys.readouterr().out
+
+    def test_corrupt_baseline_warns_and_passes(self, stub_bench, tmp_path,
+                                               capsys):
+        p = tmp_path / "corrupt.json"
+        p.write_text("{{{{")
+        code = bench(tmp_path, "--baseline", str(p))
+        assert code == 0
+        assert "warning: no usable baseline" in capsys.readouterr().out
+
+    def test_incompatible_case_set_warns_and_passes(self, stub_bench,
+                                                    tmp_path, capsys):
+        doc = dict(FAKE_DOC, cases={"renamed_case": {"wall_s": 1.0}})
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps(doc))
+        code = bench(tmp_path, "--baseline", str(p))
+        assert code == 0
+        assert "shares no case names" in capsys.readouterr().out
+
+    def test_clean_comparison_passes(self, stub_bench, tmp_path, capsys):
+        p = tmp_path / "base.json"
+        p.write_text(json.dumps(FAKE_DOC))
+        code = bench(tmp_path, "--baseline", str(p))
+        assert code == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_real_regression_still_fails(self, stub_bench, tmp_path, capsys):
+        fast = json.loads(json.dumps(FAKE_DOC))
+        fast["cases"]["pna_hop"]["wall_s"] = 0.1  # current run is 10x slower
+        p = tmp_path / "fast.json"
+        p.write_text(json.dumps(fast))
+        code = bench(tmp_path, "--baseline", str(p))
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# check_regression tolerates sparse baselines
+# ----------------------------------------------------------------------
+class TestCheckRegression:
+    def test_ignores_cases_missing_from_baseline(self):
+        current = {"cases": {"a": {"wall_s": 9.0}, "b": {"wall_s": 1.0}}}
+        baseline = {"cases": {"b": {"wall_s": 1.0}}}
+        assert check_regression(current, baseline) == []
+
+    def test_ignores_zero_wall_baselines(self):
+        current = {"cases": {"a": {"wall_s": 9.0}}}
+        baseline = {"cases": {"a": {"wall_s": 0.0}}}
+        assert check_regression(current, baseline) == []
+
+    def test_flags_beyond_factor(self):
+        current = {"cases": {"a": {"wall_s": 3.0}}}
+        baseline = {"cases": {"a": {"wall_s": 1.0}}}
+        assert check_regression(current, baseline, factor=2.0)
+        assert not check_regression(current, baseline, factor=4.0)

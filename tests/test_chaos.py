@@ -1,0 +1,149 @@
+"""Chaos soak harness tests — generator properties and a CI-scale soak.
+
+The soak itself (``repro chaos``) asserts completion, byte conservation,
+trace/collector reconciliation and determinism inside every run; these
+tests pin the harness around it: plans are survivable by construction
+(every crash revives, no charged task failures), intensity 0 is the
+empty plan, plan generation is seed-stable, a forced tracker-crash round
+completes under every scheduler family, and the CLI entry point returns
+the right exit codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.chaos import (
+    chaos_schedulers,
+    cluster_targets,
+    random_fault_plan,
+    random_telemetry,
+    run_chaos,
+    run_chaos_case,
+)
+from repro.experiments.scenarios import get_scenario
+from repro.faults import FaultPlan, TrackerCrash
+
+
+def targets():
+    return cluster_targets(get_scenario("ci").cluster)
+
+
+# ----------------------------------------------------------------------
+# generator properties
+# ----------------------------------------------------------------------
+class TestRandomFaultPlan:
+    def test_intensity_zero_is_the_empty_plan(self):
+        nodes, racks = targets()
+        rng = np.random.default_rng(0)
+        assert random_fault_plan(rng, nodes, racks, intensity=0.0).empty
+
+    def test_negative_intensity_rejected(self):
+        nodes, racks = targets()
+        with pytest.raises(ValueError):
+            random_fault_plan(np.random.default_rng(0), nodes, racks,
+                              intensity=-1.0)
+
+    def test_plans_are_survivable_by_construction(self):
+        nodes, racks = targets()
+        for s in range(50):
+            rng = np.random.default_rng(s)
+            plan = random_fault_plan(rng, nodes, racks, intensity=2.0)
+            assert plan.task_failures is None
+            for crash in plan.crashes:
+                assert crash.down_for is not None and crash.down_for > 0
+                assert crash.node in nodes
+            for tc in plan.tracker_crashes:
+                assert tc.down_for > 0
+            for deg in plan.degradations:
+                assert (deg.node in nodes) or (deg.rack in racks)
+            if plan.heartbeat_loss is not None:
+                assert plan.heartbeat_loss.prob < 1.0
+
+    def test_generation_is_seed_stable(self):
+        nodes, racks = targets()
+        a = random_fault_plan(np.random.default_rng(9), nodes, racks)
+        b = random_fault_plan(np.random.default_rng(9), nodes, racks)
+        assert a == b
+
+    def test_plans_round_trip_through_json(self):
+        nodes, racks = targets()
+        for s in range(10):
+            plan = random_fault_plan(
+                np.random.default_rng(s), nodes, racks, intensity=1.5
+            )
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_random_telemetry_is_valid_and_bounded(self):
+        for s in range(20):
+            cfg = random_telemetry(np.random.default_rng(s), intensity=2.0)
+            assert cfg.period > 0
+            assert cfg.staleness_budget > 0
+            assert 0 <= cfg.drop_prob < 1
+
+
+# ----------------------------------------------------------------------
+# the soak
+# ----------------------------------------------------------------------
+class TestRunChaos:
+    def test_quick_soak_is_clean(self, tmp_path):
+        trace_path = tmp_path / "chaos.jsonl"
+        report = run_chaos(
+            rounds=2, seed=5, quick=True, trace_path=str(trace_path)
+        )
+        assert report.ok, report.violations
+        assert len(report.runs) == 2 * len(chaos_schedulers())
+        assert all(r.jobs_completed == 4 for r in report.runs)
+        assert "all runs completed" in report.summary()
+        # the trace artifact holds every run's JSONL stream
+        lines = trace_path.read_text().splitlines()
+        assert sum(1 for l in lines if '"type":"run_start"' in l) == 6
+
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            run_chaos(rounds=0)
+
+    def test_forced_tracker_crash_round(self):
+        # pin the fault rather than hoping the generator rolls one: a
+        # mid-run master outage must complete under every scheduler
+        plan = FaultPlan(
+            tracker_crashes=(TrackerCrash(at=15.0, down_for=20.0),)
+        )
+        for name, factory in chaos_schedulers().items():
+            run, lines = run_chaos_case(
+                0, name, factory, plan, None, 3, quick=True
+            )
+            assert run.ok, (name, run.violations)
+            assert any('"type":"tracker_up"' in l for l in lines), name
+
+    def test_violations_carry_round_and_scheduler(self):
+        report = run_chaos(rounds=1, seed=5, quick=True)
+        report.runs[0].violations.append("synthetic problem")
+        assert not report.ok
+        assert any("round 0" in v and "synthetic problem" in v
+                   for v in report.violations)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestChaosCli:
+    def test_chaos_subcommand(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "chaos.jsonl"
+        code = main([
+            "chaos", "--rounds", "1", "--seed", "5", "--quick",
+            "--trace", str(trace),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos soak:" in out
+        assert trace.exists()
+
+    def test_chaos_rejects_bad_args(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--rounds", "0"]) == 2
+        assert main(["chaos", "--intensity", "-1"]) == 2

@@ -1,0 +1,176 @@
+"""Write-ahead journal and JobTracker restart tests.
+
+Unit half: ``Journal`` append/rebuild/reconcile semantics (``map_lost``
+undoes ``map_done`` in order, kind vocabulary is closed, reconciliation
+names every discrepancy).  Integration half: a ``TrackerCrash`` fault
+mid-run — heartbeats are declined ``tracker_down`` during the outage,
+the restart resyncs the journal from engine state (the stand-in for
+TaskTracker status reports), jobs submitted during the outage are
+deferred and replayed, no attempt is orphaned, and runs with the journal
+enabled but no crash stay byte-identical to runs without it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import EngineConfig, Journal, JournalEntry, Simulation
+from repro.engine.task import TaskState
+from repro.faults import FaultPlan, TrackerCrash
+from repro.schedulers import FairScheduler
+from repro.trace import jsonl_lines
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def jobs(n=4, num_maps=6, **kwargs):
+    return [
+        JobSpec.make(f"{i:02d}", "wordcount", num_maps * 64 * MB, num_maps, 2,
+                     **kwargs)
+        for i in range(1, n + 1)
+    ]
+
+
+def run(specs=None, plan=None, seed=7, **knobs):
+    sim = Simulation(
+        cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
+        scheduler=FairScheduler(),
+        jobs=specs if specs is not None else jobs(),
+        seed=seed,
+        config=EngineConfig(faults=plan, check_invariants=True, **knobs),
+    )
+    return sim, sim.run()
+
+
+# ----------------------------------------------------------------------
+# unit: journal mechanics
+# ----------------------------------------------------------------------
+class TestJournalMechanics:
+    def test_entry_kind_vocabulary_is_closed(self):
+        JournalEntry(0.0, "map_done", "01", 3)
+        with pytest.raises(ValueError):
+            JournalEntry(0.0, "map_finished", "01", 3)
+
+    def test_rebuild_replays_in_order(self):
+        j = Journal()
+        j.append(0.0, "job_submitted", "01")
+        j.append(1.0, "map_done", "01", 0)
+        j.append(2.0, "map_done", "01", 1)
+        j.append(3.0, "map_lost", "01", 0)   # node died, output gone
+        j.append(4.0, "map_done", "01", 0)   # re-executed
+        j.append(5.0, "reduce_done", "01", 0)
+        j.append(6.0, "job_finished", "01")
+        state = j.rebuild()["01"]
+        assert state.maps_done == {0, 1}
+        assert state.reduces_done == {0}
+        assert state.finished and not state.failed
+
+    def test_map_lost_without_redo_stays_lost(self):
+        j = Journal()
+        j.append(1.0, "map_done", "01", 0)
+        j.append(2.0, "map_lost", "01", 0)
+        assert j.rebuild()["01"].maps_done == set()
+
+    def test_resync_counter(self):
+        j = Journal()
+        j.append(0.0, "map_done", "01", 0)
+        j.append(1.0, "map_done", "01", 1, resync=True)
+        assert len(j) == 2
+        assert j.resynced_entries == 1
+
+
+# ----------------------------------------------------------------------
+# integration: tracker crash and restart
+# ----------------------------------------------------------------------
+def crash_plan(at=10.0, down_for=40.0):
+    return FaultPlan(tracker_crashes=(TrackerCrash(at=at, down_for=down_for),))
+
+
+class TestTrackerRestart:
+    def test_run_completes_through_a_tracker_crash(self):
+        sim, result = run(plan=crash_plan(), trace=True)
+        c = result.collector
+        assert sim.tracker.all_done
+        assert not c.failed_jobs
+        assert c.tracker_crashes == 1
+        assert c.tracker_restarts == 1
+
+    def test_outage_declines_and_trace_events(self):
+        sim, result = run(plan=crash_plan(), trace=True)
+        lines = jsonl_lines(result.trace.events)
+        downs = [l for l in lines if '"type":"tracker_down"' in l]
+        ups = [l for l in lines if '"type":"tracker_up"' in l]
+        assert len(downs) == 1 and len(ups) == 1
+        # every heartbeat with free slots during the outage is declined
+        declined = result.collector.declines_by_reason()
+        assert declined.get(("map", "tracker_down"), 0) > 0
+
+    def test_restart_resyncs_outage_completions(self):
+        # work owned by TaskTrackers continues during the outage, so the
+        # journal must be behind at restart and resync must repair it
+        sim, result = run(plan=crash_plan(), trace=True)
+        journal = sim.tracker.journal
+        assert journal is not None
+        assert journal.resynced_entries > 0
+        assert journal.reconcile(sim.tracker) == []
+
+    def test_no_orphaned_attempts_after_restart(self):
+        sim, _ = run(plan=crash_plan())
+        for job in sim.tracker.all_jobs():
+            for task in (*job.maps, *job.reduces):
+                assert task.state is not TaskState.RUNNING
+
+    def test_submission_during_outage_is_deferred_and_replayed(self):
+        specs = jobs(2) + [
+            JobSpec.make("late", "wordcount", 6 * 64 * MB, 6, 2,
+                         submit_time=25.0)  # inside the 10–50 s outage
+        ]
+        sim, result = run(specs=specs, plan=crash_plan(10.0, 40.0), trace=True)
+        assert sim.tracker.all_done
+        assert result.collector.job_completion_times().size == 3
+        # the deferred job shows up in the tracker_up event
+        line = next(
+            l for l in jsonl_lines(result.trace.events)
+            if '"type":"tracker_up"' in l
+        )
+        assert '"deferred_jobs":1' in line
+
+    def test_back_to_back_crashes(self):
+        plan = FaultPlan(tracker_crashes=(
+            TrackerCrash(at=10.0, down_for=5.0),
+            TrackerCrash(at=25.0, down_for=5.0),
+        ))
+        sim, result = run(plan=plan)
+        assert sim.tracker.all_done
+        assert result.collector.tracker_crashes == 2
+        assert result.collector.tracker_restarts == 2
+
+    def test_journal_disabled_without_crash_or_flag(self):
+        sim, _ = run()
+        assert sim.tracker.journal is None
+
+    def test_journal_flag_without_crashes_reconciles(self):
+        sim, _ = run(journal=True)
+        journal = sim.tracker.journal
+        assert journal is not None
+        assert journal.resynced_entries == 0
+        assert journal.reconcile(sim.tracker) == []
+        kinds = {e.kind for e in journal.entries}
+        assert "job_submitted" in kinds and "job_finished" in kinds
+
+
+# ----------------------------------------------------------------------
+# determinism: the journal is pure bookkeeping
+# ----------------------------------------------------------------------
+class TestJournalPerturbation:
+    def test_journal_enabled_run_is_byte_identical(self):
+        _, base = run(trace=True)
+        _, journaled = run(trace=True, journal=True)
+        assert jsonl_lines(base.trace.events) == \
+            jsonl_lines(journaled.trace.events)
+
+    def test_crash_run_is_seed_reproducible(self):
+        _, a = run(plan=crash_plan(), trace=True)
+        _, b = run(plan=crash_plan(), trace=True)
+        assert jsonl_lines(a.trace.events) == jsonl_lines(b.trace.events)

@@ -263,3 +263,119 @@ class TestAttemptBudgets:
         assert (
             declines["map"]["blacklisted"] + declines["reduce"]["blacklisted"]
         ) >= 1
+
+
+# ----------------------------------------------------------------------
+# heartbeat-loss × tracker-expiry boundary
+# ----------------------------------------------------------------------
+class _DropHeartbeats:
+    """Stands in for the FaultInjector: drop every heartbeat from one
+    node while ``dropping`` is set — sustained loss, not a dead node."""
+
+    def __init__(self, target):
+        self.target = target
+        self.dropping = True
+
+    def heartbeat_dropped(self, node):
+        return self.dropping and node.name == self.target
+
+    def on_map_attempt(self, attempt):
+        pass
+
+    def on_reduce_attempt(self, attempt):
+        pass
+
+
+class TestHeartbeatExpiryBoundary:
+    def test_sustained_loss_expires_exactly_once(self):
+        # heartbeats from a *healthy* node stop being delivered; the
+        # tracker must expire it once at the boundary, then sit on the
+        # ``lost`` flag rather than re-expiring every subsequent miss
+        sim, job = started(num_maps=24, tracker_expiry_interval=9.0)
+        node = next(n for n in sim.cluster.nodes if n.running_maps > 0)
+        drops = _DropHeartbeats(node.name)
+        sim.tracker.faults = drops
+        c = sim.tracker.collector
+
+        # at just under the expiry interval: misses accumulate, no loss
+        sim.sim.run(until=sim.sim.now + 8.5)
+        assert c.nodes_lost == 0
+        # cross the boundary, then two more intervals of silence: the
+        # continued misses must not re-expire the already-lost node
+        step_until(sim, lambda: c.nodes_lost == 1)
+        sim.sim.run(until=sim.sim.now + 6.0)
+        assert c.nodes_lost == 1
+        assert node.alive  # the node itself never died
+        assert not job.done
+
+        # heartbeats resume: one rejoin, and the run drains normally
+        drops.dropping = False
+        sim.sim.run()
+        assert c.nodes_rejoined == 1
+        assert c.nodes_lost == 1  # rejoin did not trigger a second expiry
+        assert sim.tracker.all_done and job.done
+
+    def test_expiry_boundary_is_inclusive(self):
+        # expiry fires on the first tick where the silence *equals* the
+        # interval (Hadoop's >= check), aligned to the heartbeat grid
+        sim, job = started(num_maps=24, tracker_expiry_interval=6.0,
+                           heartbeat_period=2.0)
+        node = next(n for n in sim.cluster.nodes if n.running_maps > 0)
+        drops = _DropHeartbeats(node.name)
+        sim.tracker.faults = drops
+        c = sim.tracker.collector
+        start = sim.sim.now
+        ok = step_until(sim, lambda: c.nodes_lost == 1, step=0.25)
+        assert ok
+        assert sim.sim.now - start <= 6.0 + 2.0 + 0.5  # within one period
+        drops.dropping = False
+        sim.sim.run()
+        assert sim.tracker.all_done
+
+    def test_incarnation_bump_kills_stale_attempts_exactly_once(self):
+        # crash + reboot entirely inside the expiry window: the tracker
+        # never sees a missed heartbeat, but the next delivered one
+        # carries a new incarnation — state must be written off once
+        sim, job = started(num_maps=24, tracker_expiry_interval=30.0,
+                           trace=True)
+        node = next(n for n in sim.cluster.nodes if n.running_maps > 0)
+        stale_attempts = node.running_maps + node.running_reduces
+        crash(sim, node)
+        node.alive = True  # rebooted before any heartbeat went missing
+        sim.sim.run()
+        assert sim.tracker.all_done and job.done
+
+        downs = [e for e in sim.tracker.recorder.events
+                 if isinstance(e, NodeDown) and e.node == node.name]
+        assert len(downs) == 1  # written off exactly once
+        assert downs[0].reason == "restarted"
+        assert downs[0].killed_attempts == stale_attempts
+        ups = [e for e in sim.tracker.recorder.events
+               if isinstance(e, NodeUp) and e.node == node.name]
+        assert len(ups) == 1
+        assert sim.tracker.collector.nodes_lost == 1
+        assert sim.tracker.collector.nodes_rejoined == 1
+
+    def test_expiry_then_reboot_does_not_double_kill(self):
+        # the node expires through heartbeat loss, *then* crashes and
+        # reboots while lost: re-registration must adopt the new
+        # incarnation silently — its state was already written off
+        sim, job = started(num_maps=24, tracker_expiry_interval=9.0,
+                           trace=True)
+        node = next(n for n in sim.cluster.nodes if n.running_maps > 0)
+        drops = _DropHeartbeats(node.name)
+        sim.tracker.faults = drops
+        c = sim.tracker.collector
+        step_until(sim, lambda: c.nodes_lost == 1)
+        assert c.nodes_lost == 1
+
+        crash(sim, node)   # bump the incarnation while already lost
+        node.alive = True
+        drops.dropping = False
+        sim.sim.run()
+        assert sim.tracker.all_done and job.done
+        downs = [e for e in sim.tracker.recorder.events
+                 if isinstance(e, NodeDown) and e.node == node.name]
+        assert len(downs) == 1  # the expiry; no second kill on rejoin
+        assert c.nodes_lost == 1
+        assert c.nodes_rejoined == 1

@@ -1,0 +1,143 @@
+"""No-progress watchdog tests: StallError detection and diagnostics.
+
+A simulation that livelocks — events firing forever without the clock
+advancing — used to spin silently until the event budget ran out.  The
+watchdog (``Simulator.run(max_stall_iters=...)``, surfaced as
+``EngineConfig.max_stall_iters`` and ``repro run --max-stall-iters``)
+aborts such runs with a :class:`StallError` carrying a diagnostic dump:
+the stuck event, the queue head, and whatever the engine's
+``stall_diagnostics`` hook reports about in-flight work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engine import EngineConfig, Simulation
+from repro.schedulers import FairScheduler
+from repro.sim import Simulator, StallError
+from repro.units import MB
+from repro.workload import JobSpec
+
+
+def livelock(sim):
+    """A zero-delay self-rescheduling callback: fires forever at one t."""
+    def spin():
+        sim.schedule(0.0, spin)
+    sim.schedule(0.0, spin)
+
+
+class TestSimulatorWatchdog:
+    def test_stall_raises(self):
+        sim = Simulator()
+        livelock(sim)
+        with pytest.raises(StallError):
+            sim.run(max_stall_iters=100)
+
+    def test_stall_not_triggered_by_progress(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=500.0, max_stall_iters=100)
+        task.stop()
+        assert len(ticks) == 501  # start=0 through t=500
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        livelock(sim)
+        # without the watchdog the only brake is the event budget
+        processed = sim.run(max_events=5000)
+        assert processed == 5000
+
+    def test_counter_resets_when_clock_advances(self):
+        # 60 zero-delay events at each of several times: under the
+        # threshold per timestamp, so no stall — the counter must reset
+        # on every clock advance, not accumulate across timestamps
+        sim = Simulator()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            for _ in range(60):
+                sim.at(t, lambda: None)
+        sim.run(max_stall_iters=100)
+        assert sim.now == 3.0
+
+    def test_diagnostic_dump_contents(self):
+        sim = Simulator()
+        livelock(sim)
+        sim.at(10.0, lambda: None)  # a future event for the queue head
+        with pytest.raises(StallError) as exc_info:
+            sim.run(max_stall_iters=50)
+        msg = str(exc_info.value)
+        assert "no-progress watchdog: 50 consecutive events" in msg
+        assert "current event:" in msg
+        assert "queue head:" in msg
+        assert "t=10" in msg  # the pending future event is listed
+
+    def test_custom_diagnostics_hook(self):
+        sim = Simulator()
+        sim.stall_diagnostics = lambda: "in flight: 3 fetches"
+        livelock(sim)
+        with pytest.raises(StallError, match="in flight: 3 fetches"):
+            sim.run(max_stall_iters=50)
+
+    def test_failing_diagnostics_hook_does_not_mask_the_stall(self):
+        sim = Simulator()
+        sim.stall_diagnostics = lambda: 1 / 0
+        livelock(sim)
+        with pytest.raises(StallError, match="stall_diagnostics failed"):
+            sim.run(max_stall_iters=50)
+
+    def test_stall_error_is_a_simulation_error(self):
+        from repro.sim.events import SimulationError
+
+        assert issubclass(StallError, SimulationError)
+
+
+class TestEngineWatchdog:
+    def run(self, **knobs):
+        sim = Simulation(
+            cluster=ClusterSpec(num_racks=2, nodes_per_rack=2),
+            scheduler=FairScheduler(),
+            jobs=[JobSpec.make("01", "wordcount", 128 * MB, 2, 1)],
+            seed=3,
+            config=EngineConfig(**knobs),
+        )
+        return sim, sim.run()
+
+    def test_healthy_run_passes_under_default_watchdog(self):
+        sim, result = self.run()
+        assert sim.tracker.all_done
+
+    def test_config_validates_max_stall_iters(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_stall_iters=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(max_stall_iters=1.5)
+        EngineConfig(max_stall_iters=0)  # 0 disables the watchdog
+
+    def test_engine_wires_stall_diagnostics(self):
+        # the engine attaches a diagnostics hook describing in-flight work
+        sim, _ = self.run()
+        assert sim.sim.stall_diagnostics is not None
+        text = sim.sim.stall_diagnostics()
+        assert "engine state:" in text
+        assert "live flows:" in text
+
+
+def test_cli_rejects_negative_max_stall_iters(capsys):
+    from repro.cli import main
+
+    code = main(["run", "--max-stall-iters", "-1"])
+    assert code == 2
+    assert "--max-stall-iters" in capsys.readouterr().err
+
+
+def test_cli_accepts_max_stall_iters(capsys):
+    from repro.cli import main
+
+    code = main([
+        "run", "--scenario", "ci", "--jobs", "1",
+        "--max-stall-iters", "50000",
+    ])
+    assert code == 0
+    assert "makespan" in capsys.readouterr().out
