@@ -1,0 +1,334 @@
+"""Cache-coherence pass: every declared cache input write must invalidate.
+
+Declarations come from two sources in the analyzed tree:
+
+* ``@cached_on(...)`` decorator applications (see :mod:`repro.coherence`):
+  the decorator's literal arguments name the version attribute, the
+  invalidator method, the declared input attributes (``"Class.attr"``
+  strings) and an optional attribute watcher
+  (``"Node.__setattr__"``-style) that invalidates at runtime;
+* module-level ``CACHE_DEPS`` dict literals, for incrementally-maintained
+  structures: writes to their inputs are only legal inside the listed
+  ``maintainers``.
+
+For each declared input the pass collects every project write site (via
+:meth:`Project.writes_to`) and demands one of: the write sits in an exempt
+function (``__init__``, the cached method itself, its reference recompute,
+the invalidator, a maintainer); the input is covered by the declared
+runtime watcher; or — the common case — a version bump / invalidator call
+is guaranteed on every path after the write
+(:func:`~repro.analysis.check.flowgraph.write_is_guaranteed`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.check.findings import Finding
+from repro.analysis.check.flowgraph import Guard, write_is_guaranteed
+from repro.analysis.check.project import FunctionInfo, Project, Write
+
+__all__ = ["check_coherence", "collect_declarations", "CacheDeclSite"]
+
+
+@dataclass
+class CacheDeclSite:
+    """One cache declaration as written in the analyzed source."""
+
+    qualname: str                     # "Class.method"
+    owner: str                        # owning class simple name
+    module_path: str                  # display path for findings
+    line: int
+    version: Optional[str] = None     # e.g. "epoch", "network.epoch"
+    invalidator: Optional[str] = None
+    reference: Optional[str] = None
+    watcher: Optional[str] = None     # "Class.__setattr__"
+    inputs: Tuple[str, ...] = ()      # "Class.attr" strings
+    maintainers: Tuple[str, ...] = () # CACHE_DEPS only
+
+
+def _string_tuple(node: ast.expr) -> Tuple[str, ...]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return tuple(
+            elt.value
+            for elt in node.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        )
+    return ()
+
+
+def _string(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _decorator_decl(
+    func: FunctionInfo, call: ast.Call
+) -> Optional[CacheDeclSite]:
+    decl = CacheDeclSite(
+        qualname=func.qualname,
+        owner=func.owner or "",
+        module_path=func.module.path,
+        line=call.lineno,
+    )
+    if call.args:
+        decl.version = _string(call.args[0])
+    for kw in call.keywords:
+        if kw.arg == "inputs":
+            decl.inputs = _string_tuple(kw.value)
+        elif kw.arg == "invalidator":
+            decl.invalidator = _string(kw.value)
+        elif kw.arg == "reference":
+            decl.reference = _string(kw.value)
+        elif kw.arg == "watcher":
+            decl.watcher = _string(kw.value)
+    return decl
+
+
+def collect_declarations(project: Project) -> List[CacheDeclSite]:
+    """Find every ``@cached_on`` application and ``CACHE_DEPS`` entry."""
+    decls: List[CacheDeclSite] = []
+    for func in project.iter_functions():
+        for deco in getattr(func.node, "decorator_list", []):
+            if not isinstance(deco, ast.Call):
+                continue
+            name = (
+                deco.func.id
+                if isinstance(deco.func, ast.Name)
+                else deco.func.attr
+                if isinstance(deco.func, ast.Attribute)
+                else None
+            )
+            if name == "cached_on":
+                decl = _decorator_decl(func, deco)
+                if decl is not None:
+                    decls.append(decl)
+    for module in project.modules.values():
+        for stmt in module.tree.body:
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "CACHE_DEPS"
+                and isinstance(stmt.value, ast.Dict)
+            ):
+                continue
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                qualname = _string(key)
+                if qualname is None or not isinstance(value, ast.Dict):
+                    continue
+                owner = qualname.split(".", 1)[0] if "." in qualname else ""
+                decl = CacheDeclSite(
+                    qualname=qualname,
+                    owner=owner,
+                    module_path=module.path,
+                    line=key.lineno,
+                )
+                for k, v in zip(value.keys, value.values):
+                    field_name = _string(k)
+                    if field_name == "inputs":
+                        decl.inputs = _string_tuple(v)
+                    elif field_name == "reference":
+                        decl.reference = _string(v)
+                    elif field_name == "maintainers":
+                        decl.maintainers = _string_tuple(v)
+                    elif field_name == "invalidator":
+                        decl.invalidator = _string(v)
+                    elif field_name == "version":
+                        decl.version = _string(v)
+                decls.append(decl)
+    return sorted(decls, key=lambda d: (d.module_path, d.line))
+
+
+def _watched_fields(project: Project, watcher: str) -> Optional[frozenset]:
+    """Resolve the literal field set a ``Class.__setattr__`` watcher guards.
+
+    Finds a membership test ``name in <X>`` inside the watcher method and
+    resolves ``X`` to a module-level ``set``/``frozenset`` literal of
+    strings (the ``_WATCHED_FIELDS`` idiom).
+    """
+    if "." not in watcher:
+        return None
+    class_name, method = watcher.rsplit(".", 1)
+    info = project.resolve_method(class_name, method)
+    if info is None:
+        return None
+    set_names = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, ast.In) for op in node.ops
+        ):
+            for comparator in node.comparators:
+                if isinstance(comparator, ast.Name):
+                    set_names.add(comparator.id)
+    for stmt in info.module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id in set_names
+        ):
+            value = stmt.value
+            if (
+                isinstance(value, ast.Call)
+                and value.args
+                and isinstance(value.args[0], (ast.Set, ast.Tuple, ast.List))
+            ):
+                return frozenset(_string_tuple(value.args[0]))
+            if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                return frozenset(_string_tuple(value))
+    return None
+
+
+def _exempt(write: Write, decl: CacheDeclSite) -> bool:
+    func = write.func
+    if func is None:
+        return False  # module-level writes are never exempt
+    if func.name == "__init__":
+        return True  # constructors build the state the cache is keyed on
+    method = decl.qualname.rsplit(".", 1)[-1]
+    exempt_names = {method, decl.reference, decl.invalidator}
+    exempt_names.update(decl.maintainers)
+    return func.name in exempt_names
+
+
+def check_coherence(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def emit(path: str, node_or_line, col: int, rule: str, message: str) -> None:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        col = getattr(node_or_line, "col_offset", col - 1) + 1
+        findings.append(
+            Finding(path=path, line=line, col=col, rule=rule, message=message)
+        )
+
+    for decl in collect_declarations(project):
+        owner_info = project.class_named(decl.owner) if decl.owner else None
+        if decl.owner and owner_info is None:
+            emit(
+                decl.module_path, decl.line, 1, "cache-decl-unresolved",
+                f"declaration {decl.qualname}: class {decl.owner!r} is not "
+                "defined in the project",
+            )
+            continue
+        if decl.reference and decl.owner and not project.resolve_method(
+            decl.owner, decl.reference
+        ):
+            emit(
+                decl.module_path, decl.line, 1, "cache-decl-unresolved",
+                f"declaration {decl.qualname}: reference recompute "
+                f"{decl.reference!r} is not a method of {decl.owner}",
+            )
+        if decl.invalidator and decl.owner:
+            # the invalidator may live on the owner or on a named collaborator
+            # (Job's task caches are invalidated via self.job._invalidate_*);
+            # accept any project function with that simple name.
+            if not project.functions.get(decl.invalidator) and not any(
+                f.name == decl.invalidator for f in project.iter_functions()
+            ):
+                emit(
+                    decl.module_path, decl.line, 1, "cache-decl-unresolved",
+                    f"declaration {decl.qualname}: invalidator "
+                    f"{decl.invalidator!r} is not defined anywhere in the "
+                    "project",
+                )
+        watched: Optional[frozenset] = None
+        if decl.watcher:
+            watched = _watched_fields(project, decl.watcher)
+            if watched is None:
+                emit(
+                    decl.module_path, decl.line, 1, "cache-decl-unresolved",
+                    f"declaration {decl.qualname}: cannot resolve the "
+                    f"watched-field set of watcher {decl.watcher!r}",
+                )
+
+        guard = None
+        for input_name in decl.inputs:
+            if "." not in input_name:
+                emit(
+                    decl.module_path, decl.line, 1, "cache-decl-unresolved",
+                    f"declaration {decl.qualname}: input {input_name!r} must "
+                    "be 'Class.attr'",
+                )
+                continue
+            cls_name, attr = input_name.rsplit(".", 1)
+            cls_info = project.class_named(cls_name)
+            if cls_info is None:
+                emit(
+                    decl.module_path, decl.line, 1, "cache-decl-unresolved",
+                    f"declaration {decl.qualname}: input class {cls_name!r} "
+                    "is not defined in the project",
+                )
+                continue
+            writes = [
+                w for w in project.writes_to(cls_name, attr)
+                if not _exempt(w, decl)
+            ]
+            if not writes:
+                continue
+            if watched is not None:
+                if attr in watched:
+                    continue  # runtime watcher invalidates on every store
+                emit(
+                    decl.module_path, decl.line, 1, "cache-unwatched-input",
+                    f"declaration {decl.qualname}: input {input_name} is "
+                    f"mutated ({len(writes)} site(s)) but {decl.watcher} "
+                    "does not watch it",
+                )
+                continue
+            if decl.maintainers:
+                for w in writes:
+                    emit(
+                        w.module.path, w.node, 1, "cache-missing-bump",
+                        f"{input_name} is maintained by "
+                        f"{', '.join(decl.maintainers)} (declared for "
+                        f"{decl.qualname}) but is written here in "
+                        f"{w.func.qualname if w.func else '<module>'}",
+                    )
+                continue
+            if guard is None:
+                version_final = (
+                    decl.version.rsplit(".", 1)[-1] if decl.version else None
+                )
+                invalidators = (
+                    frozenset({decl.invalidator}) if decl.invalidator
+                    else frozenset()
+                )
+
+                def resolver(name: str, _p=project, _o=decl.owner):
+                    info = _p.resolve_method(_o, name)
+                    if info is None:
+                        candidates = _p.functions.get(name)
+                        info = candidates[0] if candidates else None
+                    return info.node if info is not None else None
+
+                guard = Guard(
+                    version_attr=version_final,
+                    invalidators=invalidators,
+                    resolver=resolver,
+                )
+            for w in writes:
+                if w.func is None:
+                    emit(
+                        w.module.path, w.node, 1, "cache-missing-bump",
+                        f"module-level write to {input_name} (declared cache "
+                        f"input of {decl.qualname}) cannot bump "
+                        f"{decl.version or decl.invalidator}",
+                    )
+                elif not write_is_guaranteed(w.func.node, w.stmt, guard):
+                    remedy = (
+                        f"bump {decl.version}" if decl.version else ""
+                    )
+                    if decl.invalidator:
+                        call = f"call {decl.invalidator}()"
+                        remedy = f"{remedy} or {call}" if remedy else call
+                    emit(
+                        w.module.path, w.node, 1, "cache-missing-bump",
+                        f"write to {input_name} in {w.func.qualname} is not "
+                        f"followed by a guaranteed invalidation of "
+                        f"{decl.qualname} — {remedy} on every path",
+                    )
+    return findings

@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli all                 # every artefact in sequence
     repro fig7                              # installed entry point
     repro lint src                          # static correctness checks
+    repro check src                         # whole-program dataflow analysis
+    repro check --format sarif src          # ... machine-readable, for CI
     repro fig4 --check-invariants           # runtime invariant checking
     repro trace out.json                    # one traced run -> Perfetto JSON
     repro trace out.jsonl --scheduler fair  # ... or the archival JSONL form
@@ -584,6 +586,11 @@ def main(argv: List[str] | None = None) -> int:
         from repro.lint.runner import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "check":
+        # whole-program analyzer: cache coherence, RNG provenance, vocabularies
+        from repro.analysis.check.runner import main as check_main
+
+        return check_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "run":
@@ -603,7 +610,7 @@ def main(argv: List[str] | None = None) -> int:
         "experiment",
         choices=[*COMMANDS, "all"],
         help="which paper artefact to regenerate "
-        "(or `lint`/`trace`/`run`/`report`/`bench`/`chaos`)",
+        "(or `lint`/`check`/`trace`/`run`/`report`/`bench`/`chaos`)",
     )
     parser.add_argument(
         "--scenario",

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cache import caching_disabled
+from repro.coherence import cached_on
 from repro.cluster.network import FlowNetwork
 from repro.cluster.node import Node
 from repro.cluster.topology import Topology, rack_topology
@@ -157,6 +158,14 @@ class Cluster:
     def distance(self, a: str, b: str) -> float:
         return float(self._hops[self._by_name[a].index, self._by_name[b].index])
 
+    @cached_on(
+        "network.epoch",
+        reference="_inverse_rate_matrix_uncached",
+        probe=lambda self, *, scale=None: (
+            self._inv_rate_cache is not None
+            and self._inv_rate_cache[0] == (self.network.epoch, scale)
+        ),
+    )
     def inverse_rate_matrix(self, *, scale: Optional[float] = None) -> np.ndarray:
         """The network-condition distance matrix of Section II-B-3.
 
@@ -221,6 +230,19 @@ class Cluster:
     def nodes_with_free_reduce_slots(self) -> List[Node]:
         return list(self.free_reduce_slot_view()[0])
 
+    @cached_on(
+        invalidator="_invalidate_slot_views",
+        inputs=(
+            "Node.alive",
+            "Node.running_maps",
+            "Node.running_reduces",
+            "Node.map_slots",
+            "Node.reduce_slots",
+        ),
+        reference="_free_map_slot_view_uncached",
+        watcher="Node.__setattr__",
+        probe=lambda self: self._free_map_view is not None,
+    )
     def free_map_slot_view(self) -> tuple:
         """Cached ``(nodes, idx, pos)`` view of nodes with free map slots.
 
@@ -233,23 +255,40 @@ class Cluster:
         """
         view = self._free_map_view
         if view is None or self._no_cache:
-            nodes = [n for n in self.nodes if n.alive and n.free_map_slots > 0]
-            view = self._make_slot_view(nodes)
+            view = self._free_map_slot_view_uncached()
             if self._no_cache:
                 return view
             self._free_map_view = view
         return view
 
+    @cached_on(
+        invalidator="_invalidate_slot_views",
+        inputs=(),  # shares free_map_slot_view's declared Node inputs
+        reference="_free_reduce_slot_view_uncached",
+        watcher="Node.__setattr__",
+        probe=lambda self: self._free_reduce_view is not None,
+    )
     def free_reduce_slot_view(self) -> tuple:
         """As :meth:`free_map_slot_view`, for reduce slots."""
         view = self._free_reduce_view
         if view is None or self._no_cache:
-            nodes = [n for n in self.nodes if n.alive and n.free_reduce_slots > 0]
-            view = self._make_slot_view(nodes)
+            view = self._free_reduce_slot_view_uncached()
             if self._no_cache:
                 return view
             self._free_reduce_view = view
         return view
+
+    def _free_map_slot_view_uncached(self) -> tuple:
+        """Reference recompute behind :meth:`free_map_slot_view`."""
+        return self._make_slot_view(
+            [n for n in self.nodes if n.alive and n.free_map_slots > 0]
+        )
+
+    def _free_reduce_slot_view_uncached(self) -> tuple:
+        """Reference recompute behind :meth:`free_reduce_slot_view`."""
+        return self._make_slot_view(
+            [n for n in self.nodes if n.alive and n.free_reduce_slots > 0]
+        )
 
     def _make_slot_view(self, nodes: List[Node]) -> tuple:
         idx = np.fromiter((n.index for n in nodes), np.int64, len(nodes))

@@ -54,10 +54,30 @@ import numpy as np
 
 from repro.cache import caching_disabled
 from repro.cluster.topology import LinkKey, Topology
+from repro.coherence import cached_on
 from repro.sim import Event, Simulator
 from repro.units import MB
 
 __all__ = ["Flow", "FlowNetwork"]
+
+#: Declarations for caches that are maintained *incrementally* rather than
+#: recomputed on a version key: writes to these structures are only legal
+#: inside the listed maintainer methods (plus ``__init__``); ``repro check``
+#: flags any other write site.  The runtime A/B reference for all of them is
+#: the ``REPRO_NO_CACHE=1`` escape hatch (``_refill_reference``).
+CACHE_DEPS = {
+    "FlowNetwork._refill": {
+        "inputs": (
+            "FlowNetwork._mat",
+            "FlowNetwork._members",
+            "FlowNetwork._mpos",
+            "FlowNetwork._nflows_base",
+            "FlowNetwork._finite_caps",
+        ),
+        "reference": "_refill_reference",
+        "maintainers": ("_attach", "_detach", "start_flow"),
+    },
+}
 
 _EPS_BYTES = 1e-3  # byte tolerance when deciding a flow has drained
 _NO_SLOT = -1
@@ -392,6 +412,14 @@ class FlowNetwork:
             rate = min(rate, share)
         return rate
 
+    @cached_on(
+        "epoch",
+        inputs=("FlowNetwork._link_flows", "FlowNetwork._cap_factors"),
+        reference="_rate_matrix_uncached",
+        probe=lambda self: (
+            self._rm_cache is not None and self._rm_epoch == self.epoch
+        ),
+    )
     def rate_matrix(self) -> np.ndarray:
         """Matrix of :meth:`path_rate` over all host pairs.
 

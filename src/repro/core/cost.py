@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 import numpy as np
 
 from repro.cache import caching_disabled
+from repro.coherence import cached_on
 from repro.core.estimator import IntermediateEstimator, ProgressEstimator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -232,6 +233,14 @@ class JobCostModel:
             base = base + dmat[np.ix_(node_indices, p_run)] @ est_rows
         return base
 
+    @cached_on(
+        "job.map_version",
+        reference="_done_arrays_uncached",
+        probe=lambda self: (
+            self._done_cache is not None
+            and self._done_cache[0] == self.job.map_version
+        ),
+    )
     def _done_arrays(self) -> tuple:
         """Cached (node-index, task-index) arrays of completed maps, in task
         order — exactly ``[m for m in job.maps if m.done]``."""
@@ -239,12 +248,17 @@ class JobCostModel:
         cached = self._done_cache
         if cached is not None and cached[0] == version:
             return cached[1], cached[2]
-        done = [m for m in self.job.maps if m.done]
-        p = np.fromiter((m.node.index for m in done), np.int64, len(done))
-        idx = np.fromiter((m.index for m in done), np.int64, len(done))
+        p, idx = self._done_arrays_uncached()
         p.setflags(write=False)
         idx.setflags(write=False)
         self._done_cache = (version, p, idx)
+        return p, idx
+
+    def _done_arrays_uncached(self) -> tuple:
+        """Reference recompute behind :meth:`_done_arrays`."""
+        done = [m for m in self.job.maps if m.done]
+        p = np.fromiter((m.node.index for m in done), np.int64, len(done))
+        idx = np.fromiter((m.index for m in done), np.int64, len(done))
         return p, idx
 
     def realised_reduce_costs(

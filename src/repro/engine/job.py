@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Set
 import numpy as np
 
 from repro.cache import caching_disabled
+from repro.coherence import cached_on
 from repro.engine.task import MapTask, ReduceTask, TaskState
 from repro.metrics.records import JobRecord
 from repro.workload.partition import intermediate_matrix, partition_weights
@@ -127,45 +128,81 @@ class Job:
             sum(m.read_fraction(now) for m in self.maps) / self.num_maps
         )
 
+    @cached_on(
+        "map_version",
+        invalidator="_invalidate_map_views",
+        inputs=("MapTask.state", "MapTask.node"),
+        reference="_pending_maps_uncached",
+        probe=lambda self: self._pending_maps is not None,
+    )
     def pending_maps(self) -> List[MapTask]:
         if self._no_cache:
-            return [m for m in self.maps if m.state is TaskState.PENDING]
+            return self._pending_maps_uncached()
         if self._pending_maps is None:
-            self._pending_maps = [
-                m for m in self.maps if m.state is TaskState.PENDING
-            ]
+            self._pending_maps = self._pending_maps_uncached()
         return self._pending_maps
 
+    @cached_on(
+        "reduce_version",
+        invalidator="_invalidate_reduce_views",
+        inputs=("ReduceTask.state", "ReduceTask.node"),
+        reference="_pending_reduces_uncached",
+        probe=lambda self: self._pending_reduces is not None,
+    )
     def pending_reduces(self) -> List[ReduceTask]:
         if self._no_cache:
-            return [r for r in self.reduces if r.state is TaskState.PENDING]
+            return self._pending_reduces_uncached()
         if self._pending_reduces is None:
-            self._pending_reduces = [
-                r for r in self.reduces if r.state is TaskState.PENDING
-            ]
+            self._pending_reduces = self._pending_reduces_uncached()
         return self._pending_reduces
 
     def started_maps(self) -> List[MapTask]:
         return [m for m in self.maps if m.state is not TaskState.PENDING]
 
+    @cached_on(
+        "map_version",
+        invalidator="_invalidate_map_views",
+        reference="_running_maps_uncached",
+        probe=lambda self: self._running_maps is not None,
+    )
     def running_maps(self) -> List[MapTask]:
         if self._no_cache:
-            return [m for m in self.maps if m.state is TaskState.RUNNING]
+            return self._running_maps_uncached()
         if self._running_maps is None:
-            self._running_maps = [
-                m for m in self.maps if m.state is TaskState.RUNNING
-            ]
+            self._running_maps = self._running_maps_uncached()
         return self._running_maps
 
+    @cached_on(
+        "reduce_version",
+        invalidator="_invalidate_reduce_views",
+        reference="_running_reduces_uncached",
+        probe=lambda self: self._running_reduces is not None,
+    )
     def running_reduces(self) -> List[ReduceTask]:
         if self._no_cache:
-            return [r for r in self.reduces if r.state is TaskState.RUNNING]
+            return self._running_reduces_uncached()
         if self._running_reduces is None:
-            self._running_reduces = [
-                r for r in self.reduces if r.state is TaskState.RUNNING
-            ]
+            self._running_reduces = self._running_reduces_uncached()
         return self._running_reduces
 
+    def _pending_maps_uncached(self) -> List[MapTask]:
+        return [m for m in self.maps if m.state is TaskState.PENDING]
+
+    def _pending_reduces_uncached(self) -> List[ReduceTask]:
+        return [r for r in self.reduces if r.state is TaskState.PENDING]
+
+    def _running_maps_uncached(self) -> List[MapTask]:
+        return [m for m in self.maps if m.state is TaskState.RUNNING]
+
+    def _running_reduces_uncached(self) -> List[ReduceTask]:
+        return [r for r in self.reduces if r.state is TaskState.RUNNING]
+
+    @cached_on(
+        "map_version",
+        invalidator="_invalidate_map_views",
+        reference="_pending_map_index_array_uncached",
+        probe=lambda self: self._pending_map_idx is not None,
+    )
     def pending_map_index_array(self) -> np.ndarray:
         """Indices of pending maps, in task order (read-only int64)."""
         if self._no_cache:
@@ -173,12 +210,17 @@ class Job:
                 [m.index for m in self.pending_maps()], dtype=np.int64
             )
         if self._pending_map_idx is None:
-            pend = self.pending_maps()
-            idx = np.fromiter((m.index for m in pend), np.int64, len(pend))
+            idx = self._pending_map_index_array_uncached()
             idx.setflags(write=False)
             self._pending_map_idx = idx
         return self._pending_map_idx
 
+    @cached_on(
+        "reduce_version",
+        invalidator="_invalidate_reduce_views",
+        reference="_pending_reduce_index_array_uncached",
+        probe=lambda self: self._pending_reduce_idx is not None,
+    )
     def pending_reduce_index_array(self) -> np.ndarray:
         """Indices of pending reduces, in task order (read-only int64)."""
         if self._no_cache:
@@ -186,12 +228,17 @@ class Job:
                 [r.index for r in self.pending_reduces()], dtype=np.int64
             )
         if self._pending_reduce_idx is None:
-            pend = self.pending_reduces()
-            idx = np.fromiter((r.index for r in pend), np.int64, len(pend))
+            idx = self._pending_reduce_index_array_uncached()
             idx.setflags(write=False)
             self._pending_reduce_idx = idx
         return self._pending_reduce_idx
 
+    @cached_on(
+        "map_version",
+        invalidator="_invalidate_map_views",
+        reference="_running_map_node_index_array_uncached",
+        probe=lambda self: self._running_map_nodes is not None,
+    )
     def running_map_node_index_array(self) -> np.ndarray:
         """Node index of each running map, aligned with :meth:`running_maps`."""
         if self._no_cache:
@@ -199,11 +246,22 @@ class Job:
                 [m.node.index for m in self.running_maps()], dtype=np.int64
             )
         if self._running_map_nodes is None:
-            run = self.running_maps()
-            idx = np.fromiter((m.node.index for m in run), np.int64, len(run))
+            idx = self._running_map_node_index_array_uncached()
             idx.setflags(write=False)
             self._running_map_nodes = idx
         return self._running_map_nodes
+
+    def _pending_map_index_array_uncached(self) -> np.ndarray:
+        pend = self.pending_maps()
+        return np.fromiter((m.index for m in pend), np.int64, len(pend))
+
+    def _pending_reduce_index_array_uncached(self) -> np.ndarray:
+        pend = self.pending_reduces()
+        return np.fromiter((r.index for r in pend), np.int64, len(pend))
+
+    def _running_map_node_index_array_uncached(self) -> np.ndarray:
+        run = self.running_maps()
+        return np.fromiter((m.node.index for m in run), np.int64, len(run))
 
     def _invalidate_map_views(self) -> None:
         """A map task changed state or placement; drop derived caches."""

@@ -48,7 +48,19 @@ from repro.trace.recorder import NullRecorder, TraceRecorder
 from repro.units import fmt_bytes
 from repro.workload.spec import JobSpec
 
-__all__ = ["Simulation", "RunResult"]
+__all__ = ["Simulation", "RunResult", "RNG_STREAMS"]
+
+#: Spawn-index -> purpose of every child stream of the run's root
+#: ``SeedSequence`` fan-out.  Append-only: the indices are load-bearing —
+#: children are keyed by spawn index, so adding a stream at the end leaves
+#: existing runs bit-for-bit intact while renumbering would not.
+RNG_STREAMS = {
+    0: "placement",
+    1: "scheduler",
+    2: "background",
+    3: "faults",
+    4: "telemetry",
+}
 
 
 @dataclass
@@ -181,7 +193,7 @@ class Simulation:
             background_ss,
             faults_ss,
             telemetry_ss,
-        ) = ss.spawn(5)
+        ) = ss.spawn(len(RNG_STREAMS))
         self.namenode = NameNode(
             self.cluster,
             replication=self.config.replication,

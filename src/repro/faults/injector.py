@@ -33,7 +33,15 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.engine.task import MapAttempt, ReduceTask
     from repro.sim import Event
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "RNG_STREAMS"]
+
+#: Spawn-index -> fault family of the injector's ``SeedSequence`` fan-out.
+#: Append-only: indices are load-bearing for replay stability.
+RNG_STREAMS = {
+    0: "churn",
+    1: "taskfail",
+    2: "heartbeat",
+}
 
 
 class FaultInjector:
@@ -65,7 +73,7 @@ class FaultInjector:
         self.cluster = cluster
         self.tracker = tracker
         self.sim = tracker.sim
-        churn_ss, taskfail_ss, heartbeat_ss = seed_seq.spawn(3)
+        churn_ss, taskfail_ss, heartbeat_ss = seed_seq.spawn(len(RNG_STREAMS))
         self._churn_rng = np.random.default_rng(churn_ss)
         self._taskfail_rng = np.random.default_rng(taskfail_ss)
         self._heartbeat_rng = np.random.default_rng(heartbeat_ss)

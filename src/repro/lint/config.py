@@ -3,10 +3,15 @@
 The determinism rules only make sense inside the simulation-critical
 sub-packages (an experiment driver may legitimately read the wall clock), so
 the scope is configurable: a file is "deterministic scope" when any directory
-component of its path relative to the lint root appears in
-``deterministic_dirs``.  ``exclude`` removes files from linting entirely
+component of its path relative to the *project root* (the directory holding
+``pyproject.toml``) appears in ``deterministic_dirs``.  Resolving scope
+against the project root — not the path argument — makes ``repro lint src``
+and ``repro lint src/repro/cluster`` agree on which files are
+simulation-critical.  ``exclude`` removes files from linting entirely
 (``repro/units.py`` *defines* the unit constants, so it is excluded by
-default); ``select``/``ignore`` filter by rule name.
+default); exclude patterns may be path suffixes, project-root-relative
+paths, or absolute paths — all three match the same files regardless of the
+CLI invocation directory.  ``select``/``ignore`` filter by rule name.
 """
 
 from __future__ import annotations
@@ -55,6 +60,9 @@ class LintConfig:
     no_print_exclude: Tuple[str, ...] = DEFAULT_NO_PRINT_EXCLUDE
     select: Tuple[str, ...] = ()  # empty = every rule
     ignore: Tuple[str, ...] = ()
+    #: project root (pyproject.toml parent) scope and excludes resolve
+    #: against; None = defaults run, fall back to invocation-relative paths.
+    root: Optional[Path] = field(default=None, compare=False)
     source: str = field(default="defaults", compare=False)
 
     # ------------------------------------------------------------------
@@ -64,14 +72,42 @@ class LintConfig:
         return rule not in self.ignore
 
     def is_excluded(self, path: Path) -> bool:
-        """True when ``path`` (absolute) matches an exclude suffix."""
+        """True when ``path`` (absolute) matches an exclude pattern.
+
+        A pattern matches as a whole path, as a ``/``-anchored suffix, or —
+        when a project root is known — as a root-relative path, so the same
+        ``[tool.repro.lint] exclude`` entry hits the same file whether the
+        CLI was handed ``src``, ``src/repro`` or an absolute path.
+        """
         posix = path.as_posix()
-        return any(
-            posix == pat or posix.endswith("/" + pat) for pat in self.exclude
-        )
+        for pat in self.exclude:
+            if posix == pat or posix.endswith("/" + pat):
+                return True
+            if self.root is not None:
+                try:
+                    if (self.root / pat).resolve() == path:
+                        return True
+                except OSError:  # pragma: no cover - unresolvable pattern
+                    continue
+        return False
 
     def in_deterministic_scope(self, rel_path: Path) -> bool:
         return any(part in self.deterministic_dirs for part in rel_path.parts[:-1])
+
+    def scope_path(self, path: Path, fallback: Path) -> Path:
+        """The path deterministic-scope decisions are made on.
+
+        Relative to the project root when ``path`` lies under it, else the
+        invocation-relative ``fallback`` — so ``repro lint src/repro/engine``
+        still sees ``engine`` as a directory component and applies the
+        determinism rules exactly as ``repro lint src`` would.
+        """
+        if self.root is not None:
+            try:
+                return path.resolve().relative_to(self.root.resolve())
+            except ValueError:
+                pass
+        return fallback
 
     # ------------------------------------------------------------------
     @classmethod
@@ -92,17 +128,18 @@ class LintConfig:
 
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        root = pyproject.parent
         try:
             import tomllib
         except ImportError:  # pragma: no cover - python < 3.11
-            return cls()
+            return cls(root=root)
         try:
             data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
         except (OSError, tomllib.TOMLDecodeError):
-            return cls()
+            return cls(root=root)
         table = data.get("tool", {}).get("repro", {}).get("lint", {})
         if not isinstance(table, dict):
-            return cls()
+            return cls(root=root)
 
         def strings(key: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
             raw = table.get(key, table.get(key.replace("_", "-")))
@@ -126,5 +163,6 @@ class LintConfig:
             ),
             select=strings("select", ()),
             ignore=strings("ignore", ()),
+            root=root,
             source=str(pyproject),
         )

@@ -4,10 +4,12 @@ Usage::
 
     python -m repro.lint src          # lint a tree
     repro lint src                    # via the installed entry point
+    repro lint --format json src      # machine-readable report
     python -m repro.lint --list-rules
 
 Exit status is 0 when no violation survives suppression filtering, 1
-otherwise, 2 on usage errors — so the command slots directly into CI.
+otherwise, 2 on usage or parse errors — the same contract as ``repro
+check``, so both slot directly into CI.
 """
 
 from __future__ import annotations
@@ -15,13 +17,19 @@ from __future__ import annotations
 import argparse
 import ast
 import dataclasses
+import json
 import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint import contracts, determinism, prints, reasons, units
 from repro.lint.config import LintConfig
-from repro.lint.suppress import is_suppressed, suppressions
+from repro.lint.suppress import (
+    is_suppressed,
+    string_literal_lines,
+    suppressions,
+    unknown_waiver_rules,
+)
 from repro.lint.violations import Violation
 
 __all__ = ["ALL_RULES", "lint_paths", "lint_sources", "main"]
@@ -33,6 +41,10 @@ ALL_RULES = {
     **prints.RULES,
     **contracts.RULES,
     **reasons.RULES,
+    "unknown-waiver": (
+        "a lint-ok marker names a rule no command recognises, so it "
+        "suppresses nothing"
+    ),
 }
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist"}
@@ -88,6 +100,23 @@ def lint_sources(
         violations.extend(units.check_units(tree, display, scope, config))
         violations.extend(prints.check_prints(tree, display, scope, config))
         violations.extend(reasons.check_reasons(tree, display, scope, config))
+        # markers waiving rule names no command recognises suppress nothing —
+        # flag them here rather than letting a typo silently disable a waiver
+        # (rules prefixed cache-/rng-/vocab- belong to `repro check`).
+        for line, rule in unknown_waiver_rules(
+            waivers[display],
+            set(ALL_RULES) | {"parse-error"},
+            skip_lines=string_literal_lines(tree),
+        ):
+            violations.append(
+                Violation(
+                    path=display, line=line, col=1, rule="unknown-waiver",
+                    message=(
+                        f"lint-ok marker waives unknown rule {rule!r} — it "
+                        "suppresses nothing; fix the name or drop it"
+                    ),
+                )
+            )
 
     violations.extend(contracts.check_contracts(parsed, config))
 
@@ -114,7 +143,7 @@ def lint_paths(
         for path in _iter_python_files(root):
             if config.is_excluded(path.resolve()):
                 continue
-            rel = path.relative_to(base)
+            rel = config.scope_path(path, path.relative_to(base))
             sources.append((str(path), rel, path.read_text(encoding="utf-8")))
     return lint_sources(sources, config)
 
@@ -130,6 +159,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         default=["src"],
         help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
     )
     parser.add_argument(
         "--list-rules",
@@ -180,12 +215,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
-    for v in violations:
-        print(v.format())
+    if args.format == "json":
+        print(_format_json(violations))
+    else:
+        for v in violations:
+            print(v.format())
     if violations:
         print(f"\n{len(violations)} violation(s) found", file=sys.stderr)
-        return 1
+        return 2 if any(v.rule == "parse-error" for v in violations) else 1
     return 0
+
+
+def _format_json(violations: Sequence[Violation]) -> str:
+    """The ``--format json`` document — same shape as ``repro check``'s."""
+    by_rule: dict = {}
+    for v in violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    return json.dumps(
+        {
+            "tool": "repro-lint",
+            "violations": [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "rule": v.rule,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+            "summary": {"total": len(violations), "by_rule": by_rule},
+        },
+        indent=2,
+        sort_keys=True,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -12,14 +12,27 @@ visible at the point of use.
 
 from __future__ import annotations
 
+import ast
 import re
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.lint.violations import Violation
 
-__all__ = ["suppressions", "is_suppressed"]
+__all__ = [
+    "suppressions",
+    "is_suppressed",
+    "string_literal_lines",
+    "unknown_waiver_rules",
+    "KNOWN_PREFIXES",
+]
 
 _MARKER = re.compile(r"#\s*repro:\s*lint-ok\[([^\]]*)\]")
+
+#: Rule-family prefixes owned by sibling commands (``repro check``).  A
+#: waiver naming a rule with one of these prefixes is left for that command
+#: to validate, so ``repro lint`` does not need to import the analyzer (and
+#: vice versa) just to know the other's rule names.
+KNOWN_PREFIXES: Tuple[str, ...] = ("cache-", "rng-", "vocab-")
 
 
 def suppressions(source: str) -> Dict[int, FrozenSet[str]]:
@@ -43,3 +56,48 @@ def is_suppressed(
     if not rules:
         return False
     return "*" in rules or violation.rule in rules
+
+
+def string_literal_lines(tree: ast.AST) -> Set[int]:
+    """Every line covered by a string literal (docstrings, messages).
+
+    A ``lint-ok`` marker *mentioned* inside a string is documentation, not
+    a live waiver — unknown-rule validation must skip those lines.  (The
+    per-line waiver lookup itself stays source-based: a marker sharing a
+    line with a string but sitting in a real comment still works.)
+    """
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            end = node.end_lineno or node.lineno
+            lines.update(range(node.lineno, end + 1))
+    return lines
+
+
+def unknown_waiver_rules(
+    waivers: Dict[int, FrozenSet[str]],
+    known_rules: Iterable[str],
+    *,
+    skip_lines: Optional[Set[int]] = None,
+    foreign_prefixes: Tuple[str, ...] = KNOWN_PREFIXES,
+) -> List[Tuple[int, str]]:
+    """``(line, rule)`` pairs naming rules no command will ever match.
+
+    ``known_rules`` are this command's own rule names; rules starting with
+    a ``foreign_prefixes`` entry belong to a sibling command and are left
+    for it to validate.  ``skip_lines`` (typically
+    :func:`string_literal_lines`) drops markers that only *appear* inside
+    string literals.
+    """
+    known = set(known_rules)
+    out: List[Tuple[int, str]] = []
+    for line, rules in sorted(waivers.items()):
+        if skip_lines is not None and line in skip_lines:
+            continue
+        for rule in sorted(rules):
+            if rule == "*" or rule in known:
+                continue
+            if any(rule.startswith(p) for p in foreign_prefixes):
+                continue
+            out.append((line, rule))
+    return out

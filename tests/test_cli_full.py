@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
 from repro.cluster import ClusterSpec
 from repro.experiments import SCENARIOS, Scenario
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -86,6 +92,61 @@ class TestSweepCommands:
     def test_bandwidth(self, capsys):
         out = run_cli(capsys, "bandwidth")
         assert "bg intensity" in out
+
+
+class TestStaticAnalysisCommands:
+    """`repro lint` / `repro check` dispatch and their shared exit-code
+    contract: 0 clean, 1 findings, 2 usage-or-parse-error."""
+
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+
+    def test_check_clean_tree_exits_zero(self, capsys):
+        assert main(["check", "--no-baseline", str(SRC)]) == 0
+
+    def test_lint_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "engine"
+        bad.mkdir(parents=True)
+        (bad / "mod.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+
+    def test_check_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        assert main(["check", "--no-baseline", str(tmp_path)]) == 1
+        assert "rng-ambient" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ["lint", "check"])
+    def test_parse_error_exits_two(self, command, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("def broken(:\n", encoding="utf-8")
+        argv = [command, str(tmp_path)]
+        if command == "check":
+            argv.insert(1, "--no-baseline")
+        assert main(argv) == 2
+
+    @pytest.mark.parametrize("command", ["lint", "check"])
+    def test_usage_error_exits_two(self, command, capsys):
+        assert main([command, "--select", "bogus", str(SRC)]) == 2
+
+    @pytest.mark.parametrize("command", ["lint", "check"])
+    def test_format_json_supported(self, command, capsys):
+        argv = [command, "--format", "json", str(SRC)]
+        if command == "check":
+            argv.insert(1, "--no-baseline")
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == f"repro-{command}"
+
+    def test_check_sarif_format_supported(self, capsys):
+        assert main(
+            ["check", "--no-baseline", "--format", "sarif", str(SRC)]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
 
 
 class TestArgumentHandling:

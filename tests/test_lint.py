@@ -10,12 +10,15 @@ whether the file counts as simulation-critical.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.lint import (
     ALL_RULES,
@@ -26,6 +29,7 @@ from repro.lint import (
 )
 from repro.lint.config import DEFAULT_DETERMINISTIC_DIRS
 from repro.lint.runner import main as lint_main
+from repro.lint.suppress import suppressions, unknown_waiver_rules
 
 REPO = Path(__file__).resolve().parents[1]
 SRC = REPO / "src"
@@ -380,6 +384,89 @@ class TestSuppression:
         assert run_lint(src) == []
 
 
+# ----------------------------------------------------------------------
+# the suppression parser, property-tested
+# ----------------------------------------------------------------------
+RULE_NAME = st.sampled_from(sorted(ALL_RULES))
+WS = st.text(alphabet=" \t", max_size=3)
+
+
+class TestSuppressionParser:
+    @given(rules=st.lists(RULE_NAME, min_size=1, max_size=5, unique=True),
+           before=WS, after=WS, sep=WS)
+    def test_multiple_rules_and_whitespace_all_parse(
+        self, rules, before, after, sep
+    ):
+        marker = (
+            f"x = 1  #{before}repro:{sep}lint-ok["
+            + f" ,{after}".join(rules)
+            + "]"
+        )
+        waived = suppressions(marker + "\n")
+        assert waived == {1: frozenset(rules)}
+
+    @given(rules=st.lists(RULE_NAME, min_size=1, max_size=4, unique=True),
+           trailer=st.text(
+               alphabet=st.characters(
+                   blacklist_characters="[]\n\r", max_codepoint=0x7E
+               ),
+               max_size=20,
+           ))
+    def test_trailing_comment_text_ignored(self, rules, trailer):
+        marker = "x = 1  # repro: lint-ok[" + ",".join(rules) + "] " + trailer
+        waived = suppressions(marker + "\n")
+        assert waived[1] == frozenset(rules)
+
+    @given(lineno=st.integers(min_value=1, max_value=50),
+           rule=RULE_NAME)
+    def test_marker_line_number_tracked(self, lineno, rule):
+        src = "\n" * (lineno - 1) + f"y = 2  # repro: lint-ok[{rule}]\n"
+        assert suppressions(src) == {lineno: frozenset([rule])}
+
+    @given(junk=st.text(
+        alphabet=st.characters(blacklist_characters="[]\n\r#"),
+        max_size=30,
+    ))
+    def test_lines_without_marker_yield_nothing(self, junk):
+        assert suppressions(junk + "\n") == {}
+
+    def test_empty_bracket_is_not_a_waiver(self):
+        assert suppressions("x = 1  # repro: lint-ok[]\n") == {}
+        assert suppressions("x = 1  # repro: lint-ok[ , ]\n") == {}
+
+    @given(known=st.lists(RULE_NAME, max_size=3, unique=True),
+           unknown=st.text(
+               alphabet="abcdefghijklmnopqrstuvwxyz-",
+               min_size=1, max_size=12,
+           ).filter(lambda s: s not in ALL_RULES
+                    and s != "parse-error"
+                    and not s.startswith(("cache-", "rng-", "vocab-"))))
+    def test_unknown_rule_is_reported_known_are_not(self, known, unknown):
+        waived = {1: frozenset(known + [unknown])}
+        flagged = unknown_waiver_rules(waived, set(ALL_RULES) | {"parse-error"})
+        assert flagged == [(1, unknown)]
+
+    @given(prefix=st.sampled_from(["cache-", "rng-", "vocab-"]),
+           tail=st.text(alphabet="abcdefghijklmnopqrstuvwxyz",
+                        min_size=1, max_size=8))
+    def test_sibling_command_prefixes_left_alone(self, prefix, tail):
+        waived = {1: frozenset([prefix + tail])}
+        assert unknown_waiver_rules(waived, set(ALL_RULES)) == []
+
+    def test_unknown_rule_warning_via_lint(self):
+        vs = run_lint("x = 1  # repro: lint-ok[magic-unti]\n")
+        assert rules(vs) == ["unknown-waiver"]
+        assert "magic-unti" in vs[0].message
+
+    def test_check_family_waivers_not_flagged_by_lint(self):
+        src = "x = 1  # repro: lint-ok[cache-missing-bump,rng-ambient]\n"
+        assert run_lint(src) == []
+
+    def test_marker_mentioned_in_docstring_not_validated(self):
+        src = '"""Use # repro: lint-ok[whatever-rule] to waive."""\n'
+        assert run_lint(src) == []
+
+
 def test_syntax_error_reported_as_parse_error():
     vs = run_lint("def broken(:\n")
     assert [v.rule for v in vs] == ["parse-error"]
@@ -427,6 +514,75 @@ class TestConfig:
         config = LintConfig.load(SRC)
         assert config.source.endswith("pyproject.toml")
         assert config.deterministic_dirs == DEFAULT_DETERMINISTIC_DIRS
+        assert config.root == REPO
+
+
+# ----------------------------------------------------------------------
+# CLI/pyproject symmetry: excludes and deterministic scope are resolved
+# against the project root, not the invocation directory (regression)
+# ----------------------------------------------------------------------
+class TestConfigPathSymmetry:
+    @pytest.fixture
+    def project(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\n"
+            'deterministic-dirs = ["engine"]\n'
+            'exclude = ["pkg/engine/generated.py"]\n',
+            encoding="utf-8",
+        )
+        pkg = tmp_path / "pkg" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "clock.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        (pkg / "generated.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        return tmp_path
+
+    def test_deterministic_scope_same_from_any_invocation_dir(self, project):
+        config = LintConfig.load(project)
+        from_root = lint_paths([project / "pkg"], config)
+        from_subdir = lint_paths([project / "pkg" / "engine"], config)
+        from_file = lint_paths([project / "pkg" / "engine" / "clock.py"], config)
+        assert rules(from_root) == ["wallclock"]
+        assert rules(from_subdir) == ["wallclock"]
+        assert rules(from_file) == ["wallclock"]
+
+    def test_root_relative_exclude_same_from_any_invocation_dir(self, project):
+        config = LintConfig.load(project)
+        for target in (
+            project / "pkg",
+            project / "pkg" / "engine",
+            project / "pkg" / "engine" / "generated.py",
+        ):
+            assert not any(
+                "generated.py" in v.path for v in lint_paths([target], config)
+            )
+
+    def test_absolute_exclude_pattern_matches(self, project):
+        config = LintConfig.load(project)
+        import dataclasses
+
+        config = dataclasses.replace(
+            config,
+            exclude=(str(project / "pkg" / "engine" / "generated.py"),),
+        )
+        assert not any(
+            "generated.py" in v.path
+            for v in lint_paths([project / "pkg"], config)
+        )
+
+    def test_scope_falls_back_outside_the_root(self, tmp_path):
+        # a file outside the configured root keeps invocation-relative scope
+        config = LintConfig(
+            deterministic_dirs=("engine",), root=tmp_path / "elsewhere"
+        )
+        scoped = config.scope_path(
+            tmp_path / "repro" / "engine" / "mod.py",
+            Path("repro/engine/mod.py"),
+        )
+        assert scoped == Path("repro/engine/mod.py")
 
 
 # ----------------------------------------------------------------------
@@ -459,6 +615,29 @@ class TestWholeTree:
 
     def test_cli_missing_path(self, capsys):
         assert lint_main([str(SRC / "no-such-dir")]) == 2
+
+    def test_cli_exit_two_on_parse_error(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("def broken(:\n", encoding="utf-8")
+        assert lint_main([str(tmp_path)]) == 2
+        assert "parse-error" in capsys.readouterr().out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "engine"
+        bad.mkdir(parents=True)
+        (bad / "mod.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        assert lint_main(["--format", "json", str(tmp_path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro-lint"
+        assert doc["summary"]["total"] == 1
+        assert doc["summary"]["by_rule"] == {"wallclock": 1}
+        assert doc["violations"][0]["rule"] == "wallclock"
+
+    def test_cli_json_format_clean_tree(self, capsys):
+        assert lint_main(["--format", "json", str(SRC)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["violations"] == []
 
     def test_python_dash_m_entry_point(self):
         env = dict(os.environ)
