@@ -2,39 +2,135 @@
 
 The paper asserts its method "achieves better job completion time, data
 locality and cluster resource utilization than the existing Fair Scheduler
-and Coupling Scheduler".  There is no dedicated figure, so this bench
-reports mean map/reduce slot utilisation and declined-offer counts from the
-same runs that feed Figures 4-7.
+and Coupling Scheduler".  There is no dedicated figure, so this bench runs
+the wordcount batch under all three schedulers **with the time-series
+metrics plane on** and reports slot utilisation two ways:
+
+* *exact* — the collector's offline occupancy integration
+  (:meth:`RunResult.slot_utilisation`), the ground truth;
+* *sampled* — mean/peak of the plane's ``slots_busy`` gauge series, the
+  figure a live monitoring stack would see at the sampling cadence.
+
+The two must agree to sampling error, the probabilistic scheduler must not
+trail Coupling, and — because the plane feeds dashboards byte-for-byte —
+the same seed must export byte-identical metrics JSONL.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+import numpy as np
 from conftest import run_once
 
 from repro.analysis import format_table
-from repro.experiments import comparison
+from repro.experiments import SCHEDULER_FACTORIES
+from repro.experiments.scenarios import run_batch
+from repro.obs import MetricsConfig
+from repro.obs.export import metrics_jsonl_lines
+
+#: sampling cadence for this bench — fine enough that the sampled mean
+#: tracks the exact occupancy integral within a few percent
+PERIOD = 2.0
+
+
+def _metered(scenario):
+    """The bench scenario with the metrics plane enabled."""
+    return scenario.with_(
+        config=replace(scenario.config, metrics=MetricsConfig(period=PERIOD))
+    )
+
+
+def _run_all(scenario):
+    metered = _metered(scenario)
+    return {
+        name: run_batch(metered, factory(), "wordcount")
+        for name, factory in SCHEDULER_FACTORIES.items()
+    }
+
+
+def _sampled_stats(result, kind, capacity):
+    """(mean, peak) slot utilisation as seen by the sampled gauge series."""
+    points = result.metrics.series("slots_busy", kind=kind)
+    values = [v for _, v in points]
+    if not values:
+        return 0.0, 0.0
+    return sum(values) / len(values) / capacity, max(values) / capacity
+
+
+def _exact_over_span(result, kind, capacity, span):
+    """Exact occupancy-integral utilisation over a given time span.
+
+    The collector's :meth:`mean_utilisation` averages over the *activity*
+    window (first task start to last task end); the sampled gauge series
+    averages over the whole run.  To reconcile the two on the same footing,
+    spread the exact busy-slot area over the sampled span.
+    """
+    times, levels = result.collector.occupancy_series(kind)
+    if len(times) < 2 or span <= 0:
+        return 0.0
+    area = float(np.sum(levels[:-1] * np.diff(times)))
+    return area / (span * capacity)
 
 
 def test_utilisation(benchmark, scenario):
-    results = run_once(benchmark, comparison, scenario)
+    results = run_once(benchmark, _run_all, scenario)
     rows = []
     stats = {}
-    for name, runs in results.items():
-        map_u = sum(r.utilisation("map") for r in runs.values()) / len(runs)
-        red_u = sum(r.utilisation("reduce") for r in runs.values()) / len(runs)
-        declines = sum(r.collector.scheduling_declines for r in runs.values())
-        stats[name] = (map_u, red_u, declines)
-        rows.append((name, f"{map_u:.1%}", f"{red_u:.1%}", declines))
+    for name, r in results.items():
+        map_mean, map_peak = r.slot_utilisation("map")
+        red_mean, red_peak = r.slot_utilisation("reduce")
+        s_map_mean, s_map_peak = _sampled_stats(r, "map", r.map_slots)
+        s_red_mean, s_red_peak = _sampled_stats(r, "reduce", r.reduce_slots)
+        declines = r.collector.scheduling_declines
+        stats[name] = (map_mean, red_mean)
+        rows.append((
+            name,
+            f"{map_mean:.1%}", f"{s_map_mean:.1%}", f"{map_peak:.1%}",
+            f"{red_mean:.1%}", f"{s_red_mean:.1%}", f"{red_peak:.1%}",
+            declines,
+        ))
+
+        # sampled statistics must stay physical and track the exact ones
+        # when both are taken over the same (whole-run) span
+        sample_times = r.metrics.sample_times
+        span = sample_times[-1] - sample_times[0]
+        for kind, sampled_mean, sampled_peak, exact_peak, cap in (
+            ("map", s_map_mean, s_map_peak, map_peak, r.map_slots),
+            ("reduce", s_red_mean, s_red_peak, red_peak, r.reduce_slots),
+        ):
+            assert 0.0 <= sampled_mean <= 1.0
+            assert 0.0 <= sampled_peak <= exact_peak + 1e-9
+            exact_run_mean = _exact_over_span(r, kind, cap, span)
+            assert abs(sampled_mean - exact_run_mean) < 0.10, (
+                name, kind, sampled_mean, exact_run_mean,
+            )
+
     print()
     print(format_table(
-        ["scheduler", "map-slot util", "reduce-slot util", "offers declined"],
-        rows, title=f"Resource utilisation [{scenario.name}]",
+        ["scheduler", "map mean", "map sampled", "map peak",
+         "red mean", "red sampled", "red peak", "declined"],
+        rows,
+        title=f"Resource utilisation, exact vs sampled [{scenario.name}]",
     ))
 
     # the probabilistic scheduler's no-delay design keeps utilisation at
     # least as high as the gradual-launch Coupling Scheduler
     assert stats["probabilistic"][0] >= stats["coupling"][0] * 0.95
-    for name, (map_u, red_u, _) in stats.items():
+    for name, (map_u, red_u) in stats.items():
         assert 0.0 < map_u <= 1.0
         assert 0.0 < red_u <= 1.0
         benchmark.extra_info[f"map_util_{name}"] = round(map_u, 3)
+
+
+def test_metrics_export_deterministic(scenario):
+    """Same seed, same scheduler -> byte-identical metrics JSONL export."""
+    metered = _metered(scenario)
+    factory = SCHEDULER_FACTORIES["probabilistic"]
+    meta = {"scheduler": "probabilistic", "seed": scenario.seed}
+    first = run_batch(metered, factory(), "wordcount")
+    second = run_batch(metered, factory(), "wordcount")
+    assert (
+        metrics_jsonl_lines(first.metrics, meta=meta)
+        == metrics_jsonl_lines(second.metrics, meta=meta)
+    )

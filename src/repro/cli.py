@@ -21,6 +21,10 @@ Usage::
     repro bench --baseline BENCH_perf.json  # fail on >2x wall regression
     repro chaos --rounds 20 --seed 1        # randomized-fault soak, verified
     repro chaos --rounds 3 --quick          # the CI chaos smoke
+    repro run --metrics m.jsonl             # run with the metrics plane on
+    repro report m.jsonl                    # ... render its ASCII dashboard
+    repro profile                           # wall-time attribution (200 nodes)
+    repro profile --quick --out p.json      # ... the CI smoke, JSON artifact
 
 Scenario selection: ``--scenario {ci,medium,paper,nas,churn}`` or the
 ``REPRO_SCALE`` environment variable (default ``ci``).
@@ -367,6 +371,14 @@ def _run_main(argv: List[str]) -> int:
                         "overrides the scenario's own plan")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="append the run's JSONL event trace to PATH")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="enable the time-series metrics plane and "
+                        "append its JSONL export to PATH "
+                        "(render with `repro report PATH`)")
+    parser.add_argument("--metrics-period", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="sampling cadence of the metrics plane "
+                        "(default: 5.0 simulated seconds)")
     parser.add_argument("--check-invariants", action="store_true",
                         help="run with the runtime invariant checker on")
     parser.add_argument("--max-stall-iters", type=int, default=None,
@@ -393,6 +405,15 @@ def _run_main(argv: List[str]) -> int:
         changes["max_stall_iters"] = args.max_stall_iters
     if args.trace:
         changes.update(trace=True, trace_jsonl=args.trace)
+    if args.metrics:
+        from repro.obs import MetricsConfig
+
+        if args.metrics_period <= 0:
+            print("--metrics-period must be positive", file=sys.stderr)
+            return 2
+        changes["metrics"] = MetricsConfig(
+            period=args.metrics_period, jsonl=args.metrics
+        )
     if changes:
         scenario = scenario.with_(
             config=dataclasses.replace(scenario.config, **changes)
@@ -405,6 +426,8 @@ def _run_main(argv: List[str]) -> int:
     sim = scenario.simulation(factories[args.scheduler](), jobs)
     result = sim.run()
     print(result.summary())
+    if args.metrics:
+        print(f"metrics appended to {args.metrics}")
     if sim.faults is not None:
         inj = sim.faults
         print(
@@ -442,11 +465,18 @@ def _bench_main(argv: List[str]) -> int:
                         "(default: 2.0x wall time)")
     parser.add_argument("--no-speedup", action="store_true",
                         help="skip the REPRO_NO_CACHE=1 reference re-run")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each case N times and keep the minimum "
+                        "wall time (default: 1)")
     args = parser.parse_args(argv)
 
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
     doc = run_bench(
         quick=args.quick,
         measure_speedup=not args.no_speedup,
+        repeat=args.repeat,
         progress=print,
     )
     write_bench(doc, args.out)
@@ -513,6 +543,9 @@ def _chaos_main(argv: List[str]) -> int:
                         help="truncate each run's batch to 4 jobs (CI smoke)")
     parser.add_argument("--trace", metavar="PATH", default="",
                         help="append every run's JSONL event trace to PATH")
+    parser.add_argument("--metrics", metavar="PATH", default="",
+                        help="sample the metrics plane during each primary "
+                        "run and append its JSONL export to PATH")
     args = parser.parse_args(argv)
 
     if args.rounds < 1:
@@ -528,37 +561,141 @@ def _chaos_main(argv: List[str]) -> int:
         quick=args.quick,
         progress=print,
         trace_path=args.trace,
+        metrics_path=args.metrics,
     )
     print()
     print(report.summary())
     return 0 if report.ok else 1
 
 
+def _is_metrics_file(path: str) -> bool:
+    """True when ``path`` starts with a repro-metrics meta line.
+
+    `repro report` accepts both event traces and metrics exports; the two
+    are distinguished by their first non-empty JSONL line so users never
+    have to remember which flag produced which file.
+    """
+    import json
+
+    from repro.obs.export import FORMAT_MARKER
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    return False
+                return (
+                    isinstance(doc, dict)
+                    and doc.get("format") == FORMAT_MARKER
+                )
+    except OSError:
+        pass
+    return False
+
+
+def _report_metrics(path: str, width: int) -> int:
+    """Render a metrics JSONL export as per-run ASCII dashboards."""
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.export import read_metrics_jsonl
+
+    try:
+        runs = read_metrics_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics: {exc}", file=sys.stderr)
+        return 2
+    if not runs:
+        print("empty metrics file", file=sys.stderr)
+        return 2
+    for i, run_doc in enumerate(runs):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(render_dashboard(run_doc, width=width))
+    return 0
+
+
+def _profile_main(argv: List[str]) -> int:
+    """`repro profile` — wall-time attribution of one benchmark case."""
+    import json
+
+    from repro.experiments.perf import bench_cases, profile_case
+    from repro.obs.profile import table_from_doc
+
+    cases = {c.name: c for c in bench_cases(quick=False)}
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run one benchmark case under the hot-path wall-time "
+        "profiler and print the per-component attribution table "
+        "(self time: a parent scope is charged only for the wall time its "
+        "children did not claim).",
+    )
+    parser.add_argument("--case", default=None, choices=sorted(cases),
+                        help="benchmark case to profile "
+                        "(default: xl_pna_netcond, the 200-node showcase)")
+    parser.add_argument("--quick", action="store_true",
+                        help="profile the small-cluster pna_netcond case "
+                        "instead (the CI smoke)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the canonical profile JSON to PATH")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="show only the N hottest components (0 = all)")
+    args = parser.parse_args(argv)
+
+    name = args.case or ("pna_netcond" if args.quick else "xl_pna_netcond")
+    case = cases[name]
+    print(f"profiling {case.name} ({case.cluster.num_nodes} nodes)...")
+    doc = profile_case(case)
+    print()
+    print(table_from_doc(doc, top=args.top))
+    print(f"\n{doc['events']:,} events in {doc['wall_s']:.3f} s wall")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _report_main(argv: List[str]) -> int:
-    """`repro report <trace.jsonl>` — render a saved trace."""
+    """`repro report <file.jsonl>` — render a saved trace or metrics export."""
     from repro.trace import ascii_timeline, read_jsonl, trace_summary
 
     parser = argparse.ArgumentParser(
         prog="repro report",
-        description="Render a saved JSONL trace as summary tables + timeline.",
+        description="Render a saved JSONL artifact: an event trace "
+        "(`repro trace` / EngineConfig(trace_jsonl=...)) as summary tables "
+        "+ timeline, or a metrics export (`repro run --metrics`) as an "
+        "ASCII dashboard.  The file kind is auto-detected.",
     )
     parser.add_argument("trace", help="JSONL trace written by `repro trace` "
-                        "or EngineConfig(trace_jsonl=...)")
+                        "or metrics export from `repro run --metrics`")
     parser.add_argument("--width", type=int, default=64,
-                        help="timeline width in columns (default 64)")
+                        help="timeline/sparkline width in columns (default 64)")
     args = parser.parse_args(argv)
 
     try:
-        events = read_jsonl(args.trace)
-    except OSError as exc:
-        print(f"cannot read trace: {exc}", file=sys.stderr)
-        return 2
-    if not events:
-        print("empty trace", file=sys.stderr)
-        return 2
-    print(trace_summary(events))
-    print()
-    print(ascii_timeline(events, width=args.width))
+        if _is_metrics_file(args.trace):
+            return _report_metrics(args.trace, args.width)
+        try:
+            events = read_jsonl(args.trace)
+        except OSError as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        if not events:
+            print("empty trace", file=sys.stderr)
+            return 2
+        print(trace_summary(events))
+        print()
+        print(ascii_timeline(events, width=args.width))
+    except BrokenPipeError:
+        # output piped into head/less that exited early: not an error
+        import os
+
+        os.close(sys.stdout.fileno())
     return 0
 
 
@@ -601,6 +738,8 @@ def main(argv: List[str] | None = None) -> int:
         return _bench_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
@@ -610,7 +749,8 @@ def main(argv: List[str] | None = None) -> int:
         "experiment",
         choices=[*COMMANDS, "all"],
         help="which paper artefact to regenerate "
-        "(or `lint`/`check`/`trace`/`run`/`report`/`bench`/`chaos`)",
+        "(or `lint`/`check`/`trace`/`run`/`report`/`bench`/`chaos`/"
+        "`profile`)",
     )
     parser.add_argument(
         "--scenario",

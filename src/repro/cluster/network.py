@@ -55,6 +55,7 @@ import numpy as np
 from repro.cache import caching_disabled
 from repro.cluster.topology import LinkKey, Topology
 from repro.coherence import cached_on
+from repro.obs import profile as _obs_profile
 from repro.sim import Event, Simulator
 from repro.units import MB
 
@@ -346,7 +347,12 @@ class FlowNetwork:
                 # a same-instant tick deferred its refill; flush it so the
                 # final rate frozen into the detached flow is the fresh one
                 self._refill_deferred = False
-                self._refill()
+                prof = _obs_profile.ACTIVE
+                if prof is None:
+                    self._refill()
+                else:
+                    with prof.scope("network.refill"):
+                        self._refill()
             self._detach(flow)
             self._mark_dirty()
 
@@ -367,6 +373,26 @@ class FlowNetwork:
         if self._cap_factors:
             cap *= self._cap_factors.get(link, 1.0)
         return cap
+
+    def link_utilisations(self) -> List[float]:
+        """Current load fraction of every topology link (stable order).
+
+        A link's utilisation is the sum of the max-min rates of the
+        fabric flows crossing it over its effective capacity; links the
+        fabric has never carried a flow on (or carrying none right now)
+        report 0.0.  Read-only — the metrics plane samples this.
+        """
+        out: List[float] = []
+        for link in self.topology.links():
+            lid = self._link_ids.get(link)
+            members = self._members[lid] if lid is not None else ()
+            if not members:
+                out.append(0.0)
+                continue
+            used = float(sum(self._rates[s] for s in members))
+            cap = self.effective_capacity(link)
+            out.append(used / cap if cap > 0 else 0.0)
+        return out
 
     def capacity_factor(self, link: LinkKey) -> float:
         return self._cap_factors.get(link, 1.0)
@@ -441,21 +467,30 @@ class FlowNetwork:
             return self._rate_matrix_uncached()
         if self._rm_cache is not None and self._rm_epoch == self.epoch:
             return self._rm_cache
-        if self._rm_static is None:
-            self._rm_static = self._build_rate_matrix_static()
-        tensor, links = self._rm_static
-        share = np.empty(len(links) + 1, dtype=np.float64)
-        for s, link in enumerate(links):
-            share[s] = self.effective_capacity(link) / (
-                self._link_flows.get(link, 0) + 1
-            )
-        share[len(links)] = math.inf  # padding id: never the min
-        r = share[tensor].min(axis=2)
-        np.fill_diagonal(r, self.local_bandwidth)
-        r.setflags(write=False)
-        self._rm_cache = r
-        self._rm_epoch = self.epoch
-        return r
+        prof = _obs_profile.ACTIVE
+        if prof is not None:
+            # only cache *misses* land in the profile bucket; hits cost a
+            # dict probe and stay attributed to their caller
+            prof.push("network.rate_matrix")
+        try:
+            if self._rm_static is None:
+                self._rm_static = self._build_rate_matrix_static()
+            tensor, links = self._rm_static
+            share = np.empty(len(links) + 1, dtype=np.float64)
+            for s, link in enumerate(links):
+                share[s] = self.effective_capacity(link) / (
+                    self._link_flows.get(link, 0) + 1
+                )
+            share[len(links)] = math.inf  # padding id: never the min
+            r = share[tensor].min(axis=2)
+            np.fill_diagonal(r, self.local_bandwidth)
+            r.setflags(write=False)
+            self._rm_cache = r
+            self._rm_epoch = self.epoch
+            return r
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def _rate_matrix_uncached(self) -> np.ndarray:
         """Reference implementation: per-pair route walk (O(k² · route))."""
@@ -665,7 +700,12 @@ class FlowNetwork:
             self._refill_deferred = True
             return
         self._refill_deferred = False
-        self._refill()
+        prof = _obs_profile.ACTIVE
+        if prof is None:
+            self._refill()
+        else:
+            with prof.scope("network.refill"):
+                self._refill()
         self._schedule_next()
 
     def _schedule_next(self) -> None:

@@ -42,6 +42,7 @@ import numpy as np
 from repro.cache import caching_disabled
 from repro.coherence import cached_on
 from repro.core.estimator import IntermediateEstimator, ProgressEstimator
+from repro.obs import profile as _obs_profile
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.job import Job
@@ -198,40 +199,53 @@ class JobCostModel:
         With the default hop matrix the completed part comes from the
         incremental ``Sc`` cache; a custom ``distance`` recomputes everything.
         """
-        node_indices = np.asarray(node_indices, dtype=np.int64)
-        reduce_indices = np.asarray(reduce_indices, dtype=np.int64)
-        est = estimator if estimator is not None else ProgressEstimator()
+        prof = _obs_profile.ACTIVE
+        if prof is not None:
+            prof.push("cost.reduce_costs")
+        try:
+            node_indices = np.asarray(node_indices, dtype=np.int64)
+            reduce_indices = np.asarray(reduce_indices, dtype=np.int64)
+            est = estimator if estimator is not None else ProgressEstimator()
 
-        running = self.job.running_maps()
-        if distance is None:
-            base = self._Sc[np.ix_(node_indices, reduce_indices)]
-            dmat = self._hops
-        else:
-            dmat = distance
-            if self._no_cache:
-                done = [m for m in self.job.maps if m.done]
-                p_done = np.array([m.node.index for m in done], dtype=np.int64)
-                idx_done = np.array([m.index for m in done], dtype=np.int64)
+            running = self.job.running_maps()
+            if distance is None:
+                base = self._Sc[np.ix_(node_indices, reduce_indices)]
+                dmat = self._hops
             else:
-                p_done, idx_done = self._done_arrays()
-            if len(p_done):
-                i_done = self.job.I[np.ix_(idx_done, reduce_indices)]
-                base = dmat[np.ix_(node_indices, p_done)] @ i_done
-            else:
-                base = np.zeros((len(node_indices), len(reduce_indices)))
+                dmat = distance
+                if self._no_cache:
+                    done = [m for m in self.job.maps if m.done]
+                    p_done = np.array(
+                        [m.node.index for m in done], dtype=np.int64
+                    )
+                    idx_done = np.array(
+                        [m.index for m in done], dtype=np.int64
+                    )
+                else:
+                    p_done, idx_done = self._done_arrays()
+                if len(p_done):
+                    i_done = self.job.I[np.ix_(idx_done, reduce_indices)]
+                    base = dmat[np.ix_(node_indices, p_done)] @ i_done
+                else:
+                    base = np.zeros((len(node_indices), len(reduce_indices)))
 
-        if running:
-            if self._no_cache:
-                p_run = np.array(
-                    [m.node.index for m in running], dtype=np.int64
-                )
-                est_rows = np.stack([est.estimate(m, now) for m in running])
-            else:
-                p_run = self.job.running_map_node_index_array()
-                est_rows = est.estimate_many(running, now)
-            est_rows = est_rows[:, reduce_indices]
-            base = base + dmat[np.ix_(node_indices, p_run)] @ est_rows
-        return base
+            if running:
+                if self._no_cache:
+                    p_run = np.array(
+                        [m.node.index for m in running], dtype=np.int64
+                    )
+                    est_rows = np.stack(
+                        [est.estimate(m, now) for m in running]
+                    )
+                else:
+                    p_run = self.job.running_map_node_index_array()
+                    est_rows = est.estimate_many(running, now)
+                est_rows = est_rows[:, reduce_indices]
+                base = base + dmat[np.ix_(node_indices, p_run)] @ est_rows
+            return base
+        finally:
+            if prof is not None:
+                prof.pop()
 
     @cached_on(
         "job.map_version",

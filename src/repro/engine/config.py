@@ -9,6 +9,7 @@ from typing import Optional
 
 from repro.cluster.telemetry import TelemetryConfig
 from repro.faults.spec import FaultPlan
+from repro.obs.config import MetricsConfig
 
 __all__ = ["EngineConfig"]
 
@@ -113,6 +114,17 @@ class EngineConfig:
         the oracle ``Cluster.inverse_rate_matrix()``; paths whose last
         measurement exceeds the staleness budget fall back to hop counts.
         ``None`` (the default) keeps the oracle behaviour bit-for-bit.
+    metrics:
+        Optional :class:`~repro.obs.config.MetricsConfig`.  When set, the
+        run keeps a sim-clock time-series registry (slot/link utilisation,
+        queue depths, shuffle backlog, decline counters) plus streaming
+        percentile histograms (job completion, task durations,
+        offer-to-assign latency, shuffle fetch times), exposed on
+        ``RunResult.metrics`` and exportable as canonical JSONL/CSV/
+        Prometheus text (:mod:`repro.obs.export`).  The plane only reads
+        engine state and draws no random numbers, so ``None`` (the
+        default) and enabled runs schedule identically — the trace stream
+        is byte-for-byte the same either way.
     journal:
         Keep a write-ahead journal (:mod:`repro.engine.journal`) of job
         and attempt transitions even without any ``TrackerCrash`` fault
@@ -144,6 +156,7 @@ class EngineConfig:
     trace: bool = False
     trace_jsonl: str = ""
     telemetry: Optional[TelemetryConfig] = None
+    metrics: Optional[MetricsConfig] = None
     journal: bool = False
     max_stall_iters: int = 100_000
 
@@ -173,6 +186,13 @@ class EngineConfig:
             raise ValueError(
                 "telemetry must be a TelemetryConfig or None, got "
                 f"{type(self.telemetry).__name__}"
+            )
+        if self.metrics is not None and not isinstance(
+            self.metrics, MetricsConfig
+        ):
+            raise ValueError(
+                "metrics must be a MetricsConfig or None, got "
+                f"{type(self.metrics).__name__}"
             )
         self._require_int("max_stall_iters", minimum=0)
         # horizon may be inf ("no cap") but never NaN or <= 0

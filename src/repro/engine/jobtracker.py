@@ -24,6 +24,7 @@ from repro.engine.job import Job
 from repro.engine.journal import Journal
 from repro.hdfs.namenode import NameNode
 from repro.metrics.collector import MetricsCollector
+from repro.obs import profile as _obs_profile
 from repro.schedulers.base import SchedulerContext, TaskScheduler
 from repro.schedulers.joblevel import FairJobScheduler, JobLevelScheduler
 from repro.sim import PeriodicTask, Simulator
@@ -120,6 +121,9 @@ class JobTracker:
         self.faults: Optional["FaultInjector"] = None
         #: the run's telemetry monitor, if any (set by ``Simulation``)
         self.telemetry = None
+        #: the run's metrics plane, if any (set by ``Simulation``); the
+        #: tracker only ever *feeds* it, never reads it back
+        self.metrics = None
         #: run-once hooks fired when the last job finishes or fails
         self.on_all_done_hooks: List[Callable[[], None]] = []
         self._node_views: Dict[str, _NodeView] = {
@@ -496,6 +500,31 @@ class JobTracker:
         if self.invariants is not None:
             self.invariants.after_heartbeat()
 
+    def _select_task(self, kind: str, node: Node, job: Job):
+        """One scheduler selection call, under the trace phase timer and —
+        when a profiler is installed — a ``scheduler.select_*`` scope.
+
+        Both offer loops funnel through here so the candidate scan (the
+        known hot site) is attributed separately from the rest of the
+        heartbeat in ``repro profile`` output.
+        """
+        select = (
+            self.task_scheduler.select_map
+            if kind == "map"
+            else self.task_scheduler.select_reduce
+        )
+        prof = _obs_profile.ACTIVE
+        if prof is not None:
+            prof.push(f"scheduler.select_{kind}")
+        try:
+            if self.recorder.enabled:
+                with self.recorder.phase(f"select_{kind}"):
+                    return select(node, job, self.ctx)
+            return select(node, job, self.ctx)
+        finally:
+            if prof is not None:
+                prof.pop()
+
     def _offer_map_slots(self, node: Node) -> None:
         rec = self.recorder
         budget = node.free_map_slots if self.config.assign_multiple else 1
@@ -521,11 +550,7 @@ class JobTracker:
                         head_job = job.spec.job_id
                     continue
                 self._noted_reason = None
-                if rec.enabled:
-                    with rec.phase("select_map"):
-                        task = self.task_scheduler.select_map(node, job, self.ctx)
-                else:
-                    task = self.task_scheduler.select_map(node, job, self.ctx)
+                task = self._select_task("map", node, job)
                 if task is not None:
                     if task.assigned or task.job is not job:
                         raise RuntimeError(
@@ -535,6 +560,10 @@ class JobTracker:
                         self.invariants.check_assignment(node, job)
                     task.launch(node)
                     self.collector.offer_assigned()
+                    if self.metrics is not None:
+                        self.metrics.task_assigned(
+                            "map", self.sim.now - task.pending_since
+                        )
                     if rec.enabled:
                         rec.emit(
                             Assign(
@@ -640,11 +669,7 @@ class JobTracker:
                         head_job = job.spec.job_id
                     continue
                 self._noted_reason = None
-                if rec.enabled:
-                    with rec.phase("select_reduce"):
-                        task = self.task_scheduler.select_reduce(node, job, self.ctx)
-                else:
-                    task = self.task_scheduler.select_reduce(node, job, self.ctx)
+                task = self._select_task("reduce", node, job)
                 if task is not None:
                     if task.assigned or task.job is not job:
                         raise RuntimeError(
@@ -654,6 +679,10 @@ class JobTracker:
                         self.invariants.check_assignment(node, job)
                     task.launch(node)
                     self.collector.offer_assigned()
+                    if self.metrics is not None:
+                        self.metrics.task_assigned(
+                            "reduce", self.sim.now - task.pending_since
+                        )
                     if rec.enabled:
                         rec.emit(
                             Assign(

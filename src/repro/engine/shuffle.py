@@ -60,6 +60,9 @@ class FetchManager:
         the no-op recorder).
     job_id / reduce_index:
         Identify the owning reduce task in the emitted trace events.
+    metrics:
+        The run's :class:`~repro.obs.plane.MetricsPlane`, if any; each
+        completed fetch flow reports its duration and bytes to it.
     """
 
     def __init__(
@@ -72,6 +75,7 @@ class FetchManager:
         job_id: str = "",
         reduce_index: int = -1,
         on_fetched: Optional[Callable[[Tuple[int, ...]], None]] = None,
+        metrics=None,
     ) -> None:
         if max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
@@ -80,6 +84,7 @@ class FetchManager:
         self.max_parallel = max_parallel
         self.on_progress = on_progress
         self.on_fetched = on_fetched
+        self.metrics = metrics
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.job_id = job_id
         self.reduce_index = reduce_index
@@ -146,6 +151,10 @@ class FetchManager:
         self.fetched += flow.size
         if not flow.local:
             self.remote_bytes += flow.size
+        if self.metrics is not None:
+            self.metrics.shuffle_fetched(
+                self.network.sim.now - flow.start_time, flow.size
+            )
         if self.recorder.enabled:
             self.recorder.emit(
                 ShuffleFinish(

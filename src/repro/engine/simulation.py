@@ -39,6 +39,9 @@ from repro.faults.injector import FaultInjector
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.placement import PlacementPolicy
 from repro.metrics.collector import MetricsCollector
+from repro.obs.export import write_metrics_jsonl
+from repro.obs.instruments import MetricsRegistry
+from repro.obs.plane import MetricsPlane
 from repro.schedulers.base import TaskScheduler
 from repro.schedulers.joblevel import JobLevelScheduler
 from repro.sim import SimulationError, Simulator
@@ -78,6 +81,8 @@ class RunResult:
     reduce_slots: int
     #: the run's TraceRecorder when tracing was enabled, else None
     trace: Optional[TraceRecorder] = None
+    #: the run's sampled metrics registry when metrics were enabled
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def job_completion_times(self) -> np.ndarray:
@@ -95,6 +100,38 @@ class RunResult:
         cap = self.map_slots if kind == "map" else self.reduce_slots
         return self.collector.mean_utilisation(kind, cap)
 
+    def jct_percentiles(self) -> Dict[str, float]:
+        """Exact p50/p90/p99 job-completion times from the collector.
+
+        Exact (``np.percentile`` over the full sample, linear
+        interpolation), not the log-bucket approximation the streaming
+        histograms report — the tests reconcile the two.
+        """
+        jct = self.job_completion_times
+        if not jct.size:
+            return {}
+        p50, p90, p99 = np.percentile(jct, [50, 90, 99])
+        return {"p50": float(p50), "p90": float(p90), "p99": float(p99)}
+
+    def slot_utilisation(self, kind: str) -> tuple:
+        """``(mean, peak)`` fraction of ``kind`` slots busy over the run."""
+        cap = self.map_slots if kind == "map" else self.reduce_slots
+        return (
+            self.collector.mean_utilisation(kind, cap),
+            self.collector.peak_utilisation(kind, cap),
+        )
+
+    def link_utilisation(self) -> Optional[tuple]:
+        """``(mean, peak)`` fabric-link utilisation from the sampled
+        metrics series, or ``None`` when the run kept no metrics."""
+        if self.metrics is None:
+            return None
+        means = [v for _, v in self.metrics.series("net_link_util", stat="mean")]
+        maxes = [v for _, v in self.metrics.series("net_link_util", stat="max")]
+        if not means:
+            return None
+        return (sum(means) / len(means), max(maxes))
+
     def summary(self) -> str:
         """One-paragraph human-readable run summary."""
         jct = self.job_completion_times
@@ -108,6 +145,19 @@ class RunResult:
             )
             if jct.size
             else "no jobs completed",
+            (
+                "jct percentiles: p50 {p50:.1f} s, p90 {p90:.1f} s, "
+                "p99 {p99:.1f} s".format(**self.jct_percentiles())
+            )
+            if jct.size
+            else "jct percentiles: n/a",
+            (
+                "slot utilisation: map mean {:.1%} peak {:.1%}, "
+                "reduce mean {:.1%} peak {:.1%}".format(
+                    *self.slot_utilisation("map"),
+                    *self.slot_utilisation("reduce"),
+                )
+            ),
             (
                 f"locality: node {loc['node']:.1%}, rack {loc['rack']:.1%}, "
                 f"remote {loc['remote']:.1%}"
@@ -145,6 +195,12 @@ class RunResult:
             lines.append(
                 f"control plane: {c.tracker_crashes} tracker crashes, "
                 f"{c.tracker_restarts} restarts"
+            )
+        link = self.link_utilisation()
+        if link is not None:
+            lines.append(
+                f"link utilisation: mean {link[0]:.1%}, peak {link[1]:.1%} "
+                f"({len(self.metrics.sample_times)} samples)"
             )
         return "\n".join(lines)
 
@@ -230,6 +286,12 @@ class Simulation:
                 recorder=self.recorder,
             )
             self.tracker.telemetry = self.telemetry
+        self.metrics: Optional[MetricsPlane] = None
+        if self.config.metrics is not None:
+            self.metrics = MetricsPlane(
+                self.sim, self.cluster, self.tracker, self.config.metrics
+            )
+            self.tracker.metrics = self.metrics
         self.background: Optional[BackgroundTraffic] = None
         if background is not None:
             self.background = BackgroundTraffic(
@@ -287,6 +349,20 @@ class Simulation:
                 start=self.sim.now,
             )
             self.tracker.on_all_done_hooks.append(sampler.stop)
+        if (
+            self.metrics is not None
+            and self.config.metrics.period < float("inf")
+        ):
+            msampler = self.sim.every(
+                self.config.metrics.period, self.metrics.sample,
+                start=self.sim.now,
+            )
+            self.tracker.on_all_done_hooks.append(msampler.stop)
+        if self.metrics is not None:
+            # one guaranteed sample at the completion instant — after the
+            # run loop the kernel clock sits at the horizon, a time no
+            # event reached (see MetricsPlane.finalize)
+            self.tracker.on_all_done_hooks.append(self.metrics.sample)
         horizon = until if until is not None else self.config.horizon
         self.sim.stall_diagnostics = self._stall_diagnostics
         self.sim.run(
@@ -304,6 +380,19 @@ class Simulation:
             events_to_jsonl(
                 self.recorder.events, self.config.trace_jsonl, append=True
             )
+        if self.metrics is not None:
+            self.metrics.finalize()
+            if self.config.metrics.jsonl:
+                write_metrics_jsonl(
+                    self.metrics.registry,
+                    self.config.metrics.jsonl,
+                    append=True,
+                    meta={
+                        "scheduler": self.tracker.task_scheduler.name,
+                        "seed": self.seed,
+                        "period": self.config.metrics.period,
+                    },
+                )
         return RunResult(
             scheduler=self.tracker.task_scheduler.name,
             seed=self.seed,
@@ -315,4 +404,5 @@ class Simulation:
             map_slots=self.cluster.total_map_slots(),
             reduce_slots=self.cluster.total_reduce_slots(),
             trace=self.recorder if self.recorder.enabled else None,
+            metrics=self.metrics.registry if self.metrics is not None else None,
         )

@@ -192,6 +192,9 @@ class MapTask:
         self.index = index
         self.block = block
         self.state = TaskState.PENDING
+        #: sim-time the task (re-)entered PENDING — at creation, job-submit
+        #: time; read by the metrics plane for offer-to-assign latency
+        self.pending_since = job.tracker.sim.now
         self.node: Optional[Node] = None
         self.source: Optional[str] = None
         self.hops: float = 0.0
@@ -315,6 +318,7 @@ class MapTask:
         self.past_attempts += len(self.attempts)
         self.attempts = []
         self.state = TaskState.PENDING
+        self.pending_since = self.job.tracker.sim.now
         self.node = None
         self.source = None
         self.hops = 0.0
@@ -397,6 +401,8 @@ class ReduceTask:
         self.job = job
         self.index = index
         self.state = TaskState.PENDING
+        #: sim-time the task (re-)entered PENDING (see MapTask)
+        self.pending_since = job.tracker.sim.now
         self.node: Optional[Node] = None
         self.start_time: float = float("nan")
         self.end_time: float = float("nan")
@@ -482,6 +488,7 @@ class ReduceTask:
             job_id=self.job.spec.job_id,
             reduce_index=self.index,
             on_fetched=self._on_fetched,
+            metrics=tracker.metrics,
         )
         for m in self.job.maps:
             if m.done:
@@ -619,6 +626,7 @@ class ReduceTask:
         self._requested = set()
         self.past_attempts += 1
         self.state = TaskState.PENDING
+        self.pending_since = self.job.tracker.sim.now
         self.node = None
         self.start_time = float("nan")
         self.end_time = float("nan")

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.cluster.telemetry import TelemetryConfig
 from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
+from repro.obs import MetricsConfig
 from repro.engine import RunResult, Simulation
 from repro.experiments.scenarios import get_scenario
 from repro.faults import (
@@ -289,11 +290,12 @@ def _verify_run(result: RunResult, sim: Simulation) -> List[str]:
     return problems
 
 
-def _chaos_config(scenario, plan, telemetry):
+def _chaos_config(scenario, plan, telemetry, metrics_path=""):
     return replace(
         scenario.config,
         faults=plan,
         telemetry=telemetry,
+        metrics=MetricsConfig(jsonl=metrics_path) if metrics_path else None,
         tracker_expiry_interval=15.0,
         check_invariants=True,
         trace=True,
@@ -320,6 +322,7 @@ def run_chaos_case(
     seed: int,
     *,
     quick: bool,
+    metrics_path: str = "",
 ) -> Tuple[ChaosRun, Optional[List[str]]]:
     scenario = get_scenario("ci")
     jobs = scenario.jobs("wordcount")
@@ -331,7 +334,7 @@ def run_chaos_case(
         scheduler=factory(),
         jobs=jobs,
         placement=scenario.placement,
-        config=_chaos_config(scenario, plan, telemetry),
+        config=_chaos_config(scenario, plan, telemetry, metrics_path),
         background=scenario.background,
         seed=seed,
     )
@@ -355,13 +358,17 @@ def run_chaos(
     quick: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     trace_path: str = "",
+    metrics_path: str = "",
 ) -> ChaosReport:
     """The soak: ``rounds`` random plans × every scheduler family.
 
     Round 0's first case is re-run with identical inputs and its JSONL
     trace compared byte for byte, so every soak also proves seed
     reproducibility.  ``trace_path`` appends each run's trace to one
-    JSONL artifact (CI uploads it).
+    JSONL artifact (CI uploads it).  ``metrics_path`` likewise appends
+    each run's metrics export (:mod:`repro.obs`); the determinism re-run
+    deliberately runs *without* metrics, so a matching trace doubles as
+    proof that enabling the plane never shifts scheduling.
     """
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
@@ -385,7 +392,8 @@ def run_chaos(
                     progress(f"round {rnd} [{name}] plan: {_describe(plan)}")
                 tel = telemetry if name == "pna" else None
                 run, lines = run_chaos_case(
-                    rnd, name, factory, plan, tel, run_seed, quick=quick
+                    rnd, name, factory, plan, tel, run_seed, quick=quick,
+                    metrics_path=metrics_path,
                 )
                 if sink is not None and lines:
                     sink.write("\n".join(lines) + "\n")

@@ -41,6 +41,7 @@ __all__ = [
     "bench_cases",
     "check_regression",
     "load_baseline",
+    "profile_case",
     "run_bench",
     "run_case",
     "write_bench",
@@ -126,13 +127,26 @@ def bench_cases(*, quick: bool = False) -> List[BenchCase]:
     return cases
 
 
-def run_case(case: BenchCase) -> Dict:
-    """Build and run one case end-to-end; returns its measurement record."""
-    scenario = case.scenario()
-    t0 = time.perf_counter()
-    sim = scenario.simulation(case.make_scheduler(), scenario.jobs(case.app))
-    result = sim.run()
-    wall = time.perf_counter() - t0
+def run_case(case: BenchCase, *, repeat: int = 1) -> Dict:
+    """Build and run one case end-to-end; returns its measurement record.
+
+    ``repeat`` runs the case that many times and keeps the *minimum* wall
+    time — the standard noise-reduction trick for wall-clock benchmarks
+    (the minimum is the run least disturbed by the host).  The simulation
+    itself is deterministic, so events/offers/makespan are identical
+    across repeats and only the timing varies.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    wall = float("inf")
+    for _ in range(repeat):
+        scenario = case.scenario()
+        t0 = time.perf_counter()
+        sim = scenario.simulation(
+            case.make_scheduler(), scenario.jobs(case.app)
+        )
+        result = sim.run()
+        wall = min(wall, time.perf_counter() - t0)
     c = result.collector
     offers = c.scheduling_assignments + c.scheduling_declines
     events = sim.sim.processed
@@ -148,12 +162,32 @@ def run_case(case: BenchCase) -> Dict:
     }
 
 
-def _run_case_nocache(case: BenchCase) -> Dict:
+def profile_case(case: BenchCase) -> Dict:
+    """Run one case under the wall-time profiler (`repro profile`).
+
+    Returns the profiler's canonical document (see
+    :meth:`repro.obs.profile.Profiler.to_doc`) extended with the case
+    name and run facts, so the attribution is traceable to its workload.
+    """
+    from repro.obs import profile as obs_profile
+
+    scenario = case.scenario()
+    sim = scenario.simulation(case.make_scheduler(), scenario.jobs(case.app))
+    with obs_profile.profiled() as prof:
+        sim.run()
+    doc = prof.to_doc()
+    doc["case"] = case.name
+    doc["nodes"] = case.cluster.num_nodes
+    doc["events"] = sim.sim.processed
+    return doc
+
+
+def _run_case_nocache(case: BenchCase, *, repeat: int = 1) -> Dict:
     """Run a case on the unoptimised reference paths (REPRO_NO_CACHE=1)."""
     previous = os.environ.get("REPRO_NO_CACHE")
     os.environ["REPRO_NO_CACHE"] = "1"
     try:
-        return run_case(case)
+        return run_case(case, repeat=repeat)
     finally:
         if previous is None:
             os.environ.pop("REPRO_NO_CACHE", None)
@@ -166,24 +200,28 @@ def run_bench(
     quick: bool = False,
     measure_speedup: bool = True,
     speedup_case: Optional[str] = None,
+    repeat: int = 1,
     progress=None,
 ) -> Dict:
     """Run the full benchmark; returns the ``BENCH_perf.json`` document.
 
-    ``progress`` (optional) is called with a message before each run —
-    the CLI wires it to print.
+    ``repeat`` takes the min-of-N wall time per case (recorded in the
+    document so baselines state their noise discipline).  ``progress``
+    (optional) is called with a message before each run — the CLI wires
+    it to print.
     """
     cases = bench_cases(quick=quick)
     doc: Dict = {
         "bench": "repro-perf",
         "version": 1,
         "mode": "quick" if quick else "full",
+        "repeat": repeat,
         "cases": {},
     }
     for case in cases:
         if progress is not None:
             progress(f"running {case.name} ({case.cluster.num_nodes} nodes)")
-        doc["cases"][case.name] = run_case(case)
+        doc["cases"][case.name] = run_case(case, repeat=repeat)
 
     if measure_speedup:
         # the cached-vs-naive factor, on the largest netcond case in the set
@@ -195,7 +233,7 @@ def run_bench(
         target = next(c for c in cases if c.name == speedup_case)
         if progress is not None:
             progress(f"re-running {target.name} with REPRO_NO_CACHE=1")
-        nocache = _run_case_nocache(target)
+        nocache = _run_case_nocache(target, repeat=repeat)
         cached_wall = doc["cases"][target.name]["wall_s"]
         doc["speedup"] = {
             "case": target.name,

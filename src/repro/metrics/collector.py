@@ -226,3 +226,12 @@ class MetricsCollector:
         if span <= 0:
             return 0.0
         return area / (span * capacity)
+
+    def peak_utilisation(self, kind: str, capacity: int) -> float:
+        """Highest fraction of ``capacity`` slots simultaneously busy."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        _, levels = self.occupancy_series(kind)
+        if not len(levels):
+            return 0.0
+        return float(levels.max()) / capacity

@@ -1,0 +1,129 @@
+"""ASCII dashboard renderer for metrics exports.
+
+Consumes the run-doc shape produced by
+:func:`repro.obs.export.read_metrics_jsonl` (``meta`` / ``series`` /
+``histograms``) and renders sparkline timelines for the cluster-level
+gauge series plus a percentile table for every histogram.  Pure string
+building — the CLI decides where it prints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.obs.hist import LogHistogram
+
+__all__ = ["render_dashboard", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+# labels that key a series to one entity; series carrying them are
+# per-rack/per-node/per-job breakdowns, too many to sparkline
+_ENTITY_LABELS = frozenset({"rack", "node", "job"})
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """Render ``values`` as a fixed-width block-character sparkline.
+
+    Values are bucketed onto ``width`` columns (mean per bucket) and
+    scaled to the min..max range; a flat series renders as a low bar.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        buckets: List[float] = []
+        for col in range(width):
+            a = col * len(vals) // width
+            b = max(a + 1, (col + 1) * len(vals) // width)
+            chunk = vals[a:b]
+            buckets.append(sum(chunk) / len(chunk))
+        vals = buckets
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def _fmt(v: float) -> str:
+    if math.isnan(v):
+        return "-"
+    if math.isinf(v):
+        return "inf"
+    if v == int(v) and abs(v) < 1e9:
+        return str(int(v))
+    return f"{v:.3g}"
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_dashboard(run_doc: Dict[str, object], width: int = 48) -> str:
+    """One run's metrics as an ASCII dashboard string."""
+    meta = run_doc.get("meta", {})
+    series = run_doc.get("series", [])
+    hists = run_doc.get("histograms", [])
+
+    lines: List[str] = []
+    head = [
+        f"{k}={meta[k]}"  # type: ignore[index]
+        for k in ("scheduler", "seed", "period")
+        if k in meta  # type: ignore[operator]
+    ]
+    title = "metrics dashboard"
+    if head:
+        title += " — " + " / ".join(head)
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    shown = 0
+    skipped = 0
+    for entry in series:  # type: ignore[union-attr]
+        labels = entry.get("labels", {})
+        if set(labels) & _ENTITY_LABELS:
+            skipped += 1
+            continue
+        samples = entry.get("samples", [])
+        values = [v for _, v in samples]
+        if not values:
+            continue
+        name = entry["name"] + _label_suffix(labels)
+        spark = sparkline(values, width)
+        lines.append(
+            f"  {name:<38} {spark}  "
+            f"min {_fmt(min(values))}  max {_fmt(max(values))}  "
+            f"last {_fmt(values[-1])}"
+        )
+        shown += 1
+    if skipped:
+        lines.append(
+            f"  ({skipped} per-rack/node/job series not shown; "
+            "see the JSONL/CSV export)"
+        )
+    if shown or skipped:
+        lines.append("")
+
+    if hists:
+        lines.append(
+            f"  {'distribution':<38} {'count':>7} {'mean':>9} "
+            f"{'p50':>9} {'p90':>9} {'p99':>9}"
+        )
+        for entry in hists:  # type: ignore[union-attr]
+            hist = LogHistogram.from_doc(entry)
+            name = entry["name"] + _label_suffix(entry.get("labels", {}))
+            lines.append(
+                f"  {name:<38} {hist.count:>7} {_fmt(hist.mean):>9} "
+                f"{_fmt(hist.quantile(0.5)):>9} "
+                f"{_fmt(hist.quantile(0.9)):>9} "
+                f"{_fmt(hist.quantile(0.99)):>9}"
+            )
+    return "\n".join(lines) + "\n"

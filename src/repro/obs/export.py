@@ -1,0 +1,187 @@
+"""Canonical exporters for the metrics registry.
+
+Three formats, all deterministic byte-for-byte given the same registry:
+
+- **JSONL** — one meta line (``kind=meta``, format marker
+  ``repro-metrics``) followed by one line per series and per histogram,
+  every line canonical JSON (sorted keys, no whitespace).  Appendable:
+  several runs can share one file, split again on the meta lines by
+  :func:`read_metrics_jsonl`.  ``repro report`` auto-detects the marker.
+- **CSV** — flat ``t,name,labels,value`` rows for the sampled series
+  (histograms have no time axis and are not in the CSV).
+- **Prometheus text exposition** — the standard ``# TYPE`` / sample-line
+  format with cumulative ``_bucket{le=...}`` histogram rendering, for
+  pasting into any Prometheus-compatible toolchain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.instruments import MetricsRegistry
+
+__all__ = [
+    "FORMAT_MARKER",
+    "metrics_csv",
+    "metrics_jsonl_lines",
+    "prometheus_text",
+    "read_metrics_jsonl",
+    "write_metrics_jsonl",
+]
+
+FORMAT_MARKER = "repro-metrics"
+FORMAT_VERSION = 1
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def metrics_jsonl_lines(
+    registry: MetricsRegistry, meta: Optional[Dict[str, object]] = None
+) -> List[str]:
+    """Canonical JSONL lines (no trailing newlines) for one run."""
+    head: Dict[str, object] = {
+        "kind": "meta",
+        "format": FORMAT_MARKER,
+        "version": FORMAT_VERSION,
+    }
+    if meta:
+        head.update(meta)
+    doc = registry.to_doc()
+    lines = [_dumps(head)]
+    for entry in doc["series"]:  # type: ignore[union-attr]
+        lines.append(_dumps({"kind": "series", **entry}))
+    for entry in doc["histograms"]:  # type: ignore[union-attr]
+        lines.append(_dumps({"kind": "histogram", **entry}))
+    return lines
+
+
+def write_metrics_jsonl(
+    registry: MetricsRegistry,
+    path: str,
+    *,
+    meta: Optional[Dict[str, object]] = None,
+    append: bool = False,
+) -> int:
+    """Write (or append) one run's metrics to ``path``; returns line count."""
+    lines = metrics_jsonl_lines(registry, meta)
+    with open(path, "a" if append else "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def read_metrics_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a metrics JSONL file back into one doc per run.
+
+    Each returned doc has ``meta`` (the header line), ``series`` and
+    ``histograms`` keys — the shape :func:`repro.obs.dashboard
+    .render_dashboard` consumes.
+    """
+    runs: List[Dict[str, object]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            rec = json.loads(raw)
+            kind = rec.get("kind")
+            if kind == "meta":
+                if rec.get("format") != FORMAT_MARKER:
+                    raise ValueError(
+                        f"{path}:{lineno}: not a {FORMAT_MARKER} file "
+                        f"(format={rec.get('format')!r})"
+                    )
+                runs.append({"meta": rec, "series": [], "histograms": []})
+            elif kind in ("series", "histogram"):
+                if not runs:
+                    raise ValueError(
+                        f"{path}:{lineno}: {kind} line before any meta line"
+                    )
+                runs[-1][kind if kind == "series" else "histograms"].append(rec)  # type: ignore[union-attr]
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown kind {kind!r}")
+    return runs
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def _labels_csv(labels: Dict[str, str]) -> str:
+    return ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def metrics_csv(registry: MetricsRegistry) -> str:
+    """Flat ``t,name,labels,value`` dump of every sampled series."""
+    rows = ["t,name,labels,value"]
+    doc = registry.to_doc()
+    for entry in doc["series"]:  # type: ignore[union-attr]
+        labels = _labels_csv(entry["labels"])
+        for t, v in entry["samples"]:
+            rows.append(f"{t!r},{entry['name']},{labels},{v!r}")
+    return "\n".join(rows) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str, prefix: str) -> str:
+    out = []
+    for ch in prefix + name:
+        out.append(ch if ch.isalnum() or ch in "_:" else "_")
+    return "".join(out)
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render the registry's *current* values in Prometheus text format.
+
+    Counters/gauges expose their final value; histograms expose the
+    standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    triplet.  Deterministic: instruments render in canonical order.
+    """
+    lines: List[str] = []
+    typed = set()
+    for inst in registry.instruments():
+        name = _prom_name(inst.name, prefix)
+        if inst.kind == "histogram":
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            hist = inst.hist  # type: ignore[union-attr]
+            cum = hist.low
+            emitted = {hist.lo: cum}
+            for i, c in enumerate(hist.counts):
+                cum += c
+                if c:
+                    emitted[hist.boundaries[i + 1]] = cum
+            for bound, total in emitted.items():
+                le = _prom_labels(inst.label_dict, f'le="{bound!r}"')
+                lines.append(f"{name}_bucket{le} {total}")
+            inf_labels = _prom_labels(inst.label_dict, 'le="+Inf"')
+            lines.append(f"{name}_bucket{inf_labels} {hist.count}")
+            lines.append(
+                f"{name}_sum{_prom_labels(inst.label_dict)} {hist.total!r}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(inst.label_dict)} {hist.count}"
+            )
+        else:
+            if name not in typed:
+                lines.append(f"# TYPE {name} {inst.kind}")
+                typed.add(name)
+            lines.append(
+                f"{name}{_prom_labels(inst.label_dict)} {inst.value!r}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,216 @@
+"""Deterministic streaming percentile histogram (fixed log buckets).
+
+The scheme is a fixed, precomputed geometric ladder: bucket ``i`` covers
+``[lo * growth**i, lo * growth**(i+1))``, with one underflow bucket for
+values in ``[0, lo)`` and one overflow bucket for values ``>= lo *
+growth**buckets``.  Because the boundaries are a pure function of the
+``(lo, growth, buckets)`` scheme — never of the data — two histograms
+built from the same observations in any order are *identical*, two
+histograms over the same scheme merge *exactly* (bucket-wise addition),
+and the canonical JSON form is byte-stable.  That is the property the
+determinism tests lean on; sketches with data-dependent centroids
+(t-digest et al.) cannot offer it.
+
+The default scheme (``lo=1e-3``, 20 buckets per decade, 200 buckets)
+spans 1 ms to 10^7 s with a worst-case relative quantile error of
+``10**(1/20) - 1`` ≈ 12.2 %: a reported quantile is the *upper* boundary
+of the bucket holding the rank, so the true value is always within one
+growth factor below the reported one.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["LogHistogram"]
+
+DEFAULT_LO = 1e-3
+DEFAULT_DECADE_BUCKETS = 20
+DEFAULT_GROWTH = 10.0 ** (1.0 / DEFAULT_DECADE_BUCKETS)
+DEFAULT_BUCKETS = 200  # 10 decades: 1e-3 .. 1e7
+
+# boundary ladders are pure functions of the scheme; share them across all
+# histograms of a run (the registry creates dozens)
+_BOUNDARY_CACHE: Dict[Tuple[float, float, int], Tuple[float, ...]] = {}
+
+
+def _boundaries(lo: float, growth: float, buckets: int) -> Tuple[float, ...]:
+    key = (lo, growth, buckets)
+    cached = _BOUNDARY_CACHE.get(key)
+    if cached is None:
+        # each boundary computed independently as lo * growth**i — no
+        # running product, so boundary i never depends on float error
+        # accumulated across earlier boundaries
+        cached = tuple(lo * growth**i for i in range(buckets + 1))
+        _BOUNDARY_CACHE[key] = cached
+    return cached
+
+
+class LogHistogram:
+    """Streaming histogram over fixed geometric buckets.
+
+    Observations must be finite and non-negative (every metric the plane
+    records — durations, latencies, byte counts — is).  ``quantile``
+    reports the upper boundary of the bucket containing the requested
+    rank, i.e. a deterministic upper bound on the true quantile.
+    """
+
+    __slots__ = (
+        "lo",
+        "growth",
+        "buckets",
+        "boundaries",
+        "counts",
+        "low",
+        "high",
+        "count",
+        "total",
+    )
+
+    def __init__(
+        self,
+        lo: float = DEFAULT_LO,
+        growth: float = DEFAULT_GROWTH,
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        if not (isinstance(lo, (int, float)) and 0 < lo < math.inf):
+            raise ValueError(f"lo must be positive and finite, got {lo!r}")
+        if not (isinstance(growth, (int, float)) and 1 < growth < math.inf):
+            raise ValueError(f"growth must be > 1 and finite, got {growth!r}")
+        if not isinstance(buckets, int) or isinstance(buckets, bool) or buckets < 1:
+            raise ValueError(f"buckets must be a positive int, got {buckets!r}")
+        self.lo = float(lo)
+        self.growth = float(growth)
+        self.buckets = buckets
+        self.boundaries = _boundaries(self.lo, self.growth, buckets)
+        self.counts: List[int] = [0] * buckets
+        self.low = 0  # observations in [0, lo)
+        self.high = 0  # observations >= boundaries[-1]
+        self.count = 0
+        self.total = 0.0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v) or math.isinf(v) or v < 0:
+            raise ValueError(
+                f"observations must be finite and >= 0, got {value!r}"
+            )
+        if v < self.lo:
+            self.low += 1
+        elif v >= self.boundaries[-1]:
+            self.high += 1
+        else:
+            self.counts[bisect_right(self.boundaries, v) - 1] += 1
+        self.count += 1
+        self.total += v
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def same_scheme(self, other: "LogHistogram") -> bool:
+        return (
+            self.lo == other.lo
+            and self.growth == other.growth
+            and self.buckets == other.buckets
+        )
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Add ``other``'s buckets into this histogram (exact) and return it."""
+        if not self.same_scheme(other):
+            raise ValueError(
+                "cannot merge histograms with different bucket schemes: "
+                f"({self.lo}, {self.growth}, {self.buckets}) vs "
+                f"({other.lo}, {other.growth}, {other.buckets})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.low += other.low
+        self.high += other.high
+        self.count += other.count
+        self.total += other.total
+        return self
+
+    # ------------------------------------------------------------------
+    # quantiles
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Upper bound on the ``q``-quantile; NaN when empty.
+
+        The rank-``ceil(q * count)`` observation is located and the upper
+        boundary of its bucket returned (``lo`` for the underflow bucket,
+        ``inf`` for the overflow bucket, honestly: we only know the value
+        was >= the top boundary).
+        """
+        if math.isnan(q) or not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        seen = self.low
+        if rank <= seen:
+            return self.lo
+        for i, c in enumerate(self.counts):
+            seen += c
+            if rank <= seen:
+                return self.boundaries[i + 1]
+        return math.inf
+
+    def percentiles(self, *ps: float) -> Dict[str, float]:
+        """``{"p50": ..., "p99": ...}`` for percentile points ``ps``."""
+        out: Dict[str, float] = {}
+        for p in ps:
+            label = f"{p:g}".rstrip("0").rstrip(".") if p != int(p) else str(int(p))
+            out[f"p{label}"] = self.quantile(p / 100.0)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    # ------------------------------------------------------------------
+    # canonical form
+    # ------------------------------------------------------------------
+    def to_doc(self) -> Dict[str, object]:
+        """Canonical dict form: sparse counts keyed by bucket index."""
+        return {
+            "lo": self.lo,
+            "growth": self.growth,
+            "buckets": self.buckets,
+            "count": self.count,
+            "sum": self.total,
+            "low": self.low,
+            "high": self.high,
+            "counts": {
+                str(i): c for i, c in enumerate(self.counts) if c
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "LogHistogram":
+        hist = cls(
+            lo=float(doc["lo"]),  # type: ignore[arg-type]
+            growth=float(doc["growth"]),  # type: ignore[arg-type]
+            buckets=int(doc["buckets"]),  # type: ignore[arg-type]
+        )
+        for key, c in doc.get("counts", {}).items():  # type: ignore[union-attr]
+            hist.counts[int(key)] = int(c)
+        hist.low = int(doc.get("low", 0))  # type: ignore[arg-type]
+        hist.high = int(doc.get("high", 0))  # type: ignore[arg-type]
+        hist.count = int(doc.get("count", 0))  # type: ignore[arg-type]
+        hist.total = float(doc.get("sum", 0.0))  # type: ignore[arg-type]
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(count={self.count}, sum={self.total:.6g}, "
+            f"p50={self.quantile(0.5):.6g})"
+        )

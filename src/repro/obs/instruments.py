@@ -1,0 +1,243 @@
+"""Typed instruments and the time-series registry.
+
+Three instrument kinds, following the usual metrics-plane taxonomy:
+
+- :class:`Counter` — monotone cumulative total (assignments, bytes).
+- :class:`Gauge` — instantaneous level (busy slots, queue depth).
+- :class:`Histogram` — streaming distribution over a
+  :class:`~repro.obs.hist.LogHistogram`.
+
+Instruments live in a :class:`MetricsRegistry` keyed by ``(name, labels)``
+with labels canonicalised as sorted key/value pairs.  Counter and gauge
+instruments additionally keep a *sampled series*: each
+:meth:`MetricsRegistry.sample` call appends one ``(sim_time, value)``
+point per instrument.  The registry performs no clock reads and no RNG
+draws — every number in it comes from the engine — so its canonical
+export is byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.hist import (
+    DEFAULT_BUCKETS,
+    DEFAULT_GROWTH,
+    DEFAULT_LO,
+    LogHistogram,
+)
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+InstrumentKey = Tuple[str, LabelKey]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    for k, v in labels.items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            raise ValueError(f"labels must be str -> str, got {k!r}={v!r}")
+    return tuple(sorted(labels.items()))
+
+
+class _Instrument:
+    kind = ""
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"instrument name must be non-empty, got {name!r}")
+        self.name = name
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+
+class Counter(_Instrument):
+    """Monotone cumulative total."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        a = float(amount)
+        if math.isnan(a) or a < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount!r}")
+        self.value += a
+
+    def set_total(self, total: float) -> None:
+        """Mirror an externally-maintained cumulative total (collector
+        counters); the monotonicity contract still holds."""
+        t = float(total)
+        if math.isnan(t) or t < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot go backwards: "
+                f"{self.value} -> {total!r}"
+            )
+        self.value = t
+
+
+class Gauge(_Instrument):
+    """Instantaneous level; may move in either direction."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v):
+            raise ValueError(f"gauge {self.name} set to NaN")
+        self.value = v
+
+
+class Histogram(_Instrument):
+    """Streaming distribution; thin wrapper over :class:`LogHistogram`."""
+
+    kind = "histogram"
+    __slots__ = ("hist",)
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        *,
+        lo: float = DEFAULT_LO,
+        growth: float = DEFAULT_GROWTH,
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        self.hist = LogHistogram(lo=lo, growth=growth, buckets=buckets)
+
+    def observe(self, value: float) -> None:
+        self.hist.observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self.hist.quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self.hist.count
+
+
+AnyInstrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store plus the sampled series."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[InstrumentKey, AnyInstrument] = {}
+        self._series: Dict[InstrumentKey, List[Tuple[float, float]]] = {}
+        self._sample_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    # instrument creation / lookup
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self, cls: type, name: str, labels: Dict[str, str], **kwargs: object
+    ) -> AnyInstrument:
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, key[1], **kwargs)
+            self._instruments[key] = inst
+            if inst.kind != "histogram":
+                self._series[key] = []
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"instrument {name}{dict(key[1])} already registered "
+                f"as {inst.kind}, requested {cls.kind}"  # type: ignore[attr-defined]
+            )
+        return inst
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        lo: float = DEFAULT_LO,
+        growth: float = DEFAULT_GROWTH,
+        buckets: int = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, labels, lo=lo, growth=growth, buckets=buckets
+        )
+
+    def get(self, name: str, **labels: str) -> Optional[AnyInstrument]:
+        return self._instruments.get((name, _label_key(labels)))
+
+    def series(self, name: str, **labels: str) -> List[Tuple[float, float]]:
+        """Sampled ``(t, value)`` points for one counter/gauge."""
+        return list(self._series.get((name, _label_key(labels)), ()))
+
+    def instruments(self) -> Iterator[AnyInstrument]:
+        """All instruments in canonical ``(name, labels)`` order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    @property
+    def sample_times(self) -> List[float]:
+        return list(self._sample_times)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self, now: float) -> None:
+        """Append one point per counter/gauge series at sim-time ``now``.
+
+        Idempotent per instant: a second call at the same ``now`` (e.g. a
+        final flush landing on a periodic tick) is a no-op, keeping the
+        series strictly increasing in time.
+        """
+        if self._sample_times and self._sample_times[-1] == now:
+            return
+        if self._sample_times and now < self._sample_times[-1]:
+            raise ValueError(
+                f"samples must move forward in time: "
+                f"{self._sample_times[-1]} -> {now}"
+            )
+        self._sample_times.append(now)
+        for key, inst in self._instruments.items():
+            if inst.kind == "histogram":
+                continue
+            self._series[key].append((now, inst.value))
+
+    # ------------------------------------------------------------------
+    # canonical form
+    # ------------------------------------------------------------------
+    def to_doc(self) -> Dict[str, object]:
+        """Canonical dict: sorted series then sorted histograms."""
+        series = []
+        hists = []
+        for key in sorted(self._instruments):
+            inst = self._instruments[key]
+            entry: Dict[str, object] = {
+                "name": inst.name,
+                "labels": dict(inst.labels),
+                "type": inst.kind,
+            }
+            if inst.kind == "histogram":
+                entry.update(inst.hist.to_doc())  # type: ignore[union-attr]
+                hists.append(entry)
+            else:
+                entry["samples"] = [list(p) for p in self._series[key]]
+                series.append(entry)
+        return {"series": series, "histograms": hists}

@@ -32,6 +32,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
+from repro.obs import profile as _obs_profile
+
 __all__ = ["Event", "PeriodicTask", "Simulator", "SimulationError", "StallError"]
 
 
@@ -245,7 +247,11 @@ class Simulator:
         assert event.time >= self.now, "event queue went backwards"
         self.now = event.time
         self._processed += 1
-        event.callback(*event.args)
+        prof = _obs_profile.ACTIVE
+        if prof is None:
+            event.callback(*event.args)
+        else:
+            prof.run_event(event.callback, event.args)
         return True
 
     def run(
@@ -272,6 +278,9 @@ class Simulator:
         self._running = True
         processed = 0
         stall_iters = 0
+        # hoisted: the wall-time profiler (if any) is installed for a whole
+        # run, so one module-global read covers the loop
+        prof = _obs_profile.ACTIVE
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -295,7 +304,10 @@ class Simulator:
                 self.now = event.time
                 self._processed += 1
                 processed += 1
-                event.callback(*event.args)
+                if prof is None:
+                    event.callback(*event.args)
+                else:
+                    prof.run_event(event.callback, event.args)
         finally:
             self._running = False
         if until is not None and self.now < until:

@@ -134,3 +134,56 @@ class TestCheckRegression:
         baseline = {"cases": {"a": {"wall_s": 1.0}}}
         assert check_regression(current, baseline, factor=2.0)
         assert not check_regression(current, baseline, factor=4.0)
+
+
+# ----------------------------------------------------------------------
+# --repeat: min-of-N walls, recorded noise discipline
+# ----------------------------------------------------------------------
+class TestRepeat:
+    def test_run_case_rejects_bad_repeat(self):
+        from repro.experiments.perf import bench_cases, run_case
+
+        with pytest.raises(ValueError):
+            run_case(bench_cases(quick=True)[0], repeat=0)
+
+    def test_repeat_keeps_deterministic_run_facts(self):
+        from repro.experiments.perf import SMALL_CLUSTER, BenchCase, run_case
+
+        case = BenchCase("tiny", "fair", SMALL_CLUSTER, scale=0.02)
+        once = run_case(case, repeat=1)
+        twice = run_case(case, repeat=2)
+        # the simulation is deterministic: only the timing may differ
+        for key in ("events", "offers", "makespan_s", "nodes", "jobs"):
+            assert once[key] == twice[key]
+        assert twice["wall_s"] > 0
+
+    def test_run_bench_records_repeat(self, monkeypatch):
+        import repro.experiments.perf as perf
+
+        calls = []
+        monkeypatch.setattr(
+            perf, "run_case",
+            lambda case, repeat=1: calls.append(repeat) or dict(
+                FAKE_DOC["cases"]["pna_hop"]
+            ),
+        )
+        doc = perf.run_bench(quick=True, measure_speedup=False, repeat=3)
+        assert doc["repeat"] == 3
+        assert calls and all(r == 3 for r in calls)
+
+    def test_cli_passes_repeat_through(self, monkeypatch, tmp_path):
+        import repro.experiments.perf as perf
+
+        seen = {}
+
+        def fake_run_bench(**kwargs):
+            seen.update(kwargs)
+            return json.loads(json.dumps(FAKE_DOC))
+
+        monkeypatch.setattr(perf, "run_bench", fake_run_bench)
+        assert bench(tmp_path, "--repeat", "3") == 0
+        assert seen["repeat"] == 3
+
+    def test_cli_rejects_bad_repeat(self, tmp_path, capsys):
+        assert bench(tmp_path, "--repeat", "0") == 2
+        assert "--repeat" in capsys.readouterr().err

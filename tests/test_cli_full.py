@@ -158,3 +158,65 @@ class TestArgumentHandling:
         with pytest.raises(SystemExit) as exc:
             main(["--help"])
         assert exc.value.code == 0
+
+
+class TestObservabilityCommands:
+    def test_run_metrics_then_report_dashboard(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.jsonl")
+        code = main([
+            "run", "--scenario", "clitest", "--jobs", "2",
+            "--metrics", path, "--metrics-period", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jct percentiles" in out
+        assert f"metrics appended to {path}" in out
+
+        assert main(["report", path]) == 0
+        report = capsys.readouterr().out
+        assert "metrics dashboard" in report
+        assert "slots_busy{kind=map}" in report
+        assert "job_completion_s" in report
+
+    def test_report_still_renders_event_traces(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert main([
+            "run", "--scenario", "clitest", "--jobs", "2", "--trace", path,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "metrics dashboard" not in out
+
+    def test_run_rejects_bad_metrics_period(self, tmp_path, capsys):
+        code = main([
+            "run", "--scenario", "clitest",
+            "--metrics", str(tmp_path / "m.jsonl"), "--metrics-period", "0",
+        ])
+        assert code == 2
+        assert "--metrics-period" in capsys.readouterr().err
+
+    def test_profile_command(self, monkeypatch, capsys, tmp_path):
+        import repro.experiments.perf as perf
+
+        def fake_profile_case(case):
+            return {
+                "format": "repro-profile", "version": 1,
+                "wall_s": 1.0, "attributed_s": 0.9, "coverage": 0.9,
+                "components": {
+                    "network.refill": {"self_s": 0.9, "calls": 10},
+                },
+                "case": case.name, "nodes": case.cluster.num_nodes,
+                "events": 1234,
+            }
+
+        monkeypatch.setattr(perf, "profile_case", fake_profile_case)
+        out_path = str(tmp_path / "profile.json")
+        assert main(["profile", "--quick", "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "profiling pna_netcond" in out
+        assert "network.refill" in out
+        assert "(total attributed)" in out
+        doc = json.loads(Path(out_path).read_text())
+        assert doc["format"] == "repro-profile"
+        assert doc["case"] == "pna_netcond"

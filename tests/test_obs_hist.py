@@ -1,0 +1,175 @@
+"""Streaming log-bucket histogram: scheme, merge and quantile properties.
+
+The metrics plane leans on three properties of :class:`LogHistogram` that
+sketches with data-dependent centroids cannot offer: boundaries are a pure
+function of the scheme (so same observations in any order ⇒ identical
+state), merging is exact bucket-wise addition, and a reported quantile is
+a deterministic *upper bound* within one growth factor of the true value.
+The hypothesis tests pin all three.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import LogHistogram
+
+# small scheme with round boundaries [1, 2, 4, 8, 16] for edge-case tests
+SMALL = dict(lo=1.0, growth=2.0, buckets=4)
+
+# finite non-negative observations spanning underflow to overflow of the
+# default scheme (lo=1e-3, top boundary 1e7)
+values = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# construction and validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs", [
+    dict(lo=0.0), dict(lo=-1.0), dict(lo=math.inf),
+    dict(growth=1.0), dict(growth=0.5), dict(growth=math.inf),
+    dict(buckets=0), dict(buckets=-3), dict(buckets=True),
+])
+def test_bad_scheme_rejected(kwargs):
+    with pytest.raises(ValueError):
+        LogHistogram(**kwargs)
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf, -0.001])
+def test_bad_observation_rejected(bad):
+    hist = LogHistogram()
+    with pytest.raises(ValueError):
+        hist.observe(bad)
+    assert hist.count == 0  # a rejected observation leaves no trace
+
+
+def test_boundaries_are_shared_and_deterministic():
+    a, b = LogHistogram(), LogHistogram()
+    assert a.boundaries is b.boundaries  # module-level scheme cache
+    # each boundary is computed independently, not by running product
+    assert a.boundaries[0] == 1e-3
+    assert a.boundaries[20] == pytest.approx(1e-2, rel=1e-12)
+    assert a.boundaries[200] == pytest.approx(1e7, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# bucket edges
+# ----------------------------------------------------------------------
+def test_bucket_edges():
+    hist = LogHistogram(**SMALL)  # boundaries [1, 2, 4, 8, 16]
+    hist.observe(0.5)    # underflow
+    hist.observe(1.0)    # first bucket, inclusive lower edge
+    hist.observe(2.0)    # second bucket (boundaries are half-open)
+    hist.observe(15.999)  # last bucket
+    hist.observe(16.0)   # overflow, inclusive
+    assert hist.low == 1
+    assert hist.high == 1
+    assert hist.counts == [1, 1, 0, 1]
+    assert hist.count == 5
+    assert hist.total == pytest.approx(0.5 + 1 + 2 + 15.999 + 16)
+
+
+def test_quantile_edges():
+    hist = LogHistogram(**SMALL)
+    assert math.isnan(hist.quantile(0.5))  # empty
+    hist.observe(0.5)
+    assert hist.quantile(0.5) == 1.0  # underflow reports lo
+    hist.observe(100.0)
+    assert hist.quantile(1.0) == math.inf  # overflow: only ">= top" is known
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    with pytest.raises(ValueError):
+        hist.quantile(math.nan)
+
+
+def test_merge_rejects_different_schemes():
+    with pytest.raises(ValueError):
+        LogHistogram().merge(LogHistogram(**SMALL))
+
+
+def test_percentile_labels():
+    hist = LogHistogram(**SMALL)
+    hist.observe(3.0)
+    out = hist.percentiles(50, 99.9)
+    assert set(out) == {"p50", "p99.9"}
+    assert out["p50"] == 4.0  # upper boundary of the [2, 4) bucket
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(st.lists(values, max_size=60), st.lists(values, max_size=60))
+def test_merge_equals_histogram_of_concatenation(xs, ys):
+    merged = LogHistogram()
+    merged.observe_many(xs)
+    other = LogHistogram()
+    other.observe_many(ys)
+    assert merged.merge(other) is merged
+
+    combined = LogHistogram()
+    combined.observe_many(xs + ys)
+    # bucket contents are integer counts: exact equality
+    assert merged.counts == combined.counts
+    assert (merged.low, merged.high) == (combined.low, combined.high)
+    assert merged.count == combined.count == len(xs) + len(ys)
+    # the running sum is float addition in a different order: tolerance
+    assert merged.total == pytest.approx(combined.total, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=60,
+    ),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_quantile_is_tight_upper_bound(xs, q):
+    """For in-range samples: true quantile < estimate <= true * growth."""
+    hist = LogHistogram()
+    hist.observe_many(xs)
+    estimate = hist.quantile(q)
+    rank = max(1, math.ceil(q * len(xs)))
+    true = sorted(xs)[rank - 1]
+    assert true < estimate <= true * hist.growth * (1 + 1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(values, max_size=60))
+def test_doc_round_trip_is_canonical(xs):
+    hist = LogHistogram()
+    hist.observe_many(xs)
+    doc = hist.to_doc()
+    # canonical JSON of the doc is byte-stable across a round trip
+    clone = LogHistogram.from_doc(
+        json.loads(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+    )
+    assert clone.to_doc() == doc
+    assert clone.counts == hist.counts
+    assert (clone.low, clone.high, clone.count) == (
+        hist.low, hist.high, hist.count,
+    )
+    if xs:
+        assert clone.quantile(0.5) == hist.quantile(0.5)
+        assert clone.mean == pytest.approx(hist.mean)
+    else:
+        assert math.isnan(clone.mean)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(values, max_size=60))
+def test_order_independence(xs):
+    forward = LogHistogram()
+    forward.observe_many(xs)
+    backward = LogHistogram()
+    backward.observe_many(reversed(xs))
+    assert forward.counts == backward.counts
+    assert forward.count == backward.count

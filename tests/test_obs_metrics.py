@@ -1,0 +1,248 @@
+"""The time-series metrics plane: determinism, transparency, reconciliation.
+
+Three contracts, in increasing order of subtlety:
+
+1. **Export determinism** — same seed ⇒ byte-identical JSONL/CSV/Prometheus
+   exports, with and without node churn (the plane uses no RNG and no
+   host clock).
+2. **Transparency** — a run with the plane on produces the *same event
+   trace* as a run with it off: observation never shifts scheduling.
+3. **Reconciliation** — the streaming summaries (histogram percentiles,
+   sampled slot/link gauges) must agree with ground truth derived from the
+   collector's exact records, to within the documented bucket error.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, Simulation, table2_batch
+from repro.core import ProbabilisticNetworkAwareScheduler
+from repro.engine import EngineConfig
+from repro.faults import FaultPlan, NodeChurn
+from repro.obs import Counter, Gauge, MetricsConfig, MetricsRegistry
+from repro.obs.export import (
+    metrics_csv,
+    metrics_jsonl_lines,
+    prometheus_text,
+    read_metrics_jsonl,
+    write_metrics_jsonl,
+)
+from repro.trace import events_to_jsonl
+
+CLUSTER = ClusterSpec(num_racks=2, nodes_per_rack=3)
+CHURN = FaultPlan(churn=NodeChurn(level=0.05, mean_downtime=60.0))
+
+
+def run_once(config: EngineConfig, seed: int = 123) -> object:
+    sim = Simulation(
+        cluster=CLUSTER,
+        scheduler=ProbabilisticNetworkAwareScheduler(),
+        jobs=table2_batch("wordcount", scale=0.02)[:4],
+        config=config,
+        seed=seed,
+    )
+    result = sim.run()
+    result.recorder = sim.recorder  # keep the trace for comparisons
+    return result
+
+
+# ----------------------------------------------------------------------
+# export determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("churn", [False, True], ids=["healthy", "churn"])
+def test_same_seed_byte_identical_exports(churn):
+    config = EngineConfig(
+        metrics=MetricsConfig(period=5.0, per_node=True),
+        faults=CHURN if churn else None,
+        tracker_expiry_interval=15.0 if churn else 600.0,
+    )
+    r1 = run_once(config)
+    r2 = run_once(config)
+    meta = {"scheduler": "probabilistic", "seed": 123}
+    assert (
+        metrics_jsonl_lines(r1.metrics, meta=meta)
+        == metrics_jsonl_lines(r2.metrics, meta=meta)
+    )
+    assert metrics_csv(r1.metrics) == metrics_csv(r2.metrics)
+    assert prometheus_text(r1.metrics) == prometheus_text(r2.metrics)
+    # and the runs actually recorded something
+    assert len(r1.metrics.sample_times) > 2
+    assert r1.metrics.get("job_completion_s").count == 4
+
+
+def test_jsonl_round_trip(tmp_path):
+    config = EngineConfig(metrics=MetricsConfig(period=5.0))
+    result = run_once(config)
+    path = str(tmp_path / "metrics.jsonl")
+    write_metrics_jsonl(result.metrics, path, meta={"seed": 123})
+    write_metrics_jsonl(result.metrics, path, meta={"seed": 123}, append=True)
+    runs = read_metrics_jsonl(path)
+    assert len(runs) == 2
+    assert runs[0]["meta"]["seed"] == 123
+    assert runs[0]["series"] == runs[1]["series"]
+    assert runs[0]["histograms"] == runs[1]["histograms"]
+    names = {s["name"] for s in runs[0]["series"]}
+    assert {"slots_busy", "net_active_flows", "assignments_total"} <= names
+
+
+# ----------------------------------------------------------------------
+# transparency: observation never shifts scheduling
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("churn", [False, True], ids=["healthy", "churn"])
+def test_metrics_plane_leaves_trace_untouched(tmp_path, churn):
+    base = EngineConfig(
+        trace=True,
+        faults=CHURN if churn else None,
+        tracker_expiry_interval=15.0 if churn else 600.0,
+    )
+    plain = run_once(base)
+    metered = run_once(
+        EngineConfig(
+            trace=True,
+            metrics=MetricsConfig(period=2.0, per_node=True),
+            faults=CHURN if churn else None,
+            tracker_expiry_interval=15.0 if churn else 600.0,
+        )
+    )
+    p_plain = str(tmp_path / "plain.jsonl")
+    p_metered = str(tmp_path / "metered.jsonl")
+    events_to_jsonl(plain.recorder.events, p_plain)
+    events_to_jsonl(metered.recorder.events, p_metered)
+    with open(p_plain, "rb") as a, open(p_metered, "rb") as b:
+        assert a.read() == b.read()
+    # the plain run kept no registry at all (zero-cost disabled path)
+    assert plain.metrics is None
+    assert metered.metrics is not None
+
+
+# ----------------------------------------------------------------------
+# reconciliation against collector ground truth
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def metered_result():
+    return run_once(EngineConfig(metrics=MetricsConfig(period=2.0)))
+
+
+def test_jct_histogram_brackets_exact_percentiles(metered_result):
+    r = metered_result
+    jct = np.sort(r.job_completion_times)
+    hist = r.metrics.get("job_completion_s")
+    assert hist.count == len(jct)
+    growth = hist.hist.growth
+    for q in (0.5, 0.9, 0.99):
+        rank = max(1, math.ceil(q * len(jct)))
+        true = jct[rank - 1]
+        estimate = hist.quantile(q)
+        assert true < estimate <= true * growth * (1 + 1e-12)
+
+
+def test_task_histograms_match_collector(metered_result):
+    r = metered_result
+    for kind in ("map", "reduce"):
+        durations = r.collector.task_durations(kind)
+        hist = r.metrics.get("task_duration_s", kind=kind)
+        assert hist.count == len(durations)
+        # streaming mean is exact (running sum), to float tolerance
+        assert hist.hist.mean == pytest.approx(durations.mean(), rel=1e-9)
+
+
+def test_sampled_gauges_stay_physical(metered_result):
+    r = metered_result
+    caps = {"map": r.map_slots, "reduce": r.reduce_slots}
+    for kind, cap in caps.items():
+        values = [v for _, v in r.metrics.series("slots_busy", kind=kind)]
+        assert values, "gauge series must not be empty"
+        assert all(0 <= v <= cap for v in values)
+        assert all(float(v).is_integer() for v in values)
+        # the sampler must have caught the busy phase
+        assert max(values) > 0
+    # link utilisation is a fraction; float accumulation may peek a hair
+    # over 1.0
+    for stat in ("mean", "max"):
+        utils = [v for _, v in r.metrics.series("net_link_util", stat=stat)]
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in utils)
+
+
+def test_sampled_mean_tracks_occupancy_integral(metered_result):
+    r = metered_result
+    times = r.metrics.sample_times
+    span = times[-1] - times[0]
+    for kind, cap in (("map", r.map_slots), ("reduce", r.reduce_slots)):
+        values = [v for _, v in r.metrics.series("slots_busy", kind=kind)]
+        sampled_mean = sum(values) / len(values) / cap
+        occ_t, occ_l = r.collector.occupancy_series(kind)
+        area = float(np.sum(occ_l[:-1] * np.diff(occ_t)))
+        exact_mean = area / (span * cap)
+        assert sampled_mean == pytest.approx(exact_mean, abs=0.10)
+
+
+def test_summary_reports_percentiles_and_utilisation(metered_result):
+    summary = metered_result.summary()
+    assert "jct percentiles: p50" in summary
+    assert "slot utilisation: map mean" in summary
+    assert "link utilisation: mean" in summary
+    # exact slot utilisation stays in (0, 1]
+    for kind in ("map", "reduce"):
+        mean_u, peak_u = metered_result.slot_utilisation(kind)
+        assert 0.0 < mean_u <= peak_u <= 1.0
+
+
+def test_counters_reconcile_with_collector(metered_result):
+    r = metered_result
+    c = r.collector
+    registry = r.metrics
+    assert registry.get("assignments_total").value == c.scheduling_assignments
+    assert registry.get("jobs_completed_total").value == len(c.job_records)
+    declines = sum(
+        registry.get("declines_total", kind=kind, reason=reason).value
+        for (kind, reason) in c.declines_by_reason()
+    )
+    assert declines == c.scheduling_declines
+    assert registry.get("fabric_bytes_total").value == r.bytes_over_fabric
+
+
+# ----------------------------------------------------------------------
+# configuration and registry validation
+# ----------------------------------------------------------------------
+def test_metrics_config_validation():
+    assert MetricsConfig().period == 5.0
+    MetricsConfig(period=math.inf)  # sampling disabled, final snapshot only
+    with pytest.raises(ValueError):
+        MetricsConfig(period=0.0)
+    with pytest.raises(ValueError):
+        MetricsConfig(period=-1.0)
+    with pytest.raises((TypeError, ValueError)):
+        MetricsConfig(per_node="yes")
+    with pytest.raises((TypeError, ValueError)):
+        MetricsConfig(jsonl=7)
+    with pytest.raises((TypeError, ValueError)):
+        EngineConfig(metrics="metrics.jsonl")
+
+
+def test_registry_kind_and_time_guards():
+    reg = MetricsRegistry()
+    counter = reg.counter("events_total")
+    assert isinstance(counter, Counter)
+    with pytest.raises(TypeError):
+        reg.gauge("events_total")
+    gauge = reg.gauge("depth", queue="q0")
+    assert isinstance(gauge, Gauge)
+    reg.sample(1.0)
+    reg.sample(1.0)  # idempotent per instant
+    with pytest.raises(ValueError):
+        reg.sample(0.5)
+    counter.inc(3)
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    with pytest.raises(ValueError):
+        counter.set_total(1.0)
+    gauge.set(-2.0)  # gauges may go anywhere finite
+    with pytest.raises(ValueError):
+        gauge.set(math.nan)
+    reg.sample(2.0)
+    assert reg.series("events_total") == [(1.0, 0.0), (2.0, 3.0)]
+    assert reg.series("depth", queue="q0") == [(1.0, 0.0), (2.0, -2.0)]
