@@ -4,7 +4,9 @@ from repro.cluster.background import BackgroundSpec, BackgroundTraffic
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.cluster.network import Flow, FlowNetwork
 from repro.cluster.node import Node, SlotExhausted
+from repro.cluster.routing import RoutingController
 from repro.cluster.telemetry import TelemetryConfig, TelemetryMonitor
+from repro.cluster.topologies import ROUTING_POLICIES, FabricTopology, clos_topology
 from repro.cluster.topology import (
     GraphTopology,
     MatrixTopology,
@@ -20,15 +22,19 @@ __all__ = [
     "BackgroundTraffic",
     "Cluster",
     "ClusterSpec",
+    "FabricTopology",
     "Flow",
     "FlowNetwork",
     "GraphTopology",
     "MatrixTopology",
     "Node",
+    "ROUTING_POLICIES",
+    "RoutingController",
     "SlotExhausted",
     "TelemetryConfig",
     "TelemetryMonitor",
     "Topology",
+    "clos_topology",
     "fat_tree_topology",
     "paper_example_topology",
     "rack_topology",

@@ -120,6 +120,9 @@ class Cluster:
             self.nodes.append(node)
             self._by_name[host] = node
         self.network = FlowNetwork(sim, topology, local_bandwidth=disk_bandwidth)
+        # link-state control plane, attached by the engine when the topology
+        # is a linkstate fabric (see repro.cluster.routing)
+        self.routing = None
         self._hops = topology.hop_matrix().astype(np.float64)
         # hot-path caches (all behaviour-invisible; REPRO_NO_CACHE bypasses)
         self._no_cache = caching_disabled()
@@ -183,7 +186,11 @@ class Cluster:
         if cached is not None and cached[0] == key:
             return cached[1]
         rates = self.network.rate_matrix()
-        inv = 1.0 / rates
+        # partitioned pairs advertise rate 0 (failed fabric link on the
+        # stale route) -> inf cost, which is exactly what schedulers should
+        # see; silence only the expected divide-by-zero
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / rates
         np.fill_diagonal(inv, 0.0)
         if scale is None:
             if self._default_inv_scale is None:
@@ -215,7 +222,8 @@ class Cluster:
     ) -> np.ndarray:
         """Reference path: full recompute per call (``REPRO_NO_CACHE=1``)."""
         rates = self.network.rate_matrix()
-        inv = 1.0 / rates
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / rates
         np.fill_diagonal(inv, 0.0)
         if scale is None:
             scale = self._default_scale()

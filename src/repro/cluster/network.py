@@ -50,10 +50,11 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Set
 
+import networkx as nx
 import numpy as np
 
 from repro.cache import caching_disabled
-from repro.cluster.topology import LinkKey, Topology
+from repro.cluster.topology import LinkKey, Topology, _canon
 from repro.coherence import cached_on
 from repro.obs import profile as _obs_profile
 from repro.sim import Event, Simulator
@@ -76,7 +77,7 @@ CACHE_DEPS = {
             "FlowNetwork._finite_caps",
         ),
         "reference": "_refill_reference",
-        "maintainers": ("_attach", "_detach", "start_flow"),
+        "maintainers": ("_attach", "_detach", "start_flow", "_register_route"),
     },
 }
 
@@ -219,6 +220,7 @@ class FlowNetwork:
         self._rm_cache: Optional[np.ndarray] = None
         self._rm_epoch = -1
         self._rm_static: Optional[tuple] = None
+        self._rm_route_version = -1
         # per-link bookkeeping (path_rate estimates + dense registry)
         self._link_flows: Dict[LinkKey, int] = {}      # live flow count
         self._link_ids: Dict[LinkKey, int] = {}
@@ -226,6 +228,13 @@ class FlowNetwork:
         # transient capacity rescaling (fault injection); absent key = 1.0,
         # so zero-fault runs never touch these floats
         self._cap_factors: Dict[LinkKey, float] = {}
+        # failed links (fault injection): effective capacity 0.  Every
+        # consumer fast-paths on the empty set, so zero-fault runs are
+        # byte-identical to builds without fabric fault tolerance.
+        self._down_links: Set[LinkKey] = set()
+        self._down_version = 0
+        self._iso_cache: Optional[frozenset] = None
+        self._iso_version = -1
         # slot-indexed state of active fabric flows
         self._flows: List[Flow] = []
         self._routes: List[np.ndarray] = []
@@ -253,6 +262,7 @@ class FlowNetwork:
         self.flows_started = 0
         self.flows_completed = 0
         self.reallocations = 0
+        self.reroutes = 0              # in-flight flow migrations
 
     # ------------------------------------------------------------------
     # public API
@@ -283,7 +293,7 @@ class FlowNetwork:
             dst=dst,
             size=float(size),
             on_complete=on_complete,
-            route=self.topology.route(src, dst),
+            route=self.topology.route_for_flow(src, dst, self._next_fid),
             max_rate=max_rate,
             start_time=self.sim.now,
             net=self,
@@ -308,8 +318,21 @@ class FlowNetwork:
             return flow
 
         # register route links and attach to a state slot
-        ids = np.empty(len(flow.route), dtype=np.int64)
-        for i, link in enumerate(flow.route):
+        flow.route_ids = self._register_route(flow.route)
+        self._settle_all()
+        self._attach(flow)
+        self._mark_dirty()
+        return flow
+
+    def _register_route(self, route: List[LinkKey]) -> np.ndarray:
+        """Count a route's links in the live registry, returning dense ids.
+
+        Bumps ``epoch`` itself: the per-link flow counts feed
+        :meth:`rate_matrix`, so registration must invalidate it on every
+        path.
+        """
+        ids = np.empty(len(route), dtype=np.int64)
+        for i, link in enumerate(route):
             self._link_flows[link] = self._link_flows.get(link, 0) + 1
             lid = self._link_ids.get(link)
             if lid is None:
@@ -326,12 +349,45 @@ class FlowNetwork:
                     live = self._mat[: len(self._flows)]
                     live[live == lid] = lid + 1
             ids[i] = lid
-        flow.route_ids = ids
         self.epoch += 1
+        return ids
+
+    def reroute_flow(self, flow: Flow, route: List[LinkKey]) -> bool:
+        """Migrate an in-flight fabric flow onto ``route``, conserving bytes.
+
+        The flow is settled at the current instant, detached from its old
+        links, re-attached on the new ones with its remaining byte count
+        carried over, and rates are recomputed via a zero-delay tick.  Used
+        by the link-state control plane when the fabric converges after a
+        failure.  No-op (returns False) for finished/cancelled/local flows
+        or when the route is unchanged.
+        """
+        if flow.done or flow.cancelled or flow._slot == _NO_SLOT:
+            return False
+        if route == flow.route:
+            return False
         self._settle_all()
+        if self._refill_deferred:
+            # flush a same-instant deferred refill so the remaining-byte
+            # snapshot below integrates a fresh rate (mirrors cancel_flow)
+            self._refill_deferred = False
+            prof = _obs_profile.ACTIVE
+            if prof is None:
+                self._refill()
+            else:
+                with prof.scope("network.refill"):
+                    self._refill()
+        remaining = float(self._rem[flow._slot])
+        self._detach(flow)
+        flow.route = route
+        flow.route_ids = self._register_route(route)
         self._attach(flow)
+        # _attach resets the slot to the full flow size; restore progress
+        self._rem[flow._slot] = remaining
+        flow._remaining = remaining
+        self.reroutes += 1
         self._mark_dirty()
-        return flow
+        return True
 
     def cancel_flow(self, flow: Flow) -> None:
         """Abort a transfer.  ``on_complete`` will not fire.  Idempotent."""
@@ -368,7 +424,13 @@ class FlowNetwork:
     # transient capacity rescaling (fault injection)
     # ------------------------------------------------------------------
     def effective_capacity(self, link: LinkKey) -> float:
-        """The link's current capacity: nominal times any degradation."""
+        """The link's current capacity: nominal times any degradation.
+
+        A failed link reports 0.0 — flows crossing it stall in place until
+        the link heals or the control plane migrates them.
+        """
+        if self._down_links and link in self._down_links:
+            return 0.0
         cap = self.topology.link_capacity(link)
         if self._cap_factors:
             cap *= self._cap_factors.get(link, 1.0)
@@ -418,6 +480,99 @@ class FlowNetwork:
             self._settle_all()
             self._caps_arr[lid] = self.effective_capacity(link)
             self._mark_dirty()
+
+    # ------------------------------------------------------------------
+    # link/switch failures (fault injection + link-state control plane)
+    # ------------------------------------------------------------------
+    @property
+    def down_links(self) -> Set[LinkKey]:
+        """The currently failed links (read-only view)."""
+        return self._down_links
+
+    def set_link_down(self, link: LinkKey) -> bool:
+        """Fail a link: its effective capacity drops to zero.
+
+        In-flight flows crossing it are settled and stall at rate 0; new
+        path-rate estimates see the dead link immediately.  Returns False
+        (no-op) if the link was already down — overlapping faults are
+        ref-counted by the injector, not here.
+        """
+        link = _canon(*link)
+        if link in self._down_links:
+            return False
+        self._down_links.add(link)
+        self._down_version += 1
+        self.epoch += 1
+        lid = self._link_ids.get(link)
+        if lid is not None:
+            self._settle_all()
+            self._caps_arr[lid] = 0.0
+            self._mark_dirty()
+        return True
+
+    def set_link_up(self, link: LinkKey) -> bool:
+        """Heal a failed link, restoring its effective capacity."""
+        link = _canon(*link)
+        if link not in self._down_links:
+            return False
+        self._down_links.discard(link)
+        self._down_version += 1
+        self.epoch += 1
+        lid = self._link_ids.get(link)
+        if lid is not None:
+            self._settle_all()
+            self._caps_arr[lid] = self.effective_capacity(link)
+            self._mark_dirty()
+        return True
+
+    def pair_blocked(self, src: str, dst: str) -> bool:
+        """True when the pair's current route crosses a failed link.
+
+        This is the data plane's own view: until the control plane
+        converges (or for static/ECMP fabrics, until the link heals) the
+        route is stale and transfers on it would stall, so shuffle fetches
+        park and replica reads fail over.  Zero-cost when nothing is down.
+        """
+        if not self._down_links or src == dst:
+            return False
+        down = self._down_links
+        return any(link in down for link in self.topology.route(src, dst))
+
+    def note_route_change(self) -> None:
+        """Invalidate rate caches after a routing-table change.
+
+        Called by the control plane once per convergence; the route tensor
+        itself is rebuilt lazily via the topology's ``route_version``.
+        """
+        self.epoch += 1
+
+    def isolated_hosts(self) -> frozenset:
+        """Hosts cut off from the largest live host component.
+
+        Offer rounds decline slots on these nodes with ``no_route``.  The
+        result is cached per down-link change; with no down links it is the
+        empty set at dict-probe cost.
+        """
+        if not self._down_links:
+            return frozenset()
+        if self._iso_cache is not None and self._iso_version == self._down_version:
+            return self._iso_cache
+        graph = getattr(self.topology, "graph", None)
+        if graph is None:
+            # matrix topologies carry dedicated per-pair pipes; link faults
+            # target graph-backed fabrics only
+            iso: frozenset = frozenset()
+        else:
+            live = graph.copy()
+            live.remove_edges_from(self._down_links)
+            host_set = set(self.topology.hosts)
+            comps = [c & host_set for c in nx.connected_components(live)]
+            comps = [c for c in comps if c]
+            main = max(comps, key=lambda c: (len(c), sorted(c)))
+            iso = frozenset(host_set - main)
+        self._iso_cache = iso
+        self._iso_version = self._down_version
+        return iso
 
     # ------------------------------------------------------------------
     # live path-rate estimation (network-condition-aware cost input)
@@ -473,8 +628,10 @@ class FlowNetwork:
             # dict probe and stay attributed to their caller
             prof.push("network.rate_matrix")
         try:
-            if self._rm_static is None:
+            route_version = getattr(self.topology, "route_version", 0)
+            if self._rm_static is None or self._rm_route_version != route_version:
                 self._rm_static = self._build_rate_matrix_static()
+                self._rm_route_version = route_version
             tensor, links = self._rm_static
             share = np.empty(len(links) + 1, dtype=np.float64)
             for s, link in enumerate(links):
@@ -506,8 +663,10 @@ class FlowNetwork:
     def _build_rate_matrix_static(self) -> tuple:
         """Precompute the per-pair route link-id tensor from the topology.
 
-        Routes are static for the lifetime of a topology (degradation only
-        rescales capacities), so this runs once.  Uses route(a, b) for a < b
+        Routes are static between routing-table versions (degradation only
+        rescales capacities; link-state fabrics bump ``route_version`` when
+        the control plane converges), so this runs once per routing table.
+        Uses route(a, b) for a < b
         mirrored into (b, a), matching the reference loop exactly even if a
         topology's routes were asymmetric.  Link ids here are private to the
         tensor (ordered by first traversal), independent of the
@@ -719,7 +878,12 @@ class FlowNetwork:
         # drain the fabric.
         rates = self._rates[:n]
         progressing = rates > 0.0
-        assert progressing.any(), "all fabric flows stalled at rate 0"
+        if not progressing.any():
+            # every fabric flow is stalled behind a failed link; the heal /
+            # re-route path marks the fabric dirty when capacity returns,
+            # so there is nothing to schedule now
+            assert self._down_links, "all fabric flows stalled at rate 0"
+            return
         horizon = float((self._rem[:n][progressing] / rates[progressing]).min())
         assert horizon > 0, "drained flow survived the tick"
         ev = self._tick_event

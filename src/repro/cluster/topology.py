@@ -32,6 +32,7 @@ __all__ = [
     "MatrixTopology",
     "rack_topology",
     "star_topology",
+    "fat_tree_graph",
     "fat_tree_topology",
     "paper_example_topology",
 ]
@@ -67,6 +68,15 @@ class Topology:
     def route(self, src: str, dst: str) -> List[LinkKey]:
         """Ordered link keys along the path ``src → dst`` (empty if equal)."""
         raise NotImplementedError
+
+    def route_for_flow(self, src: str, dst: str, fid: int) -> List[LinkKey]:
+        """Route assigned to one specific flow.
+
+        Single-route topologies ignore ``fid``; multi-path fabrics
+        (:class:`repro.cluster.topologies.FabricTopology`) hash it over the
+        equal-cost path set for deterministic ECMP spreading.
+        """
+        return self.route(src, dst)
 
     def link_capacity(self, link: LinkKey) -> float:
         raise NotImplementedError
@@ -255,15 +265,23 @@ def star_topology(
     return rack_topology(1, num_hosts, host_link=host_link)
 
 
-def fat_tree_topology(k: int, *, link: float = 10.0 * Gbps) -> GraphTopology:
-    """A classic k-ary fat-tree with ``k^3 / 4`` hosts.
+def fat_tree_graph(
+    k: int,
+    *,
+    host_link: float = 10.0 * Gbps,
+    fabric_link: Optional[float] = None,
+) -> nx.Graph:
+    """The raw graph of a k-ary fat-tree with ``k^3 / 4`` hosts.
 
     ``k`` must be even.  Pods contain ``k/2`` edge and ``k/2`` aggregation
-    switches; there are ``(k/2)^2`` core switches.  Every host's rack label
-    is its edge switch, matching the locality granularity Hadoop uses.
+    switches; there are ``(k/2)^2`` core switches.  ``fabric_link`` is the
+    capacity of the edge→agg and agg→core links (defaults to ``host_link``,
+    i.e. a full-bisection fabric).
     """
     if k < 2 or k % 2 != 0:
         raise ValueError("fat-tree degree k must be an even integer >= 2")
+    if fabric_link is None:
+        fabric_link = host_link
     half = k // 2
     g = nx.Graph()
     # core switches, indexed (i, j) in a half x half grid
@@ -277,16 +295,26 @@ def fat_tree_topology(k: int, *, link: float = 10.0 * Gbps) -> GraphTopology:
         for a, agg in enumerate(aggs):
             g.add_node(agg, kind="switch")
             for j in range(half):
-                g.add_edge(agg, cores[a][j], capacity=link)
+                g.add_edge(agg, cores[a][j], capacity=fabric_link)
         for e, edge in enumerate(edges):
             g.add_node(edge, kind="switch", rack=f"pod{pod}_edge{e}")
             for agg in aggs:
-                g.add_edge(edge, agg, capacity=link)
+                g.add_edge(edge, agg, capacity=fabric_link)
             for h in range(half):
                 host = f"h{pod}_{e}_{h}"
                 g.add_node(host, kind="host", rack=f"pod{pod}_edge{e}")
-                g.add_edge(host, edge, capacity=link)
-    return GraphTopology(g)
+                g.add_edge(host, edge, capacity=host_link)
+    return g
+
+
+def fat_tree_topology(k: int, *, link: float = 10.0 * Gbps) -> GraphTopology:
+    """A classic k-ary fat-tree with ``k^3 / 4`` hosts and single-path routes.
+
+    Every host's rack label is its edge switch, matching the locality
+    granularity Hadoop uses.  For the multi-path / re-routing variant see
+    :func:`repro.cluster.topologies.clos_topology`.
+    """
+    return GraphTopology(fat_tree_graph(k, host_link=link))
 
 
 def paper_example_topology() -> MatrixTopology:

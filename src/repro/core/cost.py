@@ -74,8 +74,32 @@ def map_cost_matrix(
     out = np.empty((k, m), dtype=np.float64)
     for j in range(m):
         reps = replica_indices[j]
-        # distance of every node to the *nearest* replica of block j
-        out[:, j] = distance[:, reps].min(axis=1) * block_sizes[j]
+        # distance of every node to the *nearest* replica of block j; a
+        # zero-byte block costs nothing even when every replica is behind
+        # a partitioned fabric (inf * 0 would be NaN)
+        if block_sizes[j] > 0:
+            out[:, j] = distance[:, reps].min(axis=1) * block_sizes[j]
+        else:
+            out[:, j] = 0.0
+    return out
+
+
+def _inf_safe_matmul(d: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``d @ w`` where an infinite distance paired with zero weight
+    contributes nothing.
+
+    Under fabric partitions the inverse-rate distance matrix contains
+    +inf entries; IEEE ``inf * 0`` is NaN and one NaN poisons the whole
+    matmul column.  A *positive* weight across an infinite distance still
+    yields +inf — unreachable placements must look infinitely expensive,
+    never NaN.  With a finite ``d`` this is exactly ``d @ w``.
+    """
+    inf_mask = np.isinf(d)
+    if not inf_mask.any():
+        return d @ w
+    out = np.where(inf_mask, 0.0, d) @ w
+    unreachable = inf_mask.astype(np.float64) @ (w > 0.0)
+    out[unreachable > 0.0] = np.inf
     return out
 
 
@@ -100,7 +124,7 @@ def reduce_cost_matrix(
     if len(map_nodes) == 0:
         return np.zeros((distance.shape[0], intermediate.shape[1]))
     # (k, m') @ (m', n) -> (k, n)
-    return distance[:, map_nodes] @ intermediate
+    return _inf_safe_matmul(distance[:, map_nodes], intermediate)
 
 
 class JobCostModel:
@@ -225,7 +249,9 @@ class JobCostModel:
                     p_done, idx_done = self._done_arrays()
                 if len(p_done):
                     i_done = self.job.I[np.ix_(idx_done, reduce_indices)]
-                    base = dmat[np.ix_(node_indices, p_done)] @ i_done
+                    base = _inf_safe_matmul(
+                        dmat[np.ix_(node_indices, p_done)], i_done
+                    )
                 else:
                     base = np.zeros((len(node_indices), len(reduce_indices)))
 
@@ -241,7 +267,9 @@ class JobCostModel:
                     p_run = self.job.running_map_node_index_array()
                     est_rows = est.estimate_many(running, now)
                 est_rows = est_rows[:, reduce_indices]
-                base = base + dmat[np.ix_(node_indices, p_run)] @ est_rows
+                base = base + _inf_safe_matmul(
+                    dmat[np.ix_(node_indices, p_run)], est_rows
+                )
             return base
         finally:
             if prof is not None:

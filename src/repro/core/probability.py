@@ -42,7 +42,10 @@ def _ratio(c_ave: ArrayLike, cost: ArrayLike) -> np.ndarray:
 
     Where ``cost == 0`` the ratio is +inf, which every model maps to 1.
     Where both are 0 (no data anywhere — placement is free everywhere) the
-    ratio is also treated as +inf, i.e. accept.
+    ratio is also treated as +inf, i.e. accept.  Where ``cost`` is +inf
+    (the node cannot reach the task's data across a partitioned fabric)
+    the ratio is 0 — placing there is never accepted — even when ``c_ave``
+    is +inf too, which would otherwise yield NaN.
     """
     c_ave = np.asarray(c_ave, dtype=np.float64)
     cost = np.asarray(cost, dtype=np.float64)
@@ -50,6 +53,8 @@ def _ratio(c_ave: ArrayLike, cost: ArrayLike) -> np.ndarray:
         raise ValueError("transmission costs must be non-negative")
     with np.errstate(divide="ignore", invalid="ignore"):
         r = np.where(cost > 0, c_ave / np.where(cost > 0, cost, 1.0), np.inf)
+    if np.any(np.isinf(cost)):
+        r = np.where(np.isinf(cost), 0.0, r)
     return r
 
 

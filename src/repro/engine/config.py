@@ -85,6 +85,15 @@ class EngineConfig:
         Optional :class:`~repro.faults.spec.FaultPlan` injected during the
         run.  ``None`` (or an empty plan) leaves the run bit-for-bit
         identical to a build without fault support.
+    route_convergence_delay:
+        Seconds the link-state control plane takes to react to a physical
+        fabric change (LSA flood + SPF hold-down, collapsed into one knob).
+        Only meaningful on a link-state fabric
+        (:func:`repro.cluster.topologies.clos_topology` with
+        ``routing="linkstate"``): after a link or switch failure the
+        :class:`~repro.cluster.routing.RoutingController` waits this long,
+        then recomputes live shortest paths and migrates stranded in-flight
+        flows.  Static/ECMP fabrics ignore it — they never re-route.
     horizon:
         Safety cap on simulated seconds; a run that exceeds it raises, which
         catches scheduler livelocks in tests instead of hanging.
@@ -151,6 +160,7 @@ class EngineConfig:
     max_attempts: int = 4
     max_task_failures_per_tracker: int = 4
     faults: Optional[FaultPlan] = None
+    route_convergence_delay: float = 0.5
     horizon: float = 10_000_000.0
     check_invariants: bool = field(default_factory=_invariants_default)
     trace: bool = False
@@ -176,6 +186,7 @@ class EngineConfig:
         self._require_finite("tracker_expiry_interval", positive=True)
         self._require_int("max_attempts", minimum=1)
         self._require_int("max_task_failures_per_tracker", minimum=1)
+        self._require_finite("route_convergence_delay")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ValueError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"

@@ -31,6 +31,7 @@ from repro.sim import PeriodicTask, Simulator
 from repro.trace.events import (
     BLACKLISTED,
     NO_CANDIDATE,
+    NO_ROUTE,
     NODE_DEAD,
     NODE_LOST,
     TASK_ERROR,
@@ -495,8 +496,17 @@ class JobTracker:
                 )
             )
         if self.active_jobs:
-            self._offer_map_slots(node)
-            self._offer_reduce_slots(node)
+            if node.name in self.cluster.network.isolated_hosts():
+                # the node is cut off from the rest of the fabric by failed
+                # links: a task placed here could neither read its input
+                # nor be shuffled from, so decline its slots outright
+                if node.free_map_slots > 0:
+                    self._record_decline(node, "map", NO_ROUTE, "")
+                if node.free_reduce_slots > 0:
+                    self._record_decline(node, "reduce", NO_ROUTE, "")
+            else:
+                self._offer_map_slots(node)
+                self._offer_reduce_slots(node)
         if self.invariants is not None:
             self.invariants.after_heartbeat()
 

@@ -21,6 +21,14 @@ forget those partitions and re-request them once the map re-executes —
 Hadoop's fetch-failure / re-fetch path.  ``fetched`` is only credited when
 a flow completes, so aborted transfers never pollute the byte-conservation
 invariant.
+
+Fabric-partition support: a source whose route to this reduce crosses a
+failed link (:meth:`FlowNetwork.pair_blocked`) is *parked* rather than
+fetched — starting the flow would only stall it at rate zero.  Parked
+sources stay in ``pending`` and a periodic retry poll re-pumps them, so the
+fetch goes out as soon as a link heals or the link-state control plane
+re-routes around the failure.  On a healthy fabric the park path costs one
+set-emptiness check per pump iteration and schedules nothing.
 """
 
 from __future__ import annotations
@@ -63,6 +71,10 @@ class FetchManager:
     metrics:
         The run's :class:`~repro.obs.plane.MetricsPlane`, if any; each
         completed fetch flow reports its duration and bytes to it.
+    retry_period:
+        Seconds between retry polls while every pending source is parked
+        behind a failed fabric link (defaults to the Hadoop heartbeat
+        period; the tracker wires its configured period through).
     """
 
     def __init__(
@@ -76,9 +88,12 @@ class FetchManager:
         reduce_index: int = -1,
         on_fetched: Optional[Callable[[Tuple[int, ...]], None]] = None,
         metrics=None,
+        retry_period: float = 3.0,
     ) -> None:
         if max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+        if not (retry_period > 0):
+            raise ValueError(f"retry_period must be > 0, got {retry_period}")
         self.network = network
         self.dst = dst
         self.max_parallel = max_parallel
@@ -98,6 +113,9 @@ class FetchManager:
         self.remote_bytes = 0.0   # subset of fetched that crossed the fabric
         self.fetch_count = 0
         self.aborted_bytes = 0.0  # bytes dropped by abort_source
+        self.retry_period = retry_period
+        self._retry_pending = False
+        self.parked_polls = 0     # retry polls taken while partitioned
 
     # ------------------------------------------------------------------
     @property
@@ -126,9 +144,26 @@ class FetchManager:
             self._pending_keys.setdefault(src, []).append(key)
         self._pump()
 
+    def _next_source(self) -> Optional[str]:
+        """First pending source with a live route to us (FIFO order), or
+        ``None`` when every pending source is parked behind a failed link."""
+        net = self.network
+        if not net.down_links:
+            return next(iter(self.pending))
+        for src in self.pending:
+            if not net.pair_blocked(src, self.dst):
+                return src
+        return None
+
     def _pump(self) -> None:
         while self.active < self.max_parallel and self.pending:
-            src, nbytes = self.pending.popitem(last=False)
+            src = self._next_source()
+            if src is None:
+                # partitioned: every remaining source is unreachable; park
+                # the work and poll until a heal or re-route restores a path
+                self._schedule_retry()
+                return
+            nbytes = self.pending.pop(src)
             keys = tuple(self._pending_keys.pop(src, ()))
             self.active += 1
             self.fetch_count += 1
@@ -168,6 +203,18 @@ class FetchManager:
             self.on_fetched(keys)
         if self.on_progress is not None:
             self.on_progress()
+
+    def _schedule_retry(self) -> None:
+        if self._retry_pending:
+            return
+        self._retry_pending = True
+        self.network.sim.schedule(self.retry_period, self._retry_pump)
+
+    def _retry_pump(self) -> None:
+        self._retry_pending = False
+        self.parked_polls += 1
+        if self.pending:
+            self._pump()
 
     # ------------------------------------------------------------------
     # failure paths

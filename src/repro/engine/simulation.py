@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.cluster.background import BackgroundSpec, BackgroundTraffic
 from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.routing import RoutingController
 from repro.cluster.telemetry import TelemetryMonitor
 from repro.engine.config import EngineConfig
 from repro.engine.jobtracker import JobTracker
@@ -83,6 +84,9 @@ class RunResult:
     trace: Optional[TraceRecorder] = None
     #: the run's sampled metrics registry when metrics were enabled
     metrics: Optional[MetricsRegistry] = None
+    #: link-state control plane activity (0 on non-fabric topologies)
+    route_convergences: int = 0
+    reroutes: int = 0
 
     @property
     def job_completion_times(self) -> np.ndarray:
@@ -196,6 +200,11 @@ class RunResult:
                 f"control plane: {c.tracker_crashes} tracker crashes, "
                 f"{c.tracker_restarts} restarts"
             )
+        if self.route_convergences:
+            lines.append(
+                f"fabric: {self.route_convergences} route convergences, "
+                f"{self.reroutes} in-flight flows migrated"
+            )
         link = self.link_utilisation()
         if link is not None:
             lines.append(
@@ -271,6 +280,14 @@ class Simulation:
             self.recorder.emit(
                 RunStart(t=self.sim.now, scheduler=scheduler.name, seed=seed)
             )
+        self.routing: Optional[RoutingController] = None
+        if getattr(self.cluster.topology, "routing", None) == "linkstate":
+            self.routing = RoutingController(
+                self.cluster,
+                convergence_delay=self.config.route_convergence_delay,
+                recorder=self.recorder,
+            )
+            self.cluster.routing = self.routing
         self.faults: Optional[FaultInjector] = None
         if self.config.faults is not None and not self.config.faults.empty:
             self.faults = FaultInjector(
@@ -336,6 +353,8 @@ class Simulation:
     def run(self, until: Optional[float] = None) -> RunResult:
         """Run to completion (or ``until``) and return the measurements."""
         self.tracker.start()
+        if self.routing is not None:
+            self.tracker.on_all_done_hooks.append(self.routing.stop)
         if self.faults is not None:
             self.faults.start()
         if self.background is not None:
@@ -405,4 +424,8 @@ class Simulation:
             reduce_slots=self.cluster.total_reduce_slots(),
             trace=self.recorder if self.recorder.enabled else None,
             metrics=self.metrics.registry if self.metrics is not None else None,
+            route_convergences=(
+                self.routing.convergences if self.routing is not None else 0
+            ),
+            reroutes=net.reroutes,
         )

@@ -104,12 +104,19 @@ class MapAttempt:
         if not self.node.alive:
             return  # frozen; the tracker kills this attempt at expiry
         tracker = self.task.job.tracker
-        if self.source is None or not tracker.cluster.node(self.source).alive:
+        if (
+            self.source is None
+            or not tracker.cluster.node(self.source).alive
+            or tracker.cluster.network.pair_blocked(self.source, self.node.name)
+        ):
+            # fail over to another replica if the chosen one is dead *or*
+            # unreachable across the fabric (failed link/switch en route)
             resolved = tracker.namenode.closest_live_replica(
                 self.task.block, self.node.name
             )
             if resolved is None:
-                # every replica host is down; poll until one rejoins
+                # every replica host is down or unreachable; poll until one
+                # rejoins or the partition heals
                 self.source = None
                 tracker.sim.schedule(
                     tracker.config.heartbeat_period, self._start_input
@@ -489,6 +496,7 @@ class ReduceTask:
             reduce_index=self.index,
             on_fetched=self._on_fetched,
             metrics=tracker.metrics,
+            retry_period=tracker.config.heartbeat_period,
         )
         for m in self.job.maps:
             if m.done:

@@ -4,12 +4,14 @@ The ROADMAP's north star — "handle as many scenarios as you can imagine" —
 needs more than hand-written fault tests: it needs *generated* adversity.
 This module builds seed-reproducible randomized :class:`FaultPlan`s
 (bounded node crashes, churn, heartbeat loss, link degradation, tracker
-crashes) plus degraded telemetry, runs every scheduler family under them
-with runtime invariants enabled, and verifies each run end to end:
+crashes, and — on fabric rounds — link/switch failures with link-state
+re-routing) plus degraded telemetry, runs every scheduler family under
+them with runtime invariants enabled, and verifies each run end to end:
 
 * **completion** — every job finishes (plans are survivable by
-  construction: crashes always revive and no charged task failures are
-  injected, so Hadoop-1.x recovery must always win);
+  construction: crashes always revive, every failed link and switch
+  heals, and no charged task failures are injected, so Hadoop-1.x
+  recovery must always win);
 * **byte conservation** — no reduce fetches more bytes than its
   partition column of the intermediate matrix ``I`` contains;
 * **trace/collector reconciliation** — fault, recovery and decline
@@ -30,7 +32,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster import Cluster
 from repro.cluster.telemetry import TelemetryConfig
+from repro.cluster.topologies import clos_topology
 from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
 from repro.obs import MetricsConfig
 from repro.engine import RunResult, Simulation
@@ -39,10 +43,13 @@ from repro.faults import (
     FaultPlan,
     HeartbeatLoss,
     LinkDegradation,
+    LinkFailure,
     NodeChurn,
     NodeCrash,
+    SwitchFailure,
     TrackerCrash,
 )
+from repro.sim import Simulator
 from repro.schedulers import CouplingScheduler, FairScheduler, TaskScheduler
 from repro.trace.export import jsonl_lines
 
@@ -51,6 +58,8 @@ __all__ = [
     "ChaosRun",
     "chaos_schedulers",
     "cluster_targets",
+    "fabric_cluster",
+    "fabric_targets",
     "random_fault_plan",
     "random_telemetry",
     "run_chaos",
@@ -80,6 +89,8 @@ def random_fault_plan(
     racks: Tuple[str, ...],
     *,
     intensity: float = 1.0,
+    links: Tuple[Tuple[str, str], ...] = (),
+    switches: Tuple[str, ...] = (),
 ) -> FaultPlan:
     """One randomized, survivable fault plan.
 
@@ -88,6 +99,14 @@ def random_fault_plan(
     that fails to complete is an engine bug, not bad luck.  ``intensity``
     scales both event counts and outage durations; ``0`` yields the empty
     plan.
+
+    ``links``/``switches`` list candidate fabric targets (graph-backed
+    topologies only); when given, the plan additionally draws link and
+    switch failures.  Every fabric fault heals after a bounded duration,
+    so any partition it opens is transient — shuffle fetches park and
+    retry, and the plan stays survivable.  The fabric draws happen *after*
+    all other draws, so plans without fabric targets are byte-identical
+    to plans generated before fabric faults existed.
     """
     if intensity < 0:
         raise ValueError(f"intensity must be >= 0, got {intensity}")
@@ -141,6 +160,27 @@ def random_fault_plan(
             ),
         )
 
+    link_failures: Tuple[LinkFailure, ...] = ()
+    if links:
+        link_failures = tuple(
+            LinkFailure(
+                link=links[int(rng.integers(0, len(links)))],
+                duration=float(rng.uniform(10.0, 30.0 * scale + 10.0)),
+                at=float(rng.uniform(5.0, _FAULT_WINDOW)),
+            )
+            for _ in range(int(rng.integers(1, max(2, round(2 * scale)) + 1)))
+        )
+
+    switch_failures: Tuple[SwitchFailure, ...] = ()
+    if switches and rng.random() < min(0.6 * scale, 0.9):
+        switch_failures = (
+            SwitchFailure(
+                switch=str(rng.choice(switches)),
+                duration=float(rng.uniform(10.0, 25.0 * scale + 10.0)),
+                at=float(rng.uniform(5.0, _FAULT_WINDOW)),
+            ),
+        )
+
     return FaultPlan(
         crashes=crashes,
         churn=churn,
@@ -148,6 +188,8 @@ def random_fault_plan(
         heartbeat_loss=heartbeat_loss,
         degradations=degradations,
         tracker_crashes=tracker_crashes,
+        link_failures=link_failures,
+        switch_failures=switch_failures,
     )
 
 
@@ -305,12 +347,37 @@ def _chaos_config(scenario, plan, telemetry, metrics_path=""):
 
 def cluster_targets(spec) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
     """Node and rack names of a ClusterSpec without touching a run's sim."""
-    from repro.sim import Simulator
-
     cluster = spec.build(Simulator())
     nodes = tuple(n.name for n in cluster.nodes)
     racks = tuple(dict.fromkeys(n.rack for n in cluster.nodes))
     return nodes, racks
+
+
+def fabric_cluster() -> Cluster:
+    """A fresh link-state Clos cluster for fabric chaos rounds (k=4)."""
+    return Cluster(Simulator(), clos_topology(4, routing="linkstate"))
+
+
+def fabric_targets() -> Tuple[
+    Tuple[str, ...],
+    Tuple[str, ...],
+    Tuple[Tuple[str, str], ...],
+    Tuple[str, ...],
+]:
+    """(nodes, racks, links, switches) of the fabric chaos cluster."""
+    cluster = fabric_cluster()
+    graph = cluster.topology.graph
+    nodes = tuple(n.name for n in cluster.nodes)
+    racks = tuple(dict.fromkeys(n.rack for n in cluster.nodes))
+    links = tuple(
+        sorted((u, v) if u <= v else (v, u) for u, v in graph.edges())
+    )
+    switches = tuple(
+        sorted(
+            n for n, d in graph.nodes(data=True) if d.get("kind") != "host"
+        )
+    )
+    return nodes, racks, links, switches
 
 
 def run_chaos_case(
@@ -323,6 +390,7 @@ def run_chaos_case(
     *,
     quick: bool,
     metrics_path: str = "",
+    cluster_factory: Optional[Callable[[], Cluster]] = None,
 ) -> Tuple[ChaosRun, Optional[List[str]]]:
     scenario = get_scenario("ci")
     jobs = scenario.jobs("wordcount")
@@ -330,7 +398,7 @@ def run_chaos_case(
         jobs = jobs[:4]
     run = ChaosRun(round_index=rnd, scheduler=name, seed=seed, plan=plan)
     sim = Simulation(
-        cluster=scenario.cluster,
+        cluster=cluster_factory() if cluster_factory else scenario.cluster,
         scheduler=factory(),
         jobs=jobs,
         placement=scenario.placement,
@@ -375,6 +443,7 @@ def run_chaos(
     report = ChaosReport(rounds=rounds, seed=seed)
     scenario = get_scenario("ci")
     nodes, racks = cluster_targets(scenario.cluster)
+    fab_nodes, fab_racks, fab_links, fab_switches = fabric_targets()
     schedulers = chaos_schedulers()
     sink = open(trace_path, "a", encoding="utf-8") if trace_path else None
     try:
@@ -382,24 +451,39 @@ def run_chaos(
             plan_rng = np.random.default_rng(
                 np.random.SeedSequence([seed, rnd])
             )
-            plan = random_fault_plan(
-                plan_rng, nodes, racks, intensity=intensity
-            )
+            # every third round runs on a link-state Clos fabric and adds
+            # survivable link/switch failures to the plan, so re-routing,
+            # park-and-retry and partition healing are soaked too
+            fabric_round = rnd % 3 == 2
+            if fabric_round:
+                plan = random_fault_plan(
+                    plan_rng, fab_nodes, fab_racks, intensity=intensity,
+                    links=fab_links, switches=fab_switches,
+                )
+            else:
+                plan = random_fault_plan(
+                    plan_rng, nodes, racks, intensity=intensity
+                )
             telemetry = random_telemetry(plan_rng, intensity=intensity)
             run_seed = seed + 7919 * rnd
+            factory_arg = fabric_cluster if fabric_round else None
             for name, factory in schedulers.items():
                 if progress is not None:
-                    progress(f"round {rnd} [{name}] plan: {_describe(plan)}")
+                    tag = " (fabric)" if fabric_round else ""
+                    progress(
+                        f"round {rnd}{tag} [{name}] plan: {_describe(plan)}"
+                    )
                 tel = telemetry if name == "pna" else None
                 run, lines = run_chaos_case(
                     rnd, name, factory, plan, tel, run_seed, quick=quick,
-                    metrics_path=metrics_path,
+                    metrics_path=metrics_path, cluster_factory=factory_arg,
                 )
                 if sink is not None and lines:
                     sink.write("\n".join(lines) + "\n")
                 if rnd == 0 and name == "pna" and lines is not None:
                     rerun, relines = run_chaos_case(
-                        rnd, name, factory, plan, tel, run_seed, quick=quick
+                        rnd, name, factory, plan, tel, run_seed, quick=quick,
+                        cluster_factory=factory_arg,
                     )
                     if relines != lines:
                         run.violations.append(
@@ -425,4 +509,8 @@ def _describe(plan: FaultPlan) -> str:
         parts.append(f"{len(plan.degradations)} degradations")
     if plan.tracker_crashes:
         parts.append("tracker crash")
+    if plan.link_failures:
+        parts.append(f"{len(plan.link_failures)} link failures")
+    if plan.switch_failures:
+        parts.append(f"{len(plan.switch_failures)} switch failures")
     return ", ".join(parts) if parts else "no faults"

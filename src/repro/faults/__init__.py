@@ -13,8 +13,10 @@ from .spec import (
     FaultPlan,
     HeartbeatLoss,
     LinkDegradation,
+    LinkFailure,
     NodeChurn,
     NodeCrash,
+    SwitchFailure,
     TaskFailures,
     TrackerCrash,
     load_plan,
@@ -25,8 +27,10 @@ __all__ = [
     "FaultPlan",
     "HeartbeatLoss",
     "LinkDegradation",
+    "LinkFailure",
     "NodeChurn",
     "NodeCrash",
+    "SwitchFailure",
     "TaskFailures",
     "TrackerCrash",
     "load_plan",

@@ -11,20 +11,26 @@ master.
 Determinism follows the :class:`~repro.cluster.background.BackgroundTraffic`
 discipline: the injector owns one child of the run's ``SeedSequence`` and
 spawns an independent substream per fault family (churn, task failures,
-heartbeat loss), so enabling one family never shifts another's draws, and
-an empty plan draws nothing at all.  All activity is driven by the sim
+heartbeat loss, fabric faults), so enabling one family never shifts
+another's draws, and an empty plan draws nothing at all.  All activity is driven by the sim
 clock; the tracker's all-done hook cancels anything still pending so the
 event queue drains when the workload finishes.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.cluster.topology import LinkKey
-from repro.faults.spec import FaultPlan, LinkDegradation
+from repro.cluster.topology import LinkKey, _canon
+from repro.faults.spec import (
+    FaultPlan,
+    LinkDegradation,
+    LinkFailure,
+    SwitchFailure,
+)
+from repro.trace.events import LinkDown, LinkUp, SwitchDown
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.cluster.cluster import Cluster
@@ -41,6 +47,7 @@ RNG_STREAMS = {
     0: "churn",
     1: "taskfail",
     2: "heartbeat",
+    3: "linkfault",
 }
 
 
@@ -73,18 +80,27 @@ class FaultInjector:
         self.cluster = cluster
         self.tracker = tracker
         self.sim = tracker.sim
-        churn_ss, taskfail_ss, heartbeat_ss = seed_seq.spawn(len(RNG_STREAMS))
+        churn_ss, taskfail_ss, heartbeat_ss, linkfault_ss = seed_seq.spawn(
+            len(RNG_STREAMS)
+        )
         self._churn_rng = np.random.default_rng(churn_ss)
         self._taskfail_rng = np.random.default_rng(taskfail_ss)
         self._heartbeat_rng = np.random.default_rng(heartbeat_ss)
+        self._linkfault_rng = np.random.default_rng(linkfault_ss)
         self._pending: List["Event"] = []
         self._stopped = False
+        # overlap ref-counts: a link stays physically down until every
+        # fault holding it down has healed
+        self._link_down_counts: Dict[LinkKey, int] = {}
         # observability counters (surfaced via RunResult.summary)
         self.crashes_injected = 0
         self.revivals = 0
         self.attempt_failures_injected = 0
         self.heartbeats_dropped = 0
         self.tracker_crashes_injected = 0
+        self.link_failures_injected = 0
+        self.switch_failures_injected = 0
+        self.links_failed = 0    # 0 -> down transitions across all faults
         self._validate_targets()
 
     # ------------------------------------------------------------------
@@ -103,6 +119,29 @@ class FaultInjector:
                 raise ValueError(f"degradation targets unknown node {deg.node!r}")
             if deg.rack is not None and deg.rack not in racks:
                 raise ValueError(f"degradation targets unknown rack {deg.rack!r}")
+        if self.plan.link_failures or self.plan.switch_failures:
+            graph = getattr(self.cluster.topology, "graph", None)
+            if graph is None:
+                raise ValueError(
+                    "link/switch failures require a graph-backed topology"
+                )
+            for lf in self.plan.link_failures:
+                if lf.node is not None and lf.node not in names:
+                    raise ValueError(
+                        f"link failure targets unknown node {lf.node!r}"
+                    )
+                if lf.link is not None and not graph.has_edge(*lf.link):
+                    raise ValueError(
+                        f"link failure targets unknown link {lf.link!r}"
+                    )
+            for sf in self.plan.switch_failures:
+                if (
+                    sf.switch not in graph
+                    or graph.nodes[sf.switch].get("kind") == "host"
+                ):
+                    raise ValueError(
+                        f"switch failure targets unknown switch {sf.switch!r}"
+                    )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -130,6 +169,20 @@ class FaultInjector:
             self._pending.append(
                 self.sim.at(tc.at, self._tracker_crash, tc.down_for)
             )
+        for lf in self.plan.link_failures:
+            if lf.at is not None:
+                self._pending.append(
+                    self.sim.at(lf.at, self._apply_fabric_fault, lf)
+                )
+            else:
+                self._schedule_fabric_renewal(lf)
+        for sf in self.plan.switch_failures:
+            if sf.at is not None:
+                self._pending.append(
+                    self.sim.at(sf.at, self._apply_fabric_fault, sf)
+                )
+            else:
+                self._schedule_fabric_renewal(sf)
         self.tracker.on_all_done_hooks.append(self.stop)
 
     def stop(self) -> None:
@@ -305,6 +358,92 @@ class FaultInjector:
         network = self.cluster.network
         for link in self._links_for(deg):
             network.set_capacity_factor(link, 1.0)
+
+    # ------------------------------------------------------------------
+    # link / switch failures
+    # ------------------------------------------------------------------
+    def _fault_links(self, fault: Union[LinkFailure, SwitchFailure]) -> List[LinkKey]:
+        """Canonical links a fabric fault takes down (deterministic order)."""
+        if isinstance(fault, SwitchFailure):
+            graph = self.cluster.topology.graph
+            return [_canon(fault.switch, nbr) for nbr in graph.neighbors(fault.switch)]
+        if fault.link is not None:
+            return [_canon(*fault.link)]
+        access = self._access_link(fault.node)
+        return [access] if access is not None else []
+
+    def _fail_links(self, links: List[LinkKey]) -> int:
+        """Ref-count links down; returns the number of 0→down transitions."""
+        network = self.cluster.network
+        recorder = self.tracker.recorder
+        newly = 0
+        for link in links:
+            count = self._link_down_counts.get(link, 0)
+            self._link_down_counts[link] = count + 1
+            if count == 0 and network.set_link_down(link):
+                newly += 1
+                self.links_failed += 1
+                if recorder.enabled:
+                    recorder.emit(
+                        LinkDown(t=self.sim.now, src=link[0], dst=link[1])
+                    )
+        return newly
+
+    def _heal_links(self, links: List[LinkKey]) -> None:
+        # like degradation restore, heals run even when stopped mid-run
+        network = self.cluster.network
+        recorder = self.tracker.recorder
+        healed = 0
+        for link in links:
+            count = self._link_down_counts.get(link, 0) - 1
+            if count > 0:
+                self._link_down_counts[link] = count
+                continue
+            self._link_down_counts.pop(link, None)
+            if network.set_link_up(link):
+                healed += 1
+                if recorder.enabled:
+                    recorder.emit(
+                        LinkUp(t=self.sim.now, src=link[0], dst=link[1])
+                    )
+        if healed:
+            self._notify_routing()
+
+    def _apply_fabric_fault(self, fault: Union[LinkFailure, SwitchFailure]) -> None:
+        if self._stopped:
+            return
+        links = self._fault_links(fault)
+        newly = self._fail_links(links)
+        if isinstance(fault, SwitchFailure):
+            self.switch_failures_injected += 1
+            recorder = self.tracker.recorder
+            if recorder.enabled:
+                recorder.emit(
+                    SwitchDown(t=self.sim.now, switch=fault.switch, links=newly)
+                )
+        else:
+            self.link_failures_injected += 1
+        if newly:
+            self._notify_routing()
+        self._pending.append(
+            self.sim.schedule(fault.duration, self._heal_links, links)
+        )
+        if fault.every is not None:
+            self._schedule_fabric_renewal(fault)
+
+    def _schedule_fabric_renewal(
+        self, fault: Union[LinkFailure, SwitchFailure]
+    ) -> None:
+        delay = float(self._linkfault_rng.exponential(fault.every))
+        self._pending.append(
+            self.sim.schedule(delay, self._apply_fabric_fault, fault)
+        )
+
+    def _notify_routing(self) -> None:
+        """Tell the link-state control plane (if any) the fabric changed."""
+        routing = getattr(self.cluster, "routing", None)
+        if routing is not None:
+            routing.on_fabric_change()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` is a frozen, validated description of every failure a
 run should experience — scheduled node crashes, steady-state node churn,
-per-attempt task failures, heartbeat loss, and transient link degradation.
+per-attempt task failures, heartbeat loss, transient link degradation, and
+hard fabric faults (link and switch failures).
 Plans are pure data: they import nothing from the engine, round-trip
 through JSON (``repro run --faults plan.json``), and are embedded in
 :class:`~repro.engine.config.EngineConfig` so a scenario's failure regime
@@ -28,8 +29,10 @@ __all__ = [
     "FaultPlan",
     "HeartbeatLoss",
     "LinkDegradation",
+    "LinkFailure",
     "NodeChurn",
     "NodeCrash",
+    "SwitchFailure",
     "TaskFailures",
     "TrackerCrash",
     "load_plan",
@@ -209,6 +212,89 @@ class LinkDegradation:
             _check_name("rack", self.rack)
 
 
+def _check_schedule(obj) -> None:
+    """Shared at-XOR-every validation for the fabric fault kinds."""
+    if (obj.at is None) == (obj.every is None):
+        raise ValueError("set exactly one of at/every")
+    if obj.at is not None:
+        _check_finite("at", obj.at)
+    if obj.every is not None:
+        _check_finite("every", obj.every)
+        if obj.every <= 0:
+            raise ValueError(f"every must be > 0, got {obj.every}")
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """A fabric link fails outright (capacity drops to zero), then heals.
+
+    Target exactly one of ``link`` (a pair of endpoint names — hosts or
+    switches, order-insensitive) or ``node`` (that host's access link).
+
+    Schedule with exactly one of ``at`` (one failure at that simulated
+    time) or ``every`` (a renewal process: failures recur with
+    exponentially distributed gaps of that mean, drawn from the injector's
+    dedicated fabric-fault RNG stream).  Either way the link heals after
+    ``duration`` seconds.
+    """
+
+    duration: float
+    link: Optional[Tuple[str, str]] = None
+    node: Optional[str] = None
+    at: Optional[float] = None
+    every: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_finite("duration", self.duration)
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if (self.link is None) == (self.node is None):
+            raise ValueError("set exactly one of link/node")
+        if self.link is not None:
+            link = self.link
+            if isinstance(link, (str, bytes, dict)) or not hasattr(
+                link, "__iter__"
+            ):
+                raise ValueError(
+                    f"link must be a pair of endpoint names, got {link!r}"
+                )
+            link = tuple(link)
+            if len(link) != 2:
+                raise ValueError(
+                    f"link must name exactly two endpoints, got {len(link)}"
+                )
+            for endpoint in link:
+                _check_name("link[*]", endpoint)
+            if link[0] == link[1]:
+                raise ValueError("link endpoints must differ")
+            object.__setattr__(self, "link", link)
+        if self.node is not None:
+            _check_name("node", self.node)
+        _check_schedule(self)
+
+
+@dataclass(frozen=True)
+class SwitchFailure:
+    """A whole switch fails: every incident link goes down at once.
+
+    The switch must exist in the topology graph (and not be a host).
+    Scheduling matches :class:`LinkFailure`: exactly one of ``at`` /
+    ``every``, healing after ``duration`` seconds.
+    """
+
+    switch: str
+    duration: float
+    at: Optional[float] = None
+    every: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_name("switch", self.switch)
+        _check_finite("duration", self.duration)
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        _check_schedule(self)
+
+
 @dataclass(frozen=True)
 class TrackerCrash:
     """The JobTracker itself crashes and restarts (control-plane fault).
@@ -288,11 +374,15 @@ class FaultPlan:
     heartbeat_loss: Optional[HeartbeatLoss] = None
     degradations: Tuple[LinkDegradation, ...] = ()
     tracker_crashes: Tuple[TrackerCrash, ...] = ()
+    link_failures: Tuple[LinkFailure, ...] = ()
+    switch_failures: Tuple[SwitchFailure, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "degradations", tuple(self.degradations))
         object.__setattr__(self, "tracker_crashes", tuple(self.tracker_crashes))
+        object.__setattr__(self, "link_failures", tuple(self.link_failures))
+        object.__setattr__(self, "switch_failures", tuple(self.switch_failures))
 
     @property
     def empty(self) -> bool:
@@ -304,6 +394,8 @@ class FaultPlan:
             and self.heartbeat_loss is None
             and not self.degradations
             and not self.tracker_crashes
+            and not self.link_failures
+            and not self.switch_failures
         )
 
     # ------------------------------------------------------------------
@@ -315,7 +407,15 @@ class FaultPlan:
             "crashes": [asdict(c) for c in self.crashes],
             "degradations": [asdict(d) for d in self.degradations],
             "tracker_crashes": [asdict(c) for c in self.tracker_crashes],
+            "switch_failures": [asdict(s) for s in self.switch_failures],
         }
+        link_failures = []
+        for lf in self.link_failures:
+            d = asdict(lf)
+            if d.get("link") is not None:
+                d["link"] = list(d["link"])
+            link_failures.append(d)
+        out["link_failures"] = link_failures
         for name in ("churn", "task_failures", "heartbeat_loss"):
             value = getattr(self, name)
             out[name] = asdict(value) if value is not None else None
@@ -355,6 +455,12 @@ class FaultPlan:
             ),
             tracker_crashes=_build_list(
                 TrackerCrash, data.get("tracker_crashes"), "tracker_crashes"
+            ),
+            link_failures=_build_list(
+                LinkFailure, data.get("link_failures"), "link_failures"
+            ),
+            switch_failures=_build_list(
+                SwitchFailure, data.get("switch_failures"), "switch_failures"
             ),
         )
 

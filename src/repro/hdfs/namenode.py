@@ -181,19 +181,24 @@ class NameNode:
     def closest_live_replica(
         self, block: Block, node_name: str
     ) -> Optional[Tuple[str, float]]:
-        """Like :meth:`closest_replica` but skipping dead replica hosts.
+        """Like :meth:`closest_replica` but skipping dead replica hosts and
+        replicas the reader cannot reach across the fabric.
 
-        Returns ``None`` when no replica host is currently alive — the
-        caller (a map attempt) must then wait for a host to rejoin.  With
-        every node alive this returns exactly :meth:`closest_replica`.
+        Returns ``None`` when no replica host is currently alive and
+        reachable — the caller (a map attempt) must then wait for a host to
+        rejoin or a failed link to heal.  With every node alive and the
+        fabric healthy this returns exactly :meth:`closest_replica`.
         """
         hops = self.cluster.hop_matrix
+        network = self.cluster.network
         i = self.cluster.node(node_name).index
         best_node: Optional[str] = None
         best_h = float("inf")
         for r in block.replicas:
             if not self.cluster.node(r).alive:
                 continue
+            if network.pair_blocked(r, node_name):
+                continue  # replica alive but behind a failed link/switch
             h = float(hops[i, self.cluster.node(r).index])
             if h < best_h:
                 best_h = h

@@ -90,6 +90,9 @@ class MetricsPlane:
         self.g_flows = r.gauge("net_active_flows")
         self.g_link_mean = r.gauge("net_link_util", stat="mean")
         self.g_link_max = r.gauge("net_link_util", stat="max")
+        self.c_reroutes = r.counter("net_reroutes")
+        self.g_down_links = r.gauge("net_down_links")
+        self.g_partitioned = r.gauge("net_partitioned_pairs")
 
         # per-job queue-depth gauges, created when a job first appears and
         # zeroed once when it leaves the active set
@@ -201,6 +204,12 @@ class MetricsPlane:
         else:
             self.g_link_mean.set(0.0)
             self.g_link_max.set(0.0)
+        self.c_reroutes.set_total(net.reroutes)
+        self.g_down_links.set(len(net.down_links))
+        routing = getattr(self.cluster, "routing", None)
+        self.g_partitioned.set(
+            routing.partitioned_pairs if routing is not None else 0
+        )
 
     def sample(self) -> None:
         """One sampling tick: ingest cumulatives, read levels, snapshot."""

@@ -40,6 +40,10 @@ The decline-reason vocabulary is shared with
     The JobTracker itself is down (a ``TrackerCrash`` fault): the node's
     heartbeat went unanswered, so its free slots sit idle until the
     tracker restarts and re-registers the fleet.
+``no_route``
+    The offering node is cut off from the rest of the fabric (link/switch
+    failures partitioned it): any task placed there could neither read its
+    input nor serve its output, so its slots sit idle until a path returns.
 
 Attempt-failure reasons (``FAILURE_REASONS``) form a second closed
 vocabulary used by :class:`AttemptFailed` / :class:`JobFail`:
@@ -67,15 +71,20 @@ __all__ = [
     "JobFail",
     "JobFinish",
     "JobSubmit",
+    "LinkDown",
+    "LinkUp",
     "MapOutputLost",
     "NODE_DOWN_REASONS",
     "NodeDown",
     "NodeUp",
+    "PartitionHealed",
+    "RouteChange",
     "RunStart",
     "ShuffleFinish",
     "ShuffleStart",
     "SlotOffer",
     "StaleTelemetry",
+    "SwitchDown",
     "TaskFinish",
     "TaskStart",
     "TraceEvent",
@@ -95,6 +104,7 @@ UNMATCHED = "unmatched"
 NODE_DEAD = "node_dead"
 BLACKLISTED = "blacklisted"
 TRACKER_DOWN = "tracker_down"
+NO_ROUTE = "no_route"
 
 DECLINE_REASONS = (
     BELOW_PMIN,
@@ -107,6 +117,7 @@ DECLINE_REASONS = (
     NODE_DEAD,
     BLACKLISTED,
     TRACKER_DOWN,
+    NO_ROUTE,
 )
 
 #: Canonical attempt-failure reasons (see the module docstring).
@@ -392,6 +403,75 @@ class TrackerUp(TraceEvent):
     deferred_jobs: int
 
     type = "tracker_up"
+
+
+@dataclass(frozen=True)
+class LinkDown(TraceEvent):
+    """A fabric link failed (``LinkFailure`` fault or a dying switch).
+
+    ``src``/``dst`` are the canonical link endpoints.  Flows crossing the
+    link stall at rate zero until the control plane migrates them or the
+    link heals.
+    """
+
+    src: str
+    dst: str
+
+    type = "link_down"
+
+
+@dataclass(frozen=True)
+class LinkUp(TraceEvent):
+    """A failed fabric link healed; capacity is back to nominal."""
+
+    src: str
+    dst: str
+
+    type = "link_up"
+
+
+@dataclass(frozen=True)
+class SwitchDown(TraceEvent):
+    """A whole switch failed: every incident link goes down at once.
+
+    ``links`` counts the incident links newly taken down (links already
+    down from an overlapping fault are not double-counted).  The heal is
+    observable as the per-link ``link_up`` events.
+    """
+
+    switch: str
+    links: int
+
+    type = "switch_down"
+
+
+@dataclass(frozen=True)
+class RouteChange(TraceEvent):
+    """The link-state control plane converged on a new routing table.
+
+    Emitted once per convergence (after the configured delay), with the
+    number of in-flight flows migrated onto surviving paths and the number
+    of unordered host pairs left with no live path.
+    """
+
+    migrated: int
+    partitioned_pairs: int
+
+    type = "route_change"
+
+
+@dataclass(frozen=True)
+class PartitionHealed(TraceEvent):
+    """Previously partitioned host pairs regained a live path.
+
+    ``pairs`` is the number of unordered host pairs that left the
+    partitioned set at this convergence; parked shuffle fetches and
+    failed-over replica reads resume on the next retry poll.
+    """
+
+    pairs: int
+
+    type = "partition_healed"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for k-ary fat-tree / Clos invariants.
+
+The classic fat-tree facts, checked for every generated even ``k`` and
+oversubscription ratio:
+
+* host count is ``k^3 / 4``;
+* inter-pod host pairs see ``(k/2)^2`` equal-cost shortest paths and
+  intra-pod (different edge switch) pairs see ``k/2``;
+* at oversubscription 1 the fabric has full bisection bandwidth — each
+  pod's aggregate uplink capacity equals its host capacity;
+* the graph is connected, and stays connected after any single fabric
+  link failure when ``k >= 4`` (multi-path redundancy).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topologies import clos_topology
+from repro.units import Gbps
+
+ks = st.sampled_from([2, 4, 6])
+oversubs = st.sampled_from([1.0, 2.0, 4.0])
+
+
+class TestFatTreeInvariants:
+    @given(k=ks, oversub=oversubs)
+    @settings(max_examples=20, deadline=None)
+    def test_host_count_is_k_cubed_over_four(self, k, oversub):
+        topo = clos_topology(k, oversubscription=oversub)
+        assert topo.num_hosts == k**3 // 4
+
+    @given(k=st.sampled_from([4, 6]))
+    @settings(max_examples=10, deadline=None)
+    def test_equal_cost_multiplicity(self, k):
+        topo = clos_topology(k)
+        half = k // 2
+        inter = topo.equal_cost_paths(
+            "h0_0_0", f"h{k - 1}_{half - 1}_{half - 1}"
+        )
+        assert len(inter) == half * half
+        intra = topo.equal_cost_paths("h0_0_0", f"h0_{half - 1}_0")
+        assert len(intra) == half
+        # all candidates are genuine simple shortest paths of equal length
+        for paths in (inter, intra):
+            lengths = {len(p) for p in paths}
+            assert len(lengths) == 1
+
+    @given(k=ks)
+    @settings(max_examples=10, deadline=None)
+    def test_full_bisection_at_oversubscription_one(self, k):
+        link = 10.0 * Gbps
+        topo = clos_topology(k, oversubscription=1.0, link=link)
+        g = topo.graph
+        half = k // 2
+        for pod in range(k):
+            uplinks = sum(
+                g.edges[f"agg{pod}_{a}", f"core{a}_{j}"]["capacity"]
+                for a in range(half)
+                for j in range(half)
+            )
+            hosts = sum(
+                g.edges[f"edge{pod}_{e}", f"h{pod}_{e}_{h}"]["capacity"]
+                for e in range(half)
+                for h in range(half)
+            )
+            assert uplinks == hosts
+
+    @given(k=ks, oversub=oversubs)
+    @settings(max_examples=15, deadline=None)
+    def test_oversubscription_thins_fabric_links(self, k, oversub):
+        link = 10.0 * Gbps
+        topo = clos_topology(k, oversubscription=oversub, link=link)
+        g = topo.graph
+        assert g.edges["edge0_0", "h0_0_0"]["capacity"] == link
+        assert g.edges["edge0_0", "agg0_0"]["capacity"] == link / oversub
+
+    @given(k=ks, oversub=oversubs)
+    @settings(max_examples=15, deadline=None)
+    def test_connected_and_every_pair_routable(self, k, oversub):
+        topo = clos_topology(k, oversubscription=oversub)
+        assert nx.is_connected(topo.graph)
+        hosts = topo.hosts
+        probe = hosts[:: max(1, len(hosts) // 4)]
+        for a in probe:
+            for b in probe:
+                if a != b:
+                    assert topo.route(a, b)
+
+    @given(k=st.sampled_from([4, 6]), seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_single_fabric_link_failure_never_partitions(self, k, seed):
+        import random
+
+        topo = clos_topology(k)
+        fabric_links = [
+            (u, v)
+            for u, v in topo.graph.edges()
+            if topo.graph.nodes[u].get("kind") != "host"
+            and topo.graph.nodes[v].get("kind") != "host"
+        ]
+        link = random.Random(seed).choice(fabric_links)
+        topo.mark_link_down(link)
+        assert topo.partitioned_pairs() == 0
+        assert len(topo.host_components()) == 1

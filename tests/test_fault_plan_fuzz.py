@@ -20,8 +20,10 @@ from repro.faults import (
     FaultPlan,
     HeartbeatLoss,
     LinkDegradation,
+    LinkFailure,
     NodeChurn,
     NodeCrash,
+    SwitchFailure,
     TaskFailures,
     TrackerCrash,
 )
@@ -39,6 +41,11 @@ def valid_plan() -> FaultPlan:
             LinkDegradation(at=6.0, duration=20.0, factor=0.5, rack="rack1"),
         ),
         tracker_crashes=(TrackerCrash(at=40.0, down_for=15.0),),
+        link_failures=(
+            LinkFailure(link=("edge0_0", "agg0_0"), duration=20.0, at=12.0),
+            LinkFailure(node="r0n0", duration=10.0, every=60.0),
+        ),
+        switch_failures=(SwitchFailure(switch="agg0_1", duration=15.0, at=30.0),),
     )
 
 
@@ -97,6 +104,34 @@ MALFORMED = [
      "degradations[0]: factor must be finite and > 0"),
     ('{"tracker_crashes": [{"at": 1, "down_for": -5}]}',
      "tracker_crashes[0]: down_for must be"),
+    # fabric faults: same path discipline for the new kinds
+    ('{"link_failures": [{"link": ["a", "b"]}]}',
+     "link_failures[0].duration: missing required field"),
+    ('{"link_failures": [{"duration": 5}]}',
+     "link_failures[0]: set exactly one of link/node"),
+    ('{"link_failures": [{"duration": 5, "link": ["a", "b"], "node": "n"}]}',
+     "link_failures[0]: set exactly one of link/node"),
+    ('{"link_failures": [{"duration": 0, "node": "n"}]}',
+     "link_failures[0]: duration must be > 0"),
+    ('{"link_failures": [{"duration": 5, "link": ["a"]}]}',
+     "link_failures[0]: link must name exactly two endpoints"),
+    ('{"link_failures": [{"duration": 5, "link": ["a", "a"]}]}',
+     "link_failures[0]: link endpoints must differ"),
+    ('{"link_failures": [{"duration": 5, "node": "n", "at": 1, "every": 9}]}',
+     "link_failures[0]: set exactly one of at/every"),
+    ('{"link_failures": [{"duration": 5, "node": "n", "every": 0}]}',
+     "link_failures[0]: every must be > 0"),
+    ('{"link_failures": [{"duration": 5, "node": "n", "wat": 1}]}',
+     "link_failures[0].wat: unknown field"),
+    ('{"switch_failures": [{"duration": 5}]}',
+     "switch_failures[0].switch: missing required field"),
+    ('{"switch_failures": [{"switch": "agg0_0"}]}',
+     "switch_failures[0].duration: missing required field"),
+    ('{"switch_failures": [{"switch": "", "duration": 5}]}',
+     "switch_failures[0]: switch must be a non-empty string"),
+    ('{"switch_failures": [{"switch": "s", "duration": 5, "at": -1}]}',
+     "switch_failures[0]: at must be"),
+    ('{"switch_failures": "agg0_0"}', "switch_failures: expected a list"),
 ]
 
 
@@ -169,3 +204,6 @@ def test_round_trip_preserves_tuple_types():
     assert isinstance(plan.degradations, tuple)
     assert isinstance(plan.tracker_crashes, tuple)
     assert isinstance(plan.churn.nodes, tuple)
+    assert isinstance(plan.link_failures, tuple)
+    assert isinstance(plan.switch_failures, tuple)
+    assert isinstance(plan.link_failures[0].link, tuple)
