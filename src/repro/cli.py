@@ -25,6 +25,9 @@ Usage::
     repro report m.jsonl                    # ... render its ASCII dashboard
     repro profile                           # wall-time attribution (200 nodes)
     repro profile --quick --out p.json      # ... the CI smoke, JSON artifact
+    repro profile --compare a.json b.json   # diff two saved profiles
+    repro sweep -j4 --out sweep.json        # sharded evaluation-grid sweep
+    repro sweep -j2 --quick                 # ... the CI smoke (tiny grid)
 
 Scenario selection: ``--scenario {ci,medium,paper,nas,churn}`` or the
 ``REPRO_SCALE`` environment variable (default ``ci``).
@@ -465,10 +468,19 @@ def _bench_main(argv: List[str]) -> int:
                         "(default: 2.0x wall time)")
     parser.add_argument("--no-speedup", action="store_true",
                         help="skip the REPRO_NO_CACHE=1 reference re-run")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail (exit 1) if the cached-vs-naive factor "
+                        "drops below X (requires the speedup re-run)")
     parser.add_argument("--repeat", type=int, default=1, metavar="N",
                         help="run each case N times and keep the minimum "
                         "wall time (default: 1)")
     args = parser.parse_args(argv)
+
+    if args.min_speedup is not None and args.no_speedup:
+        print("--min-speedup needs the speedup re-run; drop --no-speedup",
+              file=sys.stderr)
+        return 2
 
     if args.repeat < 1:
         print("--repeat must be >= 1", file=sys.stderr)
@@ -498,6 +510,13 @@ def _bench_main(argv: List[str]) -> int:
             f"({s['nocache_wall_s']:.3f}s naive -> "
             f"{s['cached_wall_s']:.3f}s cached)"
         )
+        if args.min_speedup is not None and s["factor"] < args.min_speedup:
+            print(
+                f"cache speedup {s['factor']:.2f}x is below the "
+                f"--min-speedup floor {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     if args.baseline is not None:
         baseline = load_baseline(args.baseline)
         if baseline is None:
@@ -623,7 +642,7 @@ def _profile_main(argv: List[str]) -> int:
     import json
 
     from repro.experiments.perf import bench_cases, profile_case
-    from repro.obs.profile import table_from_doc
+    from repro.obs.profile import compare_docs, table_from_doc
 
     cases = {c.name: c for c in bench_cases(quick=False)}
     parser = argparse.ArgumentParser(
@@ -643,7 +662,29 @@ def _profile_main(argv: List[str]) -> int:
                         help="also write the canonical profile JSON to PATH")
     parser.add_argument("--top", type=int, default=0, metavar="N",
                         help="show only the N hottest components (0 = all)")
+    parser.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                        default=None,
+                        help="diff two saved profile JSONs by component "
+                        "self-time (no simulation runs) and exit")
     args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        docs = []
+        for path in args.compare:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"cannot read profile {path}: {exc}", file=sys.stderr)
+                return 2
+            if doc.get("format") != "repro-profile":
+                print(f"{path} is not a repro-profile document",
+                      file=sys.stderr)
+                return 2
+            docs.append(doc)
+        print(f"A = {args.compare[0]}\nB = {args.compare[1]}\n")
+        print(compare_docs(docs[0], docs[1], top=args.top))
+        return 0
 
     name = args.case or ("pna_netcond" if args.quick else "xl_pna_netcond")
     case = cases[name]
@@ -657,6 +698,62 @@ def _profile_main(argv: List[str]) -> int:
             fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
             fh.write("\n")
         print(f"wrote {args.out}")
+    return 0
+
+
+def _sweep_main(argv: List[str]) -> int:
+    """`repro sweep` — the sharded multi-process evaluation-grid sweep."""
+    from repro.experiments.scenarios import SCENARIOS
+    from repro.experiments.sweep import run_sweep, write_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run the full evaluation grid (scheduler x application "
+        "comparison, P_min calibration, ablation points) as independent "
+        "tasks over worker processes.  The merged canonical-JSON output is "
+        "byte-identical for any -j value: task seeds are spawned from one "
+        "SeedSequence in canonical task order before sharding, and records "
+        "carry no wall times or pids.",
+    )
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="base SeedSequence entropy (default: 42)")
+    parser.add_argument("--out", metavar="PATH", default="sweep.json",
+                        help="merged artifact path (default: sweep.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny grid at 5%% workload scale (CI smoke)")
+    parser.add_argument("--scenario", default=None,
+                        choices=sorted(SCENARIOS),
+                        help="scenario name (default: REPRO_SCALE or ci)")
+    args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    scenario = None
+    if args.scenario is not None:
+        scenario = get_scenario(args.scenario)
+        if args.quick:
+            scenario = scenario.with_(scale=0.05)
+    doc = run_sweep(
+        jobs=args.jobs, seed=args.seed, quick=args.quick, scenario=scenario
+    )
+    write_sweep(doc, args.out)
+    meta = doc["sweep"]
+    print(f"wrote {args.out}")
+    print(
+        f"{meta['tasks']} tasks on scenario {meta['scenario']} "
+        f"(scale {meta['scale']}, base seed {meta['base_seed']}, "
+        f"{args.jobs} worker{'s' if args.jobs != 1 else ''})"
+    )
+    rows = []
+    for key, record in doc["records"].items():
+        jct = record.get("mean_jct")
+        rows.append((key, "-" if jct is None else f"{jct:.2f}"))
+    print()
+    print(format_table(["task", "mean JCT (s)"], rows,
+                       title="sweep results"))
     return 0
 
 
@@ -740,6 +837,8 @@ def main(argv: List[str] | None = None) -> int:
         return _chaos_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
@@ -750,7 +849,7 @@ def main(argv: List[str] | None = None) -> int:
         choices=[*COMMANDS, "all"],
         help="which paper artefact to regenerate "
         "(or `lint`/`check`/`trace`/`run`/`report`/`bench`/`chaos`/"
-        "`profile`)",
+        "`profile`/`sweep`)",
     )
     parser.add_argument(
         "--scenario",

@@ -48,11 +48,13 @@ Correctness invariants (exercised by the property tests):
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Callable, Dict, List, Optional, Set
 
 import networkx as nx
 import numpy as np
 
+from repro import accel as _accel
 from repro.cache import caching_disabled
 from repro.cluster.topology import LinkKey, Topology, _canon
 from repro.coherence import cached_on
@@ -71,9 +73,7 @@ CACHE_DEPS = {
     "FlowNetwork._refill": {
         "inputs": (
             "FlowNetwork._mat",
-            "FlowNetwork._members",
-            "FlowNetwork._mpos",
-            "FlowNetwork._nflows_base",
+            "FlowNetwork._caps",
             "FlowNetwork._finite_caps",
         ),
         "reference": "_refill_reference",
@@ -221,6 +221,14 @@ class FlowNetwork:
         self._rm_epoch = -1
         self._rm_static: Optional[tuple] = None
         self._rm_route_version = -1
+        # incremental share state for rate_matrix misses: per-tensor-link
+        # flow counts (mirroring _link_flows, maintained on attach/detach)
+        # and effective capacities (rebuilt when the cap state changes)
+        self._rm_sid: Optional[Dict[LinkKey, int]] = None
+        self._rm_counts: Optional[np.ndarray] = None
+        self._rm_eff: Optional[np.ndarray] = None
+        self._cap_state_version = 0
+        self._rm_eff_version = -1
         # per-link bookkeeping (path_rate estimates + dense registry)
         self._link_flows: Dict[LinkKey, int] = {}      # live flow count
         self._link_ids: Dict[LinkKey, int] = {}
@@ -243,15 +251,30 @@ class FlowNetwork:
         self._rates = np.zeros(cap0)
         self._caps = np.zeros(cap0)
         self._route_lens = np.zeros(cap0, dtype=np.int64)
-        # incremental link→flow index for the fast refill: a pad-filled
-        # (slot, link) route matrix, per-link member-slot lists, and a
-        # running per-link flow count.  The pad id equals len(_caps_arr)
-        # at all times; registering a new link rewrites live pad entries.
+        # flow→link incidence for the fast refill: a pad-filled
+        # (slot, link) route matrix.  The pad id equals len(_caps_arr) at
+        # all times; registering a new link rewrites live pad entries.
+        # The C kernels derive the link→flow CSR from it per call.
         self._matW = 4
         self._mat = np.zeros((cap0, self._matW), dtype=np.int64)
-        self._members: List[List[int]] = []
-        self._mpos: List[Dict[int, int]] = []  # slot → index in _members[l]
-        self._nflows_base = np.zeros(0)
+        self._drained_buf = np.zeros(cap0, dtype=np.int64)
+        self._horizon_buf = np.zeros(1)
+        self._kern_ptrs: Optional[tuple] = None  # cached C-kernel args
+        # persistent C-side link->flows membership, mirrored from
+        # _attach/_detach; None = unavailable or dropped after a desync
+        self._cstate: Optional[int] = None
+        self._cstate_fin = None
+        # the compiled-kernel handle, resolved once (process-global and
+        # stable); None under REPRO_NO_CACHE so every `self._kern is not
+        # None` site implies the cached fast path is allowed
+        self._kern = None if self._no_cache else _accel.refill_kernel()
+        if self._kern is not None:
+            ptr = self._kern.state_new()
+            if ptr:
+                self._cstate = ptr
+                self._cstate_fin = weakref.finalize(
+                    self, self._kern.state_free, ptr
+                )
         self._finite_caps = 0  # attached flows with a finite max_rate
         self._refill_deferred = False
         self._last_settle = sim.now
@@ -332,17 +355,19 @@ class FlowNetwork:
         path.
         """
         ids = np.empty(len(route), dtype=np.int64)
+        sid, counts = self._rm_sid, self._rm_counts
         for i, link in enumerate(route):
             self._link_flows[link] = self._link_flows.get(link, 0) + 1
+            if sid is not None:
+                s = sid.get(link)
+                if s is not None:
+                    counts[s] += 1.0
             lid = self._link_ids.get(link)
             if lid is None:
                 lid = self._link_ids[link] = len(self._link_ids)
                 self._caps_arr = np.append(
                     self._caps_arr, self.effective_capacity(link)
                 )
-                self._members.append([])
-                self._mpos.append({})
-                self._nflows_base = np.append(self._nflows_base, 0.0)
                 # live rows padded with the old pad id (== lid) now collide
                 # with the freshly registered link — repoint them
                 if self._flows:
@@ -444,16 +469,26 @@ class FlowNetwork:
         fabric has never carried a flow on (or carrying none right now)
         report 0.0.  Read-only — the metrics plane samples this.
         """
+        n = len(self._flows)
+        n_links = len(self._caps_arr)
+        # one pass: per-link sum of member rates via a weighted bincount
+        # over the flow→link incidence (pad ids collect into an extra bin)
+        if n:
+            used = np.bincount(
+                self._mat[:n].ravel(),
+                weights=np.repeat(self._rates[:n], self._matW),
+                minlength=n_links + 1,
+            )
+        else:
+            used = np.zeros(n_links + 1)
         out: List[float] = []
         for link in self.topology.links():
             lid = self._link_ids.get(link)
-            members = self._members[lid] if lid is not None else ()
-            if not members:
+            if lid is None or not used[lid]:
                 out.append(0.0)
                 continue
-            used = float(sum(self._rates[s] for s in members))
             cap = self.effective_capacity(link)
-            out.append(used / cap if cap > 0 else 0.0)
+            out.append(float(used[lid]) / cap if cap > 0 else 0.0)
         return out
 
     def capacity_factor(self, link: LinkKey) -> float:
@@ -475,6 +510,7 @@ class FlowNetwork:
         # Bump even when the link carries no flow yet: path_rate consults
         # effective_capacity for every route link, registered or not.
         self.epoch += 1
+        self._cap_state_version += 1
         lid = self._link_ids.get(link)
         if lid is not None:
             self._settle_all()
@@ -503,6 +539,7 @@ class FlowNetwork:
         self._down_links.add(link)
         self._down_version += 1
         self.epoch += 1
+        self._cap_state_version += 1
         lid = self._link_ids.get(link)
         if lid is not None:
             self._settle_all()
@@ -518,6 +555,7 @@ class FlowNetwork:
         self._down_links.discard(link)
         self._down_version += 1
         self.epoch += 1
+        self._cap_state_version += 1
         lid = self._link_ids.get(link)
         if lid is not None:
             self._settle_all()
@@ -632,14 +670,47 @@ class FlowNetwork:
             if self._rm_static is None or self._rm_route_version != route_version:
                 self._rm_static = self._build_rate_matrix_static()
                 self._rm_route_version = route_version
+                self._rm_sid = None
             tensor, links = self._rm_static
-            share = np.empty(len(links) + 1, dtype=np.float64)
-            for s, link in enumerate(links):
-                share[s] = self.effective_capacity(link) / (
-                    self._link_flows.get(link, 0) + 1
+            if self._rm_sid is None:
+                # (re)build the incremental share state: tensor-slot lookup,
+                # per-slot live flow counts seeded from the dict ledger, and
+                # a forced effective-caps refresh
+                self._rm_sid = {link: s for s, link in enumerate(links)}
+                self._rm_counts = np.fromiter(
+                    (self._link_flows.get(link, 0) for link in links),
+                    np.float64,
+                    len(links),
                 )
-            share[len(links)] = math.inf  # padding id: never the min
-            r = share[tensor].min(axis=2)
+                self._rm_eff_version = self._cap_state_version - 1
+            if self._rm_eff_version != self._cap_state_version:
+                self._rm_eff = np.fromiter(
+                    (self.effective_capacity(link) for link in links),
+                    np.float64,
+                    len(links),
+                )
+                self._rm_eff_version = self._cap_state_version
+            # share per link is the same effective_capacity / (n_flows + 1)
+            # division as path_rate, just evaluated vectorised over the
+            # maintained count array — bit-identical values
+            n_links = len(links)
+            share = np.empty(n_links + 1, dtype=np.float64)
+            np.divide(self._rm_eff, self._rm_counts + 1.0, out=share[:n_links])
+            share[n_links] = math.inf  # padding id: never the min
+            k, _, depth = tensor.shape
+            kern = self._kern
+            if kern is not None:
+                # C row-wise gather+min: skips the (k, k, depth) gathered
+                # intermediate; bit-identical (min over NaN-free doubles)
+                r = np.empty((k, k), dtype=np.float64)
+                rc = kern.gather_min(
+                    k * k, depth, tensor.ctypes.data,
+                    share.ctypes.data, r.ctypes.data,
+                )
+                if rc != 0:  # pragma: no cover - depth >= 1 by construction
+                    r = share[tensor].min(axis=2)
+            else:
+                r = share[tensor].min(axis=2)
             np.fill_diagonal(r, self.local_bandwidth)
             r.setflags(write=False)
             self._rm_cache = r
@@ -700,6 +771,19 @@ class FlowNetwork:
     # ------------------------------------------------------------------
     # slot management
     # ------------------------------------------------------------------
+    def _drop_cstate(self) -> None:
+        """Abandon the persistent C membership (desync or alloc failure).
+
+        The matrix-scan kernels take over seamlessly; dropping is one-way
+        because the state can only be rebuilt from a known-empty fabric.
+        """
+        if self._cstate is not None:
+            self._cstate = None
+            fin = self._cstate_fin
+            self._cstate_fin = None
+            if fin is not None:
+                fin()
+
     def _attach(self, flow: Flow) -> None:
         slot = len(self._flows)
         if slot == len(self._rem):  # grow capacity
@@ -712,6 +796,7 @@ class FlowNetwork:
             self._mat = np.concatenate(
                 [self._mat, np.full_like(self._mat, len(self._caps_arr))]
             )
+            self._drained_buf = np.zeros(2 * slot, dtype=np.int64)
         ids = flow.route_ids
         if len(ids) > self._matW:  # a longer route than any seen: widen
             wider = np.full(
@@ -728,19 +813,24 @@ class FlowNetwork:
         row = self._mat[slot]
         row[: len(ids)] = ids
         row[len(ids):] = len(self._caps_arr)  # re-pad a recycled slot's tail
-        for lid in ids:
-            m = self._members[lid]
-            self._mpos[lid][slot] = len(m)
-            m.append(slot)
-            self._nflows_base[lid] += 1.0
         if math.isfinite(flow.max_rate):
             self._finite_caps += 1
         flow._slot = slot
+        if self._cstate is not None:
+            rc = self._kern.state_attach(
+                self._cstate, slot, ids.ctypes.data, len(ids)
+            )
+            if rc != 0:  # pragma: no cover - allocation failure only
+                self._drop_cstate()
 
     def _detach(self, flow: Flow) -> None:
         """Swap-remove the flow's slot; must be settled first."""
         slot = flow._slot
         assert slot != _NO_SLOT
+        if self._cstate is not None:
+            rc = self._kern.state_detach(self._cstate, slot)
+            if rc != 0:  # pragma: no cover - implies a desynced mirror
+                self._drop_cstate()
         # freeze the flow's final view into its own fields
         flow._remaining = float(self._rem[slot])
         flow._rate = float(self._rates[slot])
@@ -748,14 +838,6 @@ class FlowNetwork:
         flow._slot = _NO_SLOT
         last = len(self._flows) - 1
         moved = self._flows[last]
-        for lid in flow.route_ids:
-            m = self._members[lid]
-            i = self._mpos[lid].pop(slot)
-            tail = m.pop()
-            if tail != slot:  # swap-remove; member order is insignificant
-                m[i] = tail
-                self._mpos[lid][tail] = i
-            self._nflows_base[lid] -= 1.0
         if math.isfinite(flow.max_rate):
             self._finite_caps -= 1
         if slot != last:
@@ -766,19 +848,20 @@ class FlowNetwork:
             self._caps[slot] = self._caps[last]
             self._route_lens[slot] = self._route_lens[last]
             self._mat[slot] = self._mat[last]
-            for lid in moved.route_ids:
-                i = self._mpos[lid].pop(last)
-                self._members[lid][i] = slot
-                self._mpos[lid][slot] = i
             moved._slot = slot
         self._flows.pop()
         self._routes.pop()
+        sid, counts = self._rm_sid, self._rm_counts
         for link in flow.route:
             n = self._link_flows.get(link, 0) - 1
             if n <= 0:
                 self._link_flows.pop(link, None)
             else:
                 self._link_flows[link] = n
+            if sid is not None:
+                s = sid.get(link)
+                if s is not None:
+                    counts[s] -= 1.0
         self.epoch += 1
 
     # ------------------------------------------------------------------
@@ -825,14 +908,70 @@ class FlowNetwork:
         self._tick_event = self.sim.schedule(0.0, self._tick)
 
     def _tick(self) -> None:
-        """Settle, finish drained flows, refill rates, schedule next tick."""
+        """Settle, finish drained flows, refill rates, schedule next tick.
+
+        The common case — time advanced, nothing drained — runs as ONE
+        fused C-kernel call (settle + drain-detect + refill + horizon)
+        instead of a dozen numpy dispatches; see :mod:`repro.accel`.
+        The kernel performs the identical float operations, so traces
+        are byte-identical to the Python path it replaces.
+        """
         if self._tick_event is not None:
             self._tick_event.cancel()
             self._tick_event = None
         self.reallocations += 1
-        self._settle_all()
+        kern = self._kern
         n = len(self._flows)
-        drained_slots = np.nonzero(self._rem[:n] <= _EPS_BYTES)[0]
+        if kern is not None and n:
+            args = self._kernel_args()
+            if args is not None:
+                now = self.sim.now
+                have = 1 if self._finite_caps else 0
+                if self._cstate is not None:
+                    rc = kern.tick_state(
+                        self._cstate, n, len(self._caps_arr),
+                        args[1], args[2], have,
+                        now - self._last_settle, _EPS_BYTES,
+                        args[3], args[4], args[5], args[6],
+                    )
+                    self._last_settle = now
+                    if rc == -3:  # pragma: no cover - desynced mirror
+                        # the call already settled rem; retry the matrix
+                        # kernel over a zero-width interval
+                        self._drop_cstate()
+                        rc = kern.tick(
+                            n, len(self._caps_arr), self._matW,
+                            args[0], args[1], args[2], have,
+                            0.0, _EPS_BYTES,
+                            args[3], args[4], args[5], args[6],
+                        )
+                else:
+                    rc = kern.tick(
+                        n, len(self._caps_arr), self._matW,
+                        args[0], args[1], args[2], have,
+                        now - self._last_settle, _EPS_BYTES,
+                        args[3], args[4], args[5], args[6],
+                    )
+                    self._last_settle = now
+                if rc == 0:
+                    # nothing drained: rates are fresh, horizon computed
+                    self._refill_deferred = False
+                    return self._schedule_next(
+                        horizon=float(self._horizon_buf[0])
+                    )
+                if rc > 0:
+                    drained_slots = self._drained_buf[:rc]
+                else:  # kernel bailed; re-derive on the Python path
+                    self._settle_all()
+                    drained_slots = np.nonzero(
+                        self._rem[:n] <= _EPS_BYTES
+                    )[0]
+            else:  # pragma: no cover - arrays stay contiguous
+                self._settle_all()
+                drained_slots = np.nonzero(self._rem[:n] <= _EPS_BYTES)[0]
+        else:
+            self._settle_all()
+            drained_slots = np.nonzero(self._rem[:n] <= _EPS_BYTES)[0]
         if len(drained_slots):
             # deterministic completion order within one instant
             drained = sorted(
@@ -859,6 +998,34 @@ class FlowNetwork:
             self._refill_deferred = True
             return
         self._refill_deferred = False
+        if kern is not None:
+            n = len(self._flows)
+            if n == 0:
+                return
+            args = self._kernel_args()
+            if args is not None:
+                have = 1 if self._finite_caps else 0
+                if self._cstate is not None:
+                    rc = kern.refill_horizon_state(
+                        self._cstate, n, len(self._caps_arr),
+                        args[1], args[2], have,
+                        args[3], args[4], args[6],
+                    )
+                    if rc == -3:  # pragma: no cover - desynced mirror
+                        self._drop_cstate()
+                        rc = -3
+                else:
+                    rc = -3
+                if rc == -3:
+                    rc = kern.refill_horizon(
+                        n, len(self._caps_arr), self._matW,
+                        args[0], args[1], args[2], have,
+                        args[3], args[4], args[6],
+                    )
+                if rc == 0:
+                    return self._schedule_next(
+                        horizon=float(self._horizon_buf[0])
+                    )
         prof = _obs_profile.ACTIVE
         if prof is None:
             self._refill()
@@ -867,24 +1034,35 @@ class FlowNetwork:
                 self._refill()
         self._schedule_next()
 
-    def _schedule_next(self) -> None:
-        """One event at the earliest predicted completion among all flows."""
+    def _schedule_next(self, horizon: Optional[float] = None) -> None:
+        """One event at the earliest predicted completion among all flows.
+
+        ``horizon`` carries the C tick kernel's precomputed value; the
+        kernel returns -1.0 for "no flow progressing", mirroring the
+        empty-``progressing`` branch below.
+        """
         n = len(self._flows)
         if n == 0:
             return
-        # A capacity factor driven to ~0 can stall flows at rate 0; they
-        # must not poison the horizon with a division warning / inf, and at
-        # least one flow has to be progressing or no future tick would ever
-        # drain the fabric.
-        rates = self._rates[:n]
-        progressing = rates > 0.0
-        if not progressing.any():
+        if horizon is None:
+            # A capacity factor driven to ~0 can stall flows at rate 0;
+            # they must not poison the horizon with a division warning /
+            # inf, and at least one flow has to be progressing or no
+            # future tick would ever drain the fabric.
+            rates = self._rates[:n]
+            progressing = rates > 0.0
+            if not progressing.any():
+                horizon = -1.0
+            else:
+                horizon = float(
+                    (self._rem[:n][progressing] / rates[progressing]).min()
+                )
+        if horizon < 0.0:
             # every fabric flow is stalled behind a failed link; the heal /
             # re-route path marks the fabric dirty when capacity returns,
             # so there is nothing to schedule now
             assert self._down_links, "all fabric flows stalled at rate 0"
             return
-        horizon = float((self._rem[:n][progressing] / rates[progressing]).min())
         assert horizon > 0, "drained flow survived the tick"
         ev = self._tick_event
         if ev is not None and ev.active and ev.time <= self.sim.now + horizon:
@@ -893,119 +1071,97 @@ class FlowNetwork:
             ev.cancel()
         self._tick_event = self.sim.schedule(horizon, self._tick)
 
+    def _kernel_args(self) -> Optional[tuple]:
+        """Raw data pointers for the C kernels, cached on array identity.
+
+        ctypes ``data_as()`` conversions cost more than the kernels
+        themselves at the fabric's call rates, and the hot arrays only
+        change object identity when they grow — so the pointer tuple is
+        rebuilt only on an identity miss.  Returns ``(mat_p, caps_p,
+        fcaps_p, rem_p, rates_p, drained_p, horizon_p)`` or None when an
+        array is unexpectedly non-contiguous.
+        """
+        ptrs = self._kern_ptrs
+        if (
+            ptrs is not None
+            and ptrs[0] is self._mat
+            and ptrs[1] is self._caps_arr
+            and ptrs[2] is self._rem
+        ):
+            return ptrs[3]
+        mat, caps_arr = self._mat, self._caps_arr
+        if not (mat.flags.c_contiguous and caps_arr.flags.c_contiguous):
+            self._kern_ptrs = None  # pragma: no cover - arrays stay contiguous
+            return None
+        args = (
+            mat.ctypes.data,
+            caps_arr.ctypes.data,
+            self._caps.ctypes.data,
+            self._rem.ctypes.data,
+            self._rates.ctypes.data,
+            self._drained_buf.ctypes.data,
+            self._horizon_buf.ctypes.data,
+        )
+        self._kern_ptrs = (mat, caps_arr, self._rem, args)
+        return args
+
     def _refill(self) -> None:
         """Recompute max-min fair rates for all fabric flows.
 
-        Progressive filling with per-flow rate caps: repeatedly find the
-        tightest constraint — the smallest per-link fair share or the
-        smallest unfrozen flow cap — and freeze the implicated flows at
-        that rate.
+        Progressive filling with per-flow rate caps and *tie-collapsed*
+        freeze rounds: each round finds the tightest constraint — the
+        smallest per-link fair share or the smallest unfrozen flow cap —
+        and freezes **every** flow pinned by a constraint at exactly that
+        value (all unfrozen members of every minimum-share link, or every
+        unfrozen flow in the minimum equal-cap group).  Crossed links then
+        lose ``rate * count`` of residual capacity in one fused update.
+        Collapsing ties this way runs one round per *distinct rate
+        level*, and each frozen flow's links are updated with a single
+        multiply-subtract rather than one scalar update per (flow, link).
 
-        This is the fast implementation: the link→flow index is maintained
-        incrementally across calls (``_mat``, ``_members``,
-        ``_nflows_base``) instead of being rebuilt, candidates are
-        gathered through plain Python lists (cheaper than ragged numpy
-        gathers at these sizes), and pad entries in the route matrix
-        funnel into a sentinel row where they are numerically inert
-        (``residual == inf``).  Each freeze iteration performs the same
-        floating-point operations on the same operand sets as
-        :meth:`_refill_reference` (the ``REPRO_NO_CACHE=1`` escape
-        hatch): within one iteration the candidate *set* alone determines
-        the result — frozen-mask writes, equal-scalar rate stores, and
-        ``ufunc.at`` updates with one scalar all commute — so the two are
+        The fast implementation is a C kernel compiled on demand from
+        :mod:`repro.accel` (the default whenever a system compiler is
+        present; disable with ``REPRO_NO_CKERNEL=1``).  It performs the
+        same floating-point operations on the same operand sets as
+        :meth:`_refill_reference` (the ``REPRO_NO_CACHE=1`` escape hatch
+        and compiler-less fallback): the freeze *set* is determined by
+        link identity alone, per-link decrement counts are order-free
+        integers, the ``residual - rate * count`` update uses identical
+        operands, and the kernel is built with ``-ffp-contract=off`` so
+        no FMA contraction can perturb a rounding — so the two paths are
         bit-identical.  ``tests/test_perf_cache.py`` holds them to
         byte-identical traces.
         """
-        if self._no_cache:
-            return self._refill_reference()
-        nF = len(self._flows)
-        if nF == 0:
-            return
-        n_links = len(self._caps_arr)
-        mat = self._mat
-        members = self._members
-
-        residual = np.empty(n_links + 1)
-        residual[:n_links] = self._caps_arr
-        residual[n_links] = math.inf  # pad sentinel: inf - k*rate stays inf
-        nflows = np.empty(n_links + 1)
-        nflows[:n_links] = self._nflows_base
-        nflows[n_links] = 1.0
-
-        # Per-flow rate caps: an infinite (or NaN) cap can never win the
-        # "tightest constraint" race against a finite link share, so only
-        # finite-capped flows need sorting — and in the common all-uncapped
-        # case (no caller passes ``max_rate``) the machinery is skipped
-        # entirely.  The stable sort restricted to the finite subset yields
-        # the same equal-cap groups in the same slot order as the
-        # reference's full argsort.
-        if self._finite_caps:
-            flow_caps = self._caps[:nF]
-            fin = np.nonzero(np.isfinite(flow_caps))[0]
-            sel = fin[np.argsort(flow_caps[fin], kind="stable")]
-            cap_slots = sel.tolist()
-            cap_vals = flow_caps[sel].tolist()
-        else:
-            cap_slots = []
-            cap_vals = []
-        n_cap = len(cap_slots)
-        cap_ptr = 0
-
-        frozen = bytearray(nF)
-        fnp = np.frombuffer(frozen, dtype=np.uint8)  # writable view
-        new_rates = self._rates
-        share = np.empty(n_links + 1)
-        mask = np.empty(n_links + 1, dtype=bool)
-        share_links = share[:n_links]  # view excluding the pad row
-        # local bindings: the loop runs ~dozens of times per refill and the
-        # attribute lookups are a measurable share of its cost
-        inf = math.inf
-        fill, greater, divide = share.fill, np.greater, np.divide
-        argmin, asarray = share_links.argmin, np.array
-        sub_at, add_at = np.subtract.at, np.add.at
-        left = nF
-        while left > 0:
-            fill(inf)
-            greater(nflows, 0.0, out=mask)
-            divide(residual, nflows, out=share, where=mask)
-            lstar = int(argmin())
-            best_share = float(share[lstar])
-            while cap_ptr < n_cap and frozen[cap_slots[cap_ptr]]:
-                cap_ptr += 1
-            min_cap = cap_vals[cap_ptr] if cap_ptr < n_cap else inf
-            if min_cap < best_share:
-                rate = min_cap
-                j = cap_ptr
-                while j < n_cap and cap_vals[j] == rate:
-                    j += 1
-                fra = asarray(
-                    [s for s in cap_slots[cap_ptr:j] if not frozen[s]],
-                    dtype=np.int64,
+        kern = self._kern
+        if kern is not None:
+            nF = len(self._flows)
+            if nF == 0:
+                return
+            args = self._kernel_args()
+            if args is not None:
+                rc = kern.refill(
+                    nF, len(self._caps_arr), self._matW,
+                    args[0], args[1], args[2],
+                    1 if self._finite_caps else 0,
+                    args[4],
                 )
-            else:
-                assert best_share < inf, "uncapped flow with no route links"
-                rate = best_share
-                ml = members[lstar]
-                if len(ml) <= 48:
-                    fra = asarray(
-                        [s for s in ml if not frozen[s]], dtype=np.int64
-                    )
-                else:
-                    mla = asarray(ml, dtype=np.int64)
-                    fra = mla[fnp[mla] == 0]
-            fnp[fra] = 1
-            new_rates[fra] = rate
-            left -= len(fra)
-            links_fr = mat[fra].ravel()
-            sub_at(residual, links_fr, rate)
-            add_at(nflows, links_fr, -1.0)
+                if rc == 0:
+                    return
+                # fall through: the reference re-derives everything
+                # and raises the relevant assertion with context
+        return self._refill_reference()
 
     def _refill_reference(self) -> None:
-        """The original fully-indexed refill (``REPRO_NO_CACHE`` path).
+        """The pure-numpy refill: ``REPRO_NO_CACHE`` path and C fallback.
 
         Builds the flow→link and link→flow CSR structures up front and
-        gathers frozen flows' links through them.  Kept verbatim as the
-        A/B reference for :meth:`_refill`.
+        gathers candidates and frozen flows' links through them, running
+        the same tie-collapsed progressive filling as the C kernel behind
+        :meth:`_refill`: identical share divisions, identical freeze sets
+        (all unfrozen members of every minimum-share link), and identical
+        fused ``rate * count`` capacity updates.  The A/B reference for
+        :meth:`_refill`, and the implementation of record when no C
+        compiler is available.
         """
         nF = len(self._flows)
         if nF == 0:
@@ -1040,8 +1196,7 @@ class FlowNetwork:
         while left > 0:
             share.fill(math.inf)
             np.divide(residual, nflows, out=share, where=nflows > 0)
-            lstar = share.argmin()
-            best_share = share[lstar]
+            best_share = float(share.min()) if n_links else math.inf
             while cap_ptr < nF and frozen[cap_order[cap_ptr]]:
                 cap_ptr += 1
             min_cap = flow_caps[cap_order[cap_ptr]] if cap_ptr < nF else math.inf
@@ -1055,7 +1210,14 @@ class FlowNetwork:
             else:
                 assert math.isfinite(best_share), "uncapped flow with no route links"
                 rate = best_share
-                cand = f_sorted[bounds[lstar]:bounds[lstar + 1]]
+                tied = np.nonzero(share == best_share)[0]
+                if len(tied) == 1:
+                    lid = int(tied[0])
+                    cand = f_sorted[bounds[lid]:bounds[lid + 1]]
+                else:
+                    cand = np.unique(np.concatenate(
+                        [f_sorted[bounds[lid]:bounds[lid + 1]] for lid in tied]
+                    ))
                 fr = cand[~frozen[cand]]
             frozen[fr] = True
             new_rates[fr] = rate
@@ -1069,6 +1231,7 @@ class FlowNetwork:
                     np.cumsum(counts) - counts, counts
                 )
                 links_fr = flat[starts + offs]
-                np.subtract.at(residual, links_fr, rate)
-                np.add.at(nflows, links_fr, -1.0)
+                cnt = np.bincount(links_fr, minlength=n_links)
+                residual -= rate * cnt
+                nflows -= cnt
         np.maximum(residual, 0.0, out=residual)

@@ -189,10 +189,17 @@ class TelemetryMonitor:
         if stale_count == total:
             view: Optional[np.ndarray] = None
         elif stale_count == 0:
-            view = self._inv
+            # snapshot, never the live ``_inv`` buffer: downstream caches
+            # (JobCostModel._distance_done_matrix) key on array *identity*,
+            # and ``sample()`` overwrites ``_inv`` in place — handing it
+            # out would let a later round mutate a matrix the cost model
+            # still believes it has already reduced
+            view = self._inv.copy()
+            view.setflags(write=False)
         else:
             view = np.where(stale, self.cluster.hop_matrix, self._inv)
             np.fill_diagonal(view, 0.0)
+            view.setflags(write=False)
         self._cache_key = key
         self._cache_val = view
         return view

@@ -48,7 +48,27 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.job import Job
     from repro.engine.task import MapTask
 
-__all__ = ["JobCostModel", "map_cost_matrix", "reduce_cost_matrix"]
+__all__ = ["JobCostModel", "map_cost_matrix", "reduce_cost_matrix", "finite_mean"]
+
+
+def finite_mean(costs: np.ndarray) -> np.ndarray:
+    """Column mean over candidates with a live route (the Formula 4/5 mean).
+
+    Under fabric faults an unreachable candidate's cost is +inf (a
+    partitioned pair's inverse rate); averaging it in would poison
+    ``C_ave`` for every task, so the mean is taken over finite entries
+    only.  A column with no finite entry (task unreachable from every
+    free node) stays +inf — the probability model maps any infinite
+    placement cost to acceptance probability 0, so such a task just
+    waits for the partition to heal.  With all costs finite this is
+    exactly ``costs.mean(axis=0)``.
+    """
+    finite = np.isfinite(costs)
+    if finite.all():
+        return costs.mean(axis=0)
+    count = finite.sum(axis=0)
+    total = np.where(finite, costs, 0.0).sum(axis=0)
+    return np.where(count > 0, total / np.maximum(count, 1), np.inf)
 
 
 def map_cost_matrix(
@@ -72,15 +92,24 @@ def map_cost_matrix(
     k = distance.shape[0]
     m = len(block_sizes)
     out = np.empty((k, m), dtype=np.float64)
+    # group maps by replica count so the nearest-replica min runs as one
+    # (k, g, r) gather per group instead of a python loop over maps; the
+    # replication factor is constant in practice, so this is one group.
+    # min is exact (the result is one of the inputs, no rounding), so the
+    # reduction order cannot change the bytes.
+    by_count: dict = {}
     for j in range(m):
-        reps = replica_indices[j]
-        # distance of every node to the *nearest* replica of block j; a
-        # zero-byte block costs nothing even when every replica is behind
-        # a partitioned fabric (inf * 0 would be NaN)
-        if block_sizes[j] > 0:
-            out[:, j] = distance[:, reps].min(axis=1) * block_sizes[j]
-        else:
-            out[:, j] = 0.0
+        by_count.setdefault(len(replica_indices[j]), []).append(j)
+    for group in by_count.values():
+        js = np.asarray(group, dtype=np.int64)
+        reps = np.stack([replica_indices[j] for j in group])
+        vals = distance[:, reps].min(axis=2) * block_sizes[js]
+        zero = block_sizes[js] == 0.0
+        if zero.any():
+            # a zero-byte block costs nothing even when every replica is
+            # behind a partitioned fabric (inf * 0 would be NaN)
+            vals[:, zero] = 0.0
+        out[:, js] = vals
     return out
 
 
@@ -151,10 +180,17 @@ class JobCostModel:
         # caches keyed to the static hop matrix
         self._map_cost_hops: Optional[np.ndarray] = None
         self._Sc = np.zeros((self._k, self._n), dtype=np.float64)
-        # completed-map index arrays for the custom-distance branch, keyed
-        # on the job's map_version (any map state/placement change)
         self._no_cache = caching_disabled()
-        self._done_cache: Optional[tuple] = None
+        # the netcond running cost vectors: completed-map contribution
+        # matrix against a custom distance view, keyed on (map_version,
+        # distance identity).  Holding the distance array in the key tuple
+        # pins its id, making the identity probe safe.
+        self._dist_done_cache: Optional[tuple] = None
+        # per-offer (c_here, c_ave) bundles, keyed on the identity of the
+        # free-slot view / distance view plus map_version — consecutive
+        # offers between state changes share one evaluation
+        self._map_offer_cache: Optional[tuple] = None
+        self._reduce_offer_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -198,12 +234,14 @@ class JobCostModel:
                     self._hops, self._B, self._replicas
                 )
             return self._map_cost_hops[np.ix_(node_indices, task_indices)]
-        sub = map_cost_matrix(
-            distance,
+        # subset the distance rows *before* the per-map replica min: each
+        # output element is the same min/multiply over the same floats, so
+        # this is byte-identical to building all k rows and row-subsetting
+        return map_cost_matrix(
+            distance[node_indices, :],
             self._B[task_indices],
             [self._replicas[j] for j in task_indices],
         )
-        return sub[node_indices, :]
 
     # ------------------------------------------------------------------
     # Formulae (2)-(3)
@@ -236,24 +274,19 @@ class JobCostModel:
                 base = self._Sc[np.ix_(node_indices, reduce_indices)]
                 dmat = self._hops
             else:
+                # the completed-map part is a gather from the full (k, n)
+                # contribution matrix — the netcond analogue of ``Sc`` —
+                # so consecutive offers against one distance snapshot pay
+                # for the matmul once.  The naive path computes the same
+                # full matrix per call: gathering from an identically
+                # shaped matmul keeps the BLAS kernel (and therefore the
+                # bytes) the same on both sides.
                 dmat = distance
                 if self._no_cache:
-                    done = [m for m in self.job.maps if m.done]
-                    p_done = np.array(
-                        [m.node.index for m in done], dtype=np.int64
-                    )
-                    idx_done = np.array(
-                        [m.index for m in done], dtype=np.int64
-                    )
+                    cd = self._distance_done_matrix_uncached(dmat)
                 else:
-                    p_done, idx_done = self._done_arrays()
-                if len(p_done):
-                    i_done = self.job.I[np.ix_(idx_done, reduce_indices)]
-                    base = _inf_safe_matmul(
-                        dmat[np.ix_(node_indices, p_done)], i_done
-                    )
-                else:
-                    base = np.zeros((len(node_indices), len(reduce_indices)))
+                    cd = self._distance_done_matrix(dmat)
+                base = cd[np.ix_(node_indices, reduce_indices)]
 
             if running:
                 if self._no_cache:
@@ -277,31 +310,38 @@ class JobCostModel:
 
     @cached_on(
         "job.map_version",
-        reference="_done_arrays_uncached",
-        probe=lambda self: (
-            self._done_cache is not None
-            and self._done_cache[0] == self.job.map_version
+        reference="_distance_done_matrix_uncached",
+        probe=lambda self, dmat: (
+            self._dist_done_cache is not None
+            and self._dist_done_cache[0] == self.job.map_version
+            and self._dist_done_cache[1] is dmat
         ),
     )
-    def _done_arrays(self) -> tuple:
-        """Cached (node-index, task-index) arrays of completed maps, in task
-        order — exactly ``[m for m in job.maps if m.done]``."""
-        version = self.job.map_version
-        cached = self._done_cache
-        if cached is not None and cached[0] == version:
-            return cached[1], cached[2]
-        p, idx = self._done_arrays_uncached()
-        p.setflags(write=False)
-        idx.setflags(write=False)
-        self._done_cache = (version, p, idx)
-        return p, idx
+    def _distance_done_matrix(self, dmat: np.ndarray) -> np.ndarray:
+        """Completed-map reduce contributions against a custom distance.
 
-    def _done_arrays_uncached(self) -> tuple:
-        """Reference recompute behind :meth:`_done_arrays`."""
+        The full ``(k, n)`` netcond analogue of the ``Sc`` accumulator:
+        ``sum_{j done} d[:, p_j] * I[j, :]``, keyed on (map_version,
+        distance identity) so every offer against one telemetry snapshot
+        shares a single matmul.
+        """
+        version = self.job.map_version
+        cached = self._dist_done_cache
+        if cached is not None and cached[0] == version and cached[1] is dmat:
+            return cached[2]
+        cd = self._distance_done_matrix_uncached(dmat)
+        cd.setflags(write=False)
+        self._dist_done_cache = (version, dmat, cd)
+        return cd
+
+    def _distance_done_matrix_uncached(self, dmat: np.ndarray) -> np.ndarray:
+        """Reference recompute behind :meth:`_distance_done_matrix`."""
         done = [m for m in self.job.maps if m.done]
+        if not done:
+            return np.zeros((dmat.shape[0], self._n))
         p = np.fromiter((m.node.index for m in done), np.int64, len(done))
         idx = np.fromiter((m.index for m in done), np.int64, len(done))
-        return p, idx
+        return _inf_safe_matmul(dmat[:, p], self.job.I[idx, :])
 
     def realised_reduce_costs(
         self, node_indices: np.ndarray, reduce_indices: np.ndarray
@@ -309,14 +349,166 @@ class JobCostModel:
         """Formula (2) with exact ``I`` over *all* maps — the oracle cost.
 
         Only meaningful once every map is placed; used by analyses and tests
-        to compare estimated against true costs.
+        to compare estimated against true costs.  The completed-map part is
+        a gather from the same running ``Sc`` accumulator the estimated path
+        uses; only the still-running maps (whose exact rows ``Sc`` cannot
+        hold yet) cost a matmul.
         """
         placed = self.job.started_maps()
         if len(placed) != self._m:
             raise RuntimeError("realised cost needs all maps placed")
-        p = np.array([m.node.index for m in placed], dtype=np.int64)
-        idx = np.array([m.index for m in placed], dtype=np.int64)
         node_indices = np.asarray(node_indices, dtype=np.int64)
         reduce_indices = np.asarray(reduce_indices, dtype=np.int64)
-        rows = self.job.I[np.ix_(idx, reduce_indices)]
-        return self._hops[np.ix_(node_indices, p)] @ rows
+        base = self._Sc[np.ix_(node_indices, reduce_indices)]
+        running = [m for m in placed if not m.done]
+        if running:
+            p = np.array([m.node.index for m in running], dtype=np.int64)
+            idx = np.array([m.index for m in running], dtype=np.int64)
+            rows = self.job.I[np.ix_(idx, reduce_indices)]
+            base = base + self._hops[np.ix_(node_indices, p)] @ rows
+        return base
+
+    # ------------------------------------------------------------------
+    # per-offer bundles — Formulae (4)-(5) inputs
+    # ------------------------------------------------------------------
+    @cached_on(
+        # content-keyed: the key arrays themselves are the version — a hit
+        # requires byte-equal index sets and the identical distance object
+        reference="_map_offer_costs_uncached",
+        probe=lambda self, row, node_indices, task_indices, distance=None: (
+            self._map_offer_cache is not None
+            and self._map_offer_cache[0] is distance
+            and np.array_equal(self._map_offer_cache[1], node_indices)
+            and np.array_equal(self._map_offer_cache[2], task_indices)
+        ),
+    )
+    def map_offer_costs(
+        self,
+        row: int,
+        node_indices: np.ndarray,
+        task_indices: np.ndarray,
+        distance: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """``(C_here, C_ave)`` for a map offer from free-view row ``row``.
+
+        Formula (1) reads nothing but the free set, the pending set and
+        the distance snapshot, so the matrix and its finite column mean
+        are keyed on exactly those — the index arrays by *content* (a
+        completed map bumps ``map_version`` and refreshes the views
+        without changing either set), the distance by identity.  Offers
+        between genuine set changes then share one evaluation; only the
+        row gather is per-offer.
+        """
+        if self._no_cache:
+            return self._map_offer_costs_uncached(
+                row, node_indices, task_indices, distance
+            )
+        cached = self._map_offer_cache
+        if (
+            cached is not None
+            and cached[0] is distance
+            and np.array_equal(cached[1], node_indices)
+            and np.array_equal(cached[2], task_indices)
+        ):
+            costs, c_ave = cached[3], cached[4]
+        else:
+            costs = self.map_costs(node_indices, task_indices, distance)
+            c_ave = finite_mean(costs)
+            costs.setflags(write=False)
+            c_ave.setflags(write=False)
+            self._map_offer_cache = (
+                distance, node_indices, task_indices, costs, c_ave
+            )
+        return costs[row], c_ave
+
+    def _map_offer_costs_uncached(
+        self,
+        row: int,
+        node_indices: np.ndarray,
+        task_indices: np.ndarray,
+        distance: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """Reference recompute behind :meth:`map_offer_costs`: evaluate the
+        whole cost matrix for this one offer, exactly as a cache miss."""
+        costs = self.map_costs(node_indices, task_indices, distance)
+        return costs[row], finite_mean(costs)
+
+    @cached_on(
+        "job.map_version",
+        reference="_reduce_offer_costs_uncached",
+        probe=lambda self, row, node_indices, reduce_indices, now,
+        estimator=None, distance=None: (
+            self._reduce_offer_cache is not None
+            and self._reduce_offer_cache[0] == self.job.map_version
+            and self._reduce_offer_cache[1] is distance
+            and np.array_equal(self._reduce_offer_cache[2], node_indices)
+            and np.array_equal(self._reduce_offer_cache[3], reduce_indices)
+        ),
+    )
+    def reduce_offer_costs(
+        self,
+        row: int,
+        node_indices: np.ndarray,
+        reduce_indices: np.ndarray,
+        now: float,
+        estimator: Optional[IntermediateEstimator] = None,
+        distance: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """``(C_here, C_ave)`` for a reduce offer from free-view row ``row``.
+
+        Cacheable only once the job's maps are all settled: a running
+        map's estimator row drifts with progress reports that bump no
+        version counter, so offers are shared only when no map is running
+        (the common state during the reduce phase).  The key is then
+        ``map_version`` (done contributions) plus the distance snapshot by
+        identity and both index sets by content.
+        """
+        if self._no_cache:
+            return self._reduce_offer_costs_uncached(
+                row, node_indices, reduce_indices, now,
+                estimator=estimator, distance=distance,
+            )
+        if self.job.running_maps():
+            costs = self.reduce_costs(
+                node_indices, reduce_indices, now,
+                estimator=estimator, distance=distance,
+            )
+            return costs[row], finite_mean(costs)
+        version = self.job.map_version
+        cached = self._reduce_offer_cache
+        if (
+            cached is not None
+            and cached[0] == version
+            and cached[1] is distance
+            and np.array_equal(cached[2], node_indices)
+            and np.array_equal(cached[3], reduce_indices)
+        ):
+            costs, c_ave = cached[4], cached[5]
+        else:
+            costs = self.reduce_costs(
+                node_indices, reduce_indices, now,
+                estimator=estimator, distance=distance,
+            )
+            c_ave = finite_mean(costs)
+            costs.setflags(write=False)
+            c_ave.setflags(write=False)
+            self._reduce_offer_cache = (
+                version, distance, node_indices, reduce_indices, costs, c_ave
+            )
+        return costs[row], c_ave
+
+    def _reduce_offer_costs_uncached(
+        self,
+        row: int,
+        node_indices: np.ndarray,
+        reduce_indices: np.ndarray,
+        now: float,
+        estimator: Optional[IntermediateEstimator] = None,
+        distance: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """Reference recompute behind :meth:`reduce_offer_costs`."""
+        costs = self.reduce_costs(
+            node_indices, reduce_indices, now,
+            estimator=estimator, distance=distance,
+        )
+        return costs[row], finite_mean(costs)

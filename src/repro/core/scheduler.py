@@ -43,26 +43,6 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["PNAConfig", "ProbabilisticNetworkAwareScheduler"]
 
 
-def _finite_mean(costs: np.ndarray) -> np.ndarray:
-    """Column mean over candidates with a live route (the Formula 4/5 mean).
-
-    Under fabric faults an unreachable candidate's cost is +inf (a
-    partitioned pair's inverse rate); averaging it in would poison
-    ``C_ave`` for every task, so the mean is taken over finite entries
-    only.  A column with no finite entry (task unreachable from every
-    free node) stays +inf — the probability model maps any infinite
-    placement cost to acceptance probability 0, so such a task just
-    waits for the partition to heal.  With all costs finite this is
-    exactly ``costs.mean(axis=0)``.
-    """
-    finite = np.isfinite(costs)
-    if finite.all():
-        return costs.mean(axis=0)
-    count = finite.sum(axis=0)
-    total = np.where(finite, costs, 0.0).sum(axis=0)
-    return np.where(count > 0, total / np.maximum(count, 1), np.inf)
-
-
 @dataclass(frozen=True)
 class PNAConfig:
     """Tuning knobs of the PNA scheduler.
@@ -152,12 +132,13 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         model = self.cost_model(job)
         _, free_idx, free_pos = ctx.free_map_view()
         task_idx = job.pending_map_index_array()
-        costs = model.map_costs(free_idx, task_idx, distance=self._distance(ctx))
-
         row = int(free_pos[node.index])
         assert row >= 0, f"offered node {node.name} not in the free-slot view"
-        c_here = costs[row]                       # C_m(i, j) for each candidate
-        c_ave = _finite_mean(costs)               # Line 6: mean over N_m nodes
+        # C_m(i, j) per candidate and the Line-6 mean over N_m nodes, as a
+        # bundle: offers between state changes share one matrix evaluation
+        c_here, c_ave = model.map_offer_costs(
+            row, free_idx, task_idx, distance=self._distance(ctx)
+        )
         probs = self.probability_model.probability(c_ave, c_here)  # Line 7
         if ctx.invariants is not None:
             ctx.invariants.check_probabilities(
@@ -198,18 +179,17 @@ class ProbabilisticNetworkAwareScheduler(TaskScheduler):
         model = self.cost_model(job)
         _, free_idx, free_pos = ctx.free_reduce_view()
         reduce_idx = job.pending_reduce_index_array()
-        costs = model.reduce_costs(                # Lines 3-5 (Formula 3)
+        row = int(free_pos[node.index])
+        assert row >= 0, f"offered node {node.name} not in the free-slot view"
+        # Lines 3-5 (Formula 3) and the Line-7 mean over N_r nodes, bundled
+        c_here, c_ave = model.reduce_offer_costs(
+            row,
             free_idx,
             reduce_idx,
             ctx.now,
             estimator=self.estimator,
             distance=self._distance(ctx),
         )
-
-        row = int(free_pos[node.index])
-        assert row >= 0, f"offered node {node.name} not in the free-slot view"
-        c_here = costs[row]
-        c_ave = _finite_mean(costs)                # Line 7: mean over N_r nodes
         probs = self.probability_model.probability(c_ave, c_here)  # Line 8
         if ctx.invariants is not None:
             ctx.invariants.check_probabilities(

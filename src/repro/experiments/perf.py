@@ -16,7 +16,8 @@ canonical-JSON artifact so CI and future PRs can track the trajectory:
   matters most — the live inverse-rate matrix feeds every decision there;
 * **regression gate** — :func:`check_regression` compares a fresh run
   against a committed baseline and flags any case that got more than
-  ``factor``× slower (CI fails at 2×).
+  ``factor``× slower in wall time *or* whose simulated-event throughput
+  (``events_per_s``) fell below ``baseline / factor`` (CI fails at 2×).
 
 Determinism note: the *measurements* (wall seconds) are of course not
 deterministic, but every simulation inside them is — same seed, same
@@ -38,6 +39,7 @@ from repro.schedulers import TaskScheduler
 
 __all__ = [
     "BenchCase",
+    "batched_workload",
     "bench_cases",
     "check_regression",
     "load_baseline",
@@ -56,11 +58,59 @@ LARGE_CLUSTER = ClusterSpec(num_racks=5, nodes_per_rack=20)
 #: quadratically in k while the cached path stays near-linear, so this is
 #: where the cached-vs-naive factor is most visible.
 XL_CLUSTER = ClusterSpec(num_racks=8, nodes_per_rack=25)
+#: 1000 nodes — past the "1000-node barrier": only reachable at practical
+#: wall times with the incremental cost vectors, the persistent fabric
+#: membership kernel and the O(candidates) offer bundles all engaged.
+XXL_CLUSTER = ClusterSpec(num_racks=25, nodes_per_rack=40)
+
+#: seed offset between successive passes over the Table II catalogue in
+#: :func:`batched_workload` — far larger than any per-catalogue seed span,
+#: so repeated copies of the same application draw disjoint noise streams.
+_SEED_STRIDE = 1000
+
+
+def batched_workload(
+    n_jobs: int, *, scale: float = 0.25, stagger: float = 30.0
+) -> List:
+    """``n_jobs`` jobs cycling the Table II catalogue, re-keyed uniquely.
+
+    The three-application workload repeats with staggered submit times
+    (one job every ``stagger`` seconds) so a large cluster sees a steady
+    multi-job mix instead of one synchronized burst — the regime the
+    xxl benchmark cases target.  Deterministic: job identity, sizing and
+    seeds depend only on the arguments.
+    """
+    from repro.workload import JobSpec, table2_workload
+
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    base = table2_workload(scale=scale)
+    specs = []
+    for i in range(n_jobs):
+        src = base[i % len(base)]
+        specs.append(
+            JobSpec(
+                job_id=f"x{i:03d}",
+                app=src.app,
+                input_size=src.input_size,
+                num_maps=src.num_maps,
+                num_reduces=src.num_reduces,
+                submit_time=i * stagger,
+                seed=src.seed + _SEED_STRIDE * (i // len(base)),
+                noise_sigma=src.noise_sigma,
+            )
+        )
+    return specs
 
 
 @dataclass(frozen=True)
 class BenchCase:
-    """One timed scenario: a scheduler on a cluster, churned or healthy."""
+    """One timed scenario: a scheduler on a cluster, churned or healthy.
+
+    ``n_jobs`` > 0 swaps the single Table II application batch for
+    :func:`batched_workload` (``n_jobs`` staggered jobs cycling all three
+    applications) — the shape of the xxl cases.
+    """
 
     name: str
     scheduler: str  # "pna" | "pna-netcond" | "fair" | "coupling"
@@ -69,6 +119,23 @@ class BenchCase:
     churn: bool = False
     app: str = "wordcount"
     seed: int = 42
+    n_jobs: int = 0
+    stagger: float = 30.0
+    #: Zipf exponent for background endpoint choice; None keeps the
+    #: scenario default (1.0).  The xxl cases pin 0.0 (uniform): at 1000
+    #: nodes the Zipf-1.0 hot spot funnels ~13 flows/s onto a 1 Gbps edge
+    #: that drains ~0.5 flows/s, so the background flow population grows
+    #: without bound and the run never reaches a steady state — a
+    #: congestion-collapse regime, not a benchmark.  Uniform spread keeps
+    #: every edge below saturation at the same 20 % aggregate intensity.
+    hotspot_alpha: Optional[float] = None
+
+    def jobs(self, scenario: Scenario) -> List:
+        if self.n_jobs:
+            return batched_workload(
+                self.n_jobs, scale=self.scale, stagger=self.stagger
+            )
+        return scenario.jobs(self.app)
 
     def make_scheduler(self) -> TaskScheduler:
         from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
@@ -91,6 +158,12 @@ class BenchCase:
             name=self.name, cluster=self.cluster, scale=self.scale,
             seed=self.seed,
         )
+        if self.hotspot_alpha is not None:
+            from repro.cluster import BackgroundSpec
+
+            base = base.with_(background=BackgroundSpec(
+                intensity=0.2, hotspot_alpha=self.hotspot_alpha
+            ))
         if self.churn:
             base = base.with_(
                 config=replace(
@@ -112,6 +185,12 @@ def bench_cases(*, quick: bool = False) -> List[BenchCase]:
         BenchCase("fair", "fair", SMALL_CLUSTER),
         BenchCase("coupling", "coupling", SMALL_CLUSTER),
         BenchCase("pna_netcond_churn", "pna-netcond", SMALL_CLUSTER, churn=True),
+        # the scaled-down xxl smoke: same shape as the 1000-node cases
+        # (batched multi-job workload, uniform background) at CI size
+        BenchCase(
+            "xxl_smoke", "pna-netcond", LARGE_CLUSTER, scale=0.1,
+            n_jobs=12, stagger=15.0, hotspot_alpha=0.0,
+        ),
     ]
     if not quick:
         cases += [
@@ -123,6 +202,14 @@ def bench_cases(*, quick: bool = False) -> List[BenchCase]:
                 churn=True,
             ),
             BenchCase("xl_pna_netcond", "pna-netcond", XL_CLUSTER),
+            BenchCase(
+                "xxl_pna_netcond", "pna-netcond", XXL_CLUSTER, n_jobs=100,
+                stagger=15.0, hotspot_alpha=0.0,
+            ),
+            BenchCase(
+                "xxl_fair", "fair", XXL_CLUSTER, n_jobs=100,
+                stagger=15.0, hotspot_alpha=0.0,
+            ),
         ]
     return cases
 
@@ -143,7 +230,7 @@ def run_case(case: BenchCase, *, repeat: int = 1) -> Dict:
         scenario = case.scenario()
         t0 = time.perf_counter()
         sim = scenario.simulation(
-            case.make_scheduler(), scenario.jobs(case.app)
+            case.make_scheduler(), case.jobs(scenario)
         )
         result = sim.run()
         wall = min(wall, time.perf_counter() - t0)
@@ -172,7 +259,7 @@ def profile_case(case: BenchCase) -> Dict:
     from repro.obs import profile as obs_profile
 
     scenario = case.scenario()
-    sim = scenario.simulation(case.make_scheduler(), scenario.jobs(case.app))
+    sim = scenario.simulation(case.make_scheduler(), case.jobs(scenario))
     with obs_profile.profiled() as prof:
         sim.run()
     doc = prof.to_doc()
@@ -275,22 +362,39 @@ def load_baseline(path: str) -> Optional[Dict]:
 def check_regression(
     current: Dict, baseline: Dict, *, factor: float = 2.0
 ) -> List[str]:
-    """Wall-time regressions of ``current`` versus ``baseline``.
+    """Throughput and wall-time regressions of ``current`` vs ``baseline``.
 
-    Compares every case name present in both documents; returns one
-    message per case whose wall time grew by more than ``factor``×.
+    Compares every case name present in both documents on two axes:
+
+    * **wall time** — fails a case whose wall grew by more than
+      ``factor``×;
+    * **events/s** — fails a case whose simulated-event throughput fell
+      below ``baseline / factor``.  Wall time alone can mask a hot-path
+      regression when the workload itself shrinks (fewer events at the
+      same events/s looks "faster"); the throughput gate is
+      workload-normalised and catches exactly that.
+
     Empty list = no regression.
     """
     failures = []
     base_cases = baseline.get("cases", {})
     for name, record in current.get("cases", {}).items():
         base = base_cases.get(name)
-        if base is None or base.get("wall_s", 0) <= 0:
+        if base is None:
             continue
-        ratio = record["wall_s"] / base["wall_s"]
-        if ratio > factor:
-            failures.append(
-                f"{name}: {record['wall_s']:.3f}s vs baseline "
-                f"{base['wall_s']:.3f}s ({ratio:.2f}x > {factor:.1f}x)"
-            )
+        if base.get("wall_s", 0) > 0:
+            ratio = record["wall_s"] / base["wall_s"]
+            if ratio > factor:
+                failures.append(
+                    f"{name}: {record['wall_s']:.3f}s vs baseline "
+                    f"{base['wall_s']:.3f}s ({ratio:.2f}x > {factor:.1f}x)"
+                )
+        if base.get("events_per_s", 0) > 0:
+            floor = base["events_per_s"] / factor
+            if record.get("events_per_s", 0.0) < floor:
+                failures.append(
+                    f"{name}: {record.get('events_per_s', 0.0):,.1f} "
+                    f"events/s vs baseline {base['events_per_s']:,.1f} "
+                    f"(below the {factor:.1f}x floor {floor:,.1f})"
+                )
     return failures

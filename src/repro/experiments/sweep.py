@@ -1,0 +1,271 @@
+"""Sharded multi-process experiment sweeps — ``repro sweep -jN``.
+
+The figure and ablation runners (:mod:`repro.experiments.runner`) are all
+embarrassingly parallel at the granularity of one simulation batch, but the
+CLI runs them serially in one process.  This module decomposes the full
+evaluation grid — the scheduler × application comparison behind Figures
+4–7/Table III, the ``P_min`` calibration sweep, and the per-variant
+ablation points — into independent *tasks* and fans them out over worker
+processes.
+
+Determinism is the design center, in three layers:
+
+1. **Canonical task identity.**  Every task is a plain dict of parameters;
+   its key is the canonical JSON of that dict (sorted keys, no whitespace).
+   The task list itself is sorted by key, so the grid enumeration order is
+   a function of the grid alone.
+2. **Shard-independent seeding.**  One ``numpy`` :class:`~numpy.random.
+   SeedSequence` is spawned into exactly ``len(tasks)`` children and
+   assigned to tasks *in canonical key order* — before any sharding
+   decision.  A task therefore receives the same seed whether the sweep
+   runs with ``-j1`` or ``-j32``, and each task is self-contained (no task
+   reads another task's output).
+3. **Order-insensitive merge.**  Workers return ``(key, record)`` pairs;
+   the parent merges them into one dict and serialises with
+   ``sort_keys=True``.  Completion order, shard assignment and worker
+   count leave no trace in the output — records carry no wall times, pids
+   or timestamps — so the merged JSON is byte-identical across ``-jN``.
+
+Worker isolation uses ``fork`` workers (one per shard, tasks dealt
+round-robin); each simulation still runs in-process within its worker, but
+a crash or interpreter-state leak in one shard cannot corrupt another.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.scenarios import Scenario, get_scenario, run_batch
+
+__all__ = [
+    "run_sweep",
+    "run_task",
+    "sweep_tasks",
+    "task_key",
+    "write_sweep",
+]
+
+#: The paper's calibration grid (Section III); high thresholds may livelock
+#: and are cut off by the 20x-baseline deadline, reported as ``null``.
+PMIN_GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+PMIN_GRID_QUICK = (0.0, 0.2, 0.4)
+
+
+def task_key(task: Dict) -> str:
+    """The canonical identity of a task: sorted-key compact JSON."""
+    return json.dumps(task, sort_keys=True, separators=(",", ":"))
+
+
+def sweep_tasks(*, quick: bool = False) -> List[Dict]:
+    """The full evaluation grid as self-contained tasks, key-sorted.
+
+    ``quick`` shrinks every axis (wordcount only, 3-point ``P_min`` grid,
+    2 estimator variants) for CI smoke runs.
+    """
+    from repro.experiments.runner import APPS, SCHEDULER_FACTORIES
+
+    apps = ("wordcount",) if quick else APPS
+    tasks: List[Dict] = []
+    # Figures 4-7 / Table III: the scheduler x application comparison grid.
+    for sched in sorted(SCHEDULER_FACTORIES):
+        for app in apps:
+            tasks.append({"kind": "batch", "scheduler": sched, "app": app})
+    # The P_min calibration sweep (each point self-contained: the 20x
+    # deadline baseline is re-run inside the task).
+    for p_min in PMIN_GRID_QUICK if quick else PMIN_GRID:
+        tasks.append({"kind": "pmin", "p_min": p_min})
+    # Ablation points, one variant per task.
+    estimators = ("progress", "oracle") if quick else (
+        "progress", "current-size", "oracle"
+    )
+    for variant in estimators:
+        tasks.append({"kind": "estimator", "variant": variant})
+    for variant in ("hops", "network-condition"):
+        tasks.append({"kind": "netcond", "variant": variant})
+    if not quick:
+        for variant in ("exponential", "hyperbolic", "linear"):
+            tasks.append({"kind": "probability-model", "variant": variant})
+    return sorted(tasks, key=task_key)
+
+
+def _result_record(result) -> Dict:
+    """The JSON-safe measurement subset of a RunResult (no wall times)."""
+    return {
+        "mean_jct": float(result.mean_jct),
+        "makespan": float(result.collector.makespan()),
+        "jobs": len(result.collector.job_records),
+        "locality": {
+            k: float(v) for k, v in result.locality_shares("map").items()
+        },
+    }
+
+
+def run_task(task: Dict, seed: int, scenario: Scenario) -> Dict:
+    """Execute one task deterministically; returns its JSON-safe record."""
+    from repro.core import (
+        CurrentSizeEstimator,
+        ExponentialModel,
+        HyperbolicModel,
+        LinearModel,
+        OracleEstimator,
+        PNAConfig,
+        ProbabilisticNetworkAwareScheduler,
+        ProgressEstimator,
+    )
+    from repro.experiments.runner import SCHEDULER_FACTORIES
+
+    scn = scenario.with_(seed=seed)
+    kind = task["kind"]
+    if kind == "batch":
+        result = run_batch(
+            scn, SCHEDULER_FACTORIES[task["scheduler"]](), task["app"]
+        )
+        return _result_record(result)
+    if kind == "pmin":
+        baseline = run_batch(
+            scn,
+            ProbabilisticNetworkAwareScheduler(
+                PNAConfig(p_min=0.0, network_condition=True)
+            ),
+            "wordcount",
+        )
+        if task["p_min"] == 0.0:
+            return {"mean_jct": float(baseline.mean_jct), "feasible": True}
+        deadline = 20.0 * baseline.collector.makespan()
+        result = run_batch(
+            scn,
+            ProbabilisticNetworkAwareScheduler(
+                PNAConfig(p_min=task["p_min"], network_condition=True)
+            ),
+            "wordcount",
+            until=deadline,
+        )
+        expected = len(baseline.collector.job_records)
+        if len(result.collector.job_records) < expected:
+            return {"mean_jct": None, "feasible": False}
+        return {"mean_jct": float(result.mean_jct), "feasible": True}
+    if kind == "estimator":
+        est = {
+            "progress": ProgressEstimator,
+            "current-size": CurrentSizeEstimator,
+            "oracle": OracleEstimator,
+        }[task["variant"]]()
+        sched = ProbabilisticNetworkAwareScheduler(
+            PNAConfig(network_condition=True), estimator=est
+        )
+        return {"mean_jct": float(run_batch(scn, sched, "wordcount").mean_jct)}
+    if kind == "netcond":
+        cfg = PNAConfig(network_condition=task["variant"] == "network-condition")
+        sched = ProbabilisticNetworkAwareScheduler(cfg)
+        return {"mean_jct": float(run_batch(scn, sched, "wordcount").mean_jct)}
+    if kind == "probability-model":
+        model = {
+            "exponential": ExponentialModel,
+            "hyperbolic": HyperbolicModel,
+            "linear": LinearModel,
+        }[task["variant"]]()
+        sched = ProbabilisticNetworkAwareScheduler(
+            PNAConfig(network_condition=True), probability_model=model
+        )
+        return {"mean_jct": float(run_batch(scn, sched, "wordcount").mean_jct)}
+    raise ValueError(f"unknown sweep task kind {kind!r}")
+
+
+def _task_seeds(tasks: List[Dict], base_seed: int) -> List[int]:
+    """One independent child seed per task, assigned in canonical order.
+
+    ``SeedSequence.spawn`` guarantees statistically-independent streams;
+    assigning them *before* sharding makes seeding a pure function of the
+    grid, never of ``-jN``.
+    """
+    children = np.random.SeedSequence(base_seed).spawn(len(tasks))
+    return [int(c.generate_state(1, dtype=np.uint32)[0]) for c in children]
+
+
+def _run_shard(
+    shard: List[Tuple[str, Dict, int]], scenario: Scenario, queue
+) -> None:
+    """Worker body: run a shard's tasks, ship (key, record) pairs back."""
+    try:
+        for key, task, seed in shard:
+            queue.put((key, run_task(task, seed, scenario)))
+        queue.put(None)  # shard-complete sentinel
+    except BaseException as exc:  # pragma: no cover - crash propagation
+        queue.put(("__error__", f"{type(exc).__name__}: {exc}"))
+        raise
+
+
+def run_sweep(
+    *,
+    jobs: int = 1,
+    seed: int = 42,
+    quick: bool = False,
+    scenario: Optional[Scenario] = None,
+) -> Dict:
+    """Run the full grid over ``jobs`` worker processes; returns the doc.
+
+    The returned document (and hence :func:`write_sweep`'s bytes) is
+    invariant to ``jobs`` — see the module docstring for the three layers
+    that guarantee it.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if scenario is None:
+        scenario = get_scenario()
+        if quick:
+            scenario = scenario.with_(scale=0.05)
+    tasks = sweep_tasks(quick=quick)
+    seeds = _task_seeds(tasks, seed)
+    triples = [(task_key(t), t, s) for t, s in zip(tasks, seeds)]
+    jobs = min(jobs, len(triples))
+
+    records: Dict[str, Dict] = {}
+    if jobs == 1:
+        for key, task, task_seed in triples:
+            records[key] = run_task(task, task_seed, scenario)
+    else:
+        ctx = mp.get_context("fork")
+        queue = ctx.SimpleQueue()
+        shards = [triples[i::jobs] for i in range(jobs)]
+        workers = [
+            ctx.Process(target=_run_shard, args=(shard, scenario, queue))
+            for shard in shards
+        ]
+        for w in workers:
+            w.start()
+        done = 0
+        try:
+            while done < len(workers):
+                item = queue.get()
+                if item is None:
+                    done += 1
+                    continue
+                key, record = item
+                if key == "__error__":  # pragma: no cover
+                    raise RuntimeError(f"sweep worker failed: {record}")
+                records[key] = record
+        finally:
+            for w in workers:
+                w.join()
+    return {
+        "sweep": {
+            "version": 1,
+            "scenario": scenario.name,
+            "scale": scenario.scale,
+            "base_seed": seed,
+            "quick": quick,
+            "tasks": len(tasks),
+        },
+        "records": {key: records[key] for key in sorted(records)},
+    }
+
+
+def write_sweep(doc: Dict, path: str) -> None:
+    """Write the canonical-JSON form: byte-stable across worker counts."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        fh.write("\n")

@@ -27,7 +27,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["ACTIVE", "Profiler", "profiled", "table_from_doc"]
+__all__ = ["ACTIVE", "Profiler", "compare_docs", "profiled", "table_from_doc"]
 
 _clock = time.perf_counter
 
@@ -186,6 +186,42 @@ def table_from_doc(doc: Dict, top: int = 0) -> str:
         prof.self_s[name] = float(rec["self_s"])
         prof.calls[name] = int(rec["calls"])
     return prof.table(top=top)
+
+
+def compare_docs(a: Dict, b: Dict, top: int = 0) -> str:
+    """Diff two canonical ``repro-profile`` documents by component self-time.
+
+    Renders one row per component present in either document (absent side
+    counted as zero), largest absolute wall-time delta first, so the
+    components that explain an end-to-end speedup or regression lead the
+    table.  ``top`` > 0 truncates to the N largest movers.
+    """
+    ca = a.get("components", {})
+    cb = b.get("components", {})
+    rows = []
+    for name in sorted(set(ca) | set(cb)):
+        sa = float(ca.get(name, {}).get("self_s", 0.0))
+        sb = float(cb.get(name, {}).get("self_s", 0.0))
+        rows.append((name, sa, sb, sb - sa))
+    rows.sort(key=lambda r: (-abs(r[3]), r[0]))
+    if top > 0:
+        rows = rows[:top]
+    lines = [
+        f"{'component':<24} {'A self s':>10} {'B self s':>10} "
+        f"{'delta s':>10} {'B/A':>7}"
+    ]
+    for name, sa, sb, delta in rows:
+        ratio = f"{sb / sa:>6.2f}x" if sa > 0 else "      -"
+        lines.append(
+            f"{name:<24} {sa:>10.4f} {sb:>10.4f} {delta:>+10.4f} {ratio}"
+        )
+    wa, wb = float(a.get("wall_s", 0.0)), float(b.get("wall_s", 0.0))
+    wall_ratio = f"{wb / wa:.2f}x" if wa > 0 else "-"
+    lines.append(
+        f"{'(total wall)':<24} {wa:>10.4f} {wb:>10.4f} "
+        f"{wb - wa:>+10.4f} {wall_ratio:>7}"
+    )
+    return "\n".join(lines)
 
 
 @contextmanager

@@ -157,7 +157,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        # heap of (time, seq, event): the tuple key keeps heap comparisons
+        # in C (seq is unique, so the Event itself is never compared)
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq: Iterator[int] = itertools.count()
         self._running = False
         self._processed = 0
@@ -189,7 +191,7 @@ class Simulator:
         event = Event(time=time, seq=next(self._seq), callback=callback, args=args)
         event._owner = self
         event._in_queue = True
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, event.seq, event))
         self._live += 1
         return event
 
@@ -210,11 +212,11 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
         self._drop_cancelled()
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def _drop_cancelled(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)._in_queue = False
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)[2]._in_queue = False
             self._tombstones -= 1
 
     def _note_cancelled(self) -> None:
@@ -229,10 +231,10 @@ class Simulator:
         self._live -= 1
         self._tombstones += 1
         if self._tombstones > 64 and self._tombstones > self._live:
-            for event in self._queue:
+            for _, _, event in self._queue:
                 if event.cancelled:
                     event._in_queue = False
-            self._queue = [e for e in self._queue if not e.cancelled]
+            self._queue = [t for t in self._queue if not t[2].cancelled]
             heapq.heapify(self._queue)
             self._tombstones = 0
 
@@ -241,7 +243,7 @@ class Simulator:
         self._drop_cancelled()
         if not self._queue:
             return False
-        event = heapq.heappop(self._queue)
+        event = heapq.heappop(self._queue)[2]
         event._in_queue = False
         self._live -= 1
         assert event.time >= self.now, "event queue went backwards"
@@ -288,10 +290,9 @@ class Simulator:
                 self._drop_cancelled()
                 if not self._queue:
                     break
-                nxt = self._queue[0]
-                if until is not None and nxt.time > until:
+                if until is not None and self._queue[0][0] > until:
                     break
-                event = heapq.heappop(self._queue)
+                event = heapq.heappop(self._queue)[2]
                 event._in_queue = False
                 self._live -= 1
                 if max_stall_iters is not None:
@@ -317,7 +318,7 @@ class Simulator:
     def _raise_stall(self, stall_iters: int, event: Event) -> None:
         """Build the StallError diagnostic dump and raise it."""
         self._drop_cancelled()
-        head = [repr(e) for e in sorted(self._queue)[:10]]
+        head = [repr(t[2]) for t in sorted(self._queue)[:10]]
         lines = [
             f"no-progress watchdog: {stall_iters} consecutive events at "
             f"t={self.now:.6g} without the clock advancing",

@@ -209,7 +209,7 @@ class TestPendingCounter:
             sim.at(float(i), fired.append, float(i))
         # cancel every odd event to force at least one compaction
         cancelled = set()
-        for i, event in enumerate(list(sim._queue)):
+        for _, _, event in list(sim._queue):
             if int(event.time) % 2 == 1:
                 event.cancel()
                 cancelled.add(event.time)

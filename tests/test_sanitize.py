@@ -6,8 +6,8 @@ shadow-executes its naive ``reference`` recompute on a deterministic sample
 of cache hits and asserts byte-equality.  The end-to-end test drives a
 network-condition PNA run — the only scheduler mode that exercises
 ``FlowNetwork.rate_matrix``, ``Cluster.inverse_rate_matrix`` and
-``JobCostModel._done_arrays`` — and demands at least one shadow-verified
-hit per declared cache layer.
+``JobCostModel._distance_done_matrix`` — and demands at least one
+shadow-verified hit per declared cache layer.
 """
 
 from __future__ import annotations
@@ -42,12 +42,15 @@ def sanitizer():
 # end-to-end: every declared layer shadow-verifies during a netcond run
 # ---------------------------------------------------------------------------
 def test_netcond_run_shadow_verifies_every_layer(sanitizer):
+    # grep's reduce-light shape leaves reduces pending after the last map
+    # finishes, which is the one phase where the per-offer reduce bundle
+    # is cacheable — wordcount here would leave that layer unexercised
     sim = Simulation(
         cluster=ClusterSpec(num_racks=2, nodes_per_rack=3),
         scheduler=ProbabilisticNetworkAwareScheduler(
             PNAConfig(network_condition=True)
         ),
-        jobs=table2_batch("wordcount", scale=0.02)[:4],
+        jobs=table2_batch("grep", scale=0.05)[:4],
         config=EngineConfig(),
         seed=123,
     )
@@ -63,7 +66,9 @@ def test_netcond_run_shadow_verifies_every_layer(sanitizer):
         "Cluster.free_reduce_slot_view",
         "Job.pending_maps",
         "Job.pending_reduces",
-        "JobCostModel._done_arrays",
+        "JobCostModel._distance_done_matrix",
+        "JobCostModel.map_offer_costs",
+        "JobCostModel.reduce_offer_costs",
     ):
         assert layer in report, f"{layer} is not declared via @cached_on"
     # ... and every registered production layer (everything except this
