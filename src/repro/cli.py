@@ -17,6 +17,7 @@ Usage::
     repro fig4 --trace run.jsonl            # trace every sim of an artefact
     repro run --faults plan.json            # one run under a fault plan
     repro run --scheduler fair --seed 3     # one plain run, summary printed
+    repro run --durability --faults p.json  # ... with HDFS re-replication on
     repro bench --quick                     # perf smoke -> BENCH_perf.json
     repro bench --baseline BENCH_perf.json  # fail on >2x wall regression
     repro chaos --rounds 20 --seed 1        # randomized-fault soak, verified
@@ -382,6 +383,19 @@ def _run_main(argv: List[str]) -> int:
                         metavar="SECONDS",
                         help="sampling cadence of the metrics plane "
                         "(default: 5.0 simulated seconds)")
+    parser.add_argument("--durability", action="store_true",
+                        help="enable the HDFS durability plane (NameNode "
+                        "ReplicationMonitor: re-replication, trimming, "
+                        "decommission support, data-loss detection)")
+    parser.add_argument("--on-data-loss", default=None,
+                        choices=("abort", "retry"),
+                        help="job policy when a map's input block is "
+                        "permanently lost (implies --durability; "
+                        "default: retry)")
+    parser.add_argument("--repair-rate", type=float, default=None,
+                        metavar="BYTES_PER_S",
+                        help="per-flow bandwidth cap for re-replication "
+                        "copies (implies --durability; default: unthrottled)")
     parser.add_argument("--check-invariants", action="store_true",
                         help="run with the runtime invariant checker on")
     parser.add_argument("--max-stall-iters", type=int, default=None,
@@ -399,6 +413,16 @@ def _run_main(argv: List[str]) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot load fault plan: {exc}", file=sys.stderr)
             return 2
+    if args.durability or args.on_data_loss or args.repair_rate is not None:
+        from repro.hdfs import DurabilityConfig
+
+        if args.repair_rate is not None and args.repair_rate <= 0:
+            print("--repair-rate must be positive", file=sys.stderr)
+            return 2
+        changes["durability"] = DurabilityConfig(
+            on_data_loss=args.on_data_loss or "retry",
+            repair_rate=args.repair_rate,
+        )
     if args.check_invariants:
         changes["check_invariants"] = True
     if args.max_stall_iters is not None:
@@ -426,7 +450,12 @@ def _run_main(argv: List[str]) -> int:
     jobs = scenario.jobs(args.app)
     if args.jobs > 0:
         jobs = jobs[: args.jobs]
-    sim = scenario.simulation(factories[args.scheduler](), jobs)
+    try:
+        sim = scenario.simulation(factories[args.scheduler](), jobs)
+    except ValueError as exc:
+        # e.g. a fault plan with decommissions but no --durability
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
     result = sim.run()
     print(result.summary())
     if args.metrics:
@@ -437,7 +466,16 @@ def _run_main(argv: List[str]) -> int:
             f"injected: {inj.crashes_injected} crashes, "
             f"{inj.revivals} revivals, "
             f"{inj.attempt_failures_injected} attempt failures, "
-            f"{inj.heartbeats_dropped} heartbeats dropped"
+            f"{inj.heartbeats_dropped} heartbeats dropped, "
+            f"{inj.decommissions_injected} decommissions"
+        )
+    if sim.replication is not None:
+        mon = sim.replication
+        print(
+            f"replication monitor: {mon.repairs_started} repairs started, "
+            f"{mon.repairs_completed} completed, "
+            f"{mon.repairs_cancelled} cancelled, "
+            f"{mon.blocks_lost_total} blocks lost"
         )
     return 0
 

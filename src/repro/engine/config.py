@@ -9,6 +9,7 @@ from typing import Optional
 
 from repro.cluster.telemetry import TelemetryConfig
 from repro.faults.spec import FaultPlan
+from repro.hdfs.replication import DurabilityConfig
 from repro.obs.config import MetricsConfig
 
 __all__ = ["EngineConfig"]
@@ -139,6 +140,17 @@ class EngineConfig:
         and attempt transitions even without any ``TrackerCrash`` fault
         (a plan containing tracker crashes enables it automatically).
         Pure bookkeeping — never affects scheduling decisions.
+    durability:
+        Optional :class:`~repro.hdfs.replication.DurabilityConfig`.  When
+        set, a :class:`~repro.hdfs.replication.ReplicationMonitor` runs on
+        the NameNode: blocks losing replicas to crashes, partitions or
+        decommissioning are re-replicated through real fabric flows,
+        surplus copies are trimmed, and a block whose every holder is dead
+        raises a typed ``block_lost`` event (maps needing it fail with
+        ``input_lost`` instead of polling forever — ``on_data_loss``
+        selects job abort vs retry).  ``None`` (the default) keeps every
+        run bit-for-bit identical to a build without the durability plane.
+        Required when ``faults`` contains ``NodeDecommission`` entries.
     max_stall_iters:
         No-progress watchdog: abort the run with a diagnostic dump if this
         many consecutive events execute without the sim clock advancing
@@ -168,6 +180,7 @@ class EngineConfig:
     telemetry: Optional[TelemetryConfig] = None
     metrics: Optional[MetricsConfig] = None
     journal: bool = False
+    durability: Optional[DurabilityConfig] = None
     max_stall_iters: int = 100_000
 
     def __post_init__(self) -> None:
@@ -204,6 +217,13 @@ class EngineConfig:
             raise ValueError(
                 "metrics must be a MetricsConfig or None, got "
                 f"{type(self.metrics).__name__}"
+            )
+        if self.durability is not None and not isinstance(
+            self.durability, DurabilityConfig
+        ):
+            raise ValueError(
+                "durability must be a DurabilityConfig or None, got "
+                f"{type(self.durability).__name__}"
             )
         self._require_int("max_stall_iters", minimum=0)
         # horizon may be inf ("no cap") but never NaN or <= 0

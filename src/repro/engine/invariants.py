@@ -24,7 +24,13 @@ figure of the paper silently assumes:
 7. **control-plane recovery** (``TrackerCrash`` runs) — the write-ahead
    journal always replays to exactly the engine's job state while the
    master is up, and a restarted master leaves no orphaned attempts
-   (no settled job accounts running work).
+   (no settled job accounts running work);
+8. **durability convergence** (``DurabilityConfig`` runs) — when the
+   monitor's repair loop has stopped at the end of a run, every block
+   still below its replication target must be genuinely unrepairable
+   (no live reachable source, or no placement target left): a feasible
+   repair the monitor failed to schedule is a control-loop bug, not a
+   fact about the fault pattern.
 
 Checks are wired into the JobTracker after every heartbeat round and at
 every job completion, so a violation surfaces as an
@@ -284,6 +290,21 @@ class InvariantChecker:
                         "though its job is settled"
                     )
         self.check_journal()
+
+    def check_durability(self, monitor) -> None:
+        """Invariant 8: at run end, remaining under-replication is
+        unrepairable.  Called by ``Simulation.run`` after the event queue
+        drains on durability-enabled runs."""
+        self.checks_run += 1
+        for block in monitor.under_replicated():
+            if not monitor.unrepairable(block):
+                live = len(monitor._countable_replicas(block))
+                self._fail(
+                    f"block {block.block_id} ({block.file}[{block.index}]) "
+                    f"ended the run at {live}/{monitor.target(block)} "
+                    "replicas although a repair source and target both "
+                    "exist — the ReplicationMonitor stopped too early"
+                )
 
     def check_colocation(self, job: "Job") -> None:
         """Invariant 5: one reducer per node per job (Algorithm 2 line 1)."""

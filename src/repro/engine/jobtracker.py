@@ -125,6 +125,8 @@ class JobTracker:
         #: the run's metrics plane, if any (set by ``Simulation``); the
         #: tracker only ever *feeds* it, never reads it back
         self.metrics = None
+        #: the run's ReplicationMonitor, if any (set by ``Simulation``)
+        self.replication = None
         #: run-once hooks fired when the last job finishes or fails
         self.on_all_done_hooks: List[Callable[[], None]] = []
         self._node_views: Dict[str, _NodeView] = {
@@ -354,6 +356,9 @@ class JobTracker:
                     r.freeze()
                 else:
                     r.on_source_lost(node.name)
+        if self.replication is not None:
+            # kill re-replication copies reading from / writing to the box
+            self.replication.on_node_crashed(node)
 
     def _on_node_lost(self, node: Node, reason: str) -> None:
         """*Logical* loss processing (tracker expiry or detected restart).
@@ -409,20 +414,34 @@ class JobTracker:
     # failure bookkeeping (called from task / job failure paths)
     # ------------------------------------------------------------------
     def record_attempt_failure(
-        self, job: Job, kind: str, task_index: int, node_name: str, failures: int
+        self,
+        job: Job,
+        kind: str,
+        task_index: int,
+        node_name: str,
+        failures: int,
+        *,
+        reason: str = TASK_ERROR,
+        blacklist: bool = True,
     ) -> None:
         """A charged task error: count it, trace it, then let it escalate
-        (node blacklisting, and job abort at ``max_attempts``)."""
+        (node blacklisting, and job abort at ``max_attempts``).
+
+        ``input_lost`` failures pass ``blacklist=False``: the node did
+        nothing wrong — the task's input data is gone — so the failure is
+        charged against the task's retry budget but not against the node.
+        """
         self.collector.attempt_failed()
         if self.recorder.enabled:
             self.recorder.emit(
                 AttemptFailed(
                     t=self.sim.now, node=node_name, kind=kind,
                     job_id=job.spec.job_id, task_index=task_index,
-                    reason=TASK_ERROR, failures=failures,
+                    reason=reason, failures=failures,
                 )
             )
-        job.note_node_failure(node_name)
+        if blacklist:
+            job.note_node_failure(node_name)
         if failures >= self.config.max_attempts:
             job.fail("attempts_exhausted")
 

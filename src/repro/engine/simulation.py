@@ -39,6 +39,7 @@ from repro.engine.jobtracker import JobTracker
 from repro.faults.injector import FaultInjector
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.placement import PlacementPolicy
+from repro.hdfs.replication import ReplicationMonitor
 from repro.metrics.collector import MetricsCollector
 from repro.obs.export import write_metrics_jsonl
 from repro.obs.instruments import MetricsRegistry
@@ -64,6 +65,7 @@ RNG_STREAMS = {
     2: "background",
     3: "faults",
     4: "telemetry",
+    5: "replication",
 }
 
 
@@ -195,6 +197,17 @@ class RunResult:
                 f"{c.blacklistings} blacklistings, "
                 f"{len(c.failed_jobs)} jobs failed"
             )
+        if (
+            c.replicas_added or c.replicas_removed or c.blocks_lost
+            or c.decommissions
+        ):
+            lines.append(
+                f"durability: {c.replicas_added} replicas re-created "
+                f"({fmt_bytes(c.repair_bytes)} repaired), "
+                f"{c.replicas_removed} trimmed, "
+                f"{c.blocks_lost} blocks lost, "
+                f"{c.decommissions} nodes decommissioned"
+            )
         if c.tracker_crashes:
             lines.append(
                 f"control plane: {c.tracker_crashes} tracker crashes, "
@@ -250,14 +263,16 @@ class Simulation:
             self.sim = Simulator()
             self.cluster = cluster.build(self.sim)
         ss = np.random.SeedSequence(seed)
-        # children are keyed by spawn index, so appending the faults (4th)
-        # and telemetry (5th) streams left existing runs bit-for-bit intact
+        # children are keyed by spawn index, so appending the faults (4th),
+        # telemetry (5th) and replication (6th) streams left existing runs
+        # bit-for-bit intact
         (
             placement_ss,
             scheduler_ss,
             background_ss,
             faults_ss,
             telemetry_ss,
+            replication_ss,
         ) = ss.spawn(len(RNG_STREAMS))
         self.namenode = NameNode(
             self.cluster,
@@ -288,8 +303,24 @@ class Simulation:
                 recorder=self.recorder,
             )
             self.cluster.routing = self.routing
+        self.replication: Optional[ReplicationMonitor] = None
+        if self.config.durability is not None:
+            self.replication = ReplicationMonitor(
+                self.sim,
+                self.cluster,
+                self.namenode,
+                self.tracker,
+                rng=np.random.default_rng(replication_ss),
+                config=self.config.durability,
+            )
+            self.tracker.replication = self.replication
         self.faults: Optional[FaultInjector] = None
         if self.config.faults is not None and not self.config.faults.empty:
+            if self.config.faults.decommissions and self.replication is None:
+                raise ValueError(
+                    "fault plan contains decommissions but the run has no "
+                    "durability plane — set EngineConfig(durability=...)"
+                )
             self.faults = FaultInjector(
                 self.config.faults, self.cluster, self.tracker, faults_ss
             )
@@ -355,6 +386,8 @@ class Simulation:
         self.tracker.start()
         if self.routing is not None:
             self.tracker.on_all_done_hooks.append(self.routing.stop)
+        if self.replication is not None:
+            self.replication.start()
         if self.faults is not None:
             self.faults.start()
         if self.background is not None:
@@ -394,6 +427,12 @@ class Simulation:
                 f"{len(self.tracker.active_jobs)} jobs unfinished — "
                 "likely a scheduler livelock"
             )
+        if (
+            self.replication is not None
+            and self.replication.stopped
+            and self.tracker.invariants is not None
+        ):
+            self.tracker.invariants.check_durability(self.replication)
         net = self.cluster.network
         if self.recorder.enabled and self.config.trace_jsonl:
             events_to_jsonl(

@@ -45,7 +45,7 @@ from repro.cluster.node import Node
 from repro.engine.shuffle import _MIN_FETCH_BYTES, FetchManager
 from repro.hdfs.block import Block
 from repro.metrics.records import TaskRecord
-from repro.trace.events import TaskFinish, TaskStart
+from repro.trace.events import INPUT_LOST, TaskFinish, TaskStart
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.engine.job import Job
@@ -89,6 +89,9 @@ class MapAttempt:
         )
         self.flow: Optional[Flow] = None
         self.cancelled = False
+        #: sim time this attempt first found its block marked lost (every
+        #: holder dead); bounds the replica wait via ``loss_grace``
+        self._lost_since: Optional[float] = None
         node.acquire_map_slot()
         overhead = task.job.spec.app.task_overhead
         task.job.tracker.sim.schedule(overhead, self._start_input)
@@ -115,6 +118,19 @@ class MapAttempt:
                 self.task.block, self.node.name
             )
             if resolved is None:
+                monitor = tracker.replication
+                if monitor is not None and monitor.block_lost(self.task.block):
+                    # every holder is dead: wait out loss_grace (a holder
+                    # may still rejoin), then a typed, charged failure
+                    # instead of an endless poll
+                    now = tracker.sim.now
+                    if self._lost_since is None:
+                        self._lost_since = now
+                    if now - self._lost_since >= monitor.config.loss_grace:
+                        self._fail_input_lost()
+                        return
+                else:
+                    self._lost_since = None
                 # every replica host is down or unreachable; poll until one
                 # rejoins or the partition heals
                 self.source = None
@@ -122,7 +138,11 @@ class MapAttempt:
                     tracker.config.heartbeat_period, self._start_input
                 )
                 return
+            self._lost_since = None
             self.source, self.hops = resolved
+        monitor = tracker.replication
+        if monitor is not None:
+            monitor.note_read(self.task.block)
         rate_cap = self.task.job.spec.app.map_rate * self.node.compute_factor
         self.flow = tracker.cluster.network.start_flow(
             self.source,
@@ -137,6 +157,37 @@ class MapAttempt:
         if self.cancelled:
             return
         self.task._attempt_finished(self)
+
+    def _fail_input_lost(self) -> None:
+        """The input block is permanently lost: retire this attempt charged.
+
+        Unlike a task error the node is blameless, so the failure never
+        counts toward blacklisting.  Under ``on_data_loss="retry"`` the
+        task re-enters PENDING and terminates via ``attempts_exhausted``
+        (or succeeds, if a holder rejoins first); under ``"abort"`` the
+        job fails immediately with the ``input_lost`` reason.
+        """
+        task = self.task
+        tracker = task.job.tracker
+        job = task.job
+        node_name = self.node.name
+        self.cancel()
+        if self in task.attempts:
+            task.attempts.remove(self)
+            task.past_attempts += 1
+        task.failures += 1
+        if task.state is TaskState.RUNNING and not task.attempts:
+            task._reset_to_pending()
+        tracker.record_attempt_failure(
+            job, "map", task.index, node_name, task.failures,
+            reason=INPUT_LOST, blacklist=False,
+        )
+        if (
+            tracker.config.durability is not None
+            and tracker.config.durability.on_data_loss == "abort"
+            and job in tracker.active_jobs
+        ):
+            job.fail(INPUT_LOST)
 
     def cancel(self) -> None:
         """Abort a losing attempt: free its slot and in-flight transfer."""

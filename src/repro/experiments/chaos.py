@@ -6,7 +6,12 @@ This module builds seed-reproducible randomized :class:`FaultPlan`s
 (bounded node crashes, churn, heartbeat loss, link degradation, tracker
 crashes, and — on fabric rounds — link/switch failures with link-state
 re-routing) plus degraded telemetry, runs every scheduler family under
-them with runtime invariants enabled, and verifies each run end to end:
+them with runtime invariants enabled, and verifies each run end to end.
+Every other round additionally turns on the HDFS durability plane
+(:class:`~repro.hdfs.ReplicationMonitor`), so re-replication competes
+with shuffle traffic while nodes churn; those rounds must end with zero
+permanently lost blocks and every repairable block back at target.
+The checks:
 
 * **completion** — every job finishes (plans are survivable by
   construction: crashes always revive, every failed link and switch
@@ -39,6 +44,7 @@ from repro.core import PNAConfig, ProbabilisticNetworkAwareScheduler
 from repro.obs import MetricsConfig
 from repro.engine import RunResult, Simulation
 from repro.experiments.scenarios import get_scenario
+from repro.hdfs import DurabilityConfig
 from repro.faults import (
     FaultPlan,
     HeartbeatLoss,
@@ -76,6 +82,11 @@ _RECONCILED_COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("tracker_up", "tracker_restarts"),
     ("assign", "scheduling_assignments"),
     ("decline", "scheduling_declines"),
+    # durability plane (all zero on monitor-off rounds, trivially reconciled)
+    ("replica_added", "replicas_added"),
+    ("replica_removed", "replicas_removed"),
+    ("block_lost", "blocks_lost"),
+    ("decommission_done", "decommissions"),
 )
 
 #: sim-seconds fault activity is confined to; CI-scale rounds finish well
@@ -322,6 +333,28 @@ def _verify_run(result: RunResult, sim: Simulation) -> List[str]:
                 "per-reason decline counts differ between trace and collector"
             )
 
+    # durability rounds: survivable plans revive every crashed node, so no
+    # block may end the run permanently lost, and (with RF >= 2 and a repair
+    # source always reachable eventually) the under-replication queues must
+    # have drained for every repairable block
+    monitor = sim.replication
+    if monitor is not None:
+        lost = monitor.lost_blocks()
+        if lost:
+            problems.append(
+                f"{len(lost)} blocks permanently lost under a survivable "
+                f"plan (first: block {lost[0].block_id} of {lost[0].file})"
+            )
+        stuck = [
+            b for b in monitor.under_replicated()
+            if not monitor.unrepairable(b)
+        ]
+        if stuck:
+            problems.append(
+                f"{len(stuck)} repairable blocks still under-replicated "
+                "at end of run"
+            )
+
     # journal must replay to the final engine state after any restart
     if tracker.journal is not None and not tracker.tracker_down:
         mismatches = tracker.journal.reconcile(tracker)
@@ -332,12 +365,13 @@ def _verify_run(result: RunResult, sim: Simulation) -> List[str]:
     return problems
 
 
-def _chaos_config(scenario, plan, telemetry, metrics_path=""):
+def _chaos_config(scenario, plan, telemetry, metrics_path="", durability=None):
     return replace(
         scenario.config,
         faults=plan,
         telemetry=telemetry,
         metrics=MetricsConfig(jsonl=metrics_path) if metrics_path else None,
+        durability=durability,
         tracker_expiry_interval=15.0,
         check_invariants=True,
         trace=True,
@@ -391,6 +425,7 @@ def run_chaos_case(
     quick: bool,
     metrics_path: str = "",
     cluster_factory: Optional[Callable[[], Cluster]] = None,
+    durability: Optional[DurabilityConfig] = None,
 ) -> Tuple[ChaosRun, Optional[List[str]]]:
     scenario = get_scenario("ci")
     jobs = scenario.jobs("wordcount")
@@ -402,7 +437,9 @@ def run_chaos_case(
         scheduler=factory(),
         jobs=jobs,
         placement=scenario.placement,
-        config=_chaos_config(scenario, plan, telemetry, metrics_path),
+        config=_chaos_config(
+            scenario, plan, telemetry, metrics_path, durability
+        ),
         background=scenario.background,
         seed=seed,
     )
@@ -430,9 +467,9 @@ def run_chaos(
 ) -> ChaosReport:
     """The soak: ``rounds`` random plans × every scheduler family.
 
-    Round 0's first case is re-run with identical inputs and its JSONL
-    trace compared byte for byte, so every soak also proves seed
-    reproducibility.  ``trace_path`` appends each run's trace to one
+    The first PNA case of round 0 (plain) and round 1 (durability plane
+    on) is re-run with identical inputs and its JSONL trace compared
+    byte for byte, so every soak also proves seed reproducibility.  ``trace_path`` appends each run's trace to one
     JSONL artifact (CI uploads it).  ``metrics_path`` likewise appends
     each run's metrics export (:mod:`repro.obs`); the determinism re-run
     deliberately runs *without* metrics, so a matching trace doubles as
@@ -455,6 +492,13 @@ def run_chaos(
             # survivable link/switch failures to the plan, so re-routing,
             # park-and-retry and partition healing are soaked too
             fabric_round = rnd % 3 == 2
+            # every other round also runs the HDFS durability plane, so
+            # re-replication under churn, repair-flow cancellation and
+            # loss accounting are soaked alongside the fault kinds —
+            # survivable plans must end with zero permanently lost blocks
+            durability = (
+                DurabilityConfig() if rnd % 2 == 1 else None
+            )
             if fabric_round:
                 plan = random_fault_plan(
                     plan_rng, fab_nodes, fab_racks, intensity=intensity,
@@ -470,6 +514,8 @@ def run_chaos(
             for name, factory in schedulers.items():
                 if progress is not None:
                     tag = " (fabric)" if fabric_round else ""
+                    if durability is not None:
+                        tag += " (durability)"
                     progress(
                         f"round {rnd}{tag} [{name}] plan: {_describe(plan)}"
                     )
@@ -477,13 +523,16 @@ def run_chaos(
                 run, lines = run_chaos_case(
                     rnd, name, factory, plan, tel, run_seed, quick=quick,
                     metrics_path=metrics_path, cluster_factory=factory_arg,
+                    durability=durability,
                 )
                 if sink is not None and lines:
                     sink.write("\n".join(lines) + "\n")
-                if rnd == 0 and name == "pna" and lines is not None:
+                # round 0 proves plain determinism, round 1 proves it with
+                # the durability plane (repair flows, trims, loss events) on
+                if rnd in (0, 1) and name == "pna" and lines is not None:
                     rerun, relines = run_chaos_case(
                         rnd, name, factory, plan, tel, run_seed, quick=quick,
-                        cluster_factory=factory_arg,
+                        cluster_factory=factory_arg, durability=durability,
                     )
                     if relines != lines:
                         run.violations.append(

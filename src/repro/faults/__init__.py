@@ -16,6 +16,7 @@ from .spec import (
     LinkFailure,
     NodeChurn,
     NodeCrash,
+    NodeDecommission,
     SwitchFailure,
     TaskFailures,
     TrackerCrash,
@@ -30,6 +31,7 @@ __all__ = [
     "LinkFailure",
     "NodeChurn",
     "NodeCrash",
+    "NodeDecommission",
     "SwitchFailure",
     "TaskFailures",
     "TrackerCrash",

@@ -42,12 +42,16 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 __all__ = ["FaultInjector", "RNG_STREAMS"]
 
 #: Spawn-index -> fault family of the injector's ``SeedSequence`` fan-out.
-#: Append-only: indices are load-bearing for replay stability.
+#: Append-only: indices are load-bearing for replay stability.  The
+#: decommission stream draws nothing today (drain starts are scheduled, not
+#: sampled) but is reserved so a future randomised variant cannot shift the
+#: other families' draws.
 RNG_STREAMS = {
     0: "churn",
     1: "taskfail",
     2: "heartbeat",
     3: "linkfault",
+    4: "decommission",
 }
 
 
@@ -80,13 +84,18 @@ class FaultInjector:
         self.cluster = cluster
         self.tracker = tracker
         self.sim = tracker.sim
-        churn_ss, taskfail_ss, heartbeat_ss, linkfault_ss = seed_seq.spawn(
-            len(RNG_STREAMS)
-        )
+        (
+            churn_ss,
+            taskfail_ss,
+            heartbeat_ss,
+            linkfault_ss,
+            decommission_ss,
+        ) = seed_seq.spawn(len(RNG_STREAMS))
         self._churn_rng = np.random.default_rng(churn_ss)
         self._taskfail_rng = np.random.default_rng(taskfail_ss)
         self._heartbeat_rng = np.random.default_rng(heartbeat_ss)
         self._linkfault_rng = np.random.default_rng(linkfault_ss)
+        self._decommission_rng = np.random.default_rng(decommission_ss)
         self._pending: List["Event"] = []
         self._stopped = False
         # overlap ref-counts: a link stays physically down until every
@@ -101,6 +110,7 @@ class FaultInjector:
         self.link_failures_injected = 0
         self.switch_failures_injected = 0
         self.links_failed = 0    # 0 -> down transitions across all faults
+        self.decommissions_injected = 0
         self._validate_targets()
 
     # ------------------------------------------------------------------
@@ -110,6 +120,11 @@ class FaultInjector:
         for crash in self.plan.crashes:
             if crash.node not in names:
                 raise ValueError(f"crash targets unknown node {crash.node!r}")
+        for dc in self.plan.decommissions:
+            if dc.node not in names:
+                raise ValueError(
+                    f"decommission targets unknown node {dc.node!r}"
+                )
         if self.plan.churn is not None and self.plan.churn.nodes is not None:
             for name in self.plan.churn.nodes:
                 if name not in names:
@@ -169,6 +184,10 @@ class FaultInjector:
             self._pending.append(
                 self.sim.at(tc.at, self._tracker_crash, tc.down_for)
             )
+        for dc in self.plan.decommissions:
+            self._pending.append(
+                self.sim.at(dc.at, self._decommission, dc.node)
+            )
         for lf in self.plan.link_failures:
             if lf.at is not None:
                 self._pending.append(
@@ -216,6 +235,20 @@ class FaultInjector:
             return
         node.alive = True
         self.revivals += 1
+
+    # ------------------------------------------------------------------
+    # decommissioning
+    # ------------------------------------------------------------------
+    def _decommission(self, name: str) -> None:
+        if self._stopped:
+            return
+        node = self.cluster.node(name)
+        if not node.alive:
+            return  # a dead node can't drain; the crash path owns it
+        monitor = self.tracker.replication
+        assert monitor is not None  # enforced at Simulation construction
+        self.decommissions_injected += 1
+        monitor.begin_decommission(name)
 
     # ------------------------------------------------------------------
     # tracker crash / restart

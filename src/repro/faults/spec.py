@@ -32,6 +32,7 @@ __all__ = [
     "LinkFailure",
     "NodeChurn",
     "NodeCrash",
+    "NodeDecommission",
     "SwitchFailure",
     "TaskFailures",
     "TrackerCrash",
@@ -88,6 +89,35 @@ class NodeCrash:
             _check_finite("down_for", self.down_for)
             if self.down_for <= 0:
                 raise ValueError(f"down_for must be > 0, got {self.down_for}")
+
+
+@dataclass(frozen=True)
+class NodeDecommission:
+    """Administratively drain a node out of service (planned maintenance).
+
+    Unlike :class:`NodeCrash`, decommissioning is *drain-safe*: from ``at``
+    onward the node's block replicas stop counting toward replication
+    targets (they stay readable and serve as repair sources), the
+    ReplicationMonitor re-replicates every dependent block elsewhere, and
+    only once the drain completes is the node released — taken down with
+    zero copies at risk.  Requires ``EngineConfig(durability=...)``; a plan
+    with decommissions but no monitor to execute them is rejected at run
+    construction.
+
+    Attributes
+    ----------
+    at:
+        Simulated time decommissioning begins.
+    node:
+        Name of the node to drain (must exist in the cluster at run time).
+    """
+
+    at: float
+    node: str
+
+    def __post_init__(self) -> None:
+        _check_finite("at", self.at)
+        _check_name("node", self.node)
 
 
 @dataclass(frozen=True)
@@ -376,6 +406,7 @@ class FaultPlan:
     tracker_crashes: Tuple[TrackerCrash, ...] = ()
     link_failures: Tuple[LinkFailure, ...] = ()
     switch_failures: Tuple[SwitchFailure, ...] = ()
+    decommissions: Tuple[NodeDecommission, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
@@ -383,6 +414,7 @@ class FaultPlan:
         object.__setattr__(self, "tracker_crashes", tuple(self.tracker_crashes))
         object.__setattr__(self, "link_failures", tuple(self.link_failures))
         object.__setattr__(self, "switch_failures", tuple(self.switch_failures))
+        object.__setattr__(self, "decommissions", tuple(self.decommissions))
 
     @property
     def empty(self) -> bool:
@@ -396,6 +428,7 @@ class FaultPlan:
             and not self.tracker_crashes
             and not self.link_failures
             and not self.switch_failures
+            and not self.decommissions
         )
 
     # ------------------------------------------------------------------
@@ -408,6 +441,7 @@ class FaultPlan:
             "degradations": [asdict(d) for d in self.degradations],
             "tracker_crashes": [asdict(c) for c in self.tracker_crashes],
             "switch_failures": [asdict(s) for s in self.switch_failures],
+            "decommissions": [asdict(d) for d in self.decommissions],
         }
         link_failures = []
         for lf in self.link_failures:
@@ -461,6 +495,9 @@ class FaultPlan:
             ),
             switch_failures=_build_list(
                 SwitchFailure, data.get("switch_failures"), "switch_failures"
+            ),
+            decommissions=_build_list(
+                NodeDecommission, data.get("decommissions"), "decommissions"
             ),
         )
 

@@ -9,12 +9,15 @@ from repro.hdfs.placement import (
     SkewedPlacement,
     SubsetPlacement,
 )
+from repro.hdfs.replication import DurabilityConfig, ReplicationMonitor
 
 __all__ = [
     "Block",
+    "DurabilityConfig",
     "HDFSFile",
     "NameNode",
     "PlacementPolicy",
+    "ReplicationMonitor",
     "RackAwarePlacement",
     "RandomPlacement",
     "SkewedPlacement",

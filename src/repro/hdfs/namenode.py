@@ -5,6 +5,15 @@ input block's replicas live.  The NameNode carves files into fixed-size
 blocks, asks a :class:`~repro.hdfs.placement.PlacementPolicy` for replica
 nodes, and answers the locality queries the schedulers and the cost model
 issue (``replicas``, ``replica_indices``, ``is_local``, ``closest_replica``).
+
+Replica sets are mutable through exactly two NameNode methods —
+:meth:`NameNode.add_replica` / :meth:`NameNode.remove_replica`, driven by
+the :class:`~repro.hdfs.replication.ReplicationMonitor` — so every locality
+query above always sees the *current* layout.  Schedulers, like Hadoop's
+JobClient, compute their input splits once at submission:
+``JobCostModel`` snapshots replica indices when the job is created and
+scores offers against that ingest layout even if repair later moves copies
+(reads always fail over to a live replica regardless).
 """
 
 from __future__ import annotations
@@ -135,6 +144,44 @@ class NameNode:
             del self._blocks[b.block_id]
 
     # ------------------------------------------------------------------
+    # replica-set mutation (the durability plane's write path)
+    # ------------------------------------------------------------------
+    def add_replica(self, block: Block, node_name: str) -> None:
+        """Record a new replica of ``block`` on ``node_name``.
+
+        Called by the ReplicationMonitor when a re-replication copy
+        completes.  The block's (frozen) metadata is updated in place so
+        every locality query immediately sees the new copy.
+        """
+        self.cluster.node(node_name)  # KeyError on unknown nodes
+        if node_name in block.replicas:
+            raise ValueError(
+                f"block {block.block_id} already has a replica on {node_name}"
+            )
+        object.__setattr__(block, "replicas", block.replicas + (node_name,))
+
+    def remove_replica(self, block: Block, node_name: str) -> None:
+        """Drop ``node_name`` from ``block``'s replica set.
+
+        Used for over-replication trimming and decommission release.  The
+        last replica can never be dropped: metadata survives even when
+        every holder is dead (HDFS keeps missing-block records too).
+        """
+        if node_name not in block.replicas:
+            raise ValueError(
+                f"block {block.block_id} has no replica on {node_name}"
+            )
+        if len(block.replicas) == 1:
+            raise ValueError(
+                f"cannot drop the last replica of block {block.block_id}"
+            )
+        object.__setattr__(
+            block,
+            "replicas",
+            tuple(r for r in block.replicas if r != node_name),
+        )
+
+    # ------------------------------------------------------------------
     # reads / locality queries
     # ------------------------------------------------------------------
     def block(self, block_id: int) -> Block:
@@ -207,9 +254,19 @@ class NameNode:
             return None
         return best_node, best_h
 
+    def live_replicas(self, block: Block) -> Tuple[str, ...]:
+        """Replica holders that are currently alive (readable copies)."""
+        return tuple(
+            r for r in block.replicas if self.cluster.node(r).alive
+        )
+
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
+    def blocks(self) -> List[Block]:
+        """Every block in creation order (stable across runs)."""
+        return list(self._blocks.values())
+
     def total_blocks(self) -> int:
         return len(self._blocks)
 

@@ -19,7 +19,7 @@ supplied ``numpy.random.Generator``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -46,6 +46,34 @@ class PlacementPolicy:
     ) -> List[str]:
         """Return ``replication`` distinct node names for a new block."""
         raise NotImplementedError
+
+    def choose_target(
+        self,
+        cluster: Cluster,
+        holders: Iterable[str],
+        rng: np.random.Generator,
+        exclude: Iterable[str] = (),
+    ) -> Optional[str]:
+        """One node for a *new* replica of an existing block.
+
+        ``holders`` are the block's current replica nodes (dead or alive);
+        ``exclude`` lists additional forbidden targets (dead, isolated, or
+        decommissioning nodes).  Returns ``None`` when no node qualifies —
+        the re-replication is deferred, not an error.  The default draws
+        uniformly over the remaining nodes; subclasses restrict or weight
+        the pool to match their ingest distribution.
+        """
+        pool = self._candidates(cluster, holders, exclude)
+        if not pool:
+            return None
+        return pool[int(rng.integers(len(pool)))]
+
+    @staticmethod
+    def _candidates(
+        cluster: Cluster, holders: Iterable[str], exclude: Iterable[str]
+    ) -> List[str]:
+        banned = set(holders) | set(exclude)
+        return [n.name for n in cluster.nodes if n.name not in banned]
 
     @staticmethod
     def _check(cluster: Cluster, replication: int) -> None:
@@ -111,6 +139,27 @@ class RackAwarePlacement(PlacementPolicy):
             chosen.append(pool[int(rng.integers(len(pool)))])
         return chosen
 
+    def choose_target(
+        self,
+        cluster: Cluster,
+        holders: Iterable[str],
+        rng: np.random.Generator,
+        exclude: Iterable[str] = (),
+    ) -> Optional[str]:
+        """Prefer a rack that holds no replica yet (HDFS spread), falling
+        back to any allowed node when every rack is already represented."""
+        pool = self._candidates(cluster, holders, exclude)
+        if not pool:
+            return None
+        holder_racks = {
+            cluster.node(h).rack for h in holders if h in cluster
+        }
+        off_rack = [
+            n for n in pool if cluster.node(n).rack not in holder_racks
+        ]
+        pick = off_rack or pool
+        return pick[int(rng.integers(len(pick)))]
+
 
 class SkewedPlacement(PlacementPolicy):
     """Zipf-weighted placement concentrating replicas on few nodes.
@@ -145,6 +194,24 @@ class SkewedPlacement(PlacementPolicy):
         )
         return [cluster.nodes[i].name for i in idx]
 
+    def choose_target(
+        self,
+        cluster: Cluster,
+        holders: Iterable[str],
+        rng: np.random.Generator,
+        exclude: Iterable[str] = (),
+    ) -> Optional[str]:
+        """Zipf-weighted draw over the allowed nodes (renormalised), so
+        repair traffic keeps piling replicas onto the same storage island."""
+        banned = set(holders) | set(exclude)
+        names = [n.name for n in cluster.nodes]
+        mask = np.array([nm not in banned for nm in names])
+        if not mask.any():
+            return None
+        w = self._weights(len(names)) * mask
+        w = w / w.sum()
+        return names[int(rng.choice(len(names), p=w))]
+
 
 class SubsetPlacement(PlacementPolicy):
     """Replicas confined to a storage subset of the cluster.
@@ -178,3 +245,25 @@ class SubsetPlacement(PlacementPolicy):
             )
         idx = rng.choice(n_storage, size=replication, replace=False)
         return [cluster.nodes[i].name for i in idx]
+
+    def choose_target(
+        self,
+        cluster: Cluster,
+        holders: Iterable[str],
+        rng: np.random.Generator,
+        exclude: Iterable[str] = (),
+    ) -> Optional[str]:
+        """Repair never escapes the storage subset: a block whose island
+        is fully dead simply cannot be re-replicated until a host rejoins."""
+        import math as _math
+
+        n_storage = max(1, _math.ceil(self.fraction * cluster.num_nodes))
+        banned = set(holders) | set(exclude)
+        pool = [
+            n.name
+            for n in cluster.nodes[:n_storage]
+            if n.name not in banned
+        ]
+        if not pool:
+            return None
+        return pool[int(rng.integers(len(pool)))]

@@ -47,6 +47,12 @@ class MetricsCollector:
         #: job ids that aborted after exhausting a task's retry budget,
         #: with abort times
         self.failed_jobs: Dict[str, float] = {}
+        # durability counters (all stay 0 without a ReplicationMonitor)
+        self.replicas_added = 0      # re-replication copies completed
+        self.replicas_removed = 0    # over-replication trims + drain drops
+        self.blocks_lost = 0         # permanent-loss detections
+        self.repair_bytes = 0.0      # bytes moved by re-replication flows
+        self.decommissions = 0       # nodes drained and released
 
     # ------------------------------------------------------------------
     # engine-facing hooks
@@ -97,6 +103,19 @@ class MetricsCollector:
 
     def node_blacklisted(self) -> None:
         self.blacklistings += 1
+
+    def replica_added(self, nbytes: float) -> None:
+        self.replicas_added += 1
+        self.repair_bytes += nbytes
+
+    def replica_removed(self) -> None:
+        self.replicas_removed += 1
+
+    def block_lost(self) -> None:
+        self.blocks_lost += 1
+
+    def decommissioned(self) -> None:
+        self.decommissions += 1
 
     # ------------------------------------------------------------------
     # derived views

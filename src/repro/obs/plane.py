@@ -94,6 +94,17 @@ class MetricsPlane:
         self.g_down_links = r.gauge("net_down_links")
         self.g_partitioned = r.gauge("net_partitioned_pairs")
 
+        # durability plane — instruments exist only when the run has a
+        # ReplicationMonitor, so metrics exports stay byte-identical on
+        # durability-off runs
+        self._replication = getattr(tracker, "replication", None)
+        if self._replication is not None:
+            self.g_under_replicated = r.gauge("under_replicated_blocks")
+            self.c_repair_bytes = r.counter("repair_bytes_total")
+            self.c_blocks_lost = r.counter("blocks_lost_total")
+            self.c_replicas_added = r.counter("replicas_added_total")
+            self.c_replicas_removed = r.counter("replicas_removed_total")
+
         # per-job queue-depth gauges, created when a job first appears and
         # zeroed once when it leaves the active set
         self._job_gauges: Dict[str, Tuple[Gauge, Gauge, Gauge, Gauge]] = {}
@@ -211,12 +222,23 @@ class MetricsPlane:
             routing.partitioned_pairs if routing is not None else 0
         )
 
+    def _sample_durability(self) -> None:
+        monitor = self._replication
+        c = self.tracker.collector  # type: ignore[attr-defined]
+        self.g_under_replicated.set(monitor.under_replicated_count())
+        self.c_repair_bytes.set_total(c.repair_bytes)
+        self.c_blocks_lost.set_total(c.blocks_lost)
+        self.c_replicas_added.set_total(c.replicas_added)
+        self.c_replicas_removed.set_total(c.replicas_removed)
+
     def sample(self) -> None:
         """One sampling tick: ingest cumulatives, read levels, snapshot."""
         self._ingest()
         self._sample_slots()
         self._sample_queues()
         self._sample_network()
+        if self._replication is not None:
+            self._sample_durability()
         self.registry.sample(self.sim.now)  # type: ignore[attr-defined]
 
     def finalize(self) -> None:

@@ -21,10 +21,13 @@ from .events import (
     BERNOULLI_MISS,
     BLACKLISTED,
     Blacklisted,
+    BlockLost,
     COLOCATION_VETO,
     COUPLING_GATE,
     DECLINE_REASONS,
     Decline,
+    DecommissionDone,
+    DecommissionStart,
     Evaluate,
     FAILURE_REASONS,
     Heartbeat,
@@ -37,6 +40,8 @@ from .events import (
     NO_CANDIDATE,
     NodeDown,
     NodeUp,
+    ReplicaAdded,
+    ReplicaRemoved,
     RunStart,
     ShuffleFinish,
     ShuffleStart,
@@ -64,10 +69,13 @@ __all__ = [
     "BERNOULLI_MISS",
     "BLACKLISTED",
     "Blacklisted",
+    "BlockLost",
     "COLOCATION_VETO",
     "COUPLING_GATE",
     "DECLINE_REASONS",
     "Decline",
+    "DecommissionDone",
+    "DecommissionStart",
     "Evaluate",
     "FAILURE_REASONS",
     "Heartbeat",
@@ -81,6 +89,8 @@ __all__ = [
     "NodeDown",
     "NodeUp",
     "NullRecorder",
+    "ReplicaAdded",
+    "ReplicaRemoved",
     "RunStart",
     "ShuffleFinish",
     "ShuffleStart",

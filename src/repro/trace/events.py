@@ -49,8 +49,10 @@ Attempt-failure reasons (``FAILURE_REASONS``) form a second closed
 vocabulary used by :class:`AttemptFailed` / :class:`JobFail`:
 ``task_error`` (an injected per-attempt failure — counts toward
 ``max_attempts``), ``node_lost`` (the attempt's node died — the attempt is
-killed, not charged), and ``attempts_exhausted`` (a task failed
-``max_attempts`` times, failing its job).
+killed, not charged), ``input_lost`` (every replica of the attempt's input
+block is permanently dead — charged, and the job aborts immediately under
+``DurabilityConfig(on_data_loss="abort")``), and ``attempts_exhausted``
+(a task failed ``max_attempts`` times, failing its job).
 """
 
 from __future__ import annotations
@@ -63,8 +65,11 @@ __all__ = [
     "Assign",
     "AttemptFailed",
     "Blacklisted",
+    "BlockLost",
     "DECLINE_REASONS",
     "Decline",
+    "DecommissionDone",
+    "DecommissionStart",
     "Evaluate",
     "FAILURE_REASONS",
     "Heartbeat",
@@ -78,6 +83,8 @@ __all__ = [
     "NodeDown",
     "NodeUp",
     "PartitionHealed",
+    "ReplicaAdded",
+    "ReplicaRemoved",
     "RouteChange",
     "RunStart",
     "ShuffleFinish",
@@ -123,11 +130,13 @@ DECLINE_REASONS = (
 #: Canonical attempt-failure reasons (see the module docstring).
 TASK_ERROR = "task_error"
 NODE_LOST = "node_lost"
+INPUT_LOST = "input_lost"
 ATTEMPTS_EXHAUSTED = "attempts_exhausted"
 
 FAILURE_REASONS = (
     TASK_ERROR,
     NODE_LOST,
+    INPUT_LOST,
     ATTEMPTS_EXHAUSTED,
 )
 
@@ -489,6 +498,90 @@ class StaleTelemetry(TraceEvent):
     total_paths: int
 
     type = "stale_telemetry"
+
+
+@dataclass(frozen=True)
+class ReplicaAdded(TraceEvent):
+    """The ReplicationMonitor finished copying a block to a new holder.
+
+    ``src`` is the live replica the copy was read from; ``replicas`` is the
+    block's replica count after the add.  The copy moved ``size`` bytes as a
+    real flow through the fabric, so it shows up in link utilisation and in
+    PNA's measured network conditions like any shuffle fetch.
+    """
+
+    block_id: int
+    file: str
+    node: str
+    src: str
+    size: float
+    replicas: int
+
+    type = "replica_added"
+
+
+@dataclass(frozen=True)
+class ReplicaRemoved(TraceEvent):
+    """A replica was dropped from a block's metadata.
+
+    Emitted when the monitor trims an over-replicated block (a holder
+    rejoined after its block was already repaired elsewhere) and when a
+    decommissioned node is released after its drain completed.
+    ``replicas`` is the count after the removal.
+    """
+
+    block_id: int
+    file: str
+    node: str
+    replicas: int
+
+    type = "replica_removed"
+
+
+@dataclass(frozen=True)
+class BlockLost(TraceEvent):
+    """Every replica of a block is dead and no live source remains.
+
+    Permanent-data-loss detection: maps needing this block fail with the
+    ``input_lost`` reason instead of polling forever.  If a holder later
+    rejoins (its block report revives the copies), the block leaves the
+    lost set and repair resumes.
+    """
+
+    block_id: int
+    file: str
+    index: int
+    size: float
+
+    type = "block_lost"
+
+
+@dataclass(frozen=True)
+class DecommissionStart(TraceEvent):
+    """A node entered drain-safe decommissioning.
+
+    Its ``blocks`` replicas stop counting toward replication targets (they
+    stay readable), so every block it holds becomes under-replicated and is
+    re-replicated elsewhere *before* the node is released — the opposite
+    ordering from a crash, where repair starts after the copies are gone.
+    """
+
+    node: str
+    blocks: int
+
+    type = "decommission_start"
+
+
+@dataclass(frozen=True)
+class DecommissionDone(TraceEvent):
+    """A draining node's last dependent block reached its target; the node
+    is released (taken out of service like a crash, but with no copies at
+    risk).  ``blocks`` counts the replicas dropped from its metadata."""
+
+    node: str
+    blocks: int
+
+    type = "decommission_done"
 
 
 EventLike = Union[TraceEvent, Dict[str, object]]

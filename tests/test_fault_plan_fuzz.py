@@ -23,6 +23,7 @@ from repro.faults import (
     LinkFailure,
     NodeChurn,
     NodeCrash,
+    NodeDecommission,
     SwitchFailure,
     TaskFailures,
     TrackerCrash,
@@ -46,6 +47,7 @@ def valid_plan() -> FaultPlan:
             LinkFailure(node="r0n0", duration=10.0, every=60.0),
         ),
         switch_failures=(SwitchFailure(switch="agg0_1", duration=15.0, at=30.0),),
+        decommissions=(NodeDecommission(at=25.0, node="r1n0"),),
     )
 
 
@@ -132,6 +134,21 @@ MALFORMED = [
     ('{"switch_failures": [{"switch": "s", "duration": 5, "at": -1}]}',
      "switch_failures[0]: at must be"),
     ('{"switch_failures": "agg0_0"}', "switch_failures: expected a list"),
+    # decommissions: same path discipline
+    ('{"decommissions": {"at": 1}}', "decommissions: expected a list"),
+    ('{"decommissions": [42]}', "decommissions[0]: expected an object"),
+    ('{"decommissions": [{"node": "n"}]}',
+     "decommissions[0].at: missing required field"),
+    ('{"decommissions": [{"at": 1}]}',
+     "decommissions[0].node: missing required field"),
+    ('{"decommissions": [{"at": 1, "node": "n", "down_for": 5}]}',
+     "decommissions[0].down_for: unknown field"),
+    ('{"decommissions": [{"at": -1, "node": "n"}]}',
+     "decommissions[0]: at must be"),
+    ('{"decommissions": [{"at": "soon", "node": "n"}]}',
+     "decommissions[0]: at must be a number"),
+    ('{"decommissions": [{"at": 1, "node": ""}]}',
+     "decommissions[0]: node must be a non-empty string"),
 ]
 
 
@@ -207,3 +224,4 @@ def test_round_trip_preserves_tuple_types():
     assert isinstance(plan.link_failures, tuple)
     assert isinstance(plan.switch_failures, tuple)
     assert isinstance(plan.link_failures[0].link, tuple)
+    assert isinstance(plan.decommissions, tuple)
